@@ -1,0 +1,54 @@
+//! Criterion: in-process ring collectives across rank counts and sizes.
+
+use compso_comm::collectives::{allgather_var, allreduce_sum};
+use compso_comm::run_ranks;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce");
+    group.sample_size(10);
+    for ranks in [2usize, 4, 8] {
+        for elems in [1usize << 12, 1 << 16] {
+            group.throughput(Throughput::Bytes((elems * 4 * ranks) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{ranks}ranks"), elems),
+                &(ranks, elems),
+                |b, &(ranks, elems)| {
+                    b.iter(|| {
+                        run_ranks(ranks, |comm| {
+                            let mut data = vec![comm.rank() as f32; elems];
+                            allreduce_sum(comm, &mut data);
+                            data[0]
+                        })
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_allgather_var(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allgather-var");
+    group.sample_size(10);
+    for ranks in [2usize, 4, 8] {
+        let bytes = 64 * 1024;
+        group.throughput(Throughput::Bytes((bytes * ranks) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(ranks),
+            &(ranks, bytes),
+            |b, &(ranks, bytes)| {
+                b.iter(|| {
+                    run_ranks(ranks, |comm| {
+                        let mine = vec![comm.rank() as u8; bytes];
+                        allgather_var(comm, mine).len()
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce, bench_allgather_var);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion: lossless-encoder throughput on quantized gradient bytes
+//! (the Table 2 microbenchmark).
+
+use compso_core::quantize::Quantizer;
+use compso_core::synthetic::{generate, GradientProfile};
+use compso_core::{Codec, RoundingMode};
+use compso_tensor::Rng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const ELEMS: usize = 1 << 20;
+
+/// The byte stream COMPSO's encoder stage sees: packed SR codes.
+fn encoder_input() -> Vec<u8> {
+    let data = generate(ELEMS, 1, GradientProfile::kfac());
+    let mut rng = Rng::new(2);
+    let quant = Quantizer::relative(4e-3, RoundingMode::Stochastic).quantize(&data, &mut rng);
+    compso_core::bitpack::pack(&quant.codes, quant.bits())
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let input = encoder_input();
+    let mut group = c.benchmark_group("encode");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    group.sample_size(10);
+    for codec in Codec::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(codec.name()),
+            &input,
+            |b, input| {
+                b.iter(|| codec.encode(input));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let input = encoder_input();
+    let mut group = c.benchmark_group("decode");
+    group.sample_size(10);
+    for codec in Codec::all() {
+        let enc = codec.encode(&input);
+        group.throughput(Throughput::Bytes(enc.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(codec.name()), &enc, |b, enc| {
+            b.iter(|| codec.decode(enc).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_parallel(c: &mut Criterion) {
+    let input = encoder_input();
+    let mut group = c.benchmark_group("encode-block-parallel");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    group.sample_size(10);
+    for codec in [Codec::Ans, Codec::Bitcomp, Codec::Zstd] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(codec.name()),
+            &input,
+            |b, input| {
+                b.iter(|| codec.encode_blocks(input, 256 * 1024));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_block_parallel);
+criterion_main!(benches);

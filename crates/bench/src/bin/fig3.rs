@@ -1,0 +1,111 @@
+//! Figure 3: compression ratio (left) and validation accuracy (right) of
+//! SZ 1E-1, QSGD 4-bit, SZ 4E-3, and QSGD 8-bit on K-FAC gradients of
+//! ResNet-50 and BERT-large.
+//!
+//! Paper shape: the loose settings (SZ 1E-1, QSGD 4-bit) win on ratio
+//! but lose accuracy; the tight settings (SZ 4E-3, QSGD 8-bit) preserve
+//! accuracy at limited ratios (5-20x on ResNet, 15-58x on BERT); QSGD
+//! 8-bit preserves accuracy slightly better than SZ 4E-3 (SR vs RN).
+
+use compso_bench::proxy::{run, Method, Opt, ProxyConfig, Task};
+use compso_bench::{f, header, row, spec_gradients, SAMPLE_BUDGET};
+use compso_core::baselines::{Qsgd, Sz};
+use compso_core::Compressor;
+use compso_dnn::ModelSpec;
+use compso_tensor::Rng;
+
+fn candidates() -> Vec<(&'static str, Box<dyn Compressor>)> {
+    vec![
+        ("SZ 1E-1", Box::new(Sz::new(1e-1))),
+        ("QSGD 4bit", Box::new(Qsgd::bits4())),
+        ("SZ 4E-3", Box::new(Sz::new(4e-3))),
+        ("QSGD 8bit", Box::new(Qsgd::bits8())),
+    ]
+}
+
+fn main() {
+    println!("# Figure 3 — CR and validation accuracy of SZ/QSGD settings\n");
+
+    println!("## Compression ratio on spec-shaped K-FAC gradients\n");
+    header(&["method", "ResNet-50 CR", "BERT-large CR"]);
+    let resnet = spec_gradients(&ModelSpec::resnet50(), SAMPLE_BUDGET, 1);
+    let bert = spec_gradients(&ModelSpec::bert_large(), SAMPLE_BUDGET, 2);
+    for (name, c) in candidates() {
+        let mut rng = Rng::new(3);
+        let cr = |layers: &[Vec<f32>], rng: &mut Rng| -> f64 {
+            let mut orig = 0u64;
+            let mut comp = 0u64;
+            for l in layers {
+                orig += l.len() as u64 * 4;
+                comp += c.compress(l, rng).len() as u64;
+            }
+            orig as f64 / comp as f64
+        };
+        row(&[
+            name.to_string(),
+            f(cr(&resnet, &mut rng), 1),
+            f(cr(&bert, &mut rng), 1),
+        ]);
+    }
+
+    println!("\n## Validation accuracy on the proxy tasks (K-FAC training)\n");
+    println!(
+        "Spiral task at a fixed just-converging iteration budget, averaged\n\
+         over 5 seeds (the paper averages multiple runs); token task at its\n\
+         standard budget.\n"
+    );
+    header(&[
+        "method",
+        "ResNet-50 proxy acc (5-seed avg)",
+        "BERT/GPT proxy acc",
+        "ResNet-50 proxy Δ vs no-comp",
+    ]);
+    let avg_spirals = |mk: &dyn Fn() -> Method| -> f64 {
+        let mut sum = 0.0;
+        for seed in 0..5u64 {
+            let mut cfg = ProxyConfig::standard(Task::Spirals, Opt::Kfac);
+            cfg.iters = 200;
+            cfg.seed = 7 + seed * 31;
+            sum += run(&cfg, &mk()).final_accuracy;
+        }
+        sum / 5.0
+    };
+    let cfg_lm = ProxyConfig::standard(Task::Tokens, Opt::Kfac);
+    let base_cls = avg_spirals(&|| Method::None);
+    let base_lm = run(&cfg_lm, &Method::None);
+    row(&[
+        "KFAC (No Comp.)".into(),
+        f(base_cls, 3),
+        f(base_lm.final_accuracy, 3),
+        "0.000".into(),
+    ]);
+    for (name, c) in candidates() {
+        let acc_cls = avg_spirals(&|| Method::Fixed(dyn_clone(name)));
+        let acc_lm = run(&cfg_lm, &Method::Fixed(c)).final_accuracy;
+        row(&[
+            name.to_string(),
+            f(acc_cls, 3),
+            f(acc_lm, 3),
+            f(acc_cls - base_cls, 3),
+        ]);
+    }
+    println!(
+        "\nPaper shape to verify: the loose RN setting (SZ 1E-1) loses\n\
+         accuracy; the tight settings (SZ 4E-3, QSGD 8-bit) track the\n\
+         baseline; BERT-shaped gradients compress better than\n\
+         ResNet-shaped ones. Known deviation: QSGD-4bit's accuracy\n\
+         collapse needs paper-scale gradient ranges and does not\n\
+         reproduce at proxy scale (see EXPERIMENTS.md)."
+    );
+}
+
+/// Rebuilds a boxed candidate by name (the first box was consumed).
+fn dyn_clone(name: &str) -> Box<dyn Compressor> {
+    match name {
+        "SZ 1E-1" => Box::new(Sz::new(1e-1)),
+        "QSGD 4bit" => Box::new(Qsgd::bits4()),
+        "SZ 4E-3" => Box::new(Sz::new(4e-3)),
+        "QSGD 8bit" => Box::new(Qsgd::bits8()),
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,110 @@
+//! Figure 6a/6b: convergence under different compressors.
+//!
+//! Six methods per task, as in the figure: SGD+CocktailSGD, K-FAC without
+//! compression, K-FAC+cuSZ, K-FAC+QSGD, K-FAC+CocktailSGD, and
+//! K-FAC+COMPSO (iteration-wise adaptive), on the three proxy tasks
+//! standing in for ResNet-50 / Mask R-CNN / GPT-neo-125M.
+//!
+//! Paper shape: all K-FAC+compressor curves track the no-compression
+//! K-FAC curve (cuSZ slightly worse — RN); SGD needs more iterations
+//! than K-FAC; COMPSO matches the baseline's final metric.
+
+use compso_bench::proxy::{run, Method, Opt, ProxyConfig, Task};
+use compso_bench::{f, header, row};
+use compso_core::adaptive::BoundSchedule;
+use compso_core::baselines::{CocktailSgd, Qsgd, Sz};
+
+fn methods(iters: usize, smooth: bool) -> Vec<(Opt, Method)> {
+    let schedule = if smooth {
+        BoundSchedule::smooth_paper(iters, 4)
+    } else {
+        BoundSchedule::step_paper(iters / 2)
+    };
+    vec![
+        (Opt::Sgd, Method::FixedEf(Box::new(CocktailSgd::standard()))),
+        (Opt::Kfac, Method::None),
+        (Opt::Kfac, Method::Fixed(Box::new(Sz::new(4e-3)))),
+        (Opt::Kfac, Method::Fixed(Box::new(Qsgd::bits8()))),
+        (Opt::Kfac, Method::FixedEf(Box::new(CocktailSgd::standard()))),
+        (Opt::Kfac, Method::Adaptive(schedule)),
+    ]
+}
+
+fn label(opt: Opt, m: &Method) -> String {
+    let opt_name = match opt {
+        Opt::Sgd => "SGD",
+        Opt::Kfac => "KFAC",
+    };
+    match m {
+        Method::None => format!("{opt_name} (No Comp.)"),
+        Method::Fixed(c) => format!("{opt_name}+{}", c.name()),
+        Method::FixedEf(c) => format!("{opt_name}+{}", c.name()),
+        Method::Adaptive(_) => format!("{opt_name}+COMPSO"),
+    }
+}
+
+fn main() {
+    println!("# Figure 6 — convergence under compression\n");
+    let tasks = [
+        (Task::Blobs, "ResNet-50 proxy (blobs/MLP, StepLR)", false),
+        (Task::Images, "Mask R-CNN proxy (images/CNN, StepLR)", false),
+        (Task::Tokens, "GPT-neo proxy (tokens/MLP-LM, SmoothLR)", true),
+    ];
+
+    for (task, title, smooth) in tasks {
+        println!("## {title}\n");
+        println!("### 6a: accuracy curves (iteration -> accuracy)\n");
+        let mut finals: Vec<(String, f64, f64, f64)> = Vec::new();
+        let mut curve_rows: Vec<(String, Vec<(usize, f64)>)> = Vec::new();
+        for (opt, method) in methods(ProxyConfig::standard(task, Opt::Kfac).iters, smooth) {
+            let cfg = ProxyConfig::standard(task, opt);
+            let result = run(&cfg, &method);
+            let name = label(opt, &method);
+            curve_rows.push((
+                name.clone(),
+                result.curve.iter().map(|p| (p.iter, p.accuracy)).collect(),
+            ));
+            finals.push((
+                name,
+                result.final_accuracy,
+                result.final_loss,
+                result.mean_ratio,
+            ));
+        }
+        // Print curves on a shared iteration grid (every 4th sample).
+        let grid: Vec<usize> = curve_rows[0]
+            .1
+            .iter()
+            .map(|&(it, _)| it)
+            .step_by(4)
+            .collect();
+        let mut head: Vec<&str> = vec!["method"];
+        let grid_labels: Vec<String> = grid.iter().map(|g| format!("@{g}")).collect();
+        head.extend(grid_labels.iter().map(|s| s.as_str()));
+        header(&head);
+        for (name, curve) in &curve_rows {
+            let mut cells = vec![name.clone()];
+            for &g in &grid {
+                let v = curve
+                    .iter()
+                    .find(|&&(it, _)| it == g)
+                    .map(|&(_, a)| a)
+                    .unwrap_or(f64::NAN);
+                cells.push(f(v, 3));
+            }
+            row(&cells);
+        }
+
+        println!("\n### 6b: final metrics\n");
+        header(&["method", "final accuracy", "final loss", "mean grad CR"]);
+        for (name, acc, loss, ratio) in finals {
+            row(&[name, f(acc, 3), f(loss, 3), f(ratio, 1)]);
+        }
+        println!();
+    }
+    println!(
+        "Paper shape to verify: KFAC+COMPSO final metric within noise of\n\
+         KFAC (No Comp.); KFAC variants reach high accuracy earlier than\n\
+         SGD+CocktailSGD; cuSZ (RN) trails the SR-based methods."
+    );
+}

@@ -1,0 +1,513 @@
+//! Ring collectives over [`Communicator`]s.
+//!
+//! The algorithms are the textbook bandwidth-optimal ring formulations —
+//! the same family NCCL uses on the paper's clusters:
+//!
+//! * **all-reduce** = ring reduce-scatter (each rank ends up owning the
+//!   fully-reduced `r`-th block) followed by ring all-gather;
+//! * **all-gather** circulates blocks around the ring for `p - 1` steps,
+//!   with a variable-size variant for compressed payloads whose per-rank
+//!   sizes differ (§4.3: "KFAC uses AllGather, avoiding [ring-allreduce
+//!   error propagation]");
+//! * **broadcast** is a flat fan-out from the root (some K-FAC
+//!   implementations overlap broadcasts per layer; flat is enough for the
+//!   correctness role this substrate plays).
+
+use crate::group::{Communicator, Payload};
+
+/// Splits `len` into `parts` contiguous block ranges, sizes differing by at
+/// most one (first `len % parts` blocks are one longer).
+pub fn block_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(parts > 0);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let sz = base + usize::from(p < extra);
+        out.push(start..start + sz);
+        start += sz;
+    }
+    out
+}
+
+/// Sum all-reduce: on return every rank's `data` holds the elementwise sum
+/// across ranks. Bandwidth-optimal ring (reduce-scatter + all-gather).
+pub fn allreduce_sum(comm: &mut Communicator, data: &mut [f32]) {
+    let p = comm.size();
+    if p == 1 {
+        return;
+    }
+    let ranges = block_ranges(data.len(), p);
+    let r = comm.rank();
+    let left = comm.left();
+    let right = comm.right();
+
+    // Phase 1: reduce-scatter. At step s, send block (r - s) and receive
+    // block (r - s - 1), accumulating into it. After p-1 steps, rank r owns
+    // the fully reduced block (r + 1) mod p.
+    for s in 0..p - 1 {
+        let send_block = (r + p - s) % p;
+        let recv_block = (r + p - s - 1) % p;
+        let chunk = data[ranges[send_block].clone()].to_vec();
+        comm.send(right, Payload::F32(chunk));
+        let incoming = comm.recv(left).into_f32();
+        let dst = &mut data[ranges[recv_block].clone()];
+        debug_assert_eq!(incoming.len(), dst.len());
+        for (d, v) in dst.iter_mut().zip(incoming) {
+            *d += v;
+        }
+    }
+
+    // Phase 2: all-gather the reduced blocks. Rank r starts by sending its
+    // owned block (r + 1) mod p.
+    for s in 0..p - 1 {
+        let send_block = (r + 1 + p - s) % p;
+        let recv_block = (r + p - s) % p;
+        let chunk = data[ranges[send_block].clone()].to_vec();
+        comm.send(right, Payload::F32(chunk));
+        let incoming = comm.recv(left).into_f32();
+        data[ranges[recv_block].clone()].copy_from_slice(&incoming);
+    }
+}
+
+/// Average all-reduce: all-reduce then divide by the rank count — the form
+/// data-parallel gradient synchronization uses.
+pub fn allreduce_mean(comm: &mut Communicator, data: &mut [f32]) {
+    allreduce_sum(comm, data);
+    let inv = 1.0 / comm.size() as f32;
+    for v in data.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Ring reduce-scatter: each rank returns the fully reduced block for its
+/// own index (`block_ranges(data.len(), p)[rank]`).
+pub fn reduce_scatter_sum(comm: &mut Communicator, data: &[f32]) -> Vec<f32> {
+    let p = comm.size();
+    let ranges = block_ranges(data.len(), p);
+    if p == 1 {
+        return data.to_vec();
+    }
+    let r = comm.rank();
+    let left = comm.left();
+    let right = comm.right();
+    let mut work = data.to_vec();
+    // Same schedule as allreduce phase 1, then rotate ownership so rank r
+    // ends with block r (one extra hop of the owned block).
+    for s in 0..p - 1 {
+        let send_block = (r + p - s) % p;
+        let recv_block = (r + p - s - 1) % p;
+        let chunk = work[ranges[send_block].clone()].to_vec();
+        comm.send(right, Payload::F32(chunk));
+        let incoming = comm.recv(left).into_f32();
+        let dst = &mut work[ranges[recv_block].clone()];
+        for (d, v) in dst.iter_mut().zip(incoming) {
+            *d += v;
+        }
+    }
+    // Rank r now owns block (r + 1) mod p; forward it one step so rank r
+    // holds block r.
+    let owned = (r + 1) % p;
+    comm.send(right, Payload::F32(work[ranges[owned].clone()].to_vec()));
+    comm.recv(left).into_f32()
+}
+
+/// Fixed-size ring all-gather of f32 blocks. Every rank contributes
+/// `mine`; returns the concatenation ordered by rank.
+pub fn allgather(comm: &mut Communicator, mine: &[f32]) -> Vec<f32> {
+    let p = comm.size();
+    let n = mine.len();
+    let mut out = vec![0.0f32; n * p];
+    let r = comm.rank();
+    out[r * n..(r + 1) * n].copy_from_slice(mine);
+    if p == 1 {
+        return out;
+    }
+    let left = comm.left();
+    let right = comm.right();
+    for s in 0..p - 1 {
+        let send_block = (r + p - s) % p;
+        let recv_block = (r + p - s - 1) % p;
+        comm.send(
+            right,
+            Payload::F32(out[send_block * n..(send_block + 1) * n].to_vec()),
+        );
+        let incoming = comm.recv(left).into_f32();
+        assert_eq!(incoming.len(), n, "allgather block size mismatch");
+        out[recv_block * n..(recv_block + 1) * n].copy_from_slice(&incoming);
+    }
+    out
+}
+
+/// Variable-size ring all-gather of byte blocks — the collective compressed
+/// K-FAC gradients travel over, since per-rank compressed sizes differ.
+/// Returns one buffer per rank, in rank order.
+pub fn allgather_var(comm: &mut Communicator, mine: Vec<u8>) -> Vec<Vec<u8>> {
+    let p = comm.size();
+    let r = comm.rank();
+    let mut blocks: Vec<Option<Vec<u8>>> = (0..p).map(|_| None).collect();
+    blocks[r] = Some(mine);
+    if p == 1 {
+        return blocks.into_iter().map(|b| b.unwrap()).collect();
+    }
+    let left = comm.left();
+    let right = comm.right();
+    for s in 0..p - 1 {
+        let send_block = (r + p - s) % p;
+        let recv_block = (r + p - s - 1) % p;
+        let outgoing = blocks[send_block]
+            .clone()
+            .expect("ring schedule error: sending a block not yet received");
+        comm.send(right, Payload::Bytes(outgoing));
+        let incoming = comm.recv(left).into_bytes();
+        blocks[recv_block] = Some(incoming);
+    }
+    blocks.into_iter().map(|b| b.unwrap()).collect()
+}
+
+/// Lossy-compressed ring all-reduce: every reduce-scatter hop compresses
+/// its outgoing chunk with `codec` (encode → decode at the receiver),
+/// so quantization error **accumulates across the `p − 1` hops** — the
+/// §4.3 observation that makes ring all-reduce a poor fit for gradient
+/// compression ("SGD relies on ring AllReduce, which has the error
+/// propagation issue; KFAC uses AllGather, avoiding this issue").
+///
+/// `codec` maps a chunk to its lossy reconstruction (a compressor's
+/// compress∘decompress); the all-gather phase also travels compressed.
+/// Returns the per-rank reduced buffer, averaged.
+pub fn compressed_allreduce_mean(
+    comm: &mut Communicator,
+    data: &mut [f32],
+    mut codec: impl FnMut(&[f32]) -> Vec<f32>,
+) {
+    let p = comm.size();
+    if p == 1 {
+        return;
+    }
+    let ranges = block_ranges(data.len(), p);
+    let r = comm.rank();
+    let left = comm.left();
+    let right = comm.right();
+
+    // Reduce-scatter with per-hop lossy compression.
+    for s in 0..p - 1 {
+        let send_block = (r + p - s) % p;
+        let recv_block = (r + p - s - 1) % p;
+        let chunk = codec(&data[ranges[send_block].clone()]);
+        comm.send(right, Payload::F32(chunk));
+        let incoming = comm.recv(left).into_f32();
+        let dst = &mut data[ranges[recv_block].clone()];
+        debug_assert_eq!(incoming.len(), dst.len());
+        for (d, v) in dst.iter_mut().zip(incoming) {
+            *d += v;
+        }
+    }
+
+    // All-gather of the reduced blocks, also compressed (one more hop of
+    // loss, matching compressed-allreduce implementations).
+    for s in 0..p - 1 {
+        let send_block = (r + 1 + p - s) % p;
+        let recv_block = (r + p - s) % p;
+        let chunk = codec(&data[ranges[send_block].clone()]);
+        comm.send(right, Payload::F32(chunk));
+        let incoming = comm.recv(left).into_f32();
+        data[ranges[recv_block].clone()].copy_from_slice(&incoming);
+    }
+
+    let inv = 1.0 / p as f32;
+    for v in data.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Broadcast `data` from `root` to all ranks (flat fan-out).
+pub fn broadcast(comm: &mut Communicator, root: usize, data: &mut Vec<f32>) {
+    let p = comm.size();
+    if p == 1 {
+        return;
+    }
+    if comm.rank() == root {
+        for dst in 0..p {
+            if dst != root {
+                comm.send(dst, Payload::F32(data.clone()));
+            }
+        }
+    } else {
+        *data = comm.recv(root).into_f32();
+    }
+}
+
+/// Broadcast opaque bytes from `root`.
+pub fn broadcast_bytes(comm: &mut Communicator, root: usize, data: &mut Vec<u8>) {
+    let p = comm.size();
+    if p == 1 {
+        return;
+    }
+    if comm.rank() == root {
+        for dst in 0..p {
+            if dst != root {
+                comm.send(dst, Payload::Bytes(data.clone()));
+            }
+        }
+    } else {
+        *data = comm.recv(root).into_bytes();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::run_ranks;
+
+    #[test]
+    fn block_ranges_cover_exactly() {
+        for len in [0usize, 1, 7, 16, 100] {
+            for parts in [1usize, 2, 3, 8] {
+                let rs = block_ranges(len, parts);
+                assert_eq!(rs.len(), parts);
+                assert_eq!(rs[0].start, 0);
+                assert_eq!(rs.last().unwrap().end, len);
+                for w in rs.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                    assert!(w[0].len() >= w[1].len());
+                    assert!(w[0].len() - w[1].len() <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_matches_serial() {
+        for p in [1usize, 2, 3, 4, 7] {
+            for len in [1usize, 5, 64, 129] {
+                let results = run_ranks(p, |comm| {
+                    let r = comm.rank();
+                    let mut data: Vec<f32> =
+                        (0..len).map(|i| (r * 1000 + i) as f32 * 0.5).collect();
+                    allreduce_sum(comm, &mut data);
+                    data
+                });
+                let expected: Vec<f32> = (0..len)
+                    .map(|i| (0..p).map(|r| (r * 1000 + i) as f32 * 0.5).sum())
+                    .collect();
+                for (rank, res) in results.iter().enumerate() {
+                    for (a, b) in res.iter().zip(&expected) {
+                        assert!(
+                            (a - b).abs() < 1e-3,
+                            "p={p} len={len} rank={rank}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_mean_divides() {
+        let results = run_ranks(4, |comm| {
+            let mut data = vec![comm.rank() as f32; 10];
+            allreduce_mean(comm, &mut data);
+            data
+        });
+        for res in results {
+            for v in res {
+                assert!((v - 1.5).abs() < 1e-6); // (0+1+2+3)/4
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_gives_each_rank_its_block() {
+        let p = 4;
+        let len = 10;
+        let results = run_ranks(p, |comm| {
+            let data: Vec<f32> = (0..len).map(|i| i as f32).collect();
+            reduce_scatter_sum(comm, &data)
+        });
+        let ranges = block_ranges(len, p);
+        for (rank, res) in results.iter().enumerate() {
+            let expected: Vec<f32> = ranges[rank].clone().map(|i| i as f32 * p as f32).collect();
+            assert_eq!(res, &expected, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn allgather_concatenates_in_rank_order() {
+        for p in [1usize, 2, 5] {
+            let results = run_ranks(p, |comm| {
+                let mine = vec![comm.rank() as f32; 3];
+                allgather(comm, &mine)
+            });
+            let expected: Vec<f32> = (0..p).flat_map(|r| vec![r as f32; 3]).collect();
+            for res in results {
+                assert_eq!(res, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_var_handles_unequal_sizes() {
+        let p = 5;
+        let results = run_ranks(p, |comm| {
+            let r = comm.rank();
+            let mine: Vec<u8> = (0..(r * 3 + 1)).map(|i| (r * 10 + i) as u8).collect();
+            allgather_var(comm, mine)
+        });
+        for res in &results {
+            assert_eq!(res.len(), p);
+            for (r, block) in res.iter().enumerate() {
+                let expected: Vec<u8> = (0..(r * 3 + 1)).map(|i| (r * 10 + i) as u8).collect();
+                assert_eq!(block, &expected);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_var_empty_blocks_ok() {
+        let results = run_ranks(3, |comm| {
+            let mine = if comm.rank() == 1 { vec![7u8] } else { Vec::new() };
+            allgather_var(comm, mine)
+        });
+        for res in results {
+            assert_eq!(res[0], Vec::<u8>::new());
+            assert_eq!(res[1], vec![7u8]);
+            assert_eq!(res[2], Vec::<u8>::new());
+        }
+    }
+
+    #[test]
+    fn compressed_allreduce_is_exact_with_identity_codec() {
+        let results = run_ranks(4, |comm| {
+            let mut data: Vec<f32> = (0..32).map(|i| (comm.rank() * 32 + i) as f32).collect();
+            compressed_allreduce_mean(comm, &mut data, |c| c.to_vec());
+            data
+        });
+        let expected: Vec<f32> = (0..32)
+            .map(|i| (0..4).map(|r| (r * 32 + i) as f32).sum::<f32>() / 4.0)
+            .collect();
+        for res in results {
+            for (a, b) in res.iter().zip(&expected) {
+                assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// The §4.3 error-propagation claim, quantified: with the same lossy
+    /// codec, a compressed ring all-reduce accumulates error across hops
+    /// while a compressed all-gather pays the loss exactly once, and the
+    /// all-reduce error grows with the ring size.
+    #[test]
+    fn ring_allreduce_accumulates_compression_error_allgather_does_not() {
+        // A crude lossy codec: quantize to a fixed grid.
+        let grid = 0.02f32;
+        let lossy = move |c: &[f32]| -> Vec<f32> {
+            c.iter().map(|&v| (v / grid).round() * grid).collect()
+        };
+        let n = 256usize;
+
+        // Error on the reduced *sum* (the quantity the collective moves):
+        // a single compression of the sum would err by at most grid/2;
+        // per-hop compression requantizes partial sums p-1 times.
+        let allreduce_err = |p: usize| -> f64 {
+            let results = run_ranks(p, |comm| {
+                let mut data: Vec<f32> = (0..n)
+                    .map(|i| ((comm.rank() + 1) as f32 * 0.137 + i as f32 * 0.0113).sin() * 0.1)
+                    .collect();
+                let exact_sum: Vec<f32> = (0..n)
+                    .map(|i| {
+                        (0..p)
+                            .map(|r| ((r + 1) as f32 * 0.137 + i as f32 * 0.0113).sin() * 0.1)
+                            .sum::<f32>()
+                    })
+                    .collect();
+                compressed_allreduce_mean(comm, &mut data, lossy);
+                data.iter()
+                    .zip(&exact_sum)
+                    .map(|(&a, &b)| ((a * p as f32 - b) as f64).abs())
+                    .fold(0.0f64, f64::max)
+            });
+            results.into_iter().fold(0.0, f64::max)
+        };
+
+        let allgather_err = |p: usize| -> f64 {
+            let results = run_ranks(p, |comm| {
+                let mine: Vec<f32> = (0..n)
+                    .map(|i| ((comm.rank() + 1) as f32 * 0.137 + i as f32 * 0.0113).sin() * 0.1)
+                    .collect();
+                // All-gather path: compress once at the source.
+                let gathered = allgather(comm, &lossy(&mine));
+                // Error vs the exact gathered data.
+                let mut worst = 0.0f64;
+                for r in 0..p {
+                    for i in 0..n {
+                        let exact = ((r + 1) as f32 * 0.137 + i as f32 * 0.0113).sin() * 0.1;
+                        worst = worst.max(((gathered[r * n + i] - exact) as f64).abs());
+                    }
+                }
+                worst
+            });
+            results.into_iter().fold(0.0, f64::max)
+        };
+
+        let single_hop = grid as f64 / 2.0;
+        // All-gather: exactly one quantization, independent of p.
+        assert!(allgather_err(2) <= single_hop * 1.01);
+        assert!(allgather_err(8) <= single_hop * 1.01);
+        // All-reduce: error grows with the ring size and exceeds one hop.
+        let ar2 = allreduce_err(2);
+        let ar8 = allreduce_err(8);
+        assert!(ar8 > ar2, "no accumulation: p=2 {ar2} vs p=8 {ar8}");
+        assert!(
+            ar8 > single_hop * 2.0,
+            "p=8 all-reduce error {ar8} vs single hop {single_hop}"
+        );
+    }
+
+    #[test]
+    fn broadcast_from_each_root() {
+        for root in 0..3 {
+            let results = run_ranks(3, move |comm| {
+                let mut data = if comm.rank() == root {
+                    vec![42.0, -1.0]
+                } else {
+                    Vec::new()
+                };
+                broadcast(comm, root, &mut data);
+                data
+            });
+            for res in results {
+                assert_eq!(res, vec![42.0, -1.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_bytes_roundtrip() {
+        let results = run_ranks(4, |comm| {
+            let mut data = if comm.rank() == 2 {
+                vec![1u8, 2, 3, 4, 5]
+            } else {
+                Vec::new()
+            };
+            broadcast_bytes(comm, 2, &mut data);
+            data
+        });
+        for res in results {
+            assert_eq!(res, vec![1, 2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn allreduce_len_smaller_than_ranks() {
+        // Degenerate blocks (empty ranges) must still work.
+        let results = run_ranks(6, |comm| {
+            let mut data = vec![1.0f32; 2];
+            allreduce_sum(comm, &mut data);
+            data
+        });
+        for res in results {
+            assert_eq!(res, vec![6.0, 6.0]);
+        }
+    }
+}

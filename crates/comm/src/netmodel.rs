@@ -1,0 +1,335 @@
+//! Analytic network performance model.
+//!
+//! §4.4 of the paper builds, *offline*, "a deterministic lookup table that
+//! maps communication throughput C^[x] to different message sizes and the
+//! GPU count" for each system. This module is that table: an alpha-beta
+//! (latency-bandwidth) cost model with a message-size efficiency ramp and
+//! node topology awareness, evaluated on a grid of (gpu count, message
+//! size) points and queried online with log-space interpolation, exactly
+//! the offline-online split the paper describes.
+//!
+//! Cost formulas are the standard collective expressions:
+//!
+//! * ring all-gather of per-rank blocks `m` over `p` ranks:
+//!   `T = (p-1)·α + (p-1)·m / B_eff`
+//! * ring all-reduce of a buffer `M` over `p` ranks:
+//!   `T = 2(p-1)·α + 2·(p-1)/p·M / B_eff`
+//! * pipelined tree broadcast: `T = ⌈log₂p⌉·α + M / B_eff`
+//!
+//! `B_eff` accounts for (a) a small-message ramp (`size/(size+s_half)`),
+//! (b) the intra-node (NVLink) vs inter-node (Slingshot) path, and
+//! (c) for broadcasts only, fabric contention from the many concurrent
+//! per-layer trees distributed K-FAC launches (ring collectives use
+//! disjoint neighbor links and stay contention-free).
+
+/// Which collective a cost query refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    AllGather,
+    AllReduce,
+    Broadcast,
+}
+
+/// Static description of one platform's interconnect.
+#[derive(Clone, Debug)]
+pub struct NetworkSpec {
+    /// Human-readable name ("Slingshot10", ...).
+    pub name: &'static str,
+    /// Per-message launch latency (the alpha term), seconds.
+    pub latency_s: f64,
+    /// Peak inter-node bandwidth per GPU pair direction, bytes/second.
+    pub internode_bw: f64,
+    /// Peak intra-node (NVLink) bandwidth, bytes/second.
+    pub intranode_bw: f64,
+    /// Message size at which effective bandwidth reaches half of peak.
+    pub half_saturation_bytes: f64,
+    /// GPUs per node (4 on both paper platforms).
+    pub gpus_per_node: usize,
+    /// Fabric-contention coefficient: effective per-flow bandwidth drops
+    /// as `1 / (1 + congestion · (nodes − 1))` when collectives from many
+    /// nodes share the interconnect — the reason communication grows into
+    /// the dominant phase at scale (Fig. 1) and compression pays more at
+    /// higher GPU counts (Figs. 7/9).
+    pub congestion: f64,
+}
+
+impl NetworkSpec {
+    /// Platform 1 of the paper: Slingshot 10, 100 Gb/s ≈ 12.5 GB/s.
+    pub fn slingshot10() -> Self {
+        NetworkSpec {
+            name: "Slingshot10",
+            latency_s: 12e-6,
+            internode_bw: 12.5e9,
+            intranode_bw: 300e9,
+            half_saturation_bytes: 256.0 * 1024.0,
+            gpus_per_node: 4,
+            congestion: 0.22,
+        }
+    }
+
+    /// Platform 2 of the paper: Slingshot 11, 200 Gb/s ≈ 25 GB/s.
+    pub fn slingshot11() -> Self {
+        NetworkSpec {
+            name: "Slingshot11",
+            latency_s: 8e-6,
+            internode_bw: 25e9,
+            intranode_bw: 300e9,
+            half_saturation_bytes: 256.0 * 1024.0,
+            gpus_per_node: 4,
+            congestion: 0.18,
+        }
+    }
+
+    /// Effective point-to-point bandwidth for a message of `bytes`.
+    ///
+    /// `congested` applies the fabric-contention discount: ring
+    /// collectives use disjoint neighbor links and stay contention-free,
+    /// while the per-layer broadcasts of distributed K-FAC run many trees
+    /// concurrently over shared links.
+    fn effective_bw(&self, bytes: f64, gpus: usize, congested: bool) -> f64 {
+        let ramp = bytes / (bytes + self.half_saturation_bytes);
+        // On a ring laid out node-by-node, `nodes` of the `gpus` hops cross
+        // the network; the ring proceeds in lockstep, so the slowest hop
+        // (inter-node) gates every step once any hop crosses nodes.
+        let crosses_nodes = gpus > self.gpus_per_node;
+        let base = if crosses_nodes {
+            let nodes = gpus.div_ceil(self.gpus_per_node) as f64;
+            let contention = if congested {
+                1.0 + self.congestion * (nodes - 1.0)
+            } else {
+                1.0
+            };
+            self.internode_bw / contention
+        } else {
+            self.intranode_bw
+        };
+        (base * ramp).max(1.0)
+    }
+
+    /// Ring all-gather time: each rank contributes `block_bytes`; total
+    /// gathered size is `gpus * block_bytes`.
+    pub fn allgather_time(&self, gpus: usize, block_bytes: f64) -> f64 {
+        if gpus <= 1 {
+            return 0.0;
+        }
+        let p = gpus as f64;
+        let bw = self.effective_bw(block_bytes, gpus, false);
+        (p - 1.0) * self.latency_s + (p - 1.0) * block_bytes / bw
+    }
+
+    /// Ring all-reduce time for a buffer of `bytes` replicated on all ranks.
+    pub fn allreduce_time(&self, gpus: usize, bytes: f64) -> f64 {
+        if gpus <= 1 {
+            return 0.0;
+        }
+        let p = gpus as f64;
+        let chunk = bytes / p;
+        let bw = self.effective_bw(chunk.max(1.0), gpus, false);
+        2.0 * (p - 1.0) * self.latency_s + 2.0 * (p - 1.0) / p * bytes / bw
+    }
+
+    /// Pipelined binary-tree broadcast time for `bytes` from one root
+    /// (NCCL-style: latency scales with tree depth, not rank count).
+    pub fn broadcast_time(&self, gpus: usize, bytes: f64) -> f64 {
+        if gpus <= 1 {
+            return 0.0;
+        }
+        let depth = (gpus as f64).log2().ceil();
+        let bw = self.effective_bw(bytes, gpus, true);
+        depth * self.latency_s + bytes / bw
+    }
+
+    /// Dispatch by collective kind. `bytes` is the per-rank block for
+    /// all-gather and the full buffer for the others.
+    pub fn time(&self, kind: CollectiveKind, gpus: usize, bytes: f64) -> f64 {
+        match kind {
+            CollectiveKind::AllGather => self.allgather_time(gpus, bytes),
+            CollectiveKind::AllReduce => self.allreduce_time(gpus, bytes),
+            CollectiveKind::Broadcast => self.broadcast_time(gpus, bytes),
+        }
+    }
+
+    /// Effective collective throughput in bytes/second (size / time).
+    pub fn throughput(&self, kind: CollectiveKind, gpus: usize, bytes: f64) -> f64 {
+        let t = self.time(kind, gpus, bytes);
+        if t <= 0.0 {
+            f64::INFINITY
+        } else {
+            bytes / t
+        }
+    }
+}
+
+/// The prebuilt "offline" lookup table of §4.4: effective throughput
+/// sampled on a grid of message sizes for one (platform, collective,
+/// gpu count) triple, queried online with log-size linear interpolation.
+#[derive(Clone, Debug)]
+pub struct ThroughputTable {
+    kind: CollectiveKind,
+    gpus: usize,
+    /// Sample points: (message bytes, throughput bytes/s), sizes ascending.
+    samples: Vec<(f64, f64)>,
+}
+
+impl ThroughputTable {
+    /// Benchmarks the spec on a geometric grid of message sizes from 1 KiB
+    /// to 1 GiB — the synthetic-data offline benchmark of §4.4.
+    pub fn build(spec: &NetworkSpec, kind: CollectiveKind, gpus: usize) -> Self {
+        let mut samples = Vec::new();
+        let mut size = 1024.0f64;
+        while size <= 1024.0 * 1024.0 * 1024.0 {
+            samples.push((size, spec.throughput(kind, gpus, size)));
+            size *= 2.0;
+        }
+        ThroughputTable { kind, gpus, samples }
+    }
+
+    /// The collective this table models.
+    pub fn kind(&self) -> CollectiveKind {
+        self.kind
+    }
+
+    /// The GPU count this table models.
+    pub fn gpus(&self) -> usize {
+        self.gpus
+    }
+
+    /// Interpolated throughput (bytes/s) for an arbitrary message size.
+    pub fn query(&self, bytes: f64) -> f64 {
+        let pts = &self.samples;
+        if bytes <= pts[0].0 {
+            return pts[0].1;
+        }
+        if bytes >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        bytes / self.time(bytes)
+    }
+
+    /// Estimated time to move `bytes` through this collective.
+    ///
+    /// Interpolates *time* log-log between grid points (rather than
+    /// throughput), which keeps the estimate monotone in message size —
+    /// per-sample times are increasing and log-log segments preserve that.
+    pub fn time(&self, bytes: f64) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        let pts = &self.samples;
+        if bytes <= pts[0].0 {
+            return bytes / pts[0].1;
+        }
+        if bytes >= pts[pts.len() - 1].0 {
+            return bytes / pts[pts.len() - 1].1;
+        }
+        let idx = pts.partition_point(|&(s, _)| s < bytes);
+        let (s0, thr0) = pts[idx - 1];
+        let (s1, thr1) = pts[idx];
+        let (t0, t1) = (s0 / thr0, s1 / thr1);
+        let w = (bytes.ln() - s0.ln()) / (s1.ln() - s0.ln());
+        (t0.ln() + w * (t1.ln() - t0.ln())).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faster_network_is_faster() {
+        let s10 = NetworkSpec::slingshot10();
+        let s11 = NetworkSpec::slingshot11();
+        let bytes = 64.0 * 1024.0 * 1024.0;
+        assert!(s11.allgather_time(32, bytes) < s10.allgather_time(32, bytes));
+    }
+
+    #[test]
+    fn more_gpus_cost_more_time_for_allgather_of_same_block() {
+        let s = NetworkSpec::slingshot10();
+        let bytes = 4.0 * 1024.0 * 1024.0;
+        assert!(s.allgather_time(16, bytes) < s.allgather_time(64, bytes));
+    }
+
+    #[test]
+    fn single_gpu_is_free() {
+        let s = NetworkSpec::slingshot10();
+        assert_eq!(s.allreduce_time(1, 1e9), 0.0);
+        assert_eq!(s.allgather_time(1, 1e9), 0.0);
+        assert_eq!(s.broadcast_time(1, 1e9), 0.0);
+    }
+
+    #[test]
+    fn small_messages_are_latency_bound() {
+        let s = NetworkSpec::slingshot10();
+        // A tiny message's time should be close to the pure-latency term.
+        // The bandwidth ramp also penalizes tiny messages, so allow a few
+        // multiples of the pure alpha term — but the time must be nowhere
+        // near what naive peak-bandwidth extrapolation would suggest.
+        let t = s.allgather_time(8, 64.0);
+        let latency_only = 7.0 * s.latency_s;
+        assert!(t < 5.0 * latency_only, "t={t} lat={latency_only}");
+        assert!(t >= latency_only);
+    }
+
+    #[test]
+    fn big_messages_approach_peak_bandwidth() {
+        let s = NetworkSpec::slingshot10();
+        let bytes = 1e9;
+        let t = s.broadcast_time(8, bytes);
+        let ideal = bytes / s.internode_bw;
+        assert!(t < 1.5 * ideal, "t={t} ideal={ideal}");
+    }
+
+    #[test]
+    fn intranode_fast_path() {
+        let s = NetworkSpec::slingshot10();
+        // 4 GPUs fit in one node -> NVLink bandwidth -> much faster.
+        let t_intra = s.allreduce_time(4, 1e8);
+        let t_inter = s.allreduce_time(8, 1e8);
+        assert!(t_intra * 4.0 < t_inter, "intra {t_intra} inter {t_inter}");
+    }
+
+    #[test]
+    fn compression_reduces_modeled_time_proportionally() {
+        let s = NetworkSpec::slingshot11();
+        let original = 128.0 * 1024.0 * 1024.0;
+        let t_full = s.allgather_time(64, original);
+        let t_compressed = s.allgather_time(64, original / 20.0);
+        let speedup = t_full / t_compressed;
+        assert!(speedup > 10.0 && speedup < 25.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn table_interpolation_brackets_model() {
+        let s = NetworkSpec::slingshot10();
+        let table = ThroughputTable::build(&s, CollectiveKind::AllGather, 32);
+        for bytes in [1500.0f64, 3e5, 7.7e6, 2.5e8] {
+            let interp = table.query(bytes);
+            let exact = s.throughput(CollectiveKind::AllGather, 32, bytes);
+            let rel = (interp - exact).abs() / exact;
+            assert!(rel < 0.15, "bytes={bytes} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn table_clamps_out_of_range() {
+        let s = NetworkSpec::slingshot10();
+        let table = ThroughputTable::build(&s, CollectiveKind::AllReduce, 16);
+        assert_eq!(table.query(1.0), table.query(1024.0));
+        assert_eq!(table.query(1e12), table.query(1024.0 * 1024.0 * 1024.0));
+    }
+
+    #[test]
+    fn table_time_monotone_in_bytes() {
+        let s = NetworkSpec::slingshot11();
+        let table = ThroughputTable::build(&s, CollectiveKind::AllGather, 64);
+        let mut prev = 0.0;
+        let mut bytes = 2048.0;
+        while bytes < 5e8 {
+            let t = table.time(bytes);
+            assert!(t >= prev, "non-monotone at {bytes}");
+            prev = t;
+            bytes *= 3.0;
+        }
+    }
+}

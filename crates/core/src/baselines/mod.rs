@@ -1,0 +1,21 @@
+//! Baseline compressors the paper evaluates against (§2.4, §5).
+//!
+//! * [`qsgd::Qsgd`] — fixed-rate stochastic-rounding quantization with
+//!   Elias-gamma coding (Alistarh et al., NeurIPS'17);
+//! * [`sz::Sz`] — prediction-based error-bounded compression with
+//!   round-to-nearest quantization and Huffman coding (the cuSZ row of
+//!   the tables);
+//! * [`cocktail::CocktailSgd`] — random-sampled top-k sparsification (20%)
+//!   combined with 8-bit quantization (Wang et al., ICML'23);
+//! * [`topk::TopK`] — exact fixed-density Top-k at full precision (the
+//!   Ok-topk-style rigid-sparsity comparator of §4.3/§6).
+
+pub mod cocktail;
+pub mod qsgd;
+pub mod sz;
+pub mod topk;
+
+pub use cocktail::CocktailSgd;
+pub use qsgd::Qsgd;
+pub use sz::Sz;
+pub use topk::TopK;

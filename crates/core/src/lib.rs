@@ -1,0 +1,58 @@
+//! # compso-core
+//!
+//! The paper's primary contribution: the COMPSO gradient compressor for
+//! second-order (K-FAC) optimizers, plus the baseline compressors it is
+//! evaluated against.
+//!
+//! The pipeline (Fig. 4a of the paper) is
+//!
+//! ```text
+//!           ┌─ |g| <  eb_f ──→ bitmap ──→ lossless encoder ─┐
+//!  KFAC ────┤                                               ├──→ bytes
+//!  gradient └─ |g| >= eb_f ──→ SR quantizer → bit-pack →
+//!                                              lossless encoder ─┘
+//! ```
+//!
+//! * [`filter`] — the lossy filter that zeroes sub-threshold gradients and
+//!   records them in a [`bitmap::Bitmap`];
+//! * [`rounding`] / [`quantize`] — round-to-nearest, stochastic rounding
+//!   (Eq. 4) and P0.5 rounding over an error-bounded uniform quantizer;
+//! * [`bitpack`] — packs ⌈log₂ bins⌉-bit codes into bytes (the "7-bit for
+//!   eb 1e-2" trick of §4.3);
+//! * [`encoders`] — eight from-scratch lossless codecs mirroring the
+//!   nvCOMP families of Table 2 (ANS, Bitcomp, Cascaded, Deflate,
+//!   Gdeflate, LZ4, Snappy, Zstd);
+//! * [`pipeline`] — the end-to-end COMPSO compressor with layer
+//!   aggregation and per-layer normalization ranges;
+//! * [`adaptive`] — the iteration-wise error-bound schedule (Alg. 1);
+//! * [`perfmodel`] — the offline-online performance model (Eq. 5) that
+//!   selects the encoder and the layer-aggregation factor;
+//! * [`kernels`] — fused single-pass vs. staged multi-pass compression
+//!   kernels, the CPU analogue of the paper's §4.5 GPU optimizations;
+//! * [`baselines`] — QSGD, SZ, and CocktailSGD reimplementations;
+//! * [`synthetic`] — K-FAC/SGD-gradient-like data generators used by the
+//!   compression-ratio experiments.
+
+pub mod adaptive;
+pub mod baselines;
+pub mod bitmap;
+pub mod bitpack;
+pub mod encoders;
+pub mod factors;
+pub mod filter;
+pub mod kernels;
+pub mod perfmodel;
+pub mod pipeline;
+pub mod quantize;
+pub mod rounding;
+pub mod synthetic;
+pub mod traits;
+pub mod tuning;
+pub mod wire;
+
+pub use adaptive::{BoundSchedule, CompressionStrategy, LrScheduleKind};
+pub use encoders::Codec;
+pub use pipeline::{Compso, CompsoConfig};
+pub use quantize::Quantizer;
+pub use rounding::RoundingMode;
+pub use traits::{CompressError, Compressor, NoCompression};

@@ -1,0 +1,157 @@
+//! The common compressor interface shared by COMPSO and the baselines.
+//!
+//! Everything the evaluation harness compares — COMPSO, QSGD, SZ,
+//! CocktailSGD, and the no-compression identity — implements
+//! [`Compressor`], so convergence and throughput experiments are generic
+//! over the method under test.
+
+use crate::wire::{Reader, WireError, Writer};
+use compso_tensor::rng::Rng;
+
+/// Error produced by decompression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompressError {
+    /// Malformed or truncated byte stream.
+    Wire(WireError),
+    /// Stream decoded but violated an internal consistency rule.
+    Corrupt(&'static str),
+}
+
+impl From<WireError> for CompressError {
+    fn from(e: WireError) -> Self {
+        CompressError::Wire(e)
+    }
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressError::Wire(e) => write!(f, "wire error: {e}"),
+            CompressError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+/// A lossy (or lossless) gradient compressor.
+///
+/// `compress` consumes randomness for stochastic rounding; deterministic
+/// compressors simply ignore the generator. Implementations must be
+/// self-describing: `decompress(compress(x))` needs no side information.
+pub trait Compressor: Send + Sync {
+    /// Display name used in result tables.
+    fn name(&self) -> &'static str;
+
+    /// Compresses a gradient buffer into bytes.
+    fn compress(&self, data: &[f32], rng: &mut Rng) -> Vec<u8>;
+
+    /// Reconstructs the (lossy) gradient buffer.
+    fn decompress(&self, bytes: &[u8]) -> Result<Vec<f32>, CompressError>;
+
+    /// Compression ratio achieved on `data` (original bytes / compressed
+    /// bytes); convenience for the ratio experiments.
+    fn ratio(&self, data: &[f32], rng: &mut Rng) -> f64 {
+        let compressed = self.compress(data, rng);
+        if compressed.is_empty() {
+            return f64::INFINITY;
+        }
+        (data.len() * 4) as f64 / compressed.len() as f64
+    }
+}
+
+/// The identity "compressor": raw little-endian f32 bytes. The paper's
+/// "KFAC (No Comp.)" baseline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoCompression;
+
+impl Compressor for NoCompression {
+    fn name(&self) -> &'static str {
+        "NoCompression"
+    }
+
+    fn compress(&self, data: &[f32], _rng: &mut Rng) -> Vec<u8> {
+        let mut w = Writer::with_capacity(data.len() * 4 + 8);
+        w.u64(data.len() as u64);
+        for &v in data {
+            w.f32(v);
+        }
+        w.into_bytes()
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Vec<f32>, CompressError> {
+        let mut r = Reader::new(bytes);
+        let n = crate::wire::checked_count(r.u64()?)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(r.f32()?);
+        }
+        Ok(out)
+    }
+}
+
+/// Converts an f32 slice to raw LE bytes (used for wire-size accounting).
+pub fn f32s_to_bytes(data: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 4);
+    for &v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Converts raw LE bytes back to f32s.
+pub fn bytes_to_f32s(bytes: &[u8]) -> Result<Vec<f32>, WireError> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(WireError::Invalid("byte length not divisible by 4"));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_compression_roundtrip() {
+        let data = vec![1.5f32, -2.25, 0.0, f32::MIN_POSITIVE];
+        let mut rng = Rng::new(1);
+        let c = NoCompression;
+        let bytes = c.compress(&data, &mut rng);
+        assert_eq!(c.decompress(&bytes).unwrap(), data);
+    }
+
+    #[test]
+    fn no_compression_ratio_is_near_one() {
+        let data = vec![0.5f32; 1000];
+        let mut rng = Rng::new(2);
+        let r = NoCompression.ratio(&data, &mut rng);
+        assert!(r > 0.99 && r <= 1.0, "ratio {r}");
+    }
+
+    #[test]
+    fn no_compression_truncation_detected() {
+        let data = vec![1.0f32; 10];
+        let mut rng = Rng::new(3);
+        let bytes = NoCompression.compress(&data, &mut rng);
+        assert!(NoCompression.decompress(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn f32_bytes_roundtrip() {
+        let data = vec![0.1f32, -1e30, f32::INFINITY, -0.0];
+        let bytes = f32s_to_bytes(&data);
+        let back = bytes_to_f32s(&bytes).unwrap();
+        assert_eq!(back.len(), data.len());
+        for (a, b) in data.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn misaligned_bytes_rejected() {
+        assert!(bytes_to_f32s(&[1, 2, 3]).is_err());
+    }
+}

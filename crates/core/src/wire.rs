@@ -1,0 +1,249 @@
+//! Little-endian binary serialization for compressed streams.
+//!
+//! Every compressed artifact in this crate is self-describing: headers
+//! carry lengths, codec ids and normalization ranges, so decompression
+//! needs nothing but the bytes. The reader validates bounds on every
+//! access and returns [`WireError`] instead of panicking, which is what
+//! the failure-injection tests (truncated/corrupted streams) rely on.
+
+/// Upper bound on element counts accepted from untrusted headers.
+///
+/// 2^28 elements (1 GiB of f32) is far beyond any single K-FAC gradient
+/// buffer; larger counts are treated as corruption so that a flipped bit
+/// in a length field cannot drive a multi-gigabyte allocation.
+pub const MAX_DECODE_ELEMS: usize = 1 << 28;
+
+/// Validates an element count read from an untrusted header.
+pub fn checked_count(n: u64) -> Result<usize, WireError> {
+    let n = usize::try_from(n).map_err(|_| WireError::Invalid("element count"))?;
+    if n > MAX_DECODE_ELEMS {
+        return Err(WireError::Invalid("implausible element count"));
+    }
+    Ok(n)
+}
+
+/// Error produced when decoding a malformed or truncated stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended before the expected field.
+    Truncated { need: usize, have: usize },
+    /// A field held an invalid value.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { need, have } => {
+                write!(f, "truncated stream: need {need} bytes, have {have}")
+            }
+            WireError::Invalid(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only byte writer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// A fresh writer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finishes and returns the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Raw bytes, no length prefix.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed (u64) byte block.
+    pub fn block(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.bytes(v);
+    }
+}
+
+/// Bounds-checked byte reader.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when the stream is fully consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Raw bytes of known length.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// A length-prefixed block written by [`Writer::block`].
+    pub fn block(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).map_err(|_| WireError::Invalid("block length"))?;
+        if n > self.remaining() {
+            return Err(WireError::Truncated {
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_field_types() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(65_000);
+        w.u32(4_000_000_000);
+        w.u64(u64::MAX - 1);
+        w.f32(-3.25);
+        w.block(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 65_000);
+        assert_eq!(r.u32().unwrap(), 4_000_000_000);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f32().unwrap(), -3.25);
+        assert_eq!(r.block().unwrap(), &[1, 2, 3]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_reads_error_not_panic() {
+        let mut w = Writer::new();
+        w.u32(5);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..2]);
+        assert!(matches!(r.u32(), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn oversized_block_length_rejected() {
+        let mut w = Writer::new();
+        w.u64(1_000_000); // claims a million bytes follow
+        w.bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.block(), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn empty_block_roundtrip() {
+        let mut w = Writer::new();
+        w.block(&[]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.block().unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn remaining_tracks_position() {
+        let bytes = [0u8; 10];
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.remaining(), 10);
+        r.u32().unwrap();
+        assert_eq!(r.remaining(), 6);
+        r.bytes(6).unwrap();
+        assert!(r.is_exhausted());
+    }
+}

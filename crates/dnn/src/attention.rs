@@ -1,0 +1,250 @@
+//! Self-attention mixing.
+//!
+//! K-FAC implementations treat a transformer block's Q/K/V/O projections
+//! as ordinary Linear layers (that is how the BERT/GPT specs in
+//! [`crate::specs`] count them) and backpropagate through the
+//! `softmax(QKᵀ/√d)V` mixing as a parameter-free op. This module is that
+//! op: [`SelfAttention`] computes, per sample,
+//!
+//! ```text
+//! Y = softmax(X Xᵀ / √d) X
+//! ```
+//!
+//! over a `(tokens × dim)` view of the feature vector, with an exact
+//! backward pass. Composing `Linear → SelfAttention → Linear` yields a
+//! transformer-style block whose *parameters* all live in K-FAC-eligible
+//! Linear layers, exactly the structure distributed K-FAC sees.
+
+use crate::layer::Layer;
+use compso_tensor::Matrix;
+
+/// A parameter-free scaled-dot-product self-attention mixer.
+pub struct SelfAttention {
+    tokens: usize,
+    dim: usize,
+    /// Cached per-sample (input view, attention matrix) from the last
+    /// training forward.
+    cached: Option<Vec<(Matrix, Matrix)>>,
+}
+
+impl SelfAttention {
+    /// Attention over `tokens` positions of width `dim` (the layer input
+    /// width must be `tokens * dim`).
+    pub fn new(tokens: usize, dim: usize) -> Self {
+        assert!(tokens > 0 && dim > 0);
+        SelfAttention {
+            tokens,
+            dim,
+            cached: None,
+        }
+    }
+
+    /// Softmax over each row of `s`, in place.
+    fn softmax_rows(s: &mut Matrix) {
+        for r in 0..s.rows() {
+            let row = s.row_mut(r);
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            let mut sum = 0.0f64;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v as f64;
+            }
+            let inv = (1.0 / sum) as f32;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+    }
+
+    /// One sample's forward: returns (Y, A) with `Y = A X`.
+    fn forward_sample(&self, x: &Matrix) -> (Matrix, Matrix) {
+        let scale = 1.0 / (self.dim as f32).sqrt();
+        let mut scores = x.matmul_t(x); // T x T
+        scores.scale(scale);
+        Self::softmax_rows(&mut scores);
+        let y = scores.matmul(x);
+        (y, scores)
+    }
+}
+
+impl Layer for SelfAttention {
+    fn name(&self) -> &'static str {
+        "SelfAttention"
+    }
+
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        assert_eq!(
+            x.cols(),
+            self.tokens * self.dim,
+            "SelfAttention input width"
+        );
+        let mut out = Matrix::zeros(x.rows(), x.cols());
+        let mut cache = if train { Some(Vec::new()) } else { None };
+        for b in 0..x.rows() {
+            let xb = Matrix::from_vec(self.tokens, self.dim, x.row(b).to_vec());
+            let (y, a) = self.forward_sample(&xb);
+            out.row_mut(b).copy_from_slice(y.as_slice());
+            if let Some(c) = cache.as_mut() {
+                c.push((xb, a));
+            }
+        }
+        if train {
+            self.cached = cache;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let cache = self
+            .cached
+            .as_ref()
+            .expect("backward without a training forward");
+        assert_eq!(grad_out.rows(), cache.len(), "SelfAttention batch");
+        let scale = 1.0 / (self.dim as f32).sqrt();
+        let mut dx_all = Matrix::zeros(grad_out.rows(), self.tokens * self.dim);
+        for (b, (xb, a)) in cache.iter().enumerate() {
+            let dy = Matrix::from_vec(self.tokens, self.dim, grad_out.row(b).to_vec());
+            // Y = A X: direct path.
+            let mut dx = a.t_matmul(&dy); // Aᵀ dY
+            // Through A = softmax(S), S = X Xᵀ · scale.
+            let da = dy.matmul_t(xb); // dY Xᵀ, T x T
+            // Row-wise softmax backward: dS_ij = A_ij (dA_ij − Σ_k A_ik dA_ik).
+            let mut ds = Matrix::zeros(self.tokens, self.tokens);
+            for i in 0..self.tokens {
+                let dot: f32 = a
+                    .row(i)
+                    .iter()
+                    .zip(da.row(i))
+                    .map(|(&av, &dv)| av * dv)
+                    .sum();
+                for j in 0..self.tokens {
+                    ds.set(i, j, a.get(i, j) * (da.get(i, j) - dot));
+                }
+            }
+            ds.scale(scale);
+            // S = X Xᵀ: dX += (dS + dSᵀ) X.
+            let mut sym = ds.clone();
+            let dst = ds.transpose();
+            sym.axpy(1.0, &dst);
+            dx.axpy(1.0, &sym.matmul(xb));
+            dx_all.row_mut(b).copy_from_slice(dx.as_slice());
+        }
+        dx_all
+    }
+
+    fn set_grads(&mut self, _grads: Matrix) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compso_tensor::Rng;
+
+    #[test]
+    fn forward_shape_and_convexity() {
+        let mut rng = Rng::new(1);
+        let mut attn = SelfAttention::new(4, 3);
+        let x = Matrix::random_normal(2, 12, &mut rng);
+        let y = attn.forward(&x, false);
+        assert_eq!((y.rows(), y.cols()), (2, 12));
+        // Each output token is a convex combination of the input tokens:
+        // per feature, it stays inside the input tokens' min/max.
+        for b in 0..2 {
+            for d in 0..3 {
+                let vals: Vec<f32> = (0..4).map(|t| x.get(b, t * 3 + d)).collect();
+                let lo = vals.iter().cloned().fold(f32::INFINITY, f32::min);
+                let hi = vals.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                for t in 0..4 {
+                    let v = y.get(b, t * 3 + d);
+                    assert!(v >= lo - 1e-5 && v <= hi + 1e-5, "b={b} t={t} d={d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_tokens_are_fixed_points() {
+        // If all tokens are identical, attention returns them unchanged.
+        let mut attn = SelfAttention::new(3, 2);
+        let mut x = Matrix::zeros(1, 6);
+        for t in 0..3 {
+            x.set(0, t * 2, 1.5);
+            x.set(0, t * 2 + 1, -0.5);
+        }
+        let y = attn.forward(&x, false);
+        assert!(y.max_diff(&x) < 1e-6);
+    }
+
+    #[test]
+    fn input_gradient_matches_numeric() {
+        let mut rng = Rng::new(2);
+        let mut attn = SelfAttention::new(3, 4);
+        let x = Matrix::random_normal(2, 12, &mut rng);
+        let probe = Matrix::random_normal(2, 12, &mut rng);
+        let _ = attn.forward(&x, true);
+        let dx = attn.backward(&probe);
+        let eps = 1e-3f32;
+        let dot = |m: &Matrix| -> f32 {
+            m.as_slice()
+                .iter()
+                .zip(probe.as_slice())
+                .map(|(&a, &b)| a * b)
+                .sum()
+        };
+        for idx in [0usize, 5, 11, 17, 23] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let yp = attn.forward(&xp, false);
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let ym = attn.forward(&xm, false);
+            let numeric = (dot(&yp) - dot(&ym)) / (2.0 * eps);
+            let analytic = dx.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "idx {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn transformer_block_learns_tokens() {
+        // Linear -> attention -> Linear beats chance on the token task,
+        // with all parameters in K-FAC-eligible Linear layers.
+        use crate::layer::{Linear, Tanh};
+        use crate::loss::{accuracy, softmax_cross_entropy};
+        use crate::seq::Sequential;
+        use crate::data;
+        let vocab = 10;
+        let context = 3;
+        let dim = 16;
+        let mut rng = Rng::new(3);
+        let d = data::token_sequences(1500, vocab, context, 4);
+        let mut model = Sequential::new()
+            .push(Linear::new(vocab * context, context * dim, &mut rng))
+            .push(SelfAttention::new(context, dim))
+            .push(Tanh::new())
+            .push(Linear::new(context * dim, vocab, &mut rng));
+        for step in 0..400 {
+            let (x, y) = d.batch(step, 64);
+            let logits = model.forward(&x, true);
+            let (_, grad) = softmax_cross_entropy(&logits, &y);
+            model.backward(&grad);
+            model.update_params(|p, g| p.axpy(-0.01, g));
+        }
+        let logits = model.forward(&d.x, false);
+        let acc = accuracy(&logits, &d.y);
+        assert!(acc > 0.25, "accuracy {acc} vs chance 0.1");
+        // The attention layer carries no parameters.
+        assert_eq!(model.trainable_indices(), vec![0, 3]);
+    }
+
+    #[test]
+    fn eval_mode_does_not_cache() {
+        let mut rng = Rng::new(5);
+        let mut attn = SelfAttention::new(2, 2);
+        let x = Matrix::random_normal(1, 4, &mut rng);
+        let _ = attn.forward(&x, false);
+        assert!(attn.cached.is_none());
+    }
+}

@@ -1,0 +1,472 @@
+//! KAISA-style distributed K-FAC with pluggable gradient compression.
+//!
+//! Each rank owns a full model replica and a data shard. Per iteration
+//! (Fig. 2 of the paper):
+//!
+//! 1. local forward/backward;
+//! 2. ring all-reduce of every trainable layer's raw gradient (the
+//!    data-parallel sync — K-FAC and non-K-FAC layers alike);
+//! 3. per-K-FAC-layer covariances, all-reduced and folded into running
+//!    averages (identical on every rank);
+//! 4. the *owner* of each layer (greedy cost-balanced assignment, as in
+//!    KAISA) refreshes eigendecompositions on schedule and preconditions
+//!    the layer's gradient;
+//! 5. variable-size ring **all-gather** of the preconditioned gradients.
+//!    This is the traffic COMPSO compresses: with a compressor installed,
+//!    owners compress their layers' preconditioned gradients (aggregating
+//!    up to `aggregation` layers per compressed unit) and every rank
+//!    decompresses what it receives;
+//! 6. every rank installs the preconditioned gradients and applies the
+//!    identical SGD(+momentum) update.
+
+use crate::kfac::{covariance, Kfac, KfacConfig};
+use compso_comm::collectives::{allgather_var, allreduce_mean};
+use compso_comm::Communicator;
+use compso_core::{Compressor, NoCompression};
+use compso_dnn::Sequential;
+use compso_tensor::{Matrix, Rng};
+
+/// Distributed K-FAC configuration.
+pub struct DistKfacConfig {
+    /// Core K-FAC hyperparameters.
+    pub kfac: KfacConfig,
+    /// Layers aggregated per compressed unit (§4.4's factor `m`).
+    pub aggregation: usize,
+}
+
+impl Default for DistKfacConfig {
+    fn default() -> Self {
+        DistKfacConfig {
+            kfac: KfacConfig::default(),
+            aggregation: 4,
+        }
+    }
+}
+
+/// Communication accounting for one step.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepStats {
+    /// Preconditioned-gradient bytes this rank would all-gather raw.
+    pub gather_bytes_original: u64,
+    /// Bytes actually all-gathered (equals original without compression).
+    pub gather_bytes_wire: u64,
+    /// Raw-gradient all-reduce volume in bytes (uncompressed path).
+    pub allreduce_bytes: u64,
+}
+
+impl StepStats {
+    /// Compression ratio achieved on the all-gather this step.
+    pub fn gather_ratio(&self) -> f64 {
+        if self.gather_bytes_wire == 0 {
+            return 1.0;
+        }
+        self.gather_bytes_original as f64 / self.gather_bytes_wire as f64
+    }
+}
+
+/// Greedy cost-balanced layer→rank assignment (KAISA's work split):
+/// layers sorted by descending cost land on the currently least-loaded
+/// rank. Deterministic, so every rank computes the same map.
+pub fn assign_layers(costs: &[f64], ranks: usize) -> Vec<usize> {
+    assert!(ranks > 0);
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&x, &y| costs[y].partial_cmp(&costs[x]).unwrap().then(x.cmp(&y)));
+    let mut load = vec![0.0f64; ranks];
+    let mut owner = vec![0usize; costs.len()];
+    for idx in order {
+        let r = (0..ranks)
+            .min_by(|&a, &b| load[a].partial_cmp(&load[b]).unwrap())
+            .unwrap();
+        owner[idx] = r;
+        load[r] += costs[idx];
+    }
+    owner
+}
+
+/// One rank's distributed K-FAC optimizer instance.
+pub struct DistKfac {
+    kfac: Kfac,
+    config: DistKfacConfig,
+    /// Owner rank per K-FAC layer (indexed by position in `kfac_indices`).
+    owners: Option<Vec<usize>>,
+    /// RNG for stochastic compression.
+    rng: Rng,
+}
+
+impl DistKfac {
+    /// Creates the per-rank optimizer. `seed` must be identical across
+    /// ranks for identical parameter trajectories.
+    pub fn new(config: DistKfacConfig, seed: u64) -> Self {
+        DistKfac {
+            kfac: Kfac::new(config.kfac),
+            config,
+            owners: None,
+            rng: Rng::new(seed ^ 0xFACADE),
+        }
+    }
+
+    /// One distributed optimization step after a local forward/backward.
+    /// `compressor` handles the preconditioned-gradient all-gather
+    /// (pass [`NoCompression`] for the paper's baseline).
+    ///
+    /// Returns the step's communication statistics.
+    pub fn step(
+        &mut self,
+        comm: &mut Communicator,
+        model: &mut Sequential,
+        compressor: &dyn Compressor,
+    ) -> StepStats {
+        let mut stats = StepStats::default();
+        let trainable = model.trainable_indices();
+        let kfac_layers = model.kfac_indices();
+
+        // (2) Data-parallel gradient sync for every trainable layer.
+        for &idx in &trainable {
+            let mut grad = model.layer(idx).grads().expect("missing grad").clone();
+            stats.allreduce_bytes += grad.len() as u64 * 4;
+            allreduce_mean(comm, grad.as_mut_slice());
+            model.layer_mut(idx).set_grads(grad);
+        }
+
+        // (3) Factor statistics: local covariance, all-reduce, fold.
+        for &idx in &kfac_layers {
+            let s = model.kfac_stats(idx).expect("kfac stats");
+            let mut a_cov = covariance(&s.a);
+            let mut g_cov = covariance(&s.g);
+            allreduce_mean(comm, a_cov.as_mut_slice());
+            allreduce_mean(comm, g_cov.as_mut_slice());
+            self.kfac.absorb_covariances(idx, &a_cov, &g_cov);
+        }
+
+        // (4) Ownership map: built once (layer shapes are static).
+        if self.owners.is_none() {
+            let costs: Vec<f64> = kfac_layers
+                .iter()
+                .map(|&idx| {
+                    let s = model.kfac_stats(idx).expect("kfac stats");
+                    let a = s.a.cols() as f64;
+                    let g = s.g.cols() as f64;
+                    a * a * a + g * g * g
+                })
+                .collect();
+            self.owners = Some(assign_layers(&costs, comm.size()));
+        }
+        let owners = self.owners.as_ref().unwrap().clone();
+
+        // Precondition owned layers.
+        let me = comm.rank();
+        let mut owned: Vec<(usize, Matrix)> = Vec::new();
+        for (pos, &idx) in kfac_layers.iter().enumerate() {
+            if owners[pos] == me {
+                let grad = model.layer(idx).grads().expect("grad").clone();
+                let pre = self.kfac.precondition_layer(idx, &grad);
+                owned.push((idx, pre));
+            }
+        }
+
+        // (5) All-gather the preconditioned gradients, compressed in
+        // aggregation groups.
+        let m = self.config.aggregation.max(1);
+        let mut payload = compso_core::wire::Writer::new();
+        payload.u32(owned.len() as u32);
+        for group in owned.chunks(m) {
+            // Group header: layer ids and shapes.
+            payload.u32(group.len() as u32);
+            let mut flat: Vec<f32> = Vec::new();
+            for (idx, pre) in group {
+                payload.u32(*idx as u32);
+                payload.u32(pre.rows() as u32);
+                payload.u32(pre.cols() as u32);
+                stats.gather_bytes_original += pre.len() as u64 * 4;
+                flat.extend_from_slice(pre.as_slice());
+            }
+            let compressed = compressor.compress(&flat, &mut self.rng);
+            payload.block(&compressed);
+        }
+        let bytes = payload.into_bytes();
+        stats.gather_bytes_wire += bytes.len() as u64;
+        let gathered = allgather_var(comm, bytes);
+
+        // (6) Decode every rank's contribution and install.
+        for buf in gathered {
+            let mut r = compso_core::wire::Reader::new(&buf);
+            let n_owned = r.u32().expect("payload header") as usize;
+            let mut groups_remaining = n_owned;
+            while groups_remaining > 0 {
+                let group_len = r.u32().expect("group header") as usize;
+                assert!(group_len > 0 && group_len <= groups_remaining);
+                let mut shapes = Vec::with_capacity(group_len);
+                for _ in 0..group_len {
+                    let idx = r.u32().expect("layer id") as usize;
+                    let rows = r.u32().expect("rows") as usize;
+                    let cols = r.u32().expect("cols") as usize;
+                    shapes.push((idx, rows, cols));
+                }
+                let block = r.block().expect("compressed block");
+                let flat = compressor
+                    .decompress(block)
+                    .expect("peer sent undecodable gradient block");
+                let mut offset = 0usize;
+                for (idx, rows, cols) in shapes {
+                    let take = rows * cols;
+                    let m = Matrix::from_vec(rows, cols, flat[offset..offset + take].to_vec());
+                    offset += take;
+                    model.layer_mut(idx).set_grads(m);
+                }
+                assert_eq!(offset, flat.len(), "group payload size mismatch");
+                groups_remaining -= group_len;
+            }
+        }
+        stats
+    }
+
+    /// The greedy ownership map, once built.
+    pub fn owners(&self) -> Option<&[usize]> {
+        self.owners.as_deref()
+    }
+}
+
+/// Convenience: the no-compression baseline compressor.
+pub fn no_compression() -> NoCompression {
+    NoCompression
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compso_comm::run_ranks;
+    use compso_core::{Compso, CompsoConfig};
+    use compso_dnn::loss::{accuracy, softmax_cross_entropy};
+    use compso_dnn::{data, models};
+
+    #[test]
+    fn assign_layers_balances_costs() {
+        let costs = vec![8.0, 1.0, 7.0, 2.0, 6.0, 3.0, 5.0, 4.0];
+        let owners = assign_layers(&costs, 4);
+        let mut load = vec![0.0f64; 4];
+        for (i, &o) in owners.iter().enumerate() {
+            load[o] += costs[i];
+        }
+        let max = load.iter().cloned().fold(0.0f64, f64::max);
+        let min = load.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max - min <= 2.0, "loads {load:?}");
+    }
+
+    #[test]
+    fn assign_layers_deterministic() {
+        let costs = vec![3.0, 3.0, 3.0, 1.0];
+        assert_eq!(assign_layers(&costs, 2), assign_layers(&costs, 2));
+    }
+
+    #[test]
+    fn more_ranks_than_layers_is_fine() {
+        let owners = assign_layers(&[5.0, 1.0], 8);
+        assert!(owners.iter().all(|&o| o < 8));
+        assert_ne!(owners[0], owners[1]);
+    }
+
+    /// Core distributed invariant: after every step, all ranks hold
+    /// identical parameters, and those match a single-process run on the
+    /// concatenated data.
+    #[test]
+    fn ranks_stay_synchronized_and_match_serial() {
+        let ranks = 4;
+        let steps = 5;
+        let batch_per_rank = 8;
+        let d = data::gaussian_blobs(320, 6, 3, 0.3, 11);
+
+        // Serial reference: one process, the full batch.
+        let serial_params = {
+            let mut rng = Rng::new(99);
+            let mut model = models::mlp(&[6, 16, 3], &mut rng);
+            let mut kfac = Kfac::new(KfacConfig::default());
+            for step in 0..steps {
+                // Assemble the same global batch the ranks see.
+                let mut x = Matrix::zeros(batch_per_rank * ranks, 6);
+                let mut y = Vec::new();
+                for r in 0..ranks {
+                    let shard = d.shard(r, ranks);
+                    let (xs, ys) = shard.batch(step, batch_per_rank);
+                    for b in 0..batch_per_rank {
+                        x.row_mut(r * batch_per_rank + b).copy_from_slice(xs.row(b));
+                    }
+                    y.extend(ys);
+                }
+                let logits = model.forward(&x, true);
+                let (_, grad) = softmax_cross_entropy(&logits, &y);
+                model.backward(&grad);
+                kfac.step(&mut model);
+                model.update_params(|p, g| p.axpy(-0.02, g));
+            }
+            model.layer(0).params().unwrap().clone()
+        };
+
+        let results = run_ranks(ranks, |comm| {
+            let mut rng = Rng::new(99); // same init as serial
+            let mut model = models::mlp(&[6, 16, 3], &mut rng);
+            let shard = d.shard(comm.rank(), ranks);
+            let mut opt = DistKfac::new(DistKfacConfig::default(), 7);
+            let nc = no_compression();
+            for step in 0..steps {
+                let (x, y) = shard.batch(step, batch_per_rank);
+                let logits = model.forward(&x, true);
+                let (_, grad) = softmax_cross_entropy(&logits, &y);
+                model.backward(&grad);
+                opt.step(comm, &mut model, &nc);
+                model.update_params(|p, g| p.axpy(-0.02, g));
+            }
+            model.layer(0).params().unwrap().clone()
+        });
+
+        for r in 1..ranks {
+            assert!(
+                results[0].max_diff(&results[r]) < 1e-5,
+                "rank {r} diverged: {}",
+                results[0].max_diff(&results[r])
+            );
+        }
+        // Distributed covariances average per-shard covariances of equal-
+        // sized batches = global covariance; gradients likewise. Allow
+        // f32 collective-ordering noise.
+        assert!(
+            results[0].max_diff(&serial_params) < 5e-3,
+            "distributed vs serial diff {}",
+            results[0].max_diff(&serial_params)
+        );
+    }
+
+    #[test]
+    fn compressed_training_converges_and_reports_ratio() {
+        let ranks = 4;
+        let d = data::gaussian_blobs(320, 6, 3, 0.3, 13);
+        let results = run_ranks(ranks, |comm| {
+            let mut rng = Rng::new(5);
+            let mut model = models::mlp(&[6, 64, 64, 3], &mut rng);
+            let shard = d.shard(comm.rank(), ranks);
+            let mut opt = DistKfac::new(
+                DistKfacConfig {
+                    kfac: KfacConfig {
+                        damping: 0.1,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                7,
+            );
+            let compso = Compso::new(CompsoConfig::aggressive(4e-3));
+            let mut last = StepStats::default();
+            for step in 0..80 {
+                let (x, y) = shard.batch(step, 16);
+                let logits = model.forward(&x, true);
+                let (_, grad) = softmax_cross_entropy(&logits, &y);
+                model.backward(&grad);
+                last = opt.step(comm, &mut model, &compso);
+                model.update_params(|p, g| p.axpy(-0.005, g));
+            }
+            let logits = model.forward(&d.x, false);
+            (accuracy(&logits, &d.y), last)
+        });
+        for (acc, _) in &results {
+            assert!(*acc > 0.9, "accuracy {acc}");
+        }
+        // With 3 K-FAC layers over 4 ranks one rank owns nothing; judge
+        // the compression ratio on the aggregate all-gather traffic.
+        let original: u64 = results.iter().map(|(_, s)| s.gather_bytes_original).sum();
+        let wire: u64 = results.iter().map(|(_, s)| s.gather_bytes_wire).sum();
+        let ratio = original as f64 / wire as f64;
+        assert!(ratio > 2.5, "gather compression ratio {ratio}");
+    }
+
+    #[test]
+    fn compressed_ranks_stay_bit_identical() {
+        // Compression is lossy but *deterministic and identical* across
+        // ranks (same decompressed bytes everywhere), so replicas must not
+        // drift.
+        let ranks = 3;
+        let d = data::gaussian_blobs(300, 6, 3, 0.3, 17);
+        let results = run_ranks(ranks, |comm| {
+            let mut rng = Rng::new(21);
+            let mut model = models::mlp(&[6, 12, 3], &mut rng);
+            let shard = d.shard(comm.rank(), ranks);
+            let mut opt = DistKfac::new(DistKfacConfig::default(), 7);
+            let compso = Compso::new(CompsoConfig::aggressive(1e-2));
+            for step in 0..10 {
+                let (x, y) = shard.batch(step, 8);
+                let logits = model.forward(&x, true);
+                let (_, grad) = softmax_cross_entropy(&logits, &y);
+                model.backward(&grad);
+                opt.step(comm, &mut model, &compso);
+                model.update_params(|p, g| p.axpy(-0.02, g));
+            }
+            model.layer(0).params().unwrap().clone()
+        });
+        for r in 1..ranks {
+            assert_eq!(
+                results[0], results[r],
+                "rank {r} drifted under compression"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregation_factor_changes_wire_format_not_semantics() {
+        let ranks = 2;
+        let d = data::gaussian_blobs(200, 6, 3, 0.3, 19);
+        let run = |aggregation: usize| {
+            let d = d.clone();
+            run_ranks(ranks, move |comm| {
+                let mut rng = Rng::new(33);
+                let mut model = models::mlp(&[6, 16, 16, 3], &mut rng);
+                let shard = d.shard(comm.rank(), ranks);
+                let mut opt = DistKfac::new(
+                    DistKfacConfig {
+                        aggregation,
+                        ..Default::default()
+                    },
+                    7,
+                );
+                let nc = no_compression();
+                for step in 0..5 {
+                    let (x, y) = shard.batch(step, 8);
+                    let logits = model.forward(&x, true);
+                    let (_, grad) = softmax_cross_entropy(&logits, &y);
+                    model.backward(&grad);
+                    opt.step(comm, &mut model, &nc);
+                    model.update_params(|p, g| p.axpy(-0.02, g));
+                }
+                model.layer(0).params().unwrap().clone()
+            })
+        };
+        let a1 = run(1);
+        let a4 = run(4);
+        assert!(a1[0].max_diff(&a4[0]) < 1e-6, "aggregation changed results");
+    }
+
+    #[test]
+    fn step_stats_account_traffic() {
+        let d = data::gaussian_blobs(100, 6, 3, 0.3, 23);
+        let results = run_ranks(2, |comm| {
+            let mut rng = Rng::new(44);
+            let mut model = models::mlp(&[6, 8, 3], &mut rng);
+            let shard = d.shard(comm.rank(), 2);
+            let mut opt = DistKfac::new(DistKfacConfig::default(), 7);
+            let nc = no_compression();
+            let (x, y) = shard.batch(0, 8);
+            let logits = model.forward(&x, true);
+            let (_, grad) = softmax_cross_entropy(&logits, &y);
+            model.backward(&grad);
+            opt.step(comm, &mut model, &nc)
+        });
+        // Two linear layers: (6+1)*8 + (8+1)*3 = 83 params -> 332 bytes
+        // allreduced per rank.
+        for s in &results {
+            assert_eq!(s.allreduce_bytes, 332);
+            assert!(s.gather_bytes_original > 0);
+            // NoCompression wire size ≈ original + headers.
+            assert!(s.gather_bytes_wire >= s.gather_bytes_original);
+        }
+        // Every layer is owned exactly once across ranks.
+        let total_original: u64 = results.iter().map(|s| s.gather_bytes_original).sum();
+        assert_eq!(total_original, 332);
+    }
+}

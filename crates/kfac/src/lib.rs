@@ -1,0 +1,32 @@
+//! # compso-kfac
+//!
+//! The second-order optimization substrate: a from-scratch K-FAC
+//! optimizer (§2.1 of the paper), its KAISA-style distributed variant
+//! (§2.2) with pluggable gradient compression on the preconditioned-
+//! gradient all-gather — the communication COMPSO targets — plus the
+//! first-order baselines (SGD with momentum, Adam) and the two learning-
+//! rate schedules the adaptive compression mechanism keys off (StepLR,
+//! SmoothLR).
+//!
+//! Distributed step anatomy (Fig. 2 of the paper):
+//!
+//! 1. local forward/backward on the rank's data shard;
+//! 2. all-reduce of the raw gradients (data-parallel sync);
+//! 3. covariance factors `A = E[ããᵀ]`, `G = E[ggᵀ]` computed locally,
+//!    all-reduced, folded into running averages;
+//! 4. each layer's eigendecomposition + preconditioning on its *owner*
+//!    rank (greedy cost-balanced assignment, refreshed factors every
+//!    `eigen_refresh` iterations);
+//! 5. all-gather of the preconditioned gradients — optionally compressed
+//!    with any [`compso_core::Compressor`];
+//! 6. identical parameter update on every rank.
+
+pub mod distributed;
+pub mod kfac;
+pub mod optim;
+pub mod schedule;
+
+pub use distributed::{DistKfac, DistKfacConfig, StepStats};
+pub use kfac::{Kfac, KfacConfig};
+pub use optim::{Adam, Sgd};
+pub use schedule::{LrSchedule, SmoothLr, StepLr};

@@ -1,0 +1,227 @@
+//! First-order baseline optimizers.
+//!
+//! SGD with momentum is the paper's first-order baseline (and the final
+//! update rule applied to K-FAC's preconditioned gradients); Adam rounds
+//! out the conventional-optimizer family mentioned in §1.
+
+use compso_dnn::Sequential;
+use compso_tensor::Matrix;
+
+/// Stochastic gradient descent with classical momentum.
+pub struct Sgd {
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    velocities: Vec<Matrix>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new() -> Self {
+        Sgd {
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocities: Vec::new(),
+        }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(momentum: f32) -> Self {
+        Sgd {
+            momentum,
+            weight_decay: 0.0,
+            velocities: Vec::new(),
+        }
+    }
+
+    /// Applies one update with learning rate `lr` using each trainable
+    /// layer's stored gradient.
+    pub fn step(&mut self, model: &mut Sequential, lr: f32) {
+        let indices = model.trainable_indices();
+        if self.velocities.is_empty() && self.momentum > 0.0 {
+            for &i in &indices {
+                let p = model.layer(i).params().unwrap();
+                self.velocities.push(Matrix::zeros(p.rows(), p.cols()));
+            }
+        }
+        for (slot, &i) in indices.iter().enumerate() {
+            let layer = model.layer_mut(i);
+            let mut grad = layer.grads().expect("missing gradient").clone();
+            if self.weight_decay > 0.0 {
+                let params = layer.params().unwrap().clone();
+                grad.axpy(self.weight_decay, &params);
+            }
+            if self.momentum > 0.0 {
+                let v = &mut self.velocities[slot];
+                v.scale(self.momentum);
+                v.axpy(1.0, &grad);
+                layer.params_mut().unwrap().axpy(-lr, &v.clone());
+            } else {
+                layer.params_mut().unwrap().axpy(-lr, &grad);
+            }
+        }
+    }
+}
+
+impl Default for Sgd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Adam (Kingma & Ba, 2014).
+pub struct Adam {
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+    t: i32,
+}
+
+impl Adam {
+    /// Adam with the standard hyperparameters.
+    pub fn new() -> Self {
+        Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// Applies one Adam update with learning rate `lr`.
+    pub fn step(&mut self, model: &mut Sequential, lr: f32) {
+        let indices = model.trainable_indices();
+        if self.m.is_empty() {
+            for &i in &indices {
+                let p = model.layer(i).params().unwrap();
+                self.m.push(Matrix::zeros(p.rows(), p.cols()));
+                self.v.push(Matrix::zeros(p.rows(), p.cols()));
+            }
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for (slot, &i) in indices.iter().enumerate() {
+            let layer = model.layer_mut(i);
+            let grad = layer.grads().expect("missing gradient").clone();
+            let m = &mut self.m[slot];
+            let v = &mut self.v[slot];
+            for ((mv, vv), &g) in m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice())
+                .zip(grad.as_slice())
+            {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * g;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
+            }
+            let params = layer.params_mut().unwrap();
+            for ((p, &mv), &vv) in params
+                .as_mut_slice()
+                .iter_mut()
+                .zip(m.as_slice())
+                .zip(v.as_slice())
+            {
+                let mhat = mv / bc1;
+                let vhat = vv / bc2;
+                *p -= lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compso_dnn::loss::{accuracy, softmax_cross_entropy};
+    use compso_dnn::{data, models};
+    use compso_tensor::Rng;
+
+    fn train<F: FnMut(&mut Sequential)>(
+        model: &mut Sequential,
+        d: &data::Dataset,
+        steps: usize,
+        batch: usize,
+        mut apply: F,
+    ) -> f64 {
+        for step in 0..steps {
+            let (x, y) = d.batch(step, batch);
+            let logits = model.forward(&x, true);
+            let (_, grad) = softmax_cross_entropy(&logits, &y);
+            model.backward(&grad);
+            apply(model);
+        }
+        let logits = model.forward(&d.x, false);
+        accuracy(&logits, &d.y)
+    }
+
+    #[test]
+    fn sgd_converges_on_blobs() {
+        let mut rng = Rng::new(1);
+        let d = data::gaussian_blobs(300, 6, 3, 0.2, 2);
+        let mut model = models::mlp(&[6, 24, 3], &mut rng);
+        let mut opt = Sgd::new();
+        let acc = train(&mut model, &d, 200, 32, |m| opt.step(m, 0.02));
+        assert!(acc > 0.95, "acc {acc}");
+    }
+
+    #[test]
+    fn momentum_accelerates_early_convergence() {
+        let run = |momentum: f32| -> f64 {
+            let mut rng = Rng::new(3);
+            let d = data::gaussian_blobs(300, 6, 3, 0.3, 4);
+            let mut model = models::mlp(&[6, 24, 3], &mut rng);
+            let mut opt = Sgd::with_momentum(momentum);
+            train(&mut model, &d, 40, 32, |m| opt.step(m, 0.004))
+        };
+        let plain = run(0.0);
+        let momentum = run(0.9);
+        assert!(
+            momentum > plain - 0.02,
+            "momentum {momentum} vs plain {plain}"
+        );
+    }
+
+    #[test]
+    fn adam_converges_on_blobs() {
+        let mut rng = Rng::new(5);
+        let d = data::gaussian_blobs(300, 6, 3, 0.2, 6);
+        let mut model = models::mlp(&[6, 24, 3], &mut rng);
+        let mut opt = Adam::new();
+        let acc = train(&mut model, &d, 200, 32, |m| opt.step(m, 0.01));
+        assert!(acc > 0.95, "acc {acc}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut rng = Rng::new(7);
+        let mut model = models::mlp(&[4, 4, 2], &mut rng);
+        // Zero gradients: only the decay term acts.
+        let x = compso_tensor::Matrix::zeros(2, 4);
+        let y = model.forward(&x, true);
+        let zero_grad = compso_tensor::Matrix::zeros(y.rows(), y.cols());
+        model.backward(&zero_grad);
+        let norm_before = model.layer(0).params().unwrap().fro_norm();
+        let mut opt = Sgd {
+            momentum: 0.0,
+            weight_decay: 0.1,
+            velocities: Vec::new(),
+        };
+        for _ in 0..10 {
+            opt.step(&mut model, 0.1);
+        }
+        let norm_after = model.layer(0).params().unwrap().fro_norm();
+        assert!(norm_after < norm_before, "{norm_after} vs {norm_before}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Learning-rate schedules.
+//!
+//! §4.3 distinguishes exactly two families: **StepLR** ("decays the LR at
+//! predefined steps by multiplying the base LR by a decay factor") and
+//! **SmoothLR** ("decays LR by multiplying a factor by the base LR at
+//! each iteration after the warmup"). COMPSO's iteration-wise adaptive
+//! compression keys its strategy switches off these schedules.
+
+/// A learning-rate schedule.
+pub trait LrSchedule: Send + Sync {
+    /// Learning rate at iteration `t`.
+    fn lr_at(&self, t: usize) -> f32;
+
+    /// Iteration of the first LR decrease (drives Alg. 1's StepLR branch);
+    /// `None` when the schedule has no discrete drops.
+    fn first_drop(&self) -> Option<usize>;
+}
+
+/// Piecewise-constant decay at fixed iterations.
+#[derive(Clone, Debug)]
+pub struct StepLr {
+    /// Initial learning rate.
+    pub base_lr: f32,
+    /// Iterations at which the LR is multiplied by `factor` (ascending).
+    pub drops: Vec<usize>,
+    /// Multiplicative decay per drop.
+    pub factor: f32,
+}
+
+impl StepLr {
+    /// A StepLR schedule.
+    pub fn new(base_lr: f32, drops: Vec<usize>, factor: f32) -> Self {
+        assert!(base_lr > 0.0 && factor > 0.0 && factor < 1.0);
+        assert!(drops.windows(2).all(|w| w[0] < w[1]), "drops must ascend");
+        StepLr {
+            base_lr,
+            drops,
+            factor,
+        }
+    }
+}
+
+impl LrSchedule for StepLr {
+    fn lr_at(&self, t: usize) -> f32 {
+        let passed = self.drops.iter().filter(|&&d| t >= d).count();
+        self.base_lr * self.factor.powi(passed as i32)
+    }
+
+    fn first_drop(&self) -> Option<usize> {
+        self.drops.first().copied()
+    }
+}
+
+/// Linear warmup followed by cosine decay — the "SmoothLR" family
+/// (GPT-neo's cosine schedule in §5.1).
+#[derive(Clone, Debug)]
+pub struct SmoothLr {
+    /// Peak learning rate, reached after warmup.
+    pub base_lr: f32,
+    /// Warmup iterations (linear ramp from 0).
+    pub warmup: usize,
+    /// Total iterations; LR reaches `min_lr` here.
+    pub total: usize,
+    /// Floor learning rate.
+    pub min_lr: f32,
+}
+
+impl SmoothLr {
+    /// A cosine schedule with warmup.
+    pub fn new(base_lr: f32, warmup: usize, total: usize) -> Self {
+        assert!(base_lr > 0.0 && total > warmup);
+        SmoothLr {
+            base_lr,
+            warmup,
+            total,
+            min_lr: base_lr * 0.01,
+        }
+    }
+}
+
+impl LrSchedule for SmoothLr {
+    fn lr_at(&self, t: usize) -> f32 {
+        if t < self.warmup {
+            return self.base_lr * (t + 1) as f32 / self.warmup as f32;
+        }
+        if t >= self.total {
+            return self.min_lr;
+        }
+        let progress = (t - self.warmup) as f32 / (self.total - self.warmup) as f32;
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+        self.min_lr + (self.base_lr - self.min_lr) * cos
+    }
+
+    fn first_drop(&self) -> Option<usize> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_lr_decays_at_drops() {
+        let s = StepLr::new(1.0, vec![10, 20], 0.1);
+        assert_eq!(s.lr_at(0), 1.0);
+        assert_eq!(s.lr_at(9), 1.0);
+        assert!((s.lr_at(10) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(19) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(20) - 0.01).abs() < 1e-8);
+        assert_eq!(s.first_drop(), Some(10));
+    }
+
+    #[test]
+    fn smooth_lr_warms_up_then_decays() {
+        let s = SmoothLr::new(0.1, 10, 100);
+        assert!(s.lr_at(0) < s.lr_at(5));
+        assert!(s.lr_at(5) < s.lr_at(9));
+        assert!((s.lr_at(10) - 0.1).abs() < 0.011); // near peak post-warmup
+        assert!(s.lr_at(50) < s.lr_at(10));
+        assert!(s.lr_at(99) < s.lr_at(50));
+        assert_eq!(s.lr_at(1000), s.min_lr);
+        assert_eq!(s.first_drop(), None);
+    }
+
+    #[test]
+    fn smooth_lr_is_monotone_after_warmup() {
+        let s = SmoothLr::new(0.5, 20, 200);
+        let mut prev = f32::INFINITY;
+        for t in 20..200 {
+            let lr = s.lr_at(t);
+            assert!(lr <= prev + 1e-9, "t={t}");
+            prev = lr;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drops must ascend")]
+    fn unsorted_drops_panic() {
+        StepLr::new(1.0, vec![20, 10], 0.1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Platform descriptions of the paper's two evaluation clusters.
+
+use compso_comm::NetworkSpec;
+
+/// A GPU cluster.
+#[derive(Clone, Debug)]
+pub struct Platform {
+    /// Display name.
+    pub name: &'static str,
+    /// Number of nodes available.
+    pub nodes: usize,
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+    /// Interconnect model.
+    pub network: NetworkSpec,
+    /// Sustained per-GPU training throughput for mixed dense compute,
+    /// FLOPs/s. A100 peak is 19.5 TF fp32 / 156 TF tf32; sustained
+    /// end-to-end training throughput is far lower — this constant is
+    /// calibrated so the Fig. 1 phase ratios land in the published bands.
+    pub gpu_flops: f64,
+    /// Sustained GPU memory bandwidth, bytes/s (gates the memory-bound
+    /// compression kernels).
+    pub gpu_membw: f64,
+}
+
+impl Platform {
+    /// Platform 1: 16 nodes × 4 A100, Slingshot 10 (100 Gb/s).
+    pub fn platform1() -> Platform {
+        Platform {
+            name: "Platform1-Slingshot10",
+            nodes: 16,
+            gpus_per_node: 4,
+            network: NetworkSpec::slingshot10(),
+            gpu_flops: 3.0e13,
+            gpu_membw: 1.3e12,
+        }
+    }
+
+    /// Platform 2: 64 nodes × 4 A100, Slingshot 11 (200 Gb/s).
+    pub fn platform2() -> Platform {
+        Platform {
+            name: "Platform2-Slingshot11",
+            nodes: 64,
+            gpus_per_node: 4,
+            network: NetworkSpec::slingshot11(),
+            gpu_flops: 3.0e13,
+            gpu_membw: 1.3e12,
+        }
+    }
+
+    /// Maximum GPU count on this platform.
+    pub fn max_gpus(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_capacities_match_paper() {
+        assert_eq!(Platform::platform1().max_gpus(), 64);
+        assert_eq!(Platform::platform2().max_gpus(), 256);
+    }
+
+    #[test]
+    fn platform2_has_faster_network() {
+        assert!(
+            Platform::platform2().network.internode_bw > Platform::platform1().network.internode_bw
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! K-FAC inverts its Kronecker factors through their eigendecompositions
+//! (Eq. 2 of the paper). The factors are symmetric positive semi-definite
+//! covariance matrices, which is exactly the regime where Jacobi rotation
+//! sweeps are simple, unconditionally convergent, and accurate to machine
+//! precision. Computation runs in `f64` internally for stability and is
+//! returned as `f32` to match the rest of the stack.
+
+use crate::matrix::Matrix;
+
+/// The result of a symmetric eigendecomposition `A = Q diag(λ) Qᵀ`.
+#[derive(Clone, Debug)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f32>,
+    /// Orthonormal eigenvectors; column `j` corresponds to `values[j]`.
+    pub vectors: Matrix,
+}
+
+impl EigenDecomposition {
+    /// Reconstructs `Q diag(λ) Qᵀ` — used by tests to validate the factorization.
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.values.len();
+        let mut scaled = self.vectors.clone();
+        // scaled[:, j] *= λ_j
+        for i in 0..n {
+            for j in 0..n {
+                let v = scaled.get(i, j) * self.values[j];
+                scaled.set(i, j, v);
+            }
+        }
+        scaled.matmul_t(&self.vectors)
+    }
+
+    /// Applies `f` to each eigenvalue and reconstructs — the spectral
+    /// function machinery K-FAC uses for `(A + γI)^{-1}` and friends.
+    pub fn map_spectrum(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let mapped = EigenDecomposition {
+            values: self.values.iter().map(|&v| f(v)).collect(),
+            vectors: self.vectors.clone(),
+        };
+        mapped.reconstruct()
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+///
+/// # Panics
+/// If the matrix is not square. Asymmetry beyond f32 round-off should be
+/// removed with [`Matrix::symmetrize`] first; the routine symmetrizes its
+/// internal copy regardless.
+pub fn sym_eig(m: &Matrix) -> EigenDecomposition {
+    assert_eq!(m.rows(), m.cols(), "sym_eig needs a square matrix");
+    let n = m.rows();
+    if n == 0 {
+        return EigenDecomposition {
+            values: Vec::new(),
+            vectors: Matrix::zeros(0, 0),
+        };
+    }
+
+    // Work in f64: a = (M + Mᵀ)/2.
+    let mut a = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = 0.5 * (m.get(i, j) as f64 + m.get(j, i) as f64);
+        }
+    }
+    let mut q = vec![0.0f64; n * n];
+    for i in 0..n {
+        q[i * n + i] = 1.0;
+    }
+
+    let off_diag_norm = |a: &[f64]| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s += a[i * n + j] * a[i * n + j];
+            }
+        }
+        (2.0 * s).sqrt()
+    };
+
+    let scale = {
+        let mut mx = 0.0f64;
+        for &v in &a {
+            mx = mx.max(v.abs());
+        }
+        mx.max(1e-300)
+    };
+    let tol = 1e-14 * scale * n as f64;
+    let max_sweeps = 64;
+
+    for _sweep in 0..max_sweeps {
+        if off_diag_norm(&a) <= tol {
+            break;
+        }
+        for p in 0..n {
+            for r in (p + 1)..n {
+                let apr = a[p * n + r];
+                if apr.abs() <= tol / (n * n) as f64 {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let arr = a[r * n + r];
+                // Standard stable rotation computation.
+                let theta = (arr - app) / (2.0 * apr);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // A <- JᵀAJ applied to rows/cols p, r.
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akr = a[k * n + r];
+                    a[k * n + p] = c * akp - s * akr;
+                    a[k * n + r] = s * akp + c * akr;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let ark = a[r * n + k];
+                    a[p * n + k] = c * apk - s * ark;
+                    a[r * n + k] = s * apk + c * ark;
+                }
+                // Accumulate Q <- QJ.
+                for k in 0..n {
+                    let qkp = q[k * n + p];
+                    let qkr = q[k * n + r];
+                    q[k * n + p] = c * qkp - s * qkr;
+                    q[k * n + r] = s * qkp + c * qkr;
+                }
+            }
+        }
+    }
+
+    // Extract, sort by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| a[i * n + i]).collect();
+    order.sort_by(|&x, &y| diag[y].partial_cmp(&diag[x]).unwrap());
+
+    let values: Vec<f32> = order.iter().map(|&i| diag[i] as f32).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (col, &src) in order.iter().enumerate() {
+        for row in 0..n {
+            vectors.set(row, col, q[row * n + src] as f32);
+        }
+    }
+    EigenDecomposition { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn random_spd(n: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::new(seed);
+        let b = Matrix::random_normal(n, n, &mut rng);
+        let mut spd = b.t_matmul(&b);
+        spd.add_diag(0.1);
+        spd.symmetrize();
+        spd
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let m = Matrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let e = sym_eig(&m);
+        assert!((e.values[0] - 3.0).abs() < 1e-5);
+        assert!((e.values[1] - 2.0).abs() < 1e-5);
+        assert!((e.values[2] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let m = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = sym_eig(&m);
+        assert!((e.values[0] - 3.0).abs() < 1e-5);
+        assert!((e.values[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        for n in [1usize, 2, 5, 17, 48] {
+            let m = random_spd(n, 100 + n as u64);
+            let e = sym_eig(&m);
+            let r = e.reconstruct();
+            let scale = m.max_abs().max(1.0);
+            assert!(
+                r.max_diff(&m) < 1e-3 * scale,
+                "n={n} diff {}",
+                r.max_diff(&m)
+            );
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = random_spd(20, 7);
+        let e = sym_eig(&m);
+        let qtq = e.vectors.t_matmul(&e.vectors);
+        let i = Matrix::identity(20);
+        assert!(qtq.max_diff(&i) < 1e-4, "diff {}", qtq.max_diff(&i));
+    }
+
+    #[test]
+    fn spd_eigenvalues_positive_and_sorted() {
+        let m = random_spd(30, 9);
+        let e = sym_eig(&m);
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-5, "not sorted: {:?}", e.values);
+        }
+        assert!(e.values.iter().all(|&v| v > 0.0), "{:?}", e.values);
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let m = random_spd(25, 11);
+        let trace: f32 = (0..25).map(|i| m.get(i, i)).sum();
+        let e = sym_eig(&m);
+        let lam_sum: f32 = e.values.iter().sum();
+        assert!((trace - lam_sum).abs() < 1e-2 * trace.abs().max(1.0));
+    }
+
+    #[test]
+    fn map_spectrum_inverse_gives_matrix_inverse() {
+        let m = random_spd(12, 13);
+        let e = sym_eig(&m);
+        let inv = e.map_spectrum(|v| 1.0 / v);
+        let prod = m.matmul(&inv);
+        let i = Matrix::identity(12);
+        assert!(prod.max_diff(&i) < 1e-2, "diff {}", prod.max_diff(&i));
+    }
+
+    #[test]
+    fn zero_and_one_dimensional() {
+        let e0 = sym_eig(&Matrix::zeros(0, 0));
+        assert!(e0.values.is_empty());
+        let e1 = sym_eig(&Matrix::from_vec(1, 1, vec![4.0]));
+        assert!((e1.values[0] - 4.0).abs() < 1e-6);
+        assert!((e1.vectors.get(0, 0).abs() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn handles_repeated_eigenvalues() {
+        // 2*I has eigenvalue 2 thrice; reconstruction must still hold.
+        let mut m = Matrix::identity(3);
+        m.scale(2.0);
+        let e = sym_eig(&m);
+        for &v in &e.values {
+            assert!((v - 2.0).abs() < 1e-5);
+        }
+        assert!(e.reconstruct().max_diff(&m) < 1e-5);
+    }
+}

@@ -1,0 +1,629 @@
+//! Row-major dense `f32` matrices with the handful of operations K-FAC and
+//! the DNN substrate need: blocked parallel GEMM, transpose, rank-k style
+//! covariance products, elementwise arithmetic, and Kronecker products.
+
+use crate::rng::Rng;
+use rayon::prelude::*;
+
+/// Minimum number of output elements before GEMM bothers going parallel;
+/// below this the rayon dispatch overhead dominates.
+const PAR_THRESHOLD: usize = 64 * 64;
+
+/// Cache-block edge used by the GEMM micro-kernel.
+const BLOCK: usize = 64;
+
+/// A dense row-major `f32` matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A `rows` x `cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from a generator function over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// A matrix with i.i.d. standard-normal entries.
+    pub fn random_normal(rows: usize, cols: usize, rng: &mut Rng) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        rng.fill_normal(&mut m.data);
+        m
+    }
+
+    /// A matrix with i.i.d. uniform entries in `[lo, hi)`.
+    pub fn random_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut Rng) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        rng.fill_uniform(&mut m.data, lo, hi);
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutation.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// The underlying row-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The underlying row-major slice, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        // Blocked transpose to stay cache-friendly for large matrices.
+        for rb in (0..self.rows).step_by(BLOCK) {
+            for cb in (0..self.cols).step_by(BLOCK) {
+                for r in rb..(rb + BLOCK).min(self.rows) {
+                    for c in cb..(cb + BLOCK).min(self.cols) {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// Uses an i-k-j loop order (streaming the `other` rows) with row-level
+    /// rayon parallelism for larger problems.
+    ///
+    /// # Panics
+    /// If inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dims {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let n = other.cols;
+        let k = self.cols;
+        let a = &self.data;
+        let b = &other.data;
+        let kernel = |row: usize, out_row: &mut [f32]| {
+            for kk in 0..k {
+                let aik = a[row * k + kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..kk * n + n];
+                for (o, &bv) in out_row.iter_mut().zip(brow) {
+                    *o += aik * bv;
+                }
+            }
+        };
+        if self.rows * n >= PAR_THRESHOLD {
+            out.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(row, out_row)| kernel(row, out_row));
+        } else {
+            for (row, out_row) in out.data.chunks_mut(n).enumerate() {
+                kernel(row, out_row);
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ * other` without materializing the transpose — the covariance
+    /// product K-FAC computes (`aᵀa`, `gᵀg` over a batch).
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "t_matmul dims {}x{}ᵀ * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let m = self.cols;
+        let n = other.cols;
+        let mut out = Matrix::zeros(m, n);
+        // Accumulate rank-1 updates row by row of the common dimension.
+        // Parallelize over output rows: out[i][:] = sum_r a[r][i] * b[r][:].
+        let a = &self.data;
+        let b = &other.data;
+        let rows = self.rows;
+        let kernel = |i: usize, out_row: &mut [f32]| {
+            for r in 0..rows {
+                let ari = a[r * m + i];
+                if ari == 0.0 {
+                    continue;
+                }
+                let brow = &b[r * n..r * n + n];
+                for (o, &bv) in out_row.iter_mut().zip(brow) {
+                    *o += ari * bv;
+                }
+            }
+        };
+        if m * n >= PAR_THRESHOLD {
+            out.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, row)| kernel(i, row));
+        } else {
+            for (i, row) in out.data.chunks_mut(n).enumerate() {
+                kernel(i, row);
+            }
+        }
+        out
+    }
+
+    /// `self * otherᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t dims {}x{} * {}x{}ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let m = self.rows;
+        let n = other.rows;
+        let k = self.cols;
+        let mut out = Matrix::zeros(m, n);
+        let a = &self.data;
+        let b = &other.data;
+        let kernel = |i: usize, out_row: &mut [f32]| {
+            let arow = &a[i * k..i * k + k];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let brow = &b[j * k..j * k + k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *o = acc;
+            }
+        };
+        if m * n >= PAR_THRESHOLD {
+            out.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, row)| kernel(i, row));
+        } else {
+            for (i, row) in out.data.chunks_mut(n).enumerate() {
+                kernel(i, row);
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(self.cols, x.len(), "matvec dims");
+        self.data
+            .chunks(self.cols)
+            .map(|row| row.iter().zip(x).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+
+    /// Elementwise in-place addition of `other * scale`.
+    pub fn axpy(&mut self, scale: f32, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "axpy dims");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// In-place scaling by a scalar.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Running-average update `self = decay * self + (1 - decay) * other` —
+    /// the exact update K-FAC applies to its covariance factors.
+    pub fn ema_update(&mut self, decay: f32, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "ema dims");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a = decay * *a + (1.0 - decay) * b;
+        }
+    }
+
+    /// Adds `v` to every diagonal element (Tikhonov damping `F + γI`).
+    pub fn add_diag(&mut self, v: f32) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self.data[i * self.cols + i] += v;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f32 {
+        self.data
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt() as f32
+    }
+
+    /// Largest absolute entry.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Forces exact symmetry by averaging with the transpose. Covariance
+    /// factors are symmetric in exact arithmetic; this removes f32 drift
+    /// before eigendecomposition.
+    pub fn symmetrize(&mut self) {
+        assert_eq!(self.rows, self.cols, "symmetrize needs a square matrix");
+        let n = self.rows;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let avg = 0.5 * (self.data[i * n + j] + self.data[j * n + i]);
+                self.data[i * n + j] = avg;
+                self.data[j * n + i] = avg;
+            }
+        }
+    }
+
+    /// Maximum absolute asymmetry `max |A - Aᵀ|`.
+    pub fn asymmetry(&self) -> f32 {
+        assert_eq!(self.rows, self.cols);
+        let n = self.rows;
+        let mut worst = 0.0f32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                worst = worst.max((self.data[i * n + j] - self.data[j * n + i]).abs());
+            }
+        }
+        worst
+    }
+
+    /// Kronecker product `self ⊗ other`. Only used on small matrices
+    /// (tests comparing K-FAC's factored preconditioner against the dense
+    /// Fisher approximation); output is `(r1*r2) x (c1*c2)`.
+    pub fn kron(&self, other: &Matrix) -> Matrix {
+        let (r1, c1) = (self.rows, self.cols);
+        let (r2, c2) = (other.rows, other.cols);
+        let mut out = Matrix::zeros(r1 * r2, c1 * c2);
+        for i in 0..r1 {
+            for j in 0..c1 {
+                let a = self.get(i, j);
+                if a == 0.0 {
+                    continue;
+                }
+                for p in 0..r2 {
+                    for q in 0..c2 {
+                        out.set(i * r2 + p, j * c2 + q, a * other.get(p, q));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute elementwise difference from `other`.
+    pub fn max_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "max_diff dims");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0f64;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) as f64 * b.get(k, j) as f64;
+                }
+                out.set(i, j, acc as f32);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng::new(1);
+        let a = Matrix::random_normal(7, 7, &mut rng);
+        let i = Matrix::identity(7);
+        assert!(a.matmul(&i).max_diff(&a) < 1e-6);
+        assert!(i.matmul(&a).max_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let mut rng = Rng::new(2);
+        let a = Matrix::random_normal(13, 9, &mut rng);
+        let b = Matrix::random_normal(9, 17, &mut rng);
+        let fast = a.matmul(&b);
+        let slow = naive_matmul(&a, &b);
+        assert!(fast.max_diff(&slow) < 1e-4, "diff {}", fast.max_diff(&slow));
+    }
+
+    #[test]
+    fn matmul_matches_naive_large_parallel_path() {
+        let mut rng = Rng::new(3);
+        let a = Matrix::random_normal(120, 90, &mut rng);
+        let b = Matrix::random_normal(90, 110, &mut rng);
+        let fast = a.matmul(&b);
+        let slow = naive_matmul(&a, &b);
+        assert!(fast.max_diff(&slow) < 1e-3, "diff {}", fast.max_diff(&slow));
+    }
+
+    #[test]
+    fn transpose_involution_and_layout() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 10 + c) as f32);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 5);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t.get(4, 2), m.get(2, 4));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let mut rng = Rng::new(4);
+        let a = Matrix::random_normal(40, 12, &mut rng);
+        let b = Matrix::random_normal(40, 15, &mut rng);
+        let fused = a.t_matmul(&b);
+        let explicit = a.transpose().matmul(&b);
+        assert!(fused.max_diff(&explicit) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let mut rng = Rng::new(5);
+        let a = Matrix::random_normal(14, 33, &mut rng);
+        let b = Matrix::random_normal(21, 33, &mut rng);
+        let fused = a.matmul_t(&b);
+        let explicit = a.matmul(&b.transpose());
+        assert!(fused.max_diff(&explicit) < 1e-4);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = Rng::new(6);
+        let a = Matrix::random_normal(9, 6, &mut rng);
+        let x = Matrix::random_normal(6, 1, &mut rng);
+        let via_mm = a.matmul(&x);
+        let via_mv = a.matvec(x.as_slice());
+        for i in 0..9 {
+            assert!((via_mm.get(i, 0) - via_mv[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn ema_update_converges_to_target() {
+        let target = Matrix::from_fn(4, 4, |r, c| (r + c) as f32);
+        let mut m = Matrix::zeros(4, 4);
+        for _ in 0..200 {
+            m.ema_update(0.9, &target);
+        }
+        assert!(m.max_diff(&target) < 1e-4);
+    }
+
+    #[test]
+    fn symmetrize_and_asymmetry() {
+        let mut m = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        assert!(m.asymmetry() > 0.0);
+        m.symmetrize();
+        assert_eq!(m.asymmetry(), 0.0);
+        assert!((m.get(0, 1) - m.get(1, 0)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn add_diag_damps() {
+        let mut m = Matrix::zeros(3, 3);
+        m.add_diag(2.5);
+        for i in 0..3 {
+            assert_eq!(m.get(i, i), 2.5);
+        }
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn kron_identity_blocks() {
+        let i2 = Matrix::identity(2);
+        let a = Matrix::from_fn(2, 2, |r, c| (1 + r * 2 + c) as f32);
+        let k = i2.kron(&a);
+        assert_eq!(k.rows(), 4);
+        // Upper-left block is A, off-diagonal blocks are zero.
+        assert_eq!(k.get(0, 0), a.get(0, 0));
+        assert_eq!(k.get(1, 1), a.get(1, 1));
+        assert_eq!(k.get(0, 2), 0.0);
+        assert_eq!(k.get(2, 2), a.get(0, 0));
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD)
+        let mut rng = Rng::new(8);
+        let a = Matrix::random_normal(3, 3, &mut rng);
+        let b = Matrix::random_normal(2, 2, &mut rng);
+        let c = Matrix::random_normal(3, 3, &mut rng);
+        let d = Matrix::random_normal(2, 2, &mut rng);
+        let lhs = a.kron(&b).matmul(&c.kron(&d));
+        let rhs = a.matmul(&c).kron(&b.matmul(&d));
+        assert!(lhs.max_diff(&rhs) < 1e-4, "diff {}", lhs.max_diff(&rhs));
+    }
+
+    #[test]
+    fn fro_norm_known_value() {
+        let m = Matrix::from_vec(2, 2, vec![3.0, 0.0, 0.0, 4.0]);
+        assert!((m.fro_norm() - 5.0).abs() < 1e-6);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+        // proptest's prelude exports an `Rng` trait that shadows ours.
+        use crate::rng::Rng as CRng;
+
+        fn small_matrix(max: usize) -> impl Strategy<Value = Matrix> {
+            (1..max, 1..max, any::<u64>()).prop_map(|(r, c, seed)| {
+                let mut rng = CRng::new(seed);
+                Matrix::random_normal(r, c, &mut rng)
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn transpose_is_an_involution(m in small_matrix(20)) {
+                prop_assert_eq!(m.transpose().transpose(), m);
+            }
+
+            #[test]
+            fn matmul_distributes_over_addition(
+                (a, b, c) in (1usize..10, 1usize..10, 1usize..10, any::<u64>()).prop_map(
+                    |(m, k, n, seed)| {
+                        let mut rng = CRng::new(seed);
+                        (
+                            Matrix::random_normal(m, k, &mut rng),
+                            Matrix::random_normal(k, n, &mut rng),
+                            Matrix::random_normal(k, n, &mut rng),
+                        )
+                    },
+                )
+            ) {
+                // A(B + C) = AB + AC, up to f32 round-off.
+                let mut bc = b.clone();
+                bc.axpy(1.0, &c);
+                let lhs = a.matmul(&bc);
+                let mut rhs = a.matmul(&b);
+                rhs.axpy(1.0, &a.matmul(&c));
+                let scale = lhs.max_abs().max(1.0);
+                prop_assert!(lhs.max_diff(&rhs) < 1e-4 * scale);
+            }
+
+            #[test]
+            fn t_matmul_of_self_is_psd_diagonal_dominant_trace(m in small_matrix(16)) {
+                // sᵀs has non-negative diagonal and trace = ||s||_F².
+                let c = m.t_matmul(&m);
+                for i in 0..c.rows() {
+                    prop_assert!(c.get(i, i) >= -1e-6);
+                }
+                let trace: f64 = (0..c.rows()).map(|i| c.get(i, i) as f64).sum();
+                let fro2 = (m.fro_norm() as f64).powi(2);
+                prop_assert!((trace - fro2).abs() < 1e-3 * fro2.max(1.0));
+            }
+
+            #[test]
+            fn ema_is_a_contraction_toward_target(
+                seed in any::<u64>(), decay in 0.1f32..0.99,
+            ) {
+                let mut rng = CRng::new(seed);
+                let target = Matrix::random_normal(5, 5, &mut rng);
+                let mut state = Matrix::random_normal(5, 5, &mut rng);
+                let before = state.max_diff(&target);
+                state.ema_update(decay, &target);
+                let after = state.max_diff(&target);
+                prop_assert!(after <= before * 1.0001);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dims")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

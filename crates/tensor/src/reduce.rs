@@ -1,0 +1,238 @@
+//! Parallel reductions over `f32` slices.
+//!
+//! §4.5 of the paper computes per-layer extrema (needed to normalize before
+//! quantization) with a two-level GPU reduction: block-level reduction in
+//! shared memory with warp-level shuffles underneath, then a small number
+//! of global-memory updates. The CPU analogue implemented here reduces
+//! fixed-size chunks privately per task ("block"), combining chunk-local
+//! results in a tree ("shuffle"), and only then touches the shared result.
+//! Both the hierarchical and a flat single-thread reference implementation
+//! are provided so the ablation benchmarks can compare them.
+
+use rayon::prelude::*;
+
+/// Chunk size of the hierarchical reduction; plays the role of the CUDA
+/// thread-block tile. 16 KiB of f32s — comfortably inside L1.
+pub const REDUCE_CHUNK: usize = 4096;
+
+/// Min/max pair produced by range scans.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MinMax {
+    pub min: f32,
+    pub max: f32,
+}
+
+impl MinMax {
+    /// The neutral element of the min/max monoid.
+    pub const EMPTY: MinMax = MinMax {
+        min: f32::INFINITY,
+        max: f32::NEG_INFINITY,
+    };
+
+    /// Merges two partial results.
+    #[inline]
+    pub fn merge(self, other: MinMax) -> MinMax {
+        MinMax {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Largest absolute value covered by the range.
+    #[inline]
+    pub fn abs_max(&self) -> f32 {
+        self.min.abs().max(self.max.abs())
+    }
+}
+
+/// Flat, sequential min/max scan — the reference implementation.
+pub fn minmax_flat(xs: &[f32]) -> MinMax {
+    let mut mm = MinMax::EMPTY;
+    for &x in xs {
+        mm.min = mm.min.min(x);
+        mm.max = mm.max.max(x);
+    }
+    mm
+}
+
+/// Hierarchical parallel min/max: chunk-private scans combined in a
+/// rayon reduction tree.
+pub fn minmax_hierarchical(xs: &[f32]) -> MinMax {
+    if xs.len() <= REDUCE_CHUNK {
+        return minmax_flat(xs);
+    }
+    xs.par_chunks(REDUCE_CHUNK)
+        .map(minmax_flat)
+        .reduce(|| MinMax::EMPTY, MinMax::merge)
+}
+
+/// Flat, sequential largest-absolute-value scan.
+pub fn absmax_flat(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+}
+
+/// Hierarchical parallel largest-absolute-value scan.
+pub fn absmax_hierarchical(xs: &[f32]) -> f32 {
+    if xs.len() <= REDUCE_CHUNK {
+        return absmax_flat(xs);
+    }
+    xs.par_chunks(REDUCE_CHUNK)
+        .map(absmax_flat)
+        .reduce(|| 0.0f32, f32::max)
+}
+
+/// Kahan-compensated sequential sum (f64 accumulator), used as the exact
+/// reference for parallel sums.
+pub fn sum_flat(xs: &[f32]) -> f64 {
+    let mut sum = 0.0f64;
+    let mut c = 0.0f64;
+    for &x in xs {
+        let y = x as f64 - c;
+        let t = sum + y;
+        c = (t - sum) - y;
+        sum = t;
+    }
+    sum
+}
+
+/// Hierarchical parallel sum with f64 chunk accumulators.
+pub fn sum_hierarchical(xs: &[f32]) -> f64 {
+    if xs.len() <= REDUCE_CHUNK {
+        return sum_flat(xs);
+    }
+    xs.par_chunks(REDUCE_CHUNK).map(sum_flat).sum()
+}
+
+/// Squared L2 norm in f64.
+pub fn sum_squares(xs: &[f32]) -> f64 {
+    if xs.len() <= REDUCE_CHUNK {
+        return xs.iter().map(|&v| v as f64 * v as f64).sum();
+    }
+    xs.par_chunks(REDUCE_CHUNK)
+        .map(|c| c.iter().map(|&v| v as f64 * v as f64).sum::<f64>())
+        .sum()
+}
+
+/// L2 norm.
+pub fn l2_norm(xs: &[f32]) -> f64 {
+    sum_squares(xs).sqrt()
+}
+
+/// Mean and (population) variance in one pass per chunk.
+pub fn mean_var(xs: &[f32]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = sum_hierarchical(xs) / n;
+    let ssq = if xs.len() <= REDUCE_CHUNK {
+        xs.iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+    } else {
+        xs.par_chunks(REDUCE_CHUNK)
+            .map(|c| {
+                c.iter()
+                    .map(|&v| {
+                        let d = v as f64 - mean;
+                        d * d
+                    })
+                    .sum::<f64>()
+            })
+            .sum()
+    };
+    (mean, ssq / n)
+}
+
+/// Counts elements with `|x| < threshold` — the filter-selectivity probe the
+/// layer-wise adaptive mechanism uses.
+pub fn count_below(xs: &[f32], threshold: f32) -> usize {
+    if xs.len() <= REDUCE_CHUNK {
+        return xs.iter().filter(|&&v| v.abs() < threshold).count();
+    }
+    xs.par_chunks(REDUCE_CHUNK)
+        .map(|c| c.iter().filter(|&&v| v.abs() < threshold).count())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn data(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = Rng::new(seed);
+        let mut v = vec![0.0f32; n];
+        rng.fill_normal(&mut v);
+        v
+    }
+
+    #[test]
+    fn minmax_agrees_flat_vs_hierarchical() {
+        for n in [0usize, 1, 100, REDUCE_CHUNK, REDUCE_CHUNK + 1, 100_000] {
+            let xs = data(n, 1 + n as u64);
+            let a = minmax_flat(&xs);
+            let b = minmax_hierarchical(&xs);
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn absmax_agrees_and_is_nonnegative() {
+        let xs = data(50_000, 2);
+        let a = absmax_flat(&xs);
+        let b = absmax_hierarchical(&xs);
+        assert_eq!(a, b);
+        assert!(a >= 0.0);
+        assert!(xs.iter().all(|&v| v.abs() <= a));
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(minmax_flat(&[]), MinMax::EMPTY);
+        assert_eq!(absmax_hierarchical(&[]), 0.0);
+        assert_eq!(sum_hierarchical(&[]), 0.0);
+        assert_eq!(mean_var(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn sum_matches_reference_closely() {
+        let xs = data(200_000, 3);
+        let flat = sum_flat(&xs);
+        let hier = sum_hierarchical(&xs);
+        assert!((flat - hier).abs() < 1e-6 * xs.len() as f64);
+    }
+
+    #[test]
+    fn l2_norm_of_unit_vectors() {
+        let mut xs = vec![0.0f32; 100];
+        xs[3] = 3.0;
+        xs[10] = 4.0;
+        assert!((l2_norm(&xs) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_var_of_standard_normal() {
+        let xs = data(300_000, 4);
+        let (m, v) = mean_var(&xs);
+        assert!(m.abs() < 0.01, "mean {m}");
+        assert!((v - 1.0).abs() < 0.02, "var {v}");
+    }
+
+    #[test]
+    fn count_below_threshold() {
+        let xs = vec![0.1f32, -0.2, 0.5, -0.04, 0.0];
+        assert_eq!(count_below(&xs, 0.15), 3); // 0.1, -0.04, 0.0
+        assert_eq!(count_below(&xs, 1.0), 5);
+        assert_eq!(count_below(&xs, 0.0), 0);
+    }
+
+    #[test]
+    fn abs_max_of_range() {
+        let mm = MinMax { min: -3.0, max: 2.0 };
+        assert_eq!(mm.abs_max(), 3.0);
+    }
+}

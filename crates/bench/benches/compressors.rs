@@ -54,5 +54,32 @@ fn bench_decompress(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compress, bench_decompress);
+/// The no-op recorder acceptance check: compressing 16 MiB through the
+/// recorded entry point with a disabled recorder must cost the same as
+/// the plain path (every record call is one `Option` branch).
+fn bench_noop_recorder_overhead(c: &mut Criterion) {
+    let elems = 4 << 20; // 16 MiB of f32
+    let data = generate(elems, 5, GradientProfile::kfac());
+    let compso = Compso::new(CompsoConfig::aggressive(4e-3));
+    let rec = compso_obs::Recorder::disabled();
+    let mut group = c.benchmark_group("noop-recorder-16MiB");
+    group.throughput(Throughput::Bytes((elems * 4) as u64));
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("plain"), &data, |b, data| {
+        let mut rng = Rng::new(6);
+        b.iter(|| compso.compress_layers(&[data], &mut rng));
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("recorded"), &data, |b, data| {
+        let mut rng = Rng::new(6);
+        b.iter(|| compso.compress_layers_recorded(&[data], &mut rng, &rec));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compress,
+    bench_decompress,
+    bench_noop_recorder_overhead
+);
 criterion_main!(benches);

@@ -10,7 +10,10 @@
 //!    Kronecker factors' all-reduce traffic.
 
 use compso_bench::proxy::{run, Method, Opt, ProxyConfig, Task};
-use compso_bench::{f, gbps, gpu_profile, header, measure_membw, measure_profile, row, spec_gradients, SAMPLE_BUDGET};
+use compso_bench::{
+    f, gbps, gpu_profile, header, measure_membw, measure_profile, row, spec_gradients,
+    SAMPLE_BUDGET,
+};
 use compso_core::factors::{compress_symmetric, decompress_symmetric};
 use compso_core::kernels::{compress_chunked, KernelConfig, LayerSchedule};
 use compso_core::synthetic::{generate, GradientProfile};
@@ -39,7 +42,11 @@ fn inversion_ablation() {
     use compso_kfac::kfac::InversionMethod;
     use compso_kfac::{Kfac, KfacConfig};
     println!("# Ablation 5 — factor inversion route (eigen vs implicit)\n");
-    header(&["route", "proxy accuracy", "refresh time for a 256-dim layer (ms)"]);
+    header(&[
+        "route",
+        "proxy accuracy",
+        "refresh time for a 256-dim layer (ms)",
+    ]);
     for (name, inversion) in [
         ("eigendecomposition (Eq. 2)", InversionMethod::Eigen),
         ("implicit Cholesky (KAISA)", InversionMethod::Implicit),
@@ -238,10 +245,7 @@ fn factor_compression_extension() {
     let back = decompress_symmetric(&bytes, &compso).unwrap();
     let full_bytes = factor.len() * 4;
     header(&["metric", "value"]);
-    row(&[
-        "dense factor bytes".into(),
-        full_bytes.to_string(),
-    ]);
+    row(&["dense factor bytes".into(), full_bytes.to_string()]);
     row(&["compressed bytes".into(), bytes.len().to_string()]);
     row(&[
         "ratio (incl. triangle-only win)".into(),

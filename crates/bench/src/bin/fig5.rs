@@ -29,7 +29,13 @@ fn main() {
         let data = generate(400_000, 11, profile);
         let mm = compso_tensor::reduce::minmax_flat(&data);
         let bin_width = (eb * (mm.max - mm.min)) as f64;
-        header(&["mode", "density over the mode's error support", "shape", "TV(uniform)", "TV(triangular)"]);
+        header(&[
+            "mode",
+            "density over the mode's error support",
+            "shape",
+            "TV(uniform)",
+            "TV(triangular)",
+        ]);
         for mode in [
             RoundingMode::Nearest,
             RoundingMode::Stochastic,

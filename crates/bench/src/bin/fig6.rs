@@ -25,7 +25,10 @@ fn methods(iters: usize, smooth: bool) -> Vec<(Opt, Method)> {
         (Opt::Kfac, Method::None),
         (Opt::Kfac, Method::Fixed(Box::new(Sz::new(4e-3)))),
         (Opt::Kfac, Method::Fixed(Box::new(Qsgd::bits8()))),
-        (Opt::Kfac, Method::FixedEf(Box::new(CocktailSgd::standard()))),
+        (
+            Opt::Kfac,
+            Method::FixedEf(Box::new(CocktailSgd::standard())),
+        ),
         (Opt::Kfac, Method::Adaptive(schedule)),
     ]
 }
@@ -48,7 +51,11 @@ fn main() {
     let tasks = [
         (Task::Blobs, "ResNet-50 proxy (blobs/MLP, StepLR)", false),
         (Task::Images, "Mask R-CNN proxy (images/CNN, StepLR)", false),
-        (Task::Tokens, "GPT-neo proxy (tokens/MLP-LM, SmoothLR)", true),
+        (
+            Task::Tokens,
+            "GPT-neo proxy (tokens/MLP-LM, SmoothLR)",
+            true,
+        ),
     ];
 
     for (task, title, smooth) in tasks {

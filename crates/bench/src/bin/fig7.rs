@@ -20,7 +20,10 @@ fn main() {
         ("cuSZ", Box::new(Sz::new(4e-3))),
         ("QSGD", Box::new(Qsgd::bits8())),
         ("CocktailSGD", Box::new(CocktailSgd::standard())),
-        ("COMPSO", Box::new(Compso::new(CompsoConfig::aggressive(4e-3)))),
+        (
+            "COMPSO",
+            Box::new(Compso::new(CompsoConfig::aggressive(4e-3))),
+        ),
     ];
 
     for platform in [Platform::platform1(), Platform::platform2()] {
@@ -29,7 +32,14 @@ fn main() {
         for spec in ModelSpec::all() {
             println!("### {}\n", spec.name);
             let layers = spec_gradients(&spec, SAMPLE_BUDGET, 100);
-            header(&["method", "measured CR", "8 GPUs", "16 GPUs", "32 GPUs", "64 GPUs"]);
+            header(&[
+                "method",
+                "measured CR",
+                "8 GPUs",
+                "16 GPUs",
+                "32 GPUs",
+                "64 GPUs",
+            ]);
             for (name, c) in &compressors {
                 let profile = measure_profile(c.as_ref(), &layers, 101);
                 // COMPSO aggregates layers (m = 4, the paper's fixed

@@ -9,7 +9,9 @@
 //! gains grow with GPU count; cuSZ/QSGD gains are smaller; some
 //! baseline configurations dip below 1.0x (compression that doesn't pay).
 
-use compso_bench::{f, gpu_profile, header, measure_membw, measure_profile, row, spec_gradients, SAMPLE_BUDGET};
+use compso_bench::{
+    f, gpu_profile, header, measure_membw, measure_profile, row, spec_gradients, SAMPLE_BUDGET,
+};
 use compso_core::baselines::{CocktailSgd, Qsgd, Sz};
 use compso_core::{Compressor, Compso, CompsoConfig};
 use compso_dnn::ModelSpec;

@@ -99,24 +99,26 @@ fn run_finetune(
             exact += 1;
         }
     }
-    (
-        acc * 100.0,
-        exact as f64 / holdout.len() as f64 * 100.0,
-    )
+    (acc * 100.0, exact as f64 / holdout.len() as f64 * 100.0)
 }
 
 fn main() {
     println!("# Table 1 — downstream fine-tune quality by compressor (SQuAD proxy)\n");
-    header(&["approach", "equivalent error control", "F1-proxy (%)", "ExactMatch-proxy (%)"]);
+    header(&[
+        "approach",
+        "equivalent error control",
+        "F1-proxy (%)",
+        "ExactMatch-proxy (%)",
+    ]);
 
     #[allow(clippy::type_complexity)]
-    let entries: Vec<(&str, &str, bool, Box<dyn Fn(usize) -> Option<Box<dyn Compressor>>>)> = vec![
-        (
-            "KFAC (No Comp.)",
-            "(n/a)",
-            false,
-            Box::new(|_| None),
-        ),
+    let entries: Vec<(
+        &str,
+        &str,
+        bool,
+        Box<dyn Fn(usize) -> Option<Box<dyn Compressor>>>,
+    )> = vec![
+        ("KFAC (No Comp.)", "(n/a)", false, Box::new(|_| None)),
         (
             "KFAC+cuSZ",
             "4E-3, relative to value range",
@@ -157,7 +159,12 @@ fn main() {
             f1s += f1;
             ems += em;
         }
-        row(&[name.into(), control.into(), f(f1s / 3.0, 2), f(ems / 3.0, 2)]);
+        row(&[
+            name.into(),
+            control.into(),
+            f(f1s / 3.0, 2),
+            f(ems / 3.0, 2),
+        ]);
     }
     println!(
         "\nPaper shape to verify: SR-based rows (QSGD/CocktailSGD/COMPSO)\n\

@@ -27,7 +27,11 @@ fn encoder_input(spec: &ModelSpec, seed: u64) -> Vec<u8> {
     let quantizer = Quantizer::relative(4e-3, RoundingMode::Stochastic);
     for layer in &layers {
         let mm = compso_tensor::reduce::minmax_flat(layer);
-        let range = if layer.is_empty() { 0.0 } else { mm.max - mm.min };
+        let range = if layer.is_empty() {
+            0.0
+        } else {
+            mm.max - mm.min
+        };
         if range <= 0.0 {
             continue;
         }

@@ -222,9 +222,7 @@ pub fn run(config: &ProxyConfig, method: &Method) -> ProxyRun {
             Method::None => None,
             Method::Fixed(_) | Method::FixedEf(_) => None, // borrowed below
             Method::Adaptive(sched) => Some(Box::new(Compso::new(
-                sched
-                    .strategy_at(step)
-                    .to_config(RoundingMode::Stochastic),
+                sched.strategy_at(step).to_config(RoundingMode::Stochastic),
             ))),
         };
         let active: Option<(&dyn Compressor, bool)> = match (method, &compressor) {

@@ -14,6 +14,7 @@
 //!   correctness role this substrate plays).
 
 use crate::group::{Communicator, Payload};
+use compso_obs::names;
 
 /// Splits `len` into `parts` contiguous block ranges, sizes differing by at
 /// most one (first `len % parts` blocks are one longer).
@@ -34,6 +35,7 @@ pub fn block_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
 /// Sum all-reduce: on return every rank's `data` holds the elementwise sum
 /// across ranks. Bandwidth-optimal ring (reduce-scatter + all-gather).
 pub fn allreduce_sum(comm: &mut Communicator, data: &mut [f32]) {
+    let _span = comm.recorder().span(names::COMM_ALLREDUCE);
     let p = comm.size();
     if p == 1 {
         return;
@@ -84,6 +86,7 @@ pub fn allreduce_mean(comm: &mut Communicator, data: &mut [f32]) {
 /// Ring reduce-scatter: each rank returns the fully reduced block for its
 /// own index (`block_ranges(data.len(), p)[rank]`).
 pub fn reduce_scatter_sum(comm: &mut Communicator, data: &[f32]) -> Vec<f32> {
+    let _span = comm.recorder().span(names::COMM_REDUCE_SCATTER);
     let p = comm.size();
     let ranges = block_ranges(data.len(), p);
     if p == 1 {
@@ -116,6 +119,7 @@ pub fn reduce_scatter_sum(comm: &mut Communicator, data: &[f32]) -> Vec<f32> {
 /// Fixed-size ring all-gather of f32 blocks. Every rank contributes
 /// `mine`; returns the concatenation ordered by rank.
 pub fn allgather(comm: &mut Communicator, mine: &[f32]) -> Vec<f32> {
+    let _span = comm.recorder().span(names::COMM_ALLGATHER);
     let p = comm.size();
     let n = mine.len();
     let mut out = vec![0.0f32; n * p];
@@ -144,6 +148,7 @@ pub fn allgather(comm: &mut Communicator, mine: &[f32]) -> Vec<f32> {
 /// K-FAC gradients travel over, since per-rank compressed sizes differ.
 /// Returns one buffer per rank, in rank order.
 pub fn allgather_var(comm: &mut Communicator, mine: Vec<u8>) -> Vec<Vec<u8>> {
+    let _span = comm.recorder().span(names::COMM_ALLGATHER_VAR);
     let p = comm.size();
     let r = comm.rank();
     let mut blocks: Vec<Option<Vec<u8>>> = (0..p).map(|_| None).collect();
@@ -181,6 +186,7 @@ pub fn compressed_allreduce_mean(
     data: &mut [f32],
     mut codec: impl FnMut(&[f32]) -> Vec<f32>,
 ) {
+    let _span = comm.recorder().span(names::COMM_COMPRESSED_ALLREDUCE);
     let p = comm.size();
     if p == 1 {
         return;
@@ -366,7 +372,11 @@ mod tests {
     #[test]
     fn allgather_var_empty_blocks_ok() {
         let results = run_ranks(3, |comm| {
-            let mine = if comm.rank() == 1 { vec![7u8] } else { Vec::new() };
+            let mine = if comm.rank() == 1 {
+                vec![7u8]
+            } else {
+                Vec::new()
+            };
             allgather_var(comm, mine)
         });
         for res in results {
@@ -401,9 +411,8 @@ mod tests {
     fn ring_allreduce_accumulates_compression_error_allgather_does_not() {
         // A crude lossy codec: quantize to a fixed grid.
         let grid = 0.02f32;
-        let lossy = move |c: &[f32]| -> Vec<f32> {
-            c.iter().map(|&v| (v / grid).round() * grid).collect()
-        };
+        let lossy =
+            move |c: &[f32]| -> Vec<f32> { c.iter().map(|&v| (v / grid).round() * grid).collect() };
         let n = 256usize;
 
         // Error on the reduced *sum* (the quantity the collective moves):
@@ -462,6 +471,31 @@ mod tests {
             ar8 > single_hop * 2.0,
             "p=8 all-reduce error {ar8} vs single hop {single_hop}"
         );
+    }
+
+    #[test]
+    fn recorder_times_collectives_and_counts_traffic() {
+        use compso_obs::{names, Recorder};
+        let rec = Recorder::enabled();
+        let rec_ref = &rec;
+        run_ranks(4, |comm| {
+            comm.set_recorder(rec_ref.clone());
+            let mut data = vec![comm.rank() as f32; 64];
+            allreduce_sum(comm, &mut data);
+            let gathered = allgather_var(comm, vec![0u8; 16 * (comm.rank() + 1)]);
+            assert_eq!(gathered.len(), 4);
+        });
+        let snap = rec.snapshot();
+        // One timed span per rank per collective.
+        assert_eq!(snap.timers[names::COMM_ALLREDUCE].count, 4);
+        assert_eq!(snap.timers[names::COMM_ALLGATHER_VAR].count, 4);
+        // Every send was counted and histogrammed.
+        let sent = snap.counter(names::COMM_BYTES_SENT);
+        assert!(sent > 0);
+        let hist = &snap.hists[names::COMM_MSG_BYTES];
+        assert_eq!(hist.sum, sent);
+        // allreduce: 4 ranks × 2(p-1)=6 sends; allgather_var: 4 ranks × 3.
+        assert_eq!(hist.count, 4 * 6 + 4 * 3);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! send-to-right). Channels are unbounded, so the collectives are
 //! deadlock-free for any interleaving of sends and receives.
 
+use compso_obs::{names, Recorder};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 
@@ -101,6 +102,7 @@ impl CommGroup {
                 rx: rx_row,
                 barrier: Arc::clone(&barrier),
                 sent_bytes: 0,
+                recorder: Recorder::disabled(),
             });
         }
         comms
@@ -115,6 +117,7 @@ pub struct Communicator {
     rx: Vec<Receiver<Payload>>,
     barrier: Arc<Barrier>,
     sent_bytes: u64,
+    recorder: Recorder,
 }
 
 impl Communicator {
@@ -128,10 +131,31 @@ impl Communicator {
         self.size
     }
 
+    /// Attaches an observability recorder: every subsequent [`send`]
+    /// counts wire bytes (`comm/bytes_sent`) and feeds the message-size
+    /// histogram (`comm/msg_bytes`), and the collectives in
+    /// [`crate::collectives`] time themselves against it. The default is
+    /// the no-op [`Recorder::disabled`].
+    ///
+    /// [`send`]: Communicator::send
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The recorder this communicator reports into.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
     /// Sends `payload` to `dst` (non-blocking; channels are unbounded).
     pub fn send(&mut self, dst: usize, payload: Payload) {
         assert!(dst < self.size, "dst {dst} out of range");
-        self.sent_bytes += payload.wire_bytes() as u64;
+        let bytes = payload.wire_bytes() as u64;
+        self.sent_bytes += bytes;
+        if self.recorder.is_enabled() {
+            self.recorder.add(names::COMM_BYTES_SENT, bytes);
+            self.recorder.observe(names::COMM_MSG_BYTES, bytes);
+        }
         self.tx[dst]
             .send(payload)
             .expect("peer rank hung up mid-collective");
@@ -198,8 +222,9 @@ pub fn build_group(size: usize) -> CommGroup {
     let mut tx: Vec<Vec<Sender<Payload>>> = (0..size).map(|_| Vec::with_capacity(size)).collect();
     let mut rx: Vec<Vec<Receiver<Payload>>> = (0..size).map(|_| Vec::with_capacity(size)).collect();
     // rx[dst][src]: build dst-major so each rank's receivers index by src.
-    let mut pending: Vec<Vec<Option<Receiver<Payload>>>> =
-        (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
+    let mut pending: Vec<Vec<Option<Receiver<Payload>>>> = (0..size)
+        .map(|_| (0..size).map(|_| None).collect())
+        .collect();
     for (src, tx_row) in tx.iter_mut().enumerate() {
         for pending_row in pending.iter_mut() {
             let (s, r) = unbounded();

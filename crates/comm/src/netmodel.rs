@@ -181,7 +181,11 @@ impl ThroughputTable {
             samples.push((size, spec.throughput(kind, gpus, size)));
             size *= 2.0;
         }
-        ThroughputTable { kind, gpus, samples }
+        ThroughputTable {
+            kind,
+            gpus,
+            samples,
+        }
     }
 
     /// The collective this table models.

@@ -51,8 +51,7 @@ impl CocktailSgd {
                 .collect()
         };
         mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
-        let k = ((mags.len() as f32 * self.density).ceil() as usize)
-            .clamp(1, mags.len());
+        let k = ((mags.len() as f32 * self.density).ceil() as usize).clamp(1, mags.len());
         mags[k - 1]
     }
 }

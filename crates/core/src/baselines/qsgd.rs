@@ -180,7 +180,10 @@ impl Compressor for Qsgd {
         let mut out = Vec::with_capacity(n);
         let inv = scale as f64 / s as f64;
         for _ in 0..n {
-            let level = br.gamma()?.checked_sub(1).ok_or(WireError::Invalid("level"))?;
+            let level = br
+                .gamma()?
+                .checked_sub(1)
+                .ok_or(WireError::Invalid("level"))?;
             if level > s {
                 return Err(CompressError::Corrupt("qsgd level out of range"));
             }

@@ -61,7 +61,11 @@ impl Compressor for Sz {
 
     fn compress(&self, data: &[f32], _rng: &mut Rng) -> Vec<u8> {
         let mm = compso_tensor::reduce::minmax_flat(data);
-        let range = if data.is_empty() { 0.0 } else { mm.max - mm.min };
+        let range = if data.is_empty() {
+            0.0
+        } else {
+            mm.max - mm.min
+        };
         let eb = (self.eb_rel * range).max(0.0);
 
         let mut codes: Vec<u16> = Vec::with_capacity(data.len());

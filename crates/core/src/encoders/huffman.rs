@@ -201,7 +201,11 @@ struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     fn new(bytes: &'a [u8]) -> Self {
-        BitReader { bytes, pos: 0, bit: 0 }
+        BitReader {
+            bytes,
+            pos: 0,
+            bit: 0,
+        }
     }
 
     fn next(&mut self) -> Result<u8, WireError> {
@@ -312,7 +316,11 @@ mod tests {
     fn single_symbol_stream() {
         let data = vec![42u8; 10_000];
         let enc = encode(&data);
-        assert!(enc.len() < 2000, "single-symbol should compress hugely: {}", enc.len());
+        assert!(
+            enc.len() < 2000,
+            "single-symbol should compress hugely: {}",
+            enc.len()
+        );
         assert_eq!(decode(&enc).unwrap(), data);
     }
 

@@ -223,7 +223,11 @@ mod tests {
         let data = vec![0u8; 100_000];
         let p = LzParams::fast();
         let enc = encode(&data, p);
-        assert!(enc.len() < 4000, "run-length-ish input should shrink: {}", enc.len());
+        assert!(
+            enc.len() < 4000,
+            "run-length-ish input should shrink: {}",
+            enc.len()
+        );
         assert_eq!(decode(&enc, p).unwrap(), data);
     }
 
@@ -239,7 +243,12 @@ mod tests {
         }
         let fast = encode(&data, LzParams::fast());
         let deep = encode(&data, LzParams::gdeflate());
-        assert!(deep.len() <= fast.len() + 64, "deep {} fast {}", deep.len(), fast.len());
+        assert!(
+            deep.len() <= fast.len() + 64,
+            "deep {} fast {}",
+            deep.len(),
+            fast.len()
+        );
         assert_eq!(decode(&deep, LzParams::gdeflate()).unwrap(), data);
     }
 

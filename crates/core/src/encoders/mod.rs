@@ -133,10 +133,7 @@ impl Codec {
     pub fn encode_blocks(self, input: &[u8], block: usize) -> Vec<u8> {
         use rayon::prelude::*;
         assert!(block > 0, "block size must be positive");
-        let encoded: Vec<Vec<u8>> = input
-            .par_chunks(block)
-            .map(|c| self.encode(c))
-            .collect();
+        let encoded: Vec<Vec<u8>> = input.par_chunks(block).map(|c| self.encode(c)).collect();
         let mut w = crate::wire::Writer::with_capacity(input.len() / 2 + 32);
         w.u8(self.tag());
         w.u64(input.len() as u64);

@@ -212,12 +212,23 @@ mod tests {
     fn compresses_skewed_better_than_uniform() {
         let mut rng = Rng::new(1);
         let skewed: Vec<u8> = (0..40_000)
-            .map(|_| if rng.uniform_f64() < 0.85 { 0 } else { rng.next_u32() as u8 % 8 })
+            .map(|_| {
+                if rng.uniform_f64() < 0.85 {
+                    0
+                } else {
+                    rng.next_u32() as u8 % 8
+                }
+            })
             .collect();
         let uniform: Vec<u8> = (0..40_000).map(|_| rng.next_u32() as u8).collect();
         let es = encode(&skewed);
         let eu = encode(&uniform);
-        assert!(es.len() * 2 < eu.len(), "skewed {} uniform {}", es.len(), eu.len());
+        assert!(
+            es.len() * 2 < eu.len(),
+            "skewed {} uniform {}",
+            es.len(),
+            eu.len()
+        );
         assert_eq!(decode(&es).unwrap(), skewed);
         assert_eq!(decode(&eu).unwrap(), uniform);
     }
@@ -227,9 +238,7 @@ mod tests {
         // H(p=0.9/0.1 over 2 symbols) ≈ 0.469 bits/symbol.
         let mut rng = Rng::new(2);
         let n = 200_000;
-        let data: Vec<u8> = (0..n)
-            .map(|_| u8::from(rng.uniform_f64() < 0.1))
-            .collect();
+        let data: Vec<u8> = (0..n).map(|_| u8::from(rng.uniform_f64() < 0.1)).collect();
         let enc = encode(&data);
         let bits_per_symbol = enc.len() as f64 * 8.0 / n as f64;
         assert!(bits_per_symbol < 0.55, "bits/sym {bits_per_symbol}");

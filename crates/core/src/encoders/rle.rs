@@ -103,7 +103,11 @@ mod tests {
     fn arithmetic_ramp_collapses() {
         let data: Vec<u8> = (0..50_000u32).map(|i| (i % 256) as u8).collect();
         let enc = encode(&data);
-        assert!(enc.len() < 60, "ramps are a single delta run: {}", enc.len());
+        assert!(
+            enc.len() < 60,
+            "ramps are a single delta run: {}",
+            enc.len()
+        );
         assert_eq!(decode(&enc).unwrap(), data);
     }
 
@@ -127,7 +131,13 @@ mod tests {
         // Typical post-filter codes: mostly zeros with occasional values.
         let mut rng = Rng::new(2);
         let data: Vec<u8> = (0..50_000)
-            .map(|_| if rng.uniform_f64() < 0.9 { 0 } else { rng.next_u32() as u8 })
+            .map(|_| {
+                if rng.uniform_f64() < 0.9 {
+                    0
+                } else {
+                    rng.next_u32() as u8
+                }
+            })
             .collect();
         // Each isolated nonzero costs ~2 tokens (enter + leave delta), so
         // 10% density lands around 0.6x — better than raw, far worse than

@@ -240,7 +240,11 @@ pub fn compress_chunked(
             .map(|c| {
                 let slice = &layers[c.layer][c.offset..c.offset + c.len];
                 let range = ranges[c.layer];
-                let span = if slice.is_empty() { 0.0 } else { range.max - range.min };
+                let span = if slice.is_empty() {
+                    0.0
+                } else {
+                    range.max - range.min
+                };
                 let threshold = match cfg.eb_filter {
                     Some(ebf) if span > 0.0 => ebf * span,
                     _ => 0.0,
@@ -343,8 +347,7 @@ pub fn decompress_chunked(bytes: &[u8]) -> Result<Vec<Vec<f32>>, CompressError> 
     if r.u8()? != crate::pipeline::VERSION {
         return Err(WireError::Invalid("version").into());
     }
-    let codec = crate::encoders::Codec::from_tag(r.u8()?)
-        .ok_or(WireError::Invalid("codec tag"))?;
+    let codec = crate::encoders::Codec::from_tag(r.u8()?).ok_or(WireError::Invalid("codec tag"))?;
     let _ = codec; // per-frame codec tags live inside the block frames
     let _flags = r.u8()?;
     let n_layers = r.u32()? as usize;
@@ -353,11 +356,9 @@ pub fn decompress_chunked(bytes: &[u8]) -> Result<Vec<Vec<f32>>, CompressError> 
     }
     let mut layer_sizes = Vec::with_capacity(n_layers);
     for _ in 0..n_layers {
-        layer_sizes
-            .push(crate::wire::checked_count(r.u64()?)?);
+        layer_sizes.push(crate::wire::checked_count(r.u64()?)?);
     }
-    let chunk_elems =
-        crate::wire::checked_count(r.u64()?)?;
+    let chunk_elems = crate::wire::checked_count(r.u64()?)?;
     if chunk_elems == 0 {
         return Err(WireError::Invalid("chunk size").into());
     }
@@ -427,7 +428,7 @@ mod tests {
         }
         assert_eq!(per_layer, vec![100, 0, 250]);
         // Chunks are contiguous per layer.
-        let mut expected_offset = vec![0usize; 3];
+        let mut expected_offset = [0usize; 3];
         for c in s.chunks() {
             assert_eq!(c.offset, expected_offset[c.layer]);
             expected_offset[c.layer] += c.len;
@@ -451,7 +452,11 @@ mod tests {
         for (orig, dec) in layers.iter().zip(&back) {
             assert_eq!(orig.len(), dec.len());
             let mm = minmax_flat(orig);
-            let range = if orig.is_empty() { 0.0 } else { mm.max - mm.min };
+            let range = if orig.is_empty() {
+                0.0
+            } else {
+                mm.max - mm.min
+            };
             for (&x, &y) in orig.iter().zip(dec) {
                 if y == 0.0 {
                     assert!(x.abs() <= 4e-3 * range * 1.001 + 1e-7);
@@ -551,7 +556,11 @@ mod tests {
         let back = decompress_chunked(&bytes).unwrap();
         for (orig, dec) in layers.iter().zip(&back) {
             let mm = minmax_flat(orig);
-            let range = if orig.is_empty() { 0.0 } else { mm.max - mm.min };
+            let range = if orig.is_empty() {
+                0.0
+            } else {
+                mm.max - mm.min
+            };
             for (&x, &y) in orig.iter().zip(dec) {
                 assert!((x - y).abs() <= 2e-3 * range * 1.01 + 1e-7);
             }
@@ -615,7 +624,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "schedule does not match")]
     fn mismatched_schedule_panics() {
-        let layers = vec![vec![0.0f32; 10]];
+        let layers = [vec![0.0f32; 10]];
         let refs: Vec<&[f32]> = layers.iter().map(|l| l.as_slice()).collect();
         let schedule = LayerSchedule::build(&[20], 8);
         let rng = Rng::new(13);

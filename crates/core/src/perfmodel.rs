@@ -46,7 +46,8 @@ impl OnlineProfiler {
 
     /// Records one compression event.
     pub fn record(&mut self, orig_bytes: u64, comp_bytes: u64, comp_secs: f64, decomp_secs: f64) {
-        self.samples.push((orig_bytes, comp_bytes, comp_secs, decomp_secs));
+        self.samples
+            .push((orig_bytes, comp_bytes, comp_secs, decomp_secs));
     }
 
     /// Number of recorded events.
@@ -74,7 +75,11 @@ impl OnlineProfiler {
             dt += ds;
         }
         Some(CompressorProfile {
-            ratio: if comp > 0.0 { orig / comp } else { f64::INFINITY },
+            ratio: if comp > 0.0 {
+                orig / comp
+            } else {
+                f64::INFINITY
+            },
             compress_tput: if ct > 0.0 { orig / ct } else { f64::INFINITY },
             decompress_tput: if dt > 0.0 { comp / dt } else { f64::INFINITY },
         })
@@ -318,14 +323,13 @@ mod tests {
 
     #[test]
     fn encoder_selection_picks_a_sane_codec_on_gradient_codes() {
-        use crate::synthetic::{generate, GradientProfile};
         use crate::quantize::Quantizer;
         use crate::rounding::RoundingMode;
+        use crate::synthetic::{generate, GradientProfile};
         use compso_tensor::rng::Rng;
         let grads = generate(200_000, 1, GradientProfile::kfac());
         let mut rng = Rng::new(2);
-        let quant =
-            Quantizer::relative(4e-3, RoundingMode::Stochastic).quantize(&grads, &mut rng);
+        let quant = Quantizer::relative(4e-3, RoundingMode::Stochastic).quantize(&grads, &mut rng);
         let bytes: Vec<u8> = quant.codes.iter().map(|&c| (c & 0xFF) as u8).collect();
         let ms = measure_encoders(&bytes);
         assert_eq!(ms.len(), 8);

@@ -15,6 +15,7 @@ use crate::quantize::{Quantized, Quantizer};
 use crate::rounding::RoundingMode;
 use crate::traits::{CompressError, Compressor};
 use crate::wire::{Reader, WireError, Writer};
+use compso_obs::{names, Recorder};
 use compso_tensor::rng::Rng;
 
 /// Magic byte opening every COMPSO stream.
@@ -97,16 +98,30 @@ impl Compso {
     /// The bitmap and code streams stay *unencoded* here; the caller
     /// aggregates across layers before invoking the lossless codec, which
     /// is exactly the layer-aggregation mechanism of §4.4.
-    fn encode_layer(&self, data: &[f32], rng: &mut Rng, bitmaps: &mut Vec<u8>, codes: &mut Writer) {
+    fn encode_layer(
+        &self,
+        data: &[f32],
+        rng: &mut Rng,
+        bitmaps: &mut Vec<u8>,
+        codes: &mut Writer,
+        rec: &Recorder,
+    ) {
         let mm = compso_tensor::reduce::minmax_flat(data);
-        let range = if data.is_empty() { 0.0 } else { mm.max - mm.min };
+        let range = if data.is_empty() {
+            0.0
+        } else {
+            mm.max - mm.min
+        };
 
-        let (kept, bitmap) = match self.config.eb_filter {
-            Some(ebf) if range > 0.0 => {
-                let f = filter(data, ebf * range);
-                (f.kept, Some(f.bitmap))
+        let (kept, bitmap) = {
+            let _span = rec.span(names::CORE_FILTER);
+            match self.config.eb_filter {
+                Some(ebf) if range > 0.0 => {
+                    let f = filter(data, ebf * range);
+                    (f.kept, Some(f.bitmap))
+                }
+                _ => (data.to_vec(), None),
             }
-            _ => (data.to_vec(), None),
         };
 
         codes.u64(data.len() as u64);
@@ -117,16 +132,14 @@ impl Compso {
             }
             None => codes.u8(0),
         }
+        let _span = rec.span(names::CORE_QUANTIZE);
         let quantizer = Quantizer::relative(self.config.eb_quant, self.config.mode);
         let quant = quantizer.quantize(&kept, rng);
         quant.write(codes);
     }
 
     /// Deserializes one layer written by [`Compso::encode_layer`].
-    fn decode_layer(
-        codes: &mut Reader,
-        bitmaps: &mut Reader,
-    ) -> Result<Vec<f32>, CompressError> {
+    fn decode_layer(codes: &mut Reader, bitmaps: &mut Reader) -> Result<Vec<f32>, CompressError> {
         let n = usize::try_from(codes.u64()?).map_err(|_| WireError::Invalid("layer length"))?;
         let has_bitmap = match codes.u8()? {
             0 => false,
@@ -162,31 +175,67 @@ impl Compso {
     /// normalization range; the bitmap and code streams are concatenated
     /// across layers before the single lossless-encoder invocation.
     pub fn compress_layers(&self, layers: &[&[f32]], rng: &mut Rng) -> Vec<u8> {
+        self.compress_layers_recorded(layers, rng, &Recorder::disabled())
+    }
+
+    /// [`Compso::compress_layers`] with phase timings and traffic counters
+    /// recorded into `rec`: spans `core/filter`, `core/quantize`,
+    /// `core/encode`; counters `core/bytes_in` (uncompressed f32 bytes)
+    /// and `core/bytes_out` (wire bytes), whose running quotient is the
+    /// live compression ratio.
+    pub fn compress_layers_recorded(
+        &self,
+        layers: &[&[f32]],
+        rng: &mut Rng,
+        rec: &Recorder,
+    ) -> Vec<u8> {
         let mut bitmaps: Vec<u8> = Vec::new();
         let mut codes = Writer::new();
         for layer in layers {
-            self.encode_layer(layer, rng, &mut bitmaps, &mut codes);
+            self.encode_layer(layer, rng, &mut bitmaps, &mut codes, rec);
         }
-        let enc_bitmaps = self.config.codec.encode(&bitmaps);
-        let enc_codes = self.config.codec.encode(&codes.into_bytes());
+        let out = {
+            let _span = rec.span(names::CORE_ENCODE);
+            let enc_bitmaps = self.config.codec.encode(&bitmaps);
+            let enc_codes = self.config.codec.encode(&codes.into_bytes());
 
-        let mut w = Writer::with_capacity(enc_bitmaps.len() + enc_codes.len() + 32);
-        w.u8(MAGIC);
-        w.u8(VERSION);
-        w.u8(self.config.codec.tag());
-        w.u8(if self.config.eb_filter.is_some() {
-            FLAG_FILTER
-        } else {
-            0
-        });
-        w.u32(layers.len() as u32);
-        w.block(&enc_bitmaps);
-        w.block(&enc_codes);
-        w.into_bytes()
+            let mut w = Writer::with_capacity(enc_bitmaps.len() + enc_codes.len() + 32);
+            w.u8(MAGIC);
+            w.u8(VERSION);
+            w.u8(self.config.codec.tag());
+            w.u8(if self.config.eb_filter.is_some() {
+                FLAG_FILTER
+            } else {
+                0
+            });
+            w.u32(layers.len() as u32);
+            w.block(&enc_bitmaps);
+            w.block(&enc_codes);
+            w.into_bytes()
+        };
+        if rec.is_enabled() {
+            let n: usize = layers.iter().map(|l| l.len()).sum();
+            rec.add(names::CORE_BYTES_IN, (n * 4) as u64);
+            rec.add(names::CORE_BYTES_OUT, out.len() as u64);
+        }
+        out
     }
 
     /// Inverse of [`Compso::compress_layers`].
     pub fn decompress_layers(&self, bytes: &[u8]) -> Result<Vec<Vec<f32>>, CompressError> {
+        self.decompress_layers_recorded(bytes, &Recorder::disabled())
+    }
+
+    /// [`Compso::decompress_layers`] with the whole decode path timed
+    /// under the `core/decode` span and incoming wire bytes counted in
+    /// `core/decode_bytes_in`.
+    pub fn decompress_layers_recorded(
+        &self,
+        bytes: &[u8],
+        rec: &Recorder,
+    ) -> Result<Vec<Vec<f32>>, CompressError> {
+        let _span = rec.span(names::CORE_DECODE);
+        rec.add(names::CORE_DECODE_BYTES_IN, bytes.len() as u64);
         let mut r = Reader::new(bytes);
         if r.u8()? != MAGIC {
             return Err(WireError::Invalid("magic byte").into());
@@ -194,8 +243,7 @@ impl Compso {
         if r.u8()? != VERSION {
             return Err(WireError::Invalid("version").into());
         }
-        let codec =
-            Codec::from_tag(r.u8()?).ok_or(WireError::Invalid("codec tag"))?;
+        let codec = Codec::from_tag(r.u8()?).ok_or(WireError::Invalid("codec tag"))?;
         let _flags = r.u8()?;
         let n_layers = r.u32()? as usize;
         let bitmaps = codec.decode(r.block()?)?;
@@ -220,7 +268,15 @@ impl Compressor for Compso {
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Vec<f32>, CompressError> {
-        let mut layers = self.decompress_layers(bytes)?;
+        self.decompress_recorded(bytes, &Recorder::disabled())
+    }
+
+    fn compress_recorded(&self, data: &[f32], rng: &mut Rng, rec: &Recorder) -> Vec<u8> {
+        self.compress_layers_recorded(&[data], rng, rec)
+    }
+
+    fn decompress_recorded(&self, bytes: &[u8], rec: &Recorder) -> Result<Vec<f32>, CompressError> {
+        let mut layers = self.decompress_layers_recorded(bytes, rec)?;
         if layers.len() != 1 {
             return Err(CompressError::Corrupt("expected a single layer"));
         }
@@ -264,7 +320,10 @@ mod tests {
                 assert!(x.abs() <= eb * range * 1.001, "i={i} x={x}");
             } else {
                 // Quantized: within the quantizer bound of the kept range.
-                assert!((x - y).abs() <= eb * range * 1.01 + 1e-7, "i={i} {x} vs {y}");
+                assert!(
+                    (x - y).abs() <= eb * range * 1.01 + 1e-7,
+                    "i={i} {x} vs {y}"
+                );
             }
         }
     }
@@ -274,7 +333,9 @@ mod tests {
         let data = gradient_like(10_000, 3, 0.1);
         let compso = Compso::new(CompsoConfig::conservative(4e-3));
         let mut rng = Rng::new(4);
-        let back = compso.decompress(&compso.compress(&data, &mut rng)).unwrap();
+        let back = compso
+            .decompress(&compso.compress(&data, &mut rng))
+            .unwrap();
         // No filter: every element reconstructs within the quantizer bound.
         let mm = compso_tensor::reduce::minmax_flat(&data);
         let range = mm.max - mm.min;
@@ -357,7 +418,9 @@ mod tests {
         // On large layers with shifted per-layer code distributions, the
         // shared entropy table can cost some ratio; that cost must stay
         // modest (the latency/throughput win is what aggregation buys).
-        let layers: Vec<Vec<f32>> = (0..8).map(|i| gradient_like(20_000, 20 + i, 0.01)).collect();
+        let layers: Vec<Vec<f32>> = (0..8)
+            .map(|i| gradient_like(20_000, 20 + i, 0.01))
+            .collect();
         let refs: Vec<&[f32]> = layers.iter().map(|l| l.as_slice()).collect();
         let compso = Compso::new(CompsoConfig::aggressive(4e-3));
         let mut rng = Rng::new(30);
@@ -426,6 +489,54 @@ mod tests {
         let loose = Compso::new(CompsoConfig::aggressive(1e-1)).ratio(&data, &mut rng);
         let tight = Compso::new(CompsoConfig::aggressive(4e-3)).ratio(&data, &mut rng);
         assert!(loose > tight, "loose {loose} tight {tight}");
+    }
+
+    #[test]
+    fn recorded_compression_tracks_phases_and_traffic() {
+        let data = gradient_like(30_000, 70, 0.01);
+        let compso = Compso::new(CompsoConfig::aggressive(4e-3));
+        let mut rng = Rng::new(71);
+        let rec = compso_obs::Recorder::enabled();
+        let bytes = compso.compress_layers_recorded(&[&data], &mut rng, &rec);
+        let back = compso.decompress_layers_recorded(&bytes, &rec).unwrap();
+        assert_eq!(back[0].len(), data.len());
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.counter(compso_obs::names::CORE_BYTES_IN),
+            (data.len() * 4) as u64
+        );
+        assert_eq!(
+            snap.counter(compso_obs::names::CORE_BYTES_OUT),
+            bytes.len() as u64
+        );
+        assert_eq!(
+            snap.counter(compso_obs::names::CORE_DECODE_BYTES_IN),
+            bytes.len() as u64
+        );
+        for name in [
+            compso_obs::names::CORE_FILTER,
+            compso_obs::names::CORE_QUANTIZE,
+            compso_obs::names::CORE_ENCODE,
+            compso_obs::names::CORE_DECODE,
+        ] {
+            assert!(snap.timers[name].count > 0, "{name} never timed");
+        }
+        // The recorded and plain paths produce identical bytes.
+        let mut rng2 = Rng::new(71);
+        assert_eq!(bytes, compso.compress_layers(&[&data], &mut rng2));
+    }
+
+    #[test]
+    fn disabled_recorder_leaves_output_unchanged() {
+        let data = gradient_like(5000, 80, 0.01);
+        let compso = Compso::default();
+        let rec = compso_obs::Recorder::disabled();
+        let mut rng = Rng::new(81);
+        let a = compso.compress_layers_recorded(&[&data], &mut rng, &rec);
+        let mut rng = Rng::new(81);
+        let b = compso.compress_layers(&[&data], &mut rng);
+        assert_eq!(a, b);
+        assert!(rec.snapshot().counters.is_empty());
     }
 
     proptest! {

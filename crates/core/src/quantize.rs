@@ -59,7 +59,10 @@ pub struct Quantized {
 impl Quantizer {
     /// Creates a quantizer with a range-relative bound.
     pub fn relative(eb: f32, mode: RoundingMode) -> Self {
-        assert!(eb > 0.0 && eb < 1.0, "relative error bound {eb} out of (0,1)");
+        assert!(
+            eb > 0.0 && eb < 1.0,
+            "relative error bound {eb} out of (0,1)"
+        );
         Quantizer {
             bound: ErrorBound::Relative(eb),
             mode,
@@ -163,8 +166,7 @@ impl Quantized {
         let lo = r.f32()?;
         let bin_width = r.f32()?;
         let n_bins = r.u32()?;
-        let count =
-            crate::wire::checked_count(r.u64()?)?;
+        let count = crate::wire::checked_count(r.u64()?)?;
         if !lo.is_finite() || !bin_width.is_finite() || bin_width < 0.0 {
             return Err(WireError::Invalid("quantized header"));
         }

@@ -183,8 +183,7 @@ mod tests {
         let mm = reduce::minmax_flat(&data);
         let range = mm.max - mm.min;
         let is_shoulder: Vec<bool> = data.iter().map(|v| v.abs() > 4e-3 * range).collect();
-        let shoulder_frac =
-            is_shoulder.iter().filter(|&&s| s).count() as f64 / data.len() as f64;
+        let shoulder_frac = is_shoulder.iter().filter(|&&s| s).count() as f64 / data.len() as f64;
         // P(next is shoulder | current is shoulder) should exceed the
         // unconditional shoulder probability by a wide margin.
         let pairs = is_shoulder.windows(2).filter(|w| w[0]).count();
@@ -206,7 +205,12 @@ mod tests {
             let range = mm.max - mm.min;
             reduce::count_below(data, 4e-3 * range) as f64 / data.len() as f64
         };
-        assert!(frac(&tr) > frac(&cnn), "tr {} cnn {}", frac(&tr), frac(&cnn));
+        assert!(
+            frac(&tr) > frac(&cnn),
+            "tr {} cnn {}",
+            frac(&tr),
+            frac(&cnn)
+        );
     }
 
     #[test]

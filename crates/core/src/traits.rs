@@ -6,6 +6,7 @@
 //! over the method under test.
 
 use crate::wire::{Reader, WireError, Writer};
+use compso_obs::Recorder;
 use compso_tensor::rng::Rng;
 
 /// Error produced by decompression.
@@ -48,6 +49,21 @@ pub trait Compressor: Send + Sync {
 
     /// Reconstructs the (lossy) gradient buffer.
     fn decompress(&self, bytes: &[u8]) -> Result<Vec<f32>, CompressError>;
+
+    /// [`Compressor::compress`] with phase timings / traffic counters
+    /// recorded into `rec`. The default implementation ignores the
+    /// recorder; instrumented compressors (COMPSO) override it.
+    fn compress_recorded(&self, data: &[f32], rng: &mut Rng, rec: &Recorder) -> Vec<u8> {
+        let _ = rec;
+        self.compress(data, rng)
+    }
+
+    /// [`Compressor::decompress`] with decode timing recorded into `rec`.
+    /// The default implementation ignores the recorder.
+    fn decompress_recorded(&self, bytes: &[u8], rec: &Recorder) -> Result<Vec<f32>, CompressError> {
+        let _ = rec;
+        self.decompress(bytes)
+    }
 
     /// Compression ratio achieved on `data` (original bytes / compressed
     /// bytes); convenience for the ratio experiments.

@@ -106,9 +106,9 @@ impl Layer for SelfAttention {
             let dy = Matrix::from_vec(self.tokens, self.dim, grad_out.row(b).to_vec());
             // Y = A X: direct path.
             let mut dx = a.t_matmul(&dy); // Aᵀ dY
-            // Through A = softmax(S), S = X Xᵀ · scale.
+                                          // Through A = softmax(S), S = X Xᵀ · scale.
             let da = dy.matmul_t(xb); // dY Xᵀ, T x T
-            // Row-wise softmax backward: dS_ij = A_ij (dA_ij − Σ_k A_ik dA_ik).
+                                      // Row-wise softmax backward: dS_ij = A_ij (dA_ij − Σ_k A_ik dA_ik).
             let mut ds = Matrix::zeros(self.tokens, self.tokens);
             for i in 0..self.tokens {
                 let dot: f32 = a
@@ -211,10 +211,10 @@ mod tests {
     fn transformer_block_learns_tokens() {
         // Linear -> attention -> Linear beats chance on the token task,
         // with all parameters in K-FAC-eligible Linear layers.
+        use crate::data;
         use crate::layer::{Linear, Tanh};
         use crate::loss::{accuracy, softmax_cross_entropy};
         use crate::seq::Sequential;
-        use crate::data;
         let vocab = 10;
         let context = 3;
         let dim = 16;

@@ -104,8 +104,8 @@ impl Conv2d {
                                 && ix >= 0
                                 && (ix as usize) < s.in_w
                             {
-                                out_row[col] =
-                                    sample[c * s.in_h * s.in_w + iy as usize * s.in_w + ix as usize];
+                                out_row[col] = sample
+                                    [c * s.in_h * s.in_w + iy as usize * s.in_w + ix as usize];
                             }
                             col += 1;
                         }
@@ -219,8 +219,7 @@ impl Layer for Conv2d {
         for b in 0..batch {
             let mut g_b = Matrix::zeros(positions, s.out_c);
             for pos in 0..positions {
-                g_b.row_mut(pos)
-                    .copy_from_slice(g.row(b * positions + pos));
+                g_b.row_mut(pos).copy_from_slice(g.row(b * positions + pos));
             }
             let dpatch_full = g_b.matmul_t(&self.weight); // positions × (patch+1)
             let mut dpatch = Matrix::zeros(positions, s.patch());

@@ -41,7 +41,11 @@ impl Dataset {
         assert!(idx < count, "shard {idx} of {count}");
         let per = self.len() / count;
         let start = idx * per;
-        let end = if idx == count - 1 { self.len() } else { start + per };
+        let end = if idx == count - 1 {
+            self.len()
+        } else {
+            start + per
+        };
         let mut x = Matrix::zeros(end - start, self.features());
         for (r, src) in (start..end).enumerate() {
             x.row_mut(r).copy_from_slice(self.x.row(src));
@@ -159,7 +163,9 @@ pub fn token_sequences(n: usize, vocab: usize, context: usize, seed: u64) -> Dat
         .collect();
     let mut x = Matrix::zeros(n, vocab * context);
     let mut y = Vec::with_capacity(n);
-    let mut window: Vec<usize> = (0..context).map(|_| rng.below(vocab as u64) as usize).collect();
+    let mut window: Vec<usize> = (0..context)
+        .map(|_| rng.below(vocab as u64) as usize)
+        .collect();
     for i in 0..n {
         // Emit the current window as one-hot features.
         let row = x.row_mut(i);
@@ -226,8 +232,8 @@ mod tests {
         let mut counts = [0usize; 3];
         for i in 0..d.len() {
             counts[d.y[i]] += 1;
-            for c in 0..8 {
-                centers[d.y[i]][c] += d.x.get(i, c);
+            for (c, v) in centers[d.y[i]].iter_mut().enumerate() {
+                *v += d.x.get(i, c);
             }
         }
         for (c, center) in centers.iter_mut().enumerate() {
@@ -279,8 +285,8 @@ mod tests {
         let mut counts = [0usize; 2];
         for i in 0..d.len() {
             counts[d.y[i]] += 1;
-            for c in 0..2 {
-                means[d.y[i]][c] += d.x.get(i, c);
+            for (c, v) in means[d.y[i]].iter_mut().enumerate() {
+                *v += d.x.get(i, c);
             }
         }
         for (c, m) in means.iter_mut().enumerate() {
@@ -300,9 +306,7 @@ mod tests {
         // Each row is a valid one-hot stack.
         for i in 0..20 {
             for pos in 0..3 {
-                let ones = (0..16)
-                    .filter(|&t| d.x.get(i, pos * 16 + t) == 1.0)
-                    .count();
+                let ones = (0..16).filter(|&t| d.x.get(i, pos * 16 + t) == 1.0).count();
                 assert_eq!(ones, 1, "row {i} pos {pos}");
             }
         }

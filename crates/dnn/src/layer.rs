@@ -540,7 +540,12 @@ mod tests {
         let y = ln.forward(&x, false);
         for r in 0..3 {
             let mean: f32 = y.row(r).iter().sum::<f32>() / 8.0;
-            let var: f32 = y.row(r).iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            let var: f32 = y
+                .row(r)
+                .iter()
+                .map(|&v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 8.0;
             assert!(mean.abs() < 1e-4, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }

@@ -91,12 +91,7 @@ pub fn mlp_lm(vocab: usize, context: usize, hidden: usize, rng: &mut Rng) -> Seq
 /// `context × dim` token features, a self-attention mixing layer,
 /// LayerNorm + tanh, and a vocab head. Every parameter lives in a
 /// K-FAC-eligible Linear, matching how the BERT/GPT specs count layers.
-pub fn tiny_transformer_lm(
-    vocab: usize,
-    context: usize,
-    dim: usize,
-    rng: &mut Rng,
-) -> Sequential {
+pub fn tiny_transformer_lm(vocab: usize, context: usize, dim: usize, rng: &mut Rng) -> Sequential {
     use crate::attention::SelfAttention;
     Sequential::new()
         .push(Linear::new(vocab * context, context * dim, rng))

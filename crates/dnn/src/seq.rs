@@ -97,7 +97,10 @@ impl Sequential {
     pub fn update_params(&mut self, mut f: impl FnMut(&mut Matrix, &Matrix)) {
         for layer in &mut self.layers {
             if layer.params().is_some() {
-                let grads = layer.grads().expect("trainable layer without grads").clone();
+                let grads = layer
+                    .grads()
+                    .expect("trainable layer without grads")
+                    .clone();
                 let params = layer.params_mut().unwrap();
                 f(params, &grads);
             }

@@ -98,7 +98,10 @@ impl ModelSpec {
 
     /// Per-layer gradient sizes in bytes, execution order.
     pub fn layer_grad_bytes(&self) -> Vec<u64> {
-        self.layers.iter().map(|l| l.grad_elems() as u64 * 4).collect()
+        self.layers
+            .iter()
+            .map(|l| l.grad_elems() as u64 * 4)
+            .collect()
     }
 
     /// Total eigendecomposition FLOPs across layers.
@@ -279,7 +282,10 @@ mod tests {
         let spec = ModelSpec::gpt_neo_125m();
         let params = spec.total_grad_elems();
         // Blocks only (no embedding): ≈ 12 * 7.1M ≈ 85M.
-        assert!((70_000_000..100_000_000).contains(&params), "params {params}");
+        assert!(
+            (70_000_000..100_000_000).contains(&params),
+            "params {params}"
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@ use compso_comm::collectives::{allgather_var, allreduce_mean};
 use compso_comm::Communicator;
 use compso_core::{Compressor, NoCompression};
 use compso_dnn::Sequential;
+use compso_obs::{names, Recorder};
 use compso_tensor::{Matrix, Rng};
 
 /// Distributed K-FAC configuration.
@@ -91,6 +92,9 @@ pub struct DistKfac {
     owners: Option<Vec<usize>>,
     /// RNG for stochastic compression.
     rng: Rng,
+    /// Observability sink for the step's sub-phases (Fig. 1 taxonomy);
+    /// disabled (no-op) by default.
+    recorder: Recorder,
 }
 
 impl DistKfac {
@@ -102,7 +106,17 @@ impl DistKfac {
             config,
             owners: None,
             rng: Rng::new(seed ^ 0xFACADE),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches an observability recorder. Each subsequent [`DistKfac::step`]
+    /// records the `kfac/step` wall time and its sub-phases
+    /// (`kfac/step/{grad_sync,factor,inverse,allgather,update}`), and the
+    /// compressor's per-phase timers / traffic counters flow into the same
+    /// registry via [`Compressor::compress_recorded`].
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// One distributed optimization step after a local forward/backward.
@@ -116,26 +130,33 @@ impl DistKfac {
         model: &mut Sequential,
         compressor: &dyn Compressor,
     ) -> StepStats {
+        let _step_span = self.recorder.span(names::KFAC_STEP);
         let mut stats = StepStats::default();
         let trainable = model.trainable_indices();
         let kfac_layers = model.kfac_indices();
 
         // (2) Data-parallel gradient sync for every trainable layer.
-        for &idx in &trainable {
-            let mut grad = model.layer(idx).grads().expect("missing grad").clone();
-            stats.allreduce_bytes += grad.len() as u64 * 4;
-            allreduce_mean(comm, grad.as_mut_slice());
-            model.layer_mut(idx).set_grads(grad);
+        {
+            let _span = self.recorder.span(names::KFAC_GRAD_SYNC);
+            for &idx in &trainable {
+                let mut grad = model.layer(idx).grads().expect("missing grad").clone();
+                stats.allreduce_bytes += grad.len() as u64 * 4;
+                allreduce_mean(comm, grad.as_mut_slice());
+                model.layer_mut(idx).set_grads(grad);
+            }
         }
 
         // (3) Factor statistics: local covariance, all-reduce, fold.
-        for &idx in &kfac_layers {
-            let s = model.kfac_stats(idx).expect("kfac stats");
-            let mut a_cov = covariance(&s.a);
-            let mut g_cov = covariance(&s.g);
-            allreduce_mean(comm, a_cov.as_mut_slice());
-            allreduce_mean(comm, g_cov.as_mut_slice());
-            self.kfac.absorb_covariances(idx, &a_cov, &g_cov);
+        {
+            let _span = self.recorder.span(names::KFAC_FACTOR);
+            for &idx in &kfac_layers {
+                let s = model.kfac_stats(idx).expect("kfac stats");
+                let mut a_cov = covariance(&s.a);
+                let mut g_cov = covariance(&s.g);
+                allreduce_mean(comm, a_cov.as_mut_slice());
+                allreduce_mean(comm, g_cov.as_mut_slice());
+                self.kfac.absorb_covariances(idx, &a_cov, &g_cov);
+            }
         }
 
         // (4) Ownership map: built once (layer shapes are static).
@@ -153,19 +174,24 @@ impl DistKfac {
         }
         let owners = self.owners.as_ref().unwrap().clone();
 
-        // Precondition owned layers.
+        // Precondition owned layers (the eigendecomposition / inverse
+        // application phase of Fig. 1).
         let me = comm.rank();
         let mut owned: Vec<(usize, Matrix)> = Vec::new();
-        for (pos, &idx) in kfac_layers.iter().enumerate() {
-            if owners[pos] == me {
-                let grad = model.layer(idx).grads().expect("grad").clone();
-                let pre = self.kfac.precondition_layer(idx, &grad);
-                owned.push((idx, pre));
+        {
+            let _span = self.recorder.span(names::KFAC_INVERSE);
+            for (pos, &idx) in kfac_layers.iter().enumerate() {
+                if owners[pos] == me {
+                    let grad = model.layer(idx).grads().expect("grad").clone();
+                    let pre = self.kfac.precondition_layer(idx, &grad);
+                    owned.push((idx, pre));
+                }
             }
         }
 
         // (5) All-gather the preconditioned gradients, compressed in
         // aggregation groups.
+        let allgather_span = self.recorder.span(names::KFAC_ALLGATHER);
         let m = self.config.aggregation.max(1);
         let mut payload = compso_core::wire::Writer::new();
         payload.u32(owned.len() as u32);
@@ -180,14 +206,16 @@ impl DistKfac {
                 stats.gather_bytes_original += pre.len() as u64 * 4;
                 flat.extend_from_slice(pre.as_slice());
             }
-            let compressed = compressor.compress(&flat, &mut self.rng);
+            let compressed = compressor.compress_recorded(&flat, &mut self.rng, &self.recorder);
             payload.block(&compressed);
         }
         let bytes = payload.into_bytes();
         stats.gather_bytes_wire += bytes.len() as u64;
         let gathered = allgather_var(comm, bytes);
+        drop(allgather_span);
 
         // (6) Decode every rank's contribution and install.
+        let _update_span = self.recorder.span(names::KFAC_UPDATE);
         for buf in gathered {
             let mut r = compso_core::wire::Reader::new(&buf);
             let n_owned = r.u32().expect("payload header") as usize;
@@ -204,7 +232,7 @@ impl DistKfac {
                 }
                 let block = r.block().expect("compressed block");
                 let flat = compressor
-                    .decompress(block)
+                    .decompress_recorded(block, &self.recorder)
                     .expect("peer sent undecodable gradient block");
                 let mut offset = 0usize;
                 for (idx, rows, cols) in shapes {
@@ -401,10 +429,7 @@ mod tests {
             model.layer(0).params().unwrap().clone()
         });
         for r in 1..ranks {
-            assert_eq!(
-                results[0], results[r],
-                "rank {r} drifted under compression"
-            );
+            assert_eq!(results[0], results[r], "rank {r} drifted under compression");
         }
     }
 
@@ -440,6 +465,51 @@ mod tests {
         let a1 = run(1);
         let a4 = run(4);
         assert!(a1[0].max_diff(&a4[0]) < 1e-6, "aggregation changed results");
+    }
+
+    #[test]
+    fn recorder_covers_step_with_subphases() {
+        use compso_obs::{names, Recorder, StepReport};
+        let ranks = 2;
+        let d = data::gaussian_blobs(200, 6, 3, 0.3, 29);
+        let rec = Recorder::enabled();
+        let rec_ref = &rec;
+        run_ranks(ranks, |comm| {
+            let mut rng = Rng::new(55);
+            let mut model = models::mlp(&[6, 16, 3], &mut rng);
+            let shard = d.shard(comm.rank(), ranks);
+            let mut opt = DistKfac::new(DistKfacConfig::default(), 7);
+            opt.set_recorder(rec_ref.clone());
+            comm.set_recorder(rec_ref.clone());
+            let compso = Compso::new(CompsoConfig::aggressive(4e-3));
+            for step in 0..3 {
+                let (x, y) = shard.batch(step, 8);
+                let logits = model.forward(&x, true);
+                let (_, grad) = softmax_cross_entropy(&logits, &y);
+                model.backward(&grad);
+                opt.step(comm, &mut model, &compso);
+                model.update_params(|p, g| p.axpy(-0.02, g));
+            }
+        });
+        let snap = rec.snapshot();
+        // 2 ranks × 3 steps, every sub-phase timed each step.
+        assert_eq!(snap.timers[names::KFAC_STEP].count, 6);
+        for phase in compso_obs::STEP_PHASES {
+            assert_eq!(snap.timers[*phase].count, 6, "{phase}");
+        }
+        // Sub-phases partition the step: fractions sum to ~1 and the
+        // tracked phases cannot exceed the step wall time they nest in.
+        let report = StepReport::from_snapshot(0, &snap);
+        assert!((report.fraction_sum() - 1.0).abs() < 1e-9);
+        let tracked: u64 = compso_obs::STEP_PHASES
+            .iter()
+            .map(|p| snap.timers[*p].total_ns)
+            .sum();
+        assert!(tracked <= snap.timers[names::KFAC_STEP].total_ns);
+        // The compressor fed the same registry: live CR is available.
+        assert!(report.ratio.is_some());
+        // And the collectives recorded traffic underneath.
+        assert!(snap.counter(names::COMM_BYTES_SENT) > 0);
     }
 
     #[test]

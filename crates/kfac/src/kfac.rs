@@ -396,7 +396,7 @@ mod tests {
                 if use_kfac {
                     kfac.step(&mut model);
                 }
-                let lr = if use_kfac { 0.02 } else { 0.02 };
+                let lr = 0.02;
                 model.update_params(|p, g| p.axpy(-lr, g));
                 if step % 10 == 9 {
                     let logits = model.forward(&d.x, false);

@@ -1,0 +1,193 @@
+//! Point-in-time metric snapshots: diffable (per-step deltas) and
+//! mergeable (across ranks).
+
+use std::collections::BTreeMap;
+
+/// Accumulated state of one span timer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TimerStat {
+    /// Total recorded wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Number of completed spans.
+    pub count: u64,
+}
+
+impl TimerStat {
+    /// Total in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+}
+
+/// Accumulated state of one log2 histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistStat {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Per-bucket observation counts (see [`crate::bucket_of`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistStat {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A copy of every metric at one instant, keyed by metric name.
+///
+/// `BTreeMap` keys make iteration (and therefore JSON output) stable and
+/// deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Span timers.
+    pub timers: BTreeMap<String, TimerStat>,
+    /// Log2 histograms.
+    pub hists: BTreeMap<String, HistStat>,
+}
+
+impl Snapshot {
+    /// Element-wise `self - earlier`, saturating at zero — the per-step
+    /// delta between two cumulative snapshots.
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        let mut out = Snapshot::default();
+        for (k, &v) in &self.counters {
+            let prev = earlier.counters.get(k).copied().unwrap_or(0);
+            out.counters.insert(k.clone(), v.saturating_sub(prev));
+        }
+        for (k, t) in &self.timers {
+            let prev = earlier.timers.get(k).copied().unwrap_or_default();
+            out.timers.insert(
+                k.clone(),
+                TimerStat {
+                    total_ns: t.total_ns.saturating_sub(prev.total_ns),
+                    count: t.count.saturating_sub(prev.count),
+                },
+            );
+        }
+        for (k, h) in &self.hists {
+            let prev = earlier.hists.get(k);
+            let buckets = h
+                .buckets
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| {
+                    b.saturating_sub(prev.and_then(|p| p.buckets.get(i)).copied().unwrap_or(0))
+                })
+                .collect();
+            out.hists.insert(
+                k.clone(),
+                HistStat {
+                    count: h.count.saturating_sub(prev.map_or(0, |p| p.count)),
+                    sum: h.sum.saturating_sub(prev.map_or(0, |p| p.sum)),
+                    buckets,
+                },
+            );
+        }
+        out
+    }
+
+    /// Accumulates `other` into `self` (for cross-rank aggregation).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, t) in &other.timers {
+            let e = self.timers.entry(k.clone()).or_default();
+            e.total_ns += t.total_ns;
+            e.count += t.count;
+        }
+        for (k, h) in &other.hists {
+            let e = self.hists.entry(k.clone()).or_default();
+            e.count += h.count;
+            e.sum += h.sum;
+            if e.buckets.len() < h.buckets.len() {
+                e.buckets.resize(h.buckets.len(), 0);
+            }
+            for (i, &b) in h.buckets.iter().enumerate() {
+                e.buckets[i] += b;
+            }
+        }
+    }
+
+    /// Seconds accumulated in timer `name` (0 when absent).
+    pub fn timer_seconds(&self, name: &str) -> f64 {
+        self.timers.get(name).map_or(0.0, TimerStat::seconds)
+    }
+
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(c: u64, ns: u64) -> Snapshot {
+        let mut s = Snapshot::default();
+        s.counters.insert("c".into(), c);
+        s.timers.insert(
+            "t".into(),
+            TimerStat {
+                total_ns: ns,
+                count: 1,
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let a = snap(10, 100);
+        let b = snap(25, 400);
+        let d = b.delta_since(&a);
+        assert_eq!(d.counter("c"), 15);
+        assert_eq!(d.timers["t"].total_ns, 300);
+    }
+
+    #[test]
+    fn delta_handles_missing_keys() {
+        let d = snap(5, 50).delta_since(&Snapshot::default());
+        assert_eq!(d.counter("c"), 5);
+        assert_eq!(d.timer_seconds("t"), 50e-9);
+    }
+
+    #[test]
+    fn merge_adds_across_ranks() {
+        let mut a = snap(1, 10);
+        a.hists.insert(
+            "h".into(),
+            HistStat {
+                count: 2,
+                sum: 6,
+                buckets: vec![0, 2],
+            },
+        );
+        let mut b = snap(2, 20);
+        b.hists.insert(
+            "h".into(),
+            HistStat {
+                count: 1,
+                sum: 4,
+                buckets: vec![1],
+            },
+        );
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.timers["t"].total_ns, 30);
+        assert_eq!(a.timers["t"].count, 2);
+        assert_eq!(a.hists["h"].count, 3);
+        assert_eq!(a.hists["h"].buckets, vec![1, 2]);
+    }
+}

@@ -118,8 +118,20 @@ mod tests {
         let spec = ModelSpec::bert_large();
         let p1 = IterationModel::new(Platform::platform1());
         let p2 = IterationModel::new(Platform::platform2());
-        let g1 = end_to_end_gain_on(&p1, &spec, 64, AggregationPolicy::Fixed(4), &compso_profile());
-        let g2 = end_to_end_gain_on(&p2, &spec, 64, AggregationPolicy::Fixed(4), &compso_profile());
+        let g1 = end_to_end_gain_on(
+            &p1,
+            &spec,
+            64,
+            AggregationPolicy::Fixed(4),
+            &compso_profile(),
+        );
+        let g2 = end_to_end_gain_on(
+            &p2,
+            &spec,
+            64,
+            AggregationPolicy::Fixed(4),
+            &compso_profile(),
+        );
         assert!(g1 > g2, "slow {g1} vs fast {g2}");
     }
 
@@ -179,9 +191,20 @@ mod tests {
         // Fig. 9's trend: compression pays more at scale.
         let model = IterationModel::new(Platform::platform1());
         let spec = ModelSpec::gpt_neo_125m();
-        let g8 = end_to_end_gain_on(&model, &spec, 8, AggregationPolicy::Fixed(4), &compso_profile());
-        let g64 =
-            end_to_end_gain_on(&model, &spec, 64, AggregationPolicy::Fixed(4), &compso_profile());
+        let g8 = end_to_end_gain_on(
+            &model,
+            &spec,
+            8,
+            AggregationPolicy::Fixed(4),
+            &compso_profile(),
+        );
+        let g64 = end_to_end_gain_on(
+            &model,
+            &spec,
+            64,
+            AggregationPolicy::Fixed(4),
+            &compso_profile(),
+        );
         assert!(g64 > g8, "{g8} -> {g64}");
     }
 

@@ -140,8 +140,7 @@ impl IterationModel {
         // Factor GEMMs every iteration; eigendecompositions amortized and
         // split across GPUs.
         let factor_flops = 2.0 * spec.total_factor_elems() as f64 * batch;
-        let eigen_flops =
-            spec.total_eigen_flops() / (gpus as f64 * self.eigen_refresh as f64);
+        let eigen_flops = spec.total_eigen_flops() / (gpus as f64 * self.eigen_refresh as f64);
         let kfac_compute = factor_flops / self.platform.gpu_flops
             + eigen_flops / (self.platform.gpu_flops * self.eigen_efficiency);
 
@@ -153,8 +152,7 @@ impl IterationModel {
 
         // Host-side work + the overlapped data-parallel gradient sync.
         let grad_bytes = spec.total_grad_bytes() as f64;
-        let others = 0.35 * fwd_bwd
-            + 0.3 * self.platform.network.allreduce_time(gpus, grad_bytes);
+        let others = 0.35 * fwd_bwd + 0.3 * self.platform.network.allreduce_time(gpus, grad_bytes);
 
         Breakdown {
             fwd_bwd,
@@ -214,10 +212,26 @@ mod tests {
         let spec = ModelSpec::resnet50();
         let b = m.breakdown(&spec, 64, 1, None);
         let t = b.total();
-        assert!((0.25..0.55).contains(&(b.grad_allgather / t)), "gather {}", b.grad_allgather / t);
-        assert!((0.02..0.25).contains(&(b.factor_allreduce / t)), "allreduce {}", b.factor_allreduce / t);
-        assert!((0.05..0.30).contains(&(b.kfac_compute / t)), "kfac {}", b.kfac_compute / t);
-        assert!((0.10..0.45).contains(&(b.fwd_bwd / t)), "fwdbwd {}", b.fwd_bwd / t);
+        assert!(
+            (0.25..0.55).contains(&(b.grad_allgather / t)),
+            "gather {}",
+            b.grad_allgather / t
+        );
+        assert!(
+            (0.02..0.25).contains(&(b.factor_allreduce / t)),
+            "allreduce {}",
+            b.factor_allreduce / t
+        );
+        assert!(
+            (0.05..0.30).contains(&(b.kfac_compute / t)),
+            "kfac {}",
+            b.kfac_compute / t
+        );
+        assert!(
+            (0.10..0.45).contains(&(b.fwd_bwd / t)),
+            "fwdbwd {}",
+            b.fwd_bwd / t
+        );
     }
 
     #[test]

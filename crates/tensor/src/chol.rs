@@ -147,8 +147,8 @@ mod tests {
         let b = a.matmul(&x_true);
         let ch = Cholesky::new(&a).unwrap();
         let x = ch.solve_vec(b.as_slice());
-        for i in 0..16 {
-            assert!((x[i] - x_true.get(i, 0)).abs() < 1e-2, "i={i}");
+        for (i, &xi) in x.iter().enumerate() {
+            assert!((xi - x_true.get(i, 0)).abs() < 1e-2, "i={i}");
         }
     }
 

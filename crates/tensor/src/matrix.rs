@@ -293,7 +293,11 @@ impl Matrix {
 
     /// Elementwise in-place addition of `other * scale`.
     pub fn axpy(&mut self, scale: f32, other: &Matrix) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "axpy dims");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "axpy dims"
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += scale * b;
         }
@@ -390,7 +394,11 @@ impl Matrix {
 
     /// Maximum absolute elementwise difference from `other`.
     pub fn max_diff(&self, other: &Matrix) -> f32 {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "max_diff dims");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "max_diff dims"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -482,8 +490,8 @@ mod tests {
         let x = Matrix::random_normal(6, 1, &mut rng);
         let via_mm = a.matmul(&x);
         let via_mv = a.matvec(x.as_slice());
-        for i in 0..9 {
-            assert!((via_mm.get(i, 0) - via_mv[i]).abs() < 1e-5);
+        for (i, &v) in via_mv.iter().enumerate() {
+            assert!((via_mm.get(i, 0) - v).abs() < 1e-5);
         }
     }
 

@@ -232,7 +232,10 @@ mod tests {
 
     #[test]
     fn abs_max_of_range() {
-        let mm = MinMax { min: -3.0, max: 2.0 };
+        let mm = MinMax {
+            min: -3.0,
+            max: 2.0,
+        };
         assert_eq!(mm.abs_max(), 3.0);
     }
 }

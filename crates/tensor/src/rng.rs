@@ -53,8 +53,7 @@ impl Rng {
     /// uncorrelated sequences; forking is deterministic, so parallel code
     /// that forks by chunk index is reproducible under any scheduling.
     pub fn fork(&self, stream: u64) -> Rng {
-        let mut sm = self
-            .s[0]
+        let mut sm = self.s[0]
             .wrapping_mul(0xA24B_AED4_963E_E407)
             .wrapping_add(stream.wrapping_mul(0x9FB2_1C65_1E98_DF25));
         let s = [
@@ -73,10 +72,7 @@ impl Rng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];

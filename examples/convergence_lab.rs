@@ -55,8 +55,11 @@ fn train(method: &dyn Fn(usize) -> Option<Box<dyn Compressor>>) -> Vec<f64> {
     curve
 }
 
+/// A per-step compressor factory (None = the no-compression baseline).
+type MethodFactory = Box<dyn Fn(usize) -> Option<Box<dyn Compressor>>>;
+
 fn main() {
-    let methods: Vec<(&str, Box<dyn Fn(usize) -> Option<Box<dyn Compressor>>>)> = vec![
+    let methods: Vec<(&str, MethodFactory)> = vec![
         ("KFAC (no comp.)", Box::new(|_| None)),
         (
             "KFAC+SZ 1E-1 (RN, loose)",

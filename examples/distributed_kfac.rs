@@ -62,12 +62,8 @@ fn main() {
     let (acc_compso, orig_compso, wire_compso) = train(true);
 
     println!("                     accuracy   gather bytes (orig -> wire)");
-    println!(
-        "no compression:        {acc_plain:.3}     {orig_plain} -> {wire_plain}"
-    );
-    println!(
-        "COMPSO (adaptive):     {acc_compso:.3}     {orig_compso} -> {wire_compso}"
-    );
+    println!("no compression:        {acc_plain:.3}     {orig_plain} -> {wire_plain}");
+    println!("COMPSO (adaptive):     {acc_compso:.3}     {orig_compso} -> {wire_compso}");
     println!(
         "\nall-gather wire reduction: {:.1}x, accuracy delta: {:+.3}",
         wire_plain as f64 / wire_compso as f64,

@@ -107,7 +107,10 @@ fn main() {
     let s = comm_speedup(l_o, l_c, tput(l_o), tput(l_c), &profile);
     let model = IterationModel::new(platform);
     let r = model.breakdown(&spec, gpus, 1, None).comm_fraction();
-    println!("Eq. 5 communication speedup s = {s:.1}x at r = {:.0}%", r * 100.0);
+    println!(
+        "Eq. 5 communication speedup s = {s:.1}x at r = {:.0}%",
+        r * 100.0
+    );
     println!(
         "estimated end-to-end gain ((1-r) + r/s)^-1 = {:.2}x",
         end_to_end_gain(r, s)

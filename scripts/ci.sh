@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: format, lint, build, test, and a bench smoke run.
+# Everything here must pass before a change lands (see ROADMAP.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> bench smoke: fig1"
+cargo run -p compso-bench --release --bin fig1 >/dev/null
+
+echo "==> bench smoke: obs_report"
+cargo run -p compso-bench --release --bin obs_report >/dev/null
+
+echo "CI green."

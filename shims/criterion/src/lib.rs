@@ -1,0 +1,218 @@
+//! Offline shim for the slice of [criterion](https://docs.rs/criterion)
+//! this workspace uses.
+//!
+//! Provides `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `bench_function`/`bench_with_input`, `Throughput`, `BenchmarkId`, and
+//! `black_box`. Measurement is a deliberately small fixed-iteration timer
+//! (median of `sample_size` samples after one warm-up) printed as
+//! `group/id  time  [throughput]` — enough to compare kernels locally and
+//! to keep `cargo bench` runs fast; it is not a statistical harness.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-benchmark timing handle passed to bench closures.
+pub struct Bencher {
+    /// Median wall time of one iteration, filled by [`Bencher::iter`].
+    elapsed: Duration,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times `f`: one warm-up call, then `samples` timed calls; records the
+    /// median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(f());
+                t.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        self.elapsed = times[times.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            samples: self.sample_size,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), b.elapsed);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            samples: self.sample_size,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), b.elapsed);
+        self
+    }
+
+    /// Ends the group (formatting no-op; kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) if secs > 0.0 => {
+                format!("  {:>8.2} MiB/s", b as f64 / secs / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(e)) if secs > 0.0 => {
+                format!("  {:>8.2} Melem/s", e as f64 / secs / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{:<32} {:>12.3?}{}", self.name, id, elapsed, rate);
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Bytes(1024));
+        g.sample_size(3);
+        let data = vec![1u8; 1024];
+        g.bench_with_input(BenchmarkId::from_parameter("sum"), &data, |b, d| {
+            b.iter(|| d.iter().map(|&v| v as u64).sum::<u64>())
+        });
+        g.bench_function("noop", |b| b.iter(|| 42u32));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    criterion_group!(bench_all, smoke);
+    fn smoke(c: &mut Criterion) {
+        let mut g = c.benchmark_group("macro");
+        g.sample_size(2);
+        g.bench_function("id", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn macros_compose() {
+        bench_all();
+    }
+}

@@ -1,0 +1,215 @@
+//! Offline shim for the slice of [crossbeam](https://docs.rs/crossbeam)
+//! this workspace uses: `crossbeam::channel::{unbounded, Sender, Receiver}`.
+//!
+//! Implemented over a `Mutex<VecDeque>` + `Condvar` MPMC queue. Semantics
+//! match crossbeam's unbounded channel where this workspace can observe
+//! them: FIFO per channel, `send` never blocks, `recv` blocks until a
+//! message or disconnection, and both endpoints are `Send + Sync + Clone`.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone; the
+    /// unsent message is handed back.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`; never blocks. Fails only when all receivers have
+        /// been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(msg));
+            }
+            let mut q = self.shared.queue.lock().expect("channel poisoned");
+            q.push_back(msg);
+            drop(q);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Wake blocked receivers so they observe disconnection.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = q.pop_front() {
+                    return Ok(msg);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.shared.ready.wait(q).expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking receive; `None` when the queue is currently empty.
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared
+                .queue
+                .lock()
+                .expect("channel poisoned")
+                .pop_front()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvError};
+
+    #[test]
+    fn fifo_roundtrip() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn cross_thread_blocking_recv() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || rx.recv().unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        tx.send(42u32).unwrap();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn disconnect_unblocks_receiver() {
+        let (tx, rx) = unbounded::<u8>();
+        let h = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(tx);
+        assert_eq!(h.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_fails() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let (tx, rx) = unbounded();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        tx.send(t * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        assert_eq!(got.len(), 8000);
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 8000, "messages lost or duplicated");
+    }
+}

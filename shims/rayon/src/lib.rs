@@ -1,0 +1,338 @@
+//! Offline shim for the slice of [rayon](https://docs.rs/rayon) this
+//! workspace uses.
+//!
+//! The build environment has no crates.io access, so this std-only crate
+//! provides source-compatible substitutes for the combinator chains the
+//! COMPSO crates rely on:
+//!
+//! * `slice.par_chunks(n).map(f).{reduce, sum, collect}`
+//! * `slice.par_chunks_mut(n).enumerate().for_each(f)`
+//! * `vec.par_iter().{enumerate,}().map(f).collect()`
+//! * `vec.into_par_iter().zip(other).map(f).collect()`
+//! * `rayon::current_num_threads()`
+//!
+//! Work really does run in parallel: items are split into contiguous
+//! batches, one `std::thread::scope` worker per batch (the first batch runs
+//! inline on the caller), and results are reassembled in input order so the
+//! semantics match rayon's indexed parallel iterators. There is no
+//! work-stealing pool — for the chunk sizes this workspace uses (multi-KiB
+//! slices, whole codec blocks) spawn overhead is noise.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads parallel operations fan out to — the shim
+/// equivalent of rayon's global-pool size.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` over `items`, preserving order, fanning out to at most
+/// [`current_num_threads`] scoped workers.
+fn run_par<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let batch = n.div_ceil(threads);
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let fr = &f;
+    std::thread::scope(|scope| {
+        let mut pairs = slots
+            .chunks_mut(batch)
+            .zip(out.chunks_mut(batch))
+            .collect::<Vec<_>>();
+        // Run the first batch on the calling thread; spawn the rest.
+        let head = pairs.remove(0);
+        for (inp, dst) in pairs {
+            scope.spawn(move || {
+                for (it, slot) in inp.iter_mut().zip(dst.iter_mut()) {
+                    *slot = Some(fr(it.take().expect("item consumed twice")));
+                }
+            });
+        }
+        let (inp, dst) = head;
+        for (it, slot) in inp.iter_mut().zip(dst.iter_mut()) {
+            *slot = Some(fr(it.take().expect("item consumed twice")));
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("worker failed to fill slot"))
+        .collect()
+}
+
+/// An eager indexed "parallel" iterator: the pending items, in order.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs every item with its index (rayon's `enumerate`).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Zips with another parallel-iterable of the same length semantics as
+    /// rayon's `zip` (truncates to the shorter side).
+    pub fn zip<U, I>(self, other: I) -> ParIter<(T, U)>
+    where
+        U: Send,
+        I: IntoParallelIterator<Item = U>,
+    {
+        ParIter {
+            items: self
+                .items
+                .into_iter()
+                .zip(other.into_par_iter().items)
+                .collect(),
+        }
+    }
+
+    /// Lazily maps every item; the returned adapter runs in parallel on its
+    /// terminal operation.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_par(self.items, f);
+    }
+}
+
+/// The mapped form of [`ParIter`]; terminal operations fan out here.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Collects mapped results in input order.
+    pub fn collect<C: FromParIter<R>>(self) -> C {
+        C::from_par_vec(run_par(self.items, self.f))
+    }
+
+    /// Sums mapped results.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        run_par(self.items, self.f).into_iter().sum()
+    }
+
+    /// Folds mapped results with `op`, starting from `identity()` — the
+    /// rayon `reduce(identity, op)` signature.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R,
+        OP: Fn(R, R) -> R,
+    {
+        run_par(self.items, self.f).into_iter().fold(identity(), op)
+    }
+}
+
+/// Collection targets for [`ParMap::collect`].
+pub trait FromParIter<T> {
+    /// Builds the collection from in-order mapped results.
+    fn from_par_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParIter<T> for Vec<T> {
+    fn from_par_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+impl<T, E> FromParIter<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_vec(v: Vec<Result<T, E>>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+/// By-value conversion into a [`ParIter`] (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type produced by the parallel iterator.
+    type Item: Send;
+    /// Converts `self` into the eager parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_iter()` on slices and anything that derefs to a slice.
+pub trait IntoParallelRefIterator<T: Sync> {
+    /// Borrowing parallel iterator (rayon's `par_iter`).
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> IntoParallelRefIterator<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Splits into `size`-element chunks (last may be shorter), iterated in
+    /// parallel.
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        assert!(size != 0, "chunk size must be non-zero");
+        ParIter {
+            items: self.chunks(size).collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut` on exclusive slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits into disjoint mutable `size`-element chunks, iterated in
+    /// parallel.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        assert!(size != 0, "chunk size must be non-zero");
+        ParIter {
+            items: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude::*`.
+    pub use crate::{
+        FromParIter, IntoParallelIterator, IntoParallelRefIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_chunks_map_reduce_matches_serial() {
+        let xs: Vec<i64> = (0..10_000).collect();
+        let par: i64 = xs
+            .par_chunks(64)
+            .map(|c| c.iter().sum::<i64>())
+            .reduce(|| 0, |a, b| a + b);
+        let ser: i64 = xs.iter().sum();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn par_chunks_collect_preserves_order() {
+        let xs: Vec<u32> = (0..1000).collect();
+        let lens: Vec<usize> = xs.par_chunks(7).map(<[u32]>::len).collect();
+        let expect: Vec<usize> = xs.chunks(7).map(<[u32]>::len).collect();
+        assert_eq!(lens, expect);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_for_each() {
+        let mut xs = vec![0usize; 100];
+        xs.par_chunks_mut(9).enumerate().for_each(|(i, c)| {
+            for v in c.iter_mut() {
+                *v = i;
+            }
+        });
+        for (i, c) in xs.chunks(9).enumerate() {
+            assert!(c.iter().all(|&v| v == i));
+        }
+    }
+
+    #[test]
+    fn into_par_iter_zip_collect() {
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (100..200).collect();
+        let out: Vec<u32> = a.into_par_iter().zip(b).map(|(x, y)| x + y).collect();
+        let expect: Vec<u32> = (0..100).map(|i| 100 + 2 * i).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn result_collect_short_circuits_to_err() {
+        let xs: Vec<i32> = (0..50).collect();
+        let ok: Result<Vec<i32>, String> = xs.par_iter().map(|&v| Ok(v * 2)).collect();
+        assert_eq!(ok.unwrap()[10], 20);
+        let err: Result<Vec<i32>, String> = xs
+            .par_iter()
+            .map(|&v| {
+                if v == 33 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(v)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let xs: Vec<f32> = Vec::new();
+        let n: f32 = xs.par_chunks(8).map(|c| c.iter().sum::<f32>()).sum();
+        assert_eq!(n, 0.0);
+        assert!(current_num_threads() >= 1);
+    }
+}

@@ -9,7 +9,9 @@
 //! * [`dnn`](compso_dnn) — the DNN training substrate;
 //! * [`kfac`](compso_kfac) — (distributed) K-FAC optimizers;
 //! * [`comm`](compso_comm) — collectives and network models;
-//! * [`sim`](compso_sim) — the cluster performance simulator.
+//! * [`sim`](compso_sim) — the cluster performance simulator;
+//! * [`obs`](compso_obs) — step-level observability (timers, counters,
+//!   per-step JSON reports).
 //!
 //! Quick start:
 //!
@@ -29,5 +31,6 @@ pub use compso_comm as comm;
 pub use compso_core as core;
 pub use compso_dnn as dnn;
 pub use compso_kfac as kfac;
+pub use compso_obs as obs;
 pub use compso_sim as sim;
 pub use compso_tensor as tensor;

@@ -61,10 +61,7 @@ fn compressed_distributed_training_converges() {
 fn all_ranks_hold_identical_parameters_under_compression() {
     let results = train_distributed(3, 30, true, 7);
     for r in 1..results.len() {
-        assert_eq!(
-            results[0].1, results[r].1,
-            "rank {r} drifted from rank 0"
-        );
+        assert_eq!(results[0].1, results[r].1, "rank {r} drifted from rank 0");
     }
 }
 

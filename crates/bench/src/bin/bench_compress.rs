@@ -1,0 +1,126 @@
+//! Snapshot benchmark for the parallel compression hot path.
+//!
+//! Round-trips a synthetic K-FAC gradient buffer through three
+//! configurations and emits a JSON snapshot (`BENCH_compress.json` via
+//! `scripts/bench_snapshot.sh`):
+//!
+//! 1. `serial` — the reference [`Compso`] pipeline,
+//! 2. `chunked_1thread` — the chunked kernels pinned to one worker
+//!    (measures chunking overhead in isolation),
+//! 3. `chunked_nthread` — the chunked kernels at the host's natural
+//!    worker count (the production configuration).
+//!
+//! Environment knobs: `COMPSO_BENCH_ELEMS` (default 4 Mi f32 = 16 MiB)
+//! and `COMPSO_BENCH_REPS` (default 3; best-of-N is reported). The
+//! output path is `argv[1]`, defaulting to `BENCH_compress.json`.
+//!
+//! The chunked-vs-serial speedup target (>=2x) only applies on hosts
+//! with >=4 cores; the JSON records `threads` so readers can judge.
+
+use compso_core::kernels::{compress_chunked, decompress_chunked, KernelConfig, LayerSchedule};
+use compso_core::synthetic::{generate, GradientProfile};
+use compso_core::{Compso, CompsoConfig};
+use compso_tensor::Rng;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Sample {
+    compress_mbps: f64,
+    decompress_mbps: f64,
+    ratio: f64,
+}
+
+impl Sample {
+    fn json(&self) -> String {
+        format!(
+            "{{\"compress_MBps\": {:.2}, \"decompress_MBps\": {:.2}, \"ratio\": {:.2}}}",
+            self.compress_mbps, self.decompress_mbps, self.ratio
+        )
+    }
+}
+
+/// Runs `run` `reps` times; reports best-of-N throughput (MB/s of
+/// uncompressed input) for each of the two timed phases.
+fn measure(reps: usize, bytes: usize, mut run: impl FnMut() -> (f64, f64, usize)) -> Sample {
+    let mut ct = f64::INFINITY;
+    let mut dt = f64::INFINITY;
+    let mut comp = 0usize;
+    for _ in 0..reps {
+        let (c, d, n) = run();
+        ct = ct.min(c);
+        dt = dt.min(d);
+        comp = n;
+    }
+    Sample {
+        compress_mbps: bytes as f64 / ct.max(1e-12) / 1e6,
+        decompress_mbps: bytes as f64 / dt.max(1e-12) / 1e6,
+        ratio: bytes as f64 / comp.max(1) as f64,
+    }
+}
+
+fn main() {
+    let elems = env_usize("COMPSO_BENCH_ELEMS", 4 << 20).max(1024);
+    let reps = env_usize("COMPSO_BENCH_REPS", 3).max(1);
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_compress.json".to_string());
+    let bytes = elems * 4;
+
+    let data = generate(elems, 21, GradientProfile::kfac());
+    let cfg = CompsoConfig::aggressive(4e-3);
+    let kc = KernelConfig::default();
+    let schedule = LayerSchedule::build(&[data.len()], kc.chunk_elems);
+
+    let compso = Compso::new(cfg);
+    let serial = measure(reps, bytes, || {
+        let mut rng = Rng::new(11);
+        let t0 = Instant::now();
+        let enc = compso.compress_layers(&[&data], &mut rng);
+        let ct = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let dec = compso.decompress_layers(&enc).expect("serial roundtrip");
+        let dt = t1.elapsed().as_secs_f64();
+        assert_eq!(dec[0].len(), elems);
+        (ct, dt, enc.len())
+    });
+
+    let chunked_at = |threads: Option<usize>| {
+        let _guard = threads.map(rayon::scoped_thread_override);
+        measure(reps, bytes, || {
+            let rng = Rng::new(11);
+            let t0 = Instant::now();
+            let enc = compress_chunked(&[&data], &cfg, &kc, &schedule, &rng);
+            let ct = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let dec = decompress_chunked(&enc).expect("chunked roundtrip");
+            let dt = t1.elapsed().as_secs_f64();
+            assert_eq!(dec[0].len(), elems);
+            (ct, dt, enc.len())
+        })
+    };
+
+    let chunked_1 = chunked_at(Some(1));
+    let threads = rayon::current_num_threads().max(1);
+    let chunked_n = chunked_at(None);
+
+    let json = format!(
+        "{{\n  \"elems\": {elems},\n  \"bytes\": {bytes},\n  \"reps\": {reps},\n  \
+         \"threads\": {threads},\n  \"serial\": {},\n  \"chunked_1thread\": {},\n  \
+         \"chunked_nthread\": {},\n  \"speedup_compress_chunked_vs_serial\": {:.2},\n  \
+         \"speedup_decompress_chunked_vs_serial\": {:.2}\n}}\n",
+        serial.json(),
+        chunked_1.json(),
+        chunked_n.json(),
+        chunked_n.compress_mbps / serial.compress_mbps.max(1e-12),
+        chunked_n.decompress_mbps / serial.decompress_mbps.max(1e-12),
+    );
+    print!("{json}");
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    eprintln!("wrote {out_path}");
+}

@@ -36,6 +36,7 @@ pub fn block_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
 /// across ranks. Bandwidth-optimal ring (reduce-scatter + all-gather).
 pub fn allreduce_sum(comm: &mut Communicator, data: &mut [f32]) {
     let _span = comm.recorder().span(names::COMM_ALLREDUCE);
+    comm.recorder().incr(names::COMM_ALLREDUCE_CALLS);
     let p = comm.size();
     if p == 1 {
         return;
@@ -149,6 +150,7 @@ pub fn allgather(comm: &mut Communicator, mine: &[f32]) -> Vec<f32> {
 /// Returns one buffer per rank, in rank order.
 pub fn allgather_var(comm: &mut Communicator, mine: Vec<u8>) -> Vec<Vec<u8>> {
     let _span = comm.recorder().span(names::COMM_ALLGATHER_VAR);
+    comm.recorder().incr(names::COMM_ALLGATHER_VAR_CALLS);
     let p = comm.size();
     let r = comm.rank();
     let mut blocks: Vec<Option<Vec<u8>>> = (0..p).map(|_| None).collect();
@@ -489,6 +491,10 @@ mod tests {
         // One timed span per rank per collective.
         assert_eq!(snap.timers[names::COMM_ALLREDUCE].count, 4);
         assert_eq!(snap.timers[names::COMM_ALLGATHER_VAR].count, 4);
+        // Invocation counters match the span counts (the bucketing
+        // acceptance check in compso-kfac leans on these).
+        assert_eq!(snap.counter(names::COMM_ALLREDUCE_CALLS), 4);
+        assert_eq!(snap.counter(names::COMM_ALLGATHER_VAR_CALLS), 4);
         // Every send was counted and histogrammed.
         let sent = snap.counter(names::COMM_BYTES_SENT);
         assert!(sent > 0);

@@ -8,15 +8,20 @@
 //! | block reduction + warp shuffle for extrema | [`KernelConfig::hierarchical_extrema`]: chunk-local scans merged in a reduction tree vs. a flat serial scan |
 //! | padded shared-memory buffers per layer     | chunks never span layers; each chunk's bitmap is padded to a byte boundary |
 //! | pre-built layer→block hashmap              | [`LayerSchedule`] built once at optimizer init, reused every iteration |
+//! | block-parallel decompression               | v2's per-chunk byte-offset index lets [`decompress_chunked`] decode every chunk concurrently |
 //!
 //! Compression is memory-bound with O(1) arithmetic intensity (§4.5), so
 //! pass-count is the first-order cost and the fused/staged ablation is
 //! directly measurable (the `kernels` criterion bench).
+//!
+//! [`ChunkedCompso`] packages these kernels behind the [`Compressor`]
+//! trait so `DistKfac` can drive them as the production compression path.
 
 use crate::pipeline::CompsoConfig;
 use crate::quantize::{Quantized, Quantizer};
-use crate::traits::CompressError;
+use crate::traits::{CompressError, Compressor};
 use crate::wire::{Reader, WireError, Writer};
+use compso_obs::{names, Recorder};
 use compso_tensor::reduce::{minmax_flat, minmax_hierarchical, MinMax};
 use compso_tensor::rng::Rng;
 use rayon::prelude::*;
@@ -24,6 +29,13 @@ use rayon::prelude::*;
 /// Magic byte of the chunked-parallel wire format (distinct from the
 /// serial pipeline's 0xC5).
 pub const MAGIC_CHUNKED: u8 = 0xC6;
+
+/// Version of the chunked wire format. v2 added the per-chunk byte-offset
+/// index over the code and bitmap streams, which is what makes
+/// [`decompress_chunked`] chunk-parallel: each worker seeks straight to
+/// its chunk's records instead of replaying every earlier chunk's
+/// variable-length headers.
+pub const CHUNKED_VERSION: u8 = 2;
 
 /// Byte-block granularity of the parallel entropy-coding stage.
 pub const CODEC_BLOCK: usize = 256 * 1024;
@@ -110,6 +122,16 @@ impl LayerSchedule {
     pub fn layer_sizes(&self) -> &[usize] {
         &self.layer_sizes
     }
+
+    /// The chunk tile size the schedule was built with.
+    pub fn chunk_elems(&self) -> usize {
+        self.chunk_elems
+    }
+
+    /// Whether this schedule was built for exactly these layer sizes.
+    pub fn matches(&self, layer_sizes: &[usize]) -> bool {
+        self.layer_sizes == layer_sizes
+    }
 }
 
 /// Per-chunk compression product.
@@ -120,14 +142,22 @@ struct ChunkOut {
     codes: Vec<u8>,
 }
 
-/// Compresses one chunk in a single sweep: filter decision, kept-value
-/// collection, and quantization against the layer-global range.
-fn compress_chunk_fused(
-    data: &[f32],
-    range: MinMax,
-    cfg: &CompsoConfig,
-    rng: &mut Rng,
-) -> ChunkOut {
+/// Stage-1 product: the filter sweep over one chunk.
+struct FilteredChunk {
+    /// Padded bitmap bytes (empty when the filter is off).
+    bitmap: Vec<u8>,
+    /// Surviving (unfiltered) values.
+    kept: Vec<f32>,
+    /// Original chunk element count.
+    n: usize,
+    /// Whether the filter branch ran.
+    used_filter: bool,
+}
+
+/// The filter sweep of one chunk against the *layer-global* range. Shared
+/// verbatim by the fused and staged kernel paths, so the §4.5 ablation
+/// stays bit-identical by construction.
+fn filter_chunk(data: &[f32], range: MinMax, cfg: &CompsoConfig) -> FilteredChunk {
     let span = if data.is_empty() {
         0.0
     } else {
@@ -156,37 +186,70 @@ fn compress_chunk_fused(
     } else {
         kept.extend_from_slice(data);
     }
+    FilteredChunk {
+        bitmap,
+        kept,
+        n: data.len(),
+        used_filter: use_filter,
+    }
+}
 
-    // Quantize against the LAYER range (not the chunk range): every chunk
-    // of a layer shares one normalization, matching the GPU kernel.
+/// The quantize sweep of one chunk. Quantizes against the LAYER range
+/// (not the chunk range): every chunk of a layer shares one
+/// normalization, matching the GPU kernel. Shared by both kernel paths.
+fn quantize_chunk(
+    kept: &[f32],
+    n: usize,
+    range: MinMax,
+    cfg: &CompsoConfig,
+    rng: &mut Rng,
+) -> Quantized {
     let quantizer = Quantizer {
         bound: crate::quantize::ErrorBound::Relative(cfg.eb_quant),
         mode: cfg.mode,
     };
-    let (lo, hi) = if data.is_empty() {
+    let (lo, hi) = if n == 0 {
         (0.0, 0.0)
     } else {
         (range.min, range.max)
     };
-    let quant = quantizer.quantize_with_range(&kept, lo, hi, rng);
+    quantizer.quantize_with_range(kept, lo, hi, rng)
+}
 
+/// Serializes one chunk's record into the codes stream. Shared by both
+/// kernel paths.
+fn serialize_chunk(n: usize, used_filter: bool, quant: &Quantized) -> Vec<u8> {
     let mut codes = Writer::new();
-    codes.u64(data.len() as u64);
-    codes.u8(u8::from(use_filter));
+    codes.u64(n as u64);
+    codes.u8(u8::from(used_filter));
     quant.write(&mut codes);
+    codes.into_bytes()
+}
+
+/// Compresses one chunk in a single fused sweep: filter decision,
+/// kept-value collection, quantization, and serialization without
+/// materializing cross-chunk intermediates.
+fn compress_chunk_fused(
+    data: &[f32],
+    range: MinMax,
+    cfg: &CompsoConfig,
+    rng: &mut Rng,
+) -> ChunkOut {
+    let f = filter_chunk(data, range, cfg);
+    let quant = quantize_chunk(&f.kept, f.n, range, cfg, rng);
     ChunkOut {
-        bitmap,
-        codes: codes.into_bytes(),
+        bitmap: f.bitmap,
+        codes: serialize_chunk(f.n, f.used_filter, &quant),
     }
 }
 
 /// Compresses multiple layers with the chunked-parallel kernels.
 ///
-/// The output format is self-describing and distinct from
-/// [`crate::pipeline::Compso`]'s serial format; decode with
-/// [`decompress_chunked`]. The result is deterministic for a fixed `rng`
-/// seed regardless of thread count: each chunk forks its own RNG stream
-/// by chunk index.
+/// The output is the self-describing v2 chunked format (see
+/// [`CHUNKED_VERSION`]), distinct from [`crate::pipeline::Compso`]'s
+/// serial format; decode with [`decompress_chunked`]. The result is
+/// deterministic for a fixed `rng` seed regardless of thread count: each
+/// chunk forks its own RNG stream by chunk index.
 pub fn compress_chunked(
     layers: &[&[f32]],
     cfg: &CompsoConfig,
@@ -227,52 +290,15 @@ pub fn compress_chunked(
     } else {
         // Staged: materialize the filter products for every chunk first,
         // then quantize, then serialize — three full traversals, matching
-        // an unfused multi-kernel GPU pipeline.
-        struct Stage1 {
-            bitmap: Vec<u8>,
-            kept: Vec<f32>,
-            n: usize,
-            used_filter: bool,
-        }
-        let stage1: Vec<Stage1> = schedule
+        // an unfused multi-kernel GPU pipeline. Each stage reuses the same
+        // per-chunk helpers as the fused path, so both paths emit
+        // bit-identical bytes.
+        let stage1: Vec<FilteredChunk> = schedule
             .chunks
             .par_iter()
             .map(|c| {
                 let slice = &layers[c.layer][c.offset..c.offset + c.len];
-                let range = ranges[c.layer];
-                let span = if slice.is_empty() {
-                    0.0
-                } else {
-                    range.max - range.min
-                };
-                let threshold = match cfg.eb_filter {
-                    Some(ebf) if span > 0.0 => ebf * span,
-                    _ => 0.0,
-                };
-                let use_filter = threshold > 0.0;
-                let mut bitmap = if use_filter {
-                    vec![0u8; slice.len().div_ceil(8)]
-                } else {
-                    Vec::new()
-                };
-                let mut kept = Vec::with_capacity(slice.len());
-                if use_filter {
-                    for (i, &v) in slice.iter().enumerate() {
-                        if v.abs() < threshold {
-                            bitmap[i / 8] |= 1 << (i % 8);
-                        } else {
-                            kept.push(v);
-                        }
-                    }
-                } else {
-                    kept.extend_from_slice(slice);
-                }
-                Stage1 {
-                    bitmap,
-                    kept,
-                    n: slice.len(),
-                    used_filter: use_filter,
-                }
+                filter_chunk(slice, ranges[c.layer], cfg)
             })
             .collect();
         let stage2: Vec<Quantized> = schedule
@@ -280,42 +306,33 @@ pub fn compress_chunked(
             .par_iter()
             .enumerate()
             .map(|(idx, c)| {
-                let range = ranges[c.layer];
-                let (lo, hi) = if stage1[idx].n == 0 {
-                    (0.0, 0.0)
-                } else {
-                    (range.min, range.max)
-                };
-                let quantizer = Quantizer {
-                    bound: crate::quantize::ErrorBound::Relative(cfg.eb_quant),
-                    mode: cfg.mode,
-                };
+                let s1 = &stage1[idx];
                 let mut chunk_rng = rng.fork(idx as u64);
-                quantizer.quantize_with_range(&stage1[idx].kept, lo, hi, &mut chunk_rng)
+                quantize_chunk(&s1.kept, s1.n, ranges[c.layer], cfg, &mut chunk_rng)
             })
             .collect();
         stage1
             .into_par_iter()
             .zip(stage2)
-            .map(|(s1, quant)| {
-                let mut codes = Writer::new();
-                codes.u64(s1.n as u64);
-                codes.u8(u8::from(s1.used_filter));
-                quant.write(&mut codes);
-                ChunkOut {
-                    bitmap: s1.bitmap,
-                    codes: codes.into_bytes(),
-                }
+            .map(|(s1, quant)| ChunkOut {
+                codes: serialize_chunk(s1.n, s1.used_filter, &quant),
+                bitmap: s1.bitmap,
             })
             .collect()
     };
 
-    // Gather + encode.
-    let mut bitmaps = Vec::new();
-    let mut codes = Vec::new();
+    // Gather the per-chunk products into contiguous streams, recording the
+    // byte offset of every chunk in both streams — the v2 index that makes
+    // decode chunk-parallel.
+    let total_bitmap: usize = outs.iter().map(|o| o.bitmap.len()).sum();
+    let total_codes: usize = outs.iter().map(|o| o.codes.len()).sum();
+    let mut bitmaps = Vec::with_capacity(total_bitmap);
+    let mut codes = Vec::with_capacity(total_codes);
+    let mut offsets: Vec<(u64, u64)> = Vec::with_capacity(outs.len());
     for o in &outs {
-        bitmaps.extend_from_slice(&o.bitmap);
+        offsets.push((codes.len() as u64, bitmaps.len() as u64));
         codes.extend_from_slice(&o.codes);
+        bitmaps.extend_from_slice(&o.bitmap);
     }
     // nvCOMP-style block-parallel entropy coding (§5.2's "block
     // processing scheme") — the codec stage scales with cores like the
@@ -323,9 +340,10 @@ pub fn compress_chunked(
     let enc_bitmaps = cfg.codec.encode_blocks(&bitmaps, CODEC_BLOCK);
     let enc_codes = cfg.codec.encode_blocks(&codes, CODEC_BLOCK);
 
-    let mut w = Writer::with_capacity(enc_bitmaps.len() + enc_codes.len() + 64);
+    let mut w =
+        Writer::with_capacity(enc_bitmaps.len() + enc_codes.len() + 16 * offsets.len() + 64);
     w.u8(MAGIC_CHUNKED);
-    w.u8(crate::pipeline::VERSION);
+    w.u8(CHUNKED_VERSION);
     w.u8(cfg.codec.tag());
     w.u8(0);
     w.u32(schedule.layer_sizes.len() as u32);
@@ -333,19 +351,112 @@ pub fn compress_chunked(
         w.u64(n as u64);
     }
     w.u64(schedule.chunk_elems as u64);
+    w.u32(offsets.len() as u32);
+    for &(c_off, b_off) in &offsets {
+        w.u64(c_off);
+        w.u64(b_off);
+    }
     w.block(&enc_bitmaps);
     w.block(&enc_codes);
     w.into_bytes()
 }
 
+/// [`compress_chunked`] with the whole kernel sweep timed under the
+/// `core/chunked_compress` span and in/out traffic counted in the same
+/// `core/bytes_in` / `core/bytes_out` counters the serial pipeline uses,
+/// so live compression-ratio dashboards see both paths uniformly.
+pub fn compress_chunked_recorded(
+    layers: &[&[f32]],
+    cfg: &CompsoConfig,
+    kc: &KernelConfig,
+    schedule: &LayerSchedule,
+    rng: &Rng,
+    rec: &Recorder,
+) -> Vec<u8> {
+    let out = {
+        let _span = rec.span(names::CORE_CHUNKED_COMPRESS);
+        compress_chunked(layers, cfg, kc, schedule, rng)
+    };
+    if rec.is_enabled() {
+        let n: usize = layers.iter().map(|l| l.len()).sum();
+        rec.add(names::CORE_BYTES_IN, (n * 4) as u64);
+        rec.add(names::CORE_BYTES_OUT, out.len() as u64);
+    }
+    out
+}
+
+/// Decodes one chunk's record from its exact byte slices. Both readers
+/// must be fully consumed — a chunk that under- or over-runs its indexed
+/// slice is corrupt.
+fn decompress_chunk(
+    c: &ChunkDesc,
+    codes: &[u8],
+    bitmaps: &[u8],
+) -> Result<Vec<f32>, CompressError> {
+    let mut cr = Reader::new(codes);
+    let n = usize::try_from(cr.u64()?).map_err(|_| WireError::Invalid("chunk len"))?;
+    if n != c.len {
+        return Err(CompressError::Corrupt("chunk length mismatch"));
+    }
+    let used_filter = match cr.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(WireError::Invalid("filter flag").into()),
+    };
+    let quant = Quantized::read(&mut cr)?;
+    if !cr.is_exhausted() {
+        return Err(CompressError::Corrupt("chunk codes overrun"));
+    }
+    let kept = quant.dequantize();
+    let mut out = Vec::with_capacity(n);
+    if used_filter {
+        let mut br = Reader::new(bitmaps);
+        let bm = br.bytes(n.div_ceil(8))?;
+        if !br.is_exhausted() {
+            return Err(CompressError::Corrupt("chunk bitmap overrun"));
+        }
+        let mut next = 0usize;
+        for i in 0..n {
+            let dropped = (bm[i / 8] >> (i % 8)) & 1 == 1;
+            if dropped {
+                out.push(0.0);
+            } else {
+                let v = *kept
+                    .get(next)
+                    .ok_or(CompressError::Corrupt("kept underrun"))?;
+                next += 1;
+                out.push(v);
+            }
+        }
+        if next != kept.len() {
+            return Err(CompressError::Corrupt("kept overrun"));
+        }
+    } else {
+        if !bitmaps.is_empty() {
+            return Err(CompressError::Corrupt("unexpected bitmap bytes"));
+        }
+        if kept.len() != n {
+            return Err(CompressError::Corrupt("unfiltered chunk size"));
+        }
+        out.extend_from_slice(&kept);
+    }
+    Ok(out)
+}
+
 /// Inverse of [`compress_chunked`].
+///
+/// The v2 offset index turns decode into a chunk-parallel scatter: every
+/// chunk's records are located by direct byte offset, decoded on rayon
+/// workers, and stitched back into per-layer buffers. Offsets are
+/// validated (monotonic, in-bounds, gap-free via per-chunk reader
+/// exhaustion) before any worker touches the streams.
 pub fn decompress_chunked(bytes: &[u8]) -> Result<Vec<Vec<f32>>, CompressError> {
     let mut r = Reader::new(bytes);
     if r.u8()? != MAGIC_CHUNKED {
         return Err(WireError::Invalid("chunked magic").into());
     }
-    if r.u8()? != crate::pipeline::VERSION {
-        return Err(WireError::Invalid("version").into());
+    if r.u8()? != CHUNKED_VERSION {
+        return Err(WireError::Invalid("chunked version").into());
     }
     let codec = crate::encoders::Codec::from_tag(r.u8()?).ok_or(WireError::Invalid("codec tag"))?;
     let _ = codec; // per-frame codec tags live inside the block frames
@@ -362,51 +473,193 @@ pub fn decompress_chunked(bytes: &[u8]) -> Result<Vec<Vec<f32>>, CompressError> 
     if chunk_elems == 0 {
         return Err(WireError::Invalid("chunk size").into());
     }
+    let schedule = LayerSchedule::build(&layer_sizes, chunk_elems);
+    let n_chunks = r.u32()? as usize;
+    if n_chunks != schedule.chunks().len() {
+        return Err(CompressError::Corrupt("chunk count vs schedule"));
+    }
+    let mut offsets: Vec<(usize, usize)> = Vec::with_capacity(n_chunks);
+    for _ in 0..n_chunks {
+        let c_off = crate::wire::checked_count(r.u64()?)?;
+        let b_off = crate::wire::checked_count(r.u64()?)?;
+        offsets.push((c_off, b_off));
+    }
     let bitmaps = crate::encoders::Codec::decode_blocks(r.block()?)?;
     let codes = crate::encoders::Codec::decode_blocks(r.block()?)?;
+    if !r.is_exhausted() {
+        return Err(CompressError::Corrupt("trailing bytes"));
+    }
 
-    let schedule = LayerSchedule::build(&layer_sizes, chunk_elems);
-    let mut bitmaps_r = Reader::new(&bitmaps);
-    let mut codes_r = Reader::new(&codes);
-    let mut out: Vec<Vec<f32>> = layer_sizes.iter().map(|&n| Vec::with_capacity(n)).collect();
-    for c in schedule.chunks() {
-        let n = usize::try_from(codes_r.u64()?).map_err(|_| WireError::Invalid("chunk len"))?;
-        if n != c.len {
-            return Err(CompressError::Corrupt("chunk length mismatch"));
-        }
-        let used_filter = match codes_r.u8()? {
-            0 => false,
-            1 => true,
-            _ => return Err(WireError::Invalid("filter flag").into()),
-        };
-        let quant = Quantized::read(&mut codes_r)?;
-        let kept = quant.dequantize();
-        if used_filter {
-            let bm = bitmaps_r.bytes(n.div_ceil(8))?;
-            let mut next = 0usize;
-            for i in 0..n {
-                let dropped = (bm[i / 8] >> (i % 8)) & 1 == 1;
-                if dropped {
-                    out[c.layer].push(0.0);
-                } else {
-                    let v = *kept
-                        .get(next)
-                        .ok_or(CompressError::Corrupt("kept underrun"))?;
-                    next += 1;
-                    out[c.layer].push(v);
-                }
-            }
-            if next != kept.len() {
-                return Err(CompressError::Corrupt("kept overrun"));
-            }
+    // Validate the offset index: chunk i's records span [off(i), off(i+1))
+    // in each stream; the last chunk ends at the stream length. Offsets
+    // must start at zero and never run backwards or out of bounds. Gaps
+    // between records are caught per-chunk by reader-exhaustion checks.
+    let mut ends: Vec<(usize, usize)> = Vec::with_capacity(n_chunks);
+    for i in 0..n_chunks {
+        let (c0, b0) = offsets[i];
+        let (c1, b1) = if i + 1 < n_chunks {
+            offsets[i + 1]
         } else {
-            if kept.len() != n {
-                return Err(CompressError::Corrupt("unfiltered chunk size"));
+            (codes.len(), bitmaps.len())
+        };
+        if c0 > c1 || b0 > b1 || c1 > codes.len() || b1 > bitmaps.len() {
+            return Err(CompressError::Corrupt("chunk offset index"));
+        }
+        ends.push((c1, b1));
+    }
+    if n_chunks > 0 && offsets[0] != (0, 0) {
+        return Err(CompressError::Corrupt("chunk offset index"));
+    }
+
+    // Chunk-parallel decode: each worker seeks straight to its records.
+    let decoded: Vec<Vec<f32>> = schedule
+        .chunks()
+        .par_iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let (c0, b0) = offsets[i];
+            let (c1, b1) = ends[i];
+            decompress_chunk(c, &codes[c0..c1], &bitmaps[b0..b1])
+        })
+        .collect::<Result<Vec<_>, CompressError>>()?;
+
+    // Layer-parallel assembly: chunks are in layer-then-offset order, so
+    // each layer owns a contiguous run of decoded chunks.
+    let chunks = schedule.chunks();
+    let mut layer_ranges: Vec<(usize, usize)> = Vec::with_capacity(n_layers);
+    let mut start = 0usize;
+    for layer in 0..n_layers {
+        let mut end = start;
+        while end < chunks.len() && chunks[end].layer == layer {
+            end += 1;
+        }
+        layer_ranges.push((start, end));
+        start = end;
+    }
+    let out: Vec<Vec<f32>> = layer_ranges
+        .par_iter()
+        .enumerate()
+        .map(|(layer, &(s, e))| {
+            let mut v = Vec::with_capacity(layer_sizes[layer]);
+            for d in &decoded[s..e] {
+                v.extend_from_slice(d);
             }
-            out[c.layer].extend_from_slice(&kept);
+            v
+        })
+        .collect();
+    Ok(out)
+}
+
+/// [`decompress_chunked`] timed under the same `core/decode` span and
+/// `core/decode_bytes_in` counter as the serial pipeline's decode.
+pub fn decompress_chunked_recorded(
+    bytes: &[u8],
+    rec: &Recorder,
+) -> Result<Vec<Vec<f32>>, CompressError> {
+    let _span = rec.span(names::CORE_DECODE);
+    rec.add(names::CORE_DECODE_BYTES_IN, bytes.len() as u64);
+    decompress_chunked(bytes)
+}
+
+/// The chunked-parallel COMPSO compressor: the same strategy knobs as
+/// [`Compso`] (`CompsoConfig`) executed by the §4.5 kernels.
+///
+/// Single-buffer [`Compressor::compress`] calls tile the buffer with a
+/// throwaway one-layer [`LayerSchedule`]; the production hot path is
+/// [`Compressor::compress_group`], where the caller (e.g. `DistKfac`)
+/// passes a schedule built once at optimizer init and reused every
+/// iteration. Output bytes are identical either way for matching layer
+/// shapes, and deterministic at any thread count.
+///
+/// [`Compso`]: crate::pipeline::Compso
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChunkedCompso {
+    /// The active compression strategy (shared with the serial pipeline).
+    pub config: CompsoConfig,
+    /// Kernel structure knobs (chunk size, fused/staged, extrema path).
+    pub kernel: KernelConfig,
+}
+
+impl ChunkedCompso {
+    /// Creates a chunked compressor with the given strategy and default
+    /// kernel structure.
+    pub fn new(config: CompsoConfig) -> Self {
+        ChunkedCompso {
+            config,
+            kernel: KernelConfig::default(),
         }
     }
-    Ok(out)
+
+    /// Replaces the kernel configuration.
+    pub fn with_kernel(mut self, kernel: KernelConfig) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Derives the per-call base RNG, advancing the caller's generator
+    /// exactly once so repeated calls never reuse randomness while chunk
+    /// workers still fork deterministic per-chunk streams from it.
+    fn base_rng(rng: &mut Rng) -> Rng {
+        Rng::new(rng.next_u64())
+    }
+}
+
+impl Compressor for ChunkedCompso {
+    fn name(&self) -> &'static str {
+        "COMPSO-chunked"
+    }
+
+    fn compress(&self, data: &[f32], rng: &mut Rng) -> Vec<u8> {
+        self.compress_recorded(data, rng, &Recorder::disabled())
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Vec<f32>, CompressError> {
+        self.decompress_recorded(bytes, &Recorder::disabled())
+    }
+
+    fn compress_recorded(&self, data: &[f32], rng: &mut Rng, rec: &Recorder) -> Vec<u8> {
+        let schedule = LayerSchedule::build(&[data.len()], self.kernel.chunk_elems);
+        let base = Self::base_rng(rng);
+        compress_chunked_recorded(&[data], &self.config, &self.kernel, &schedule, &base, rec)
+    }
+
+    fn decompress_recorded(&self, bytes: &[u8], rec: &Recorder) -> Result<Vec<f32>, CompressError> {
+        let mut layers = decompress_chunked_recorded(bytes, rec)?;
+        if layers.len() != 1 {
+            return Err(CompressError::Corrupt("expected a single layer"));
+        }
+        Ok(layers.pop().unwrap())
+    }
+
+    fn compress_group(
+        &self,
+        layers: &[&[f32]],
+        schedule: Option<&LayerSchedule>,
+        rng: &mut Rng,
+        rec: &Recorder,
+    ) -> Vec<u8> {
+        let base = Self::base_rng(rng);
+        match schedule {
+            Some(s) => compress_chunked_recorded(layers, &self.config, &self.kernel, s, &base, rec),
+            None => {
+                let sizes: Vec<usize> = layers.iter().map(|l| l.len()).collect();
+                let s = LayerSchedule::build(&sizes, self.kernel.chunk_elems);
+                compress_chunked_recorded(layers, &self.config, &self.kernel, &s, &base, rec)
+            }
+        }
+    }
+
+    fn decompress_group(
+        &self,
+        bytes: &[u8],
+        rec: &Recorder,
+    ) -> Result<Vec<Vec<f32>>, CompressError> {
+        decompress_chunked_recorded(bytes, rec)
+    }
+
+    fn preferred_chunk_elems(&self) -> Option<usize> {
+        Some(self.kernel.chunk_elems)
+    }
 }
 
 #[cfg(test)]
@@ -433,6 +686,9 @@ mod tests {
             assert_eq!(c.offset, expected_offset[c.layer]);
             expected_offset[c.layer] += c.len;
         }
+        assert_eq!(s.chunk_elems(), 64);
+        assert!(s.matches(&[100, 0, 250]));
+        assert!(!s.matches(&[100, 250]));
     }
 
     #[test]
@@ -514,6 +770,33 @@ mod tests {
     }
 
     #[test]
+    fn deterministic_across_thread_counts() {
+        // The tentpole invariant: with the shim's thread override pinning
+        // the worker count, 1 thread and many threads must emit identical
+        // bytes and identical decoded values (per-chunk forked RNG streams
+        // + order-preserving parallel collect).
+        let layers = layers_fixture(21);
+        let refs: Vec<&[f32]> = layers.iter().map(|l| l.as_slice()).collect();
+        let cfg = CompsoConfig::aggressive(4e-3);
+        let sizes: Vec<usize> = layers.iter().map(|l| l.len()).collect();
+        let schedule = LayerSchedule::build(&sizes, 4096);
+        let rng = Rng::new(22);
+        let (serial_bytes, serial_back) = {
+            let _guard = rayon::scoped_thread_override(1);
+            let b = compress_chunked(&refs, &cfg, &KernelConfig::default(), &schedule, &rng);
+            let d = decompress_chunked(&b).unwrap();
+            (b, d)
+        };
+        for threads in [2usize, 4, 8] {
+            let _guard = rayon::scoped_thread_override(threads);
+            let b = compress_chunked(&refs, &cfg, &KernelConfig::default(), &schedule, &rng);
+            assert_eq!(b, serial_bytes, "compress differs at {threads} threads");
+            let d = decompress_chunked(&b).unwrap();
+            assert_eq!(d, serial_back, "decode differs at {threads} threads");
+        }
+    }
+
+    #[test]
     fn flat_and_hierarchical_extrema_agree() {
         let layers = layers_fixture(7);
         let refs: Vec<&[f32]> = layers.iter().map(|l| l.as_slice()).collect();
@@ -579,6 +862,159 @@ mod tests {
         for cut in [0usize, 2, 10, 40, bytes.len() / 2, bytes.len() - 1] {
             assert!(decompress_chunked(&bytes[..cut]).is_err(), "cut={cut}");
         }
+    }
+
+    #[test]
+    fn v1_version_byte_rejected() {
+        let layers = layers_fixture(13);
+        let refs: Vec<&[f32]> = layers.iter().map(|l| l.as_slice()).collect();
+        let sizes: Vec<usize> = layers.iter().map(|l| l.len()).collect();
+        let schedule = LayerSchedule::build(&sizes, 8192);
+        let rng = Rng::new(14);
+        let mut bytes = compress_chunked(
+            &refs,
+            &CompsoConfig::aggressive(4e-3),
+            &KernelConfig::default(),
+            &schedule,
+            &rng,
+        );
+        assert_eq!(bytes[1], CHUNKED_VERSION);
+        bytes[1] = 1; // the pre-index v1 layout is gone; readers must refuse
+        assert!(decompress_chunked(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupted_chunk_offset_index_rejected() {
+        let layers = layers_fixture(15);
+        let refs: Vec<&[f32]> = layers.iter().map(|l| l.as_slice()).collect();
+        let sizes: Vec<usize> = layers.iter().map(|l| l.len()).collect();
+        let schedule = LayerSchedule::build(&sizes, 8192);
+        let rng = Rng::new(16);
+        let bytes = compress_chunked(
+            &refs,
+            &CompsoConfig::aggressive(4e-3),
+            &KernelConfig::default(),
+            &schedule,
+            &rng,
+        );
+        // The index sits right after the fixed header: magic(1) ver(1)
+        // codec(1) flags(1) n_layers(4) sizes(8 each) chunk_elems(8),
+        // then n_chunks(4) and (codes_off, bitmap_off) u64 pairs.
+        let index_base = 16 + 8 * sizes.len();
+        let n_chunks =
+            u32::from_le_bytes(bytes[index_base..index_base + 4].try_into().unwrap()) as usize;
+        assert_eq!(n_chunks, schedule.chunks().len());
+        // (a) nudge a mid-index codes offset: the preceding chunk's slice
+        // grows a byte, tripping the exhaustion check (or misparsing).
+        let mut nudged = bytes.clone();
+        let mid = index_base + 4 + 16 * (n_chunks / 2);
+        nudged[mid] = nudged[mid].wrapping_add(1);
+        assert!(decompress_chunked(&nudged).is_err());
+        // (b) blow an offset out of bounds entirely.
+        let mut blown = bytes.clone();
+        for b in &mut blown[mid..mid + 8] {
+            *b = 0xFF;
+        }
+        assert!(decompress_chunked(&blown).is_err());
+        // (c) a non-zero first offset implies a leading gap.
+        let mut shifted = bytes.clone();
+        shifted[index_base + 4] = shifted[index_base + 4].wrapping_add(1);
+        assert!(decompress_chunked(&shifted).is_err());
+        // (d) wrong chunk count vs. the schedule implied by the header.
+        let mut miscounted = bytes;
+        miscounted[index_base] = miscounted[index_base].wrapping_add(1);
+        assert!(decompress_chunked(&miscounted).is_err());
+    }
+
+    #[test]
+    fn chunked_compso_roundtrips_via_compressor_trait() {
+        let data = crate::synthetic::generate(60_000, 17, GradientProfile::kfac());
+        let c = ChunkedCompso::new(CompsoConfig::aggressive(4e-3));
+        let mut rng = Rng::new(18);
+        let bytes = c.compress(&data, &mut rng);
+        let back = c.decompress(&bytes).unwrap();
+        assert_eq!(back.len(), data.len());
+        let mm = minmax_flat(&data);
+        let range = mm.max - mm.min;
+        for (&x, &y) in data.iter().zip(&back) {
+            if y == 0.0 {
+                assert!(x.abs() <= 4e-3 * range * 1.001 + 1e-7);
+            } else {
+                assert!((x - y).abs() <= 4e-3 * range * 1.01 + 1e-7);
+            }
+        }
+        // Ratio plumbing works through the trait too.
+        let ratio = c.ratio(&data, &mut rng);
+        assert!(ratio > 5.0, "ratio {ratio}");
+        assert_eq!(
+            c.preferred_chunk_elems(),
+            Some(KernelConfig::default().chunk_elems)
+        );
+    }
+
+    #[test]
+    fn chunked_compso_group_uses_and_matches_provided_schedule() {
+        let layers = layers_fixture(19);
+        let refs: Vec<&[f32]> = layers.iter().map(|l| l.as_slice()).collect();
+        let sizes: Vec<usize> = layers.iter().map(|l| l.len()).collect();
+        let c = ChunkedCompso::new(CompsoConfig::aggressive(4e-3));
+        let schedule = LayerSchedule::build(&sizes, c.kernel.chunk_elems);
+        let rec = Recorder::disabled();
+        // Same RNG state, with vs. without a caller-provided schedule:
+        // identical bytes (the schedule is a pure cache).
+        let mut rng_a = Rng::new(20);
+        let with_schedule = c.compress_group(&refs, Some(&schedule), &mut rng_a, &rec);
+        let mut rng_b = Rng::new(20);
+        let without = c.compress_group(&refs, None, &mut rng_b, &rec);
+        assert_eq!(with_schedule, without);
+        // And the caller's RNG advanced identically either way.
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+        let back = c.decompress_group(&with_schedule, &rec).unwrap();
+        assert_eq!(back.len(), layers.len());
+        for (orig, dec) in layers.iter().zip(&back) {
+            assert_eq!(orig.len(), dec.len());
+        }
+    }
+
+    #[test]
+    fn chunked_compso_consumes_rng_per_call() {
+        // Two consecutive compress calls must not reuse randomness: the
+        // caller's generator advances, so stochastic rounding differs.
+        let data = crate::synthetic::generate(30_000, 23, GradientProfile::kfac());
+        let c = ChunkedCompso::new(CompsoConfig::aggressive(4e-3));
+        let mut rng = Rng::new(24);
+        let a = c.compress(&data, &mut rng);
+        let b = c.compress(&data, &mut rng);
+        assert_ne!(a, b, "consecutive calls reused the RNG stream");
+        // But a reset generator reproduces the first call exactly.
+        let mut rng2 = Rng::new(24);
+        assert_eq!(a, c.compress(&data, &mut rng2));
+    }
+
+    #[test]
+    fn recorded_chunked_paths_track_traffic_and_match_plain() {
+        let layers = layers_fixture(25);
+        let refs: Vec<&[f32]> = layers.iter().map(|l| l.as_slice()).collect();
+        let sizes: Vec<usize> = layers.iter().map(|l| l.len()).collect();
+        let schedule = LayerSchedule::build(&sizes, 8192);
+        let cfg = CompsoConfig::aggressive(4e-3);
+        let kc = KernelConfig::default();
+        let rng = Rng::new(26);
+        let rec = Recorder::enabled();
+        let bytes = compress_chunked_recorded(&refs, &cfg, &kc, &schedule, &rng, &rec);
+        assert_eq!(bytes, compress_chunked(&refs, &cfg, &kc, &schedule, &rng));
+        let back = decompress_chunked_recorded(&bytes, &rec).unwrap();
+        assert_eq!(back, decompress_chunked(&bytes).unwrap());
+        let snap = rec.snapshot();
+        let total: usize = sizes.iter().sum();
+        assert_eq!(snap.counter(names::CORE_BYTES_IN), (total * 4) as u64);
+        assert_eq!(snap.counter(names::CORE_BYTES_OUT), bytes.len() as u64);
+        assert_eq!(
+            snap.counter(names::CORE_DECODE_BYTES_IN),
+            bytes.len() as u64
+        );
+        assert_eq!(snap.timers[names::CORE_CHUNKED_COMPRESS].count, 1);
+        assert_eq!(snap.timers[names::CORE_DECODE].count, 1);
     }
 
     proptest::proptest! {

@@ -52,6 +52,7 @@ pub mod wire;
 
 pub use adaptive::{BoundSchedule, CompressionStrategy, LrScheduleKind};
 pub use encoders::Codec;
+pub use kernels::{ChunkedCompso, KernelConfig, LayerSchedule};
 pub use pipeline::{Compso, CompsoConfig};
 pub use quantize::Quantizer;
 pub use rounding::RoundingMode;

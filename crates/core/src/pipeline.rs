@@ -113,28 +113,28 @@ impl Compso {
             mm.max - mm.min
         };
 
-        let (kept, bitmap) = {
+        let filtered = {
             let _span = rec.span(names::CORE_FILTER);
             match self.config.eb_filter {
-                Some(ebf) if range > 0.0 => {
-                    let f = filter(data, ebf * range);
-                    (f.kept, Some(f.bitmap))
-                }
-                _ => (data.to_vec(), None),
+                Some(ebf) if range > 0.0 => Some(filter(data, ebf * range)),
+                _ => None,
             }
         };
 
         codes.u64(data.len() as u64);
-        match &bitmap {
-            Some(b) => {
+        match &filtered {
+            Some(f) => {
                 codes.u8(1);
-                bitmaps.extend_from_slice(&b.to_bytes());
+                bitmaps.extend_from_slice(&f.bitmap.to_bytes());
             }
             None => codes.u8(0),
         }
+        // The no-filter branch quantizes `data` in place — no `to_vec`
+        // copy of the whole layer on the hot path.
+        let kept: &[f32] = filtered.as_ref().map_or(data, |f| f.kept.as_slice());
         let _span = rec.span(names::CORE_QUANTIZE);
         let quantizer = Quantizer::relative(self.config.eb_quant, self.config.mode);
-        let quant = quantizer.quantize(&kept, rng);
+        let quant = quantizer.quantize(kept, rng);
         quant.write(codes);
     }
 
@@ -189,8 +189,19 @@ impl Compso {
         rng: &mut Rng,
         rec: &Recorder,
     ) -> Vec<u8> {
-        let mut bitmaps: Vec<u8> = Vec::new();
-        let mut codes = Writer::new();
+        // Pre-size both working buffers from the layer sizes: the bitmap
+        // stream is exactly one bit per element when the filter runs, and
+        // the code stream is bounded by ~2 bytes/element plus small
+        // per-layer headers for the bounds used here — so the hot path
+        // reallocates (almost) never instead of doubling repeatedly.
+        let total: usize = layers.iter().map(|l| l.len()).sum();
+        let bitmap_cap = if self.config.eb_filter.is_some() {
+            layers.iter().map(|l| l.len().div_ceil(8)).sum()
+        } else {
+            0
+        };
+        let mut bitmaps: Vec<u8> = Vec::with_capacity(bitmap_cap);
+        let mut codes = Writer::with_capacity(total * 2 + layers.len() * 32);
         for layer in layers {
             self.encode_layer(layer, rng, &mut bitmaps, &mut codes, rec);
         }
@@ -281,6 +292,27 @@ impl Compressor for Compso {
             return Err(CompressError::Corrupt("expected a single layer"));
         }
         Ok(layers.pop().unwrap())
+    }
+
+    fn compress_group(
+        &self,
+        layers: &[&[f32]],
+        schedule: Option<&crate::kernels::LayerSchedule>,
+        rng: &mut Rng,
+        rec: &Recorder,
+    ) -> Vec<u8> {
+        // The serial pipeline has its own native multi-layer aggregation
+        // (§4.4); the chunk schedule is a no-op hint for it.
+        let _ = schedule;
+        self.compress_layers_recorded(layers, rng, rec)
+    }
+
+    fn decompress_group(
+        &self,
+        bytes: &[u8],
+        rec: &Recorder,
+    ) -> Result<Vec<Vec<f32>>, CompressError> {
+        self.decompress_layers_recorded(bytes, rec)
     }
 }
 

@@ -5,9 +5,15 @@
 //! [`Compressor`], so convergence and throughput experiments are generic
 //! over the method under test.
 
+use crate::kernels::LayerSchedule;
 use crate::wire::{Reader, WireError, Writer};
 use compso_obs::Recorder;
 use compso_tensor::rng::Rng;
+
+/// Magic byte of the generic per-layer group framing used by the default
+/// [`Compressor::compress_group`] implementation (distinct from the
+/// serial COMPSO stream's 0xC5 and the chunked format's 0xC6).
+pub const MAGIC_GROUP: u8 = 0xC7;
 
 /// Error produced by decompression.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,6 +69,64 @@ pub trait Compressor: Send + Sync {
     fn decompress_recorded(&self, bytes: &[u8], rec: &Recorder) -> Result<Vec<f32>, CompressError> {
         let _ = rec;
         self.decompress(bytes)
+    }
+
+    /// Compresses several layers as one self-describing unit, optionally
+    /// reusing a caller-cached [`LayerSchedule`] (the paper's
+    /// "pre-determined layer-block hashmap" built once at K-FAC-optimizer
+    /// init). The default implementation ignores the schedule and frames
+    /// each layer's [`Compressor::compress_recorded`] output under a
+    /// [`MAGIC_GROUP`] header; schedule-aware compressors
+    /// ([`crate::kernels::ChunkedCompso`]) and aggregating ones
+    /// ([`crate::pipeline::Compso`]) override it with their native
+    /// multi-layer formats.
+    fn compress_group(
+        &self,
+        layers: &[&[f32]],
+        schedule: Option<&LayerSchedule>,
+        rng: &mut Rng,
+        rec: &Recorder,
+    ) -> Vec<u8> {
+        let _ = schedule;
+        let mut w = Writer::new();
+        w.u8(MAGIC_GROUP);
+        w.u32(layers.len() as u32);
+        for layer in layers {
+            w.block(&self.compress_recorded(layer, rng, rec));
+        }
+        w.into_bytes()
+    }
+
+    /// Inverse of [`Compressor::compress_group`].
+    fn decompress_group(
+        &self,
+        bytes: &[u8],
+        rec: &Recorder,
+    ) -> Result<Vec<Vec<f32>>, CompressError> {
+        let mut r = Reader::new(bytes);
+        if r.u8()? != MAGIC_GROUP {
+            return Err(WireError::Invalid("group magic").into());
+        }
+        let n_layers = r.u32()? as usize;
+        if n_layers > 1_000_000 {
+            return Err(WireError::Invalid("group layer count").into());
+        }
+        let mut out = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            out.push(self.decompress_recorded(r.block()?, rec)?);
+        }
+        if !r.is_exhausted() {
+            return Err(CompressError::Corrupt("trailing group bytes"));
+        }
+        Ok(out)
+    }
+
+    /// Chunk tile size this compressor wants [`LayerSchedule`]s built
+    /// with, or `None` when it has no use for a schedule. Callers that
+    /// cache schedules across iterations (`DistKfac`) consult this at
+    /// init time.
+    fn preferred_chunk_elems(&self) -> Option<usize> {
+        None
     }
 
     /// Compression ratio achieved on `data` (original bytes / compressed
@@ -169,5 +233,43 @@ mod tests {
     #[test]
     fn misaligned_bytes_rejected() {
         assert!(bytes_to_f32s(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn default_group_framing_roundtrips_and_ignores_schedule() {
+        let layers: Vec<Vec<f32>> = vec![vec![1.0, -2.0, 3.5], vec![], vec![0.25; 17]];
+        let refs: Vec<&[f32]> = layers.iter().map(|l| l.as_slice()).collect();
+        let rec = Recorder::disabled();
+        let c = NoCompression;
+        let mut rng = Rng::new(5);
+        let bytes = c.compress_group(&refs, None, &mut rng, &rec);
+        assert_eq!(bytes[0], MAGIC_GROUP);
+        let back = c.decompress_group(&bytes, &rec).unwrap();
+        assert_eq!(back, layers);
+        // A schedule is a pure hint: providing one changes nothing for the
+        // default implementation.
+        let schedule = crate::kernels::LayerSchedule::build(&[3, 0, 17], 8);
+        let mut rng2 = Rng::new(5);
+        assert_eq!(
+            c.compress_group(&refs, Some(&schedule), &mut rng2, &rec),
+            bytes
+        );
+        assert_eq!(c.preferred_chunk_elems(), None);
+    }
+
+    #[test]
+    fn default_group_framing_rejects_corruption() {
+        let layers: Vec<Vec<f32>> = vec![vec![1.0; 9], vec![2.0; 4]];
+        let refs: Vec<&[f32]> = layers.iter().map(|l| l.as_slice()).collect();
+        let rec = Recorder::disabled();
+        let c = NoCompression;
+        let mut rng = Rng::new(6);
+        let mut bytes = c.compress_group(&refs, None, &mut rng, &rec);
+        assert!(c.decompress_group(&bytes[..bytes.len() - 1], &rec).is_err());
+        bytes.push(0);
+        assert!(c.decompress_group(&bytes, &rec).is_err(), "trailing bytes");
+        bytes.pop();
+        bytes[0] = 0x00;
+        assert!(c.decompress_group(&bytes, &rec).is_err(), "magic");
     }
 }

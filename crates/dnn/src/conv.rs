@@ -246,6 +246,10 @@ impl Layer for Conv2d {
         Some(&self.grad)
     }
 
+    fn grads_mut(&mut self) -> Option<&mut Matrix> {
+        Some(&mut self.grad)
+    }
+
     fn set_grads(&mut self, grads: Matrix) {
         assert_eq!(
             (grads.rows(), grads.cols()),

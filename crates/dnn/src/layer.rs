@@ -45,6 +45,13 @@ pub trait Layer: Send {
         None
     }
 
+    /// Mutable access to the parameter gradient, for optimizers that
+    /// update it in place (e.g. the bucketed gradient sync's scatter-back)
+    /// instead of allocating a replacement via [`Layer::set_grads`].
+    fn grads_mut(&mut self) -> Option<&mut Matrix> {
+        None
+    }
+
     /// Replaces the parameter gradient (after preconditioning or
     /// decompression the optimizer writes the processed gradient back).
     fn set_grads(&mut self, grads: Matrix);
@@ -158,6 +165,10 @@ impl Layer for Linear {
 
     fn grads(&self) -> Option<&Matrix> {
         Some(&self.grad)
+    }
+
+    fn grads_mut(&mut self) -> Option<&mut Matrix> {
+        Some(&mut self.grad)
     }
 
     fn set_grads(&mut self, grads: Matrix) {
@@ -382,6 +393,10 @@ impl Layer for LayerNorm {
 
     fn grads(&self) -> Option<&Matrix> {
         Some(&self.grad)
+    }
+
+    fn grads_mut(&mut self) -> Option<&mut Matrix> {
+        Some(&mut self.grad)
     }
 
     fn set_grads(&mut self, grads: Matrix) {

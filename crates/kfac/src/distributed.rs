@@ -4,8 +4,12 @@
 //! (Fig. 2 of the paper):
 //!
 //! 1. local forward/backward;
-//! 2. ring all-reduce of every trainable layer's raw gradient (the
-//!    data-parallel sync — K-FAC and non-K-FAC layers alike);
+//! 2. **bucketed** ring all-reduce of the raw gradients: every trainable
+//!    layer's gradient is flattened into one reusable fusion buffer, a
+//!    single `allreduce_mean` moves the whole bucket, and the averaged
+//!    values are scattered back in place — one collective per step
+//!    instead of one per layer (the gradient-fusion argument of the
+//!    adaptive-compression systems line of work);
 //! 3. per-K-FAC-layer covariances, all-reduced and folded into running
 //!    averages (identical on every rank);
 //! 4. the *owner* of each layer (greedy cost-balanced assignment, as in
@@ -14,18 +18,23 @@
 //! 5. variable-size ring **all-gather** of the preconditioned gradients.
 //!    This is the traffic COMPSO compresses: with a compressor installed,
 //!    owners compress their layers' preconditioned gradients (aggregating
-//!    up to `aggregation` layers per compressed unit) and every rank
-//!    decompresses what it receives;
-//! 6. every rank installs the preconditioned gradients and applies the
-//!    identical SGD(+momentum) update.
+//!    up to `aggregation` layers per compressed unit, via
+//!    [`Compressor::compress_group`] with a cached [`LayerSchedule`] so
+//!    chunked compressors reuse the paper's "pre-determined layer-block
+//!    hashmap" every iteration) and every rank decompresses what it
+//!    receives;
+//! 6. every rank decodes the received peer payloads **in parallel**
+//!    (rayon over the N−1 buffers), installs the preconditioned
+//!    gradients, and applies the identical SGD(+momentum) update.
 
 use crate::kfac::{covariance, Kfac, KfacConfig};
 use compso_comm::collectives::{allgather_var, allreduce_mean};
 use compso_comm::Communicator;
-use compso_core::{Compressor, NoCompression};
+use compso_core::{Compressor, LayerSchedule, NoCompression};
 use compso_dnn::Sequential;
 use compso_obs::{names, Recorder};
 use compso_tensor::{Matrix, Rng};
+use rayon::prelude::*;
 
 /// Distributed K-FAC configuration.
 pub struct DistKfacConfig {
@@ -90,6 +99,19 @@ pub struct DistKfac {
     config: DistKfacConfig,
     /// Owner rank per K-FAC layer (indexed by position in `kfac_indices`).
     owners: Option<Vec<usize>>,
+    /// Cached per-aggregation-group [`LayerSchedule`]s for this rank's
+    /// owned layers: `(chunk_elems, one schedule per group)`. Built once
+    /// alongside the ownership map (the paper's layer-block hashmap
+    /// "built during the initialization of the KFAC optimizer and reused
+    /// for the rest of the iterations") when the compressor advertises a
+    /// preferred chunk size.
+    schedules: Option<(usize, Vec<LayerSchedule>)>,
+    /// Times the schedule cache was (re)built. Stays at ≤ 1 for any fixed
+    /// compressor; exposed for the reuse-invariant tests.
+    schedule_builds: u32,
+    /// Reusable fusion buffer for the bucketed step-2 gradient sync (no
+    /// per-step allocation churn).
+    fusion: Vec<f32>,
     /// RNG for stochastic compression.
     rng: Rng,
     /// Observability sink for the step's sub-phases (Fig. 1 taxonomy);
@@ -105,6 +127,9 @@ impl DistKfac {
             kfac: Kfac::new(config.kfac),
             config,
             owners: None,
+            schedules: None,
+            schedule_builds: 0,
+            fusion: Vec::new(),
             rng: Rng::new(seed ^ 0xFACADE),
             recorder: Recorder::disabled(),
         }
@@ -135,14 +160,39 @@ impl DistKfac {
         let trainable = model.trainable_indices();
         let kfac_layers = model.kfac_indices();
 
-        // (2) Data-parallel gradient sync for every trainable layer.
+        // (2) Data-parallel gradient sync, bucketed: flatten every
+        // trainable layer's gradient into the reusable fusion buffer,
+        // all-reduce the whole bucket with ONE collective, and scatter
+        // the averaged values back in place. Per-layer collective latency
+        // and per-step gradient clones are gone; the f32 reduction order
+        // changes (blocks span layer boundaries) but is identical on
+        // every rank, so replicas stay bit-identical.
         {
             let _span = self.recorder.span(names::KFAC_GRAD_SYNC);
-            for &idx in &trainable {
-                let mut grad = model.layer(idx).grads().expect("missing grad").clone();
-                stats.allreduce_bytes += grad.len() as u64 * 4;
-                allreduce_mean(comm, grad.as_mut_slice());
-                model.layer_mut(idx).set_grads(grad);
+            {
+                let _bucket = self.recorder.span(names::KFAC_BUCKET);
+                self.fusion.clear();
+                for &idx in &trainable {
+                    let grad = model.layer(idx).grads().expect("missing grad");
+                    self.fusion.extend_from_slice(grad.as_slice());
+                }
+            }
+            stats.allreduce_bytes += self.fusion.len() as u64 * 4;
+            allreduce_mean(comm, &mut self.fusion);
+            {
+                let _bucket = self.recorder.span(names::KFAC_BUCKET);
+                let mut offset = 0usize;
+                for &idx in &trainable {
+                    let grad = model
+                        .layer_mut(idx)
+                        .grads_mut()
+                        .expect("trainable layer without mutable grad");
+                    let n = grad.len();
+                    grad.as_mut_slice()
+                        .copy_from_slice(&self.fusion[offset..offset + n]);
+                    offset += n;
+                }
+                debug_assert_eq!(offset, self.fusion.len());
             }
         }
 
@@ -189,24 +239,52 @@ impl DistKfac {
             }
         }
 
-        // (5) All-gather the preconditioned gradients, compressed in
-        // aggregation groups.
-        let allgather_span = self.recorder.span(names::KFAC_ALLGATHER);
+        // Build (once) the per-group layer schedules for chunked
+        // compressors: the §4.5 layer-block hashmap, keyed on the
+        // compressor's preferred chunk size. Layer shapes are static, so
+        // for any fixed compressor this runs exactly once per optimizer
+        // lifetime and every later step reuses the cache.
         let m = self.config.aggregation.max(1);
+        if let Some(chunk_elems) = compressor.preferred_chunk_elems() {
+            let stale = match &self.schedules {
+                Some((cached, _)) => *cached != chunk_elems,
+                None => true,
+            };
+            if stale {
+                let groups: Vec<LayerSchedule> = owned
+                    .chunks(m)
+                    .map(|group| {
+                        let sizes: Vec<usize> = group.iter().map(|(_, pre)| pre.len()).collect();
+                        LayerSchedule::build(&sizes, chunk_elems)
+                    })
+                    .collect();
+                self.schedules = Some((chunk_elems, groups));
+                self.schedule_builds += 1;
+            }
+        }
+
+        // (5) All-gather the preconditioned gradients, compressed in
+        // aggregation groups through the compressor's multi-layer entry
+        // point (chunked compressors run the §4.5 parallel kernels here,
+        // reusing the cached schedule; the layer slices are borrowed, so
+        // no flatten copy happens on this side either).
+        let allgather_span = self.recorder.span(names::KFAC_ALLGATHER);
         let mut payload = compso_core::wire::Writer::new();
         payload.u32(owned.len() as u32);
-        for group in owned.chunks(m) {
+        for (gi, group) in owned.chunks(m).enumerate() {
             // Group header: layer ids and shapes.
             payload.u32(group.len() as u32);
-            let mut flat: Vec<f32> = Vec::new();
+            let mut refs: Vec<&[f32]> = Vec::with_capacity(group.len());
             for (idx, pre) in group {
                 payload.u32(*idx as u32);
                 payload.u32(pre.rows() as u32);
                 payload.u32(pre.cols() as u32);
                 stats.gather_bytes_original += pre.len() as u64 * 4;
-                flat.extend_from_slice(pre.as_slice());
+                refs.push(pre.as_slice());
             }
-            let compressed = compressor.compress_recorded(&flat, &mut self.rng, &self.recorder);
+            let schedule = self.schedules.as_ref().and_then(|(_, gs)| gs.get(gi));
+            let compressed =
+                compressor.compress_group(&refs, schedule, &mut self.rng, &self.recorder);
             payload.block(&compressed);
         }
         let bytes = payload.into_bytes();
@@ -214,35 +292,49 @@ impl DistKfac {
         let gathered = allgather_var(comm, bytes);
         drop(allgather_span);
 
-        // (6) Decode every rank's contribution and install.
+        // (6) Decode every rank's contribution in parallel (one rayon
+        // task per received payload — the N−1 peer buffers plus our own
+        // echo decode concurrently), then install serially in rank order
+        // so the result is independent of worker scheduling.
         let _update_span = self.recorder.span(names::KFAC_UPDATE);
-        for buf in gathered {
-            let mut r = compso_core::wire::Reader::new(&buf);
-            let n_owned = r.u32().expect("payload header") as usize;
-            let mut groups_remaining = n_owned;
-            while groups_remaining > 0 {
-                let group_len = r.u32().expect("group header") as usize;
-                assert!(group_len > 0 && group_len <= groups_remaining);
-                let mut shapes = Vec::with_capacity(group_len);
-                for _ in 0..group_len {
-                    let idx = r.u32().expect("layer id") as usize;
-                    let rows = r.u32().expect("rows") as usize;
-                    let cols = r.u32().expect("cols") as usize;
-                    shapes.push((idx, rows, cols));
-                }
-                let block = r.block().expect("compressed block");
-                let flat = compressor
-                    .decompress_recorded(block, &self.recorder)
-                    .expect("peer sent undecodable gradient block");
-                let mut offset = 0usize;
-                for (idx, rows, cols) in shapes {
-                    let take = rows * cols;
-                    let m = Matrix::from_vec(rows, cols, flat[offset..offset + take].to_vec());
-                    offset += take;
-                    model.layer_mut(idx).set_grads(m);
-                }
-                assert_eq!(offset, flat.len(), "group payload size mismatch");
-                groups_remaining -= group_len;
+        let decoded: Vec<Vec<(usize, Matrix)>> = {
+            let _decode_span = self.recorder.span(names::KFAC_PEER_DECODE);
+            let rec = &self.recorder;
+            gathered
+                .par_iter()
+                .map(|buf| {
+                    let mut out: Vec<(usize, Matrix)> = Vec::new();
+                    let mut r = compso_core::wire::Reader::new(buf);
+                    let n_owned = r.u32().expect("payload header") as usize;
+                    let mut groups_remaining = n_owned;
+                    while groups_remaining > 0 {
+                        let group_len = r.u32().expect("group header") as usize;
+                        assert!(group_len > 0 && group_len <= groups_remaining);
+                        let mut shapes = Vec::with_capacity(group_len);
+                        for _ in 0..group_len {
+                            let idx = r.u32().expect("layer id") as usize;
+                            let rows = r.u32().expect("rows") as usize;
+                            let cols = r.u32().expect("cols") as usize;
+                            shapes.push((idx, rows, cols));
+                        }
+                        let block = r.block().expect("compressed block");
+                        let layers = compressor
+                            .decompress_group(block, rec)
+                            .expect("peer sent undecodable gradient block");
+                        assert_eq!(layers.len(), group_len, "group layer count mismatch");
+                        for ((idx, rows, cols), flat) in shapes.into_iter().zip(layers) {
+                            assert_eq!(flat.len(), rows * cols, "layer payload size mismatch");
+                            out.push((idx, Matrix::from_vec(rows, cols, flat)));
+                        }
+                        groups_remaining -= group_len;
+                    }
+                    out
+                })
+                .collect()
+        };
+        for entries in decoded {
+            for (idx, grad) in entries {
+                model.layer_mut(idx).set_grads(grad);
             }
         }
         stats
@@ -251,6 +343,13 @@ impl DistKfac {
     /// The greedy ownership map, once built.
     pub fn owners(&self) -> Option<&[usize]> {
         self.owners.as_deref()
+    }
+
+    /// How many times the owned-layer schedule cache has been built.
+    /// For any fixed compressor this is 0 (schedule-less compressors)
+    /// or 1 (chunked compressors) for the optimizer's whole lifetime.
+    pub fn schedule_builds(&self) -> u32 {
+        self.schedule_builds
     }
 }
 
@@ -510,6 +609,237 @@ mod tests {
         assert!(report.ratio.is_some());
         // And the collectives recorded traffic underneath.
         assert!(snap.counter(names::COMM_BYTES_SENT) > 0);
+    }
+
+    #[test]
+    fn bucketed_sync_matches_per_layer_sync_within_f32_tolerance() {
+        // The semantic claim behind the step-2 bucketing: one fused
+        // allreduce over the concatenated gradients equals per-layer
+        // allreduces up to f32 reduction order (ring blocks now span
+        // layer boundaries).
+        let ranks = 3;
+        let d = data::gaussian_blobs(120, 6, 3, 0.3, 61);
+        let results = run_ranks(ranks, |comm| {
+            let mut rng = Rng::new(62);
+            let mut model = models::mlp(&[6, 16, 3], &mut rng);
+            let shard = d.shard(comm.rank(), ranks);
+            let (x, y) = shard.batch(0, 8);
+            let logits = model.forward(&x, true);
+            let (_, grad) = softmax_cross_entropy(&logits, &y);
+            model.backward(&grad);
+            let trainable = model.trainable_indices();
+            // Reference: per-layer collectives on clones.
+            let mut per_layer: Vec<Vec<f32>> = Vec::new();
+            for &idx in &trainable {
+                let mut g = model.layer(idx).grads().unwrap().clone();
+                allreduce_mean(comm, g.as_mut_slice());
+                per_layer.push(g.as_slice().to_vec());
+            }
+            // Bucketed: one collective over the concatenation.
+            let mut fusion: Vec<f32> = Vec::new();
+            for &idx in &trainable {
+                fusion.extend_from_slice(model.layer(idx).grads().unwrap().as_slice());
+            }
+            allreduce_mean(comm, &mut fusion);
+            (per_layer, fusion)
+        });
+        for (per_layer, fusion) in &results {
+            let flat_ref: Vec<f32> = per_layer.iter().flatten().copied().collect();
+            assert_eq!(flat_ref.len(), fusion.len());
+            for (a, b) in flat_ref.iter().zip(fusion) {
+                assert!(
+                    (a - b).abs() <= 1e-6 + a.abs() * 1e-5,
+                    "bucketed {b} vs per-layer {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_sync_issues_exactly_one_allreduce_per_step() {
+        use compso_obs::{names, Recorder};
+        let ranks = 2;
+        let steps = 4;
+        let d = data::gaussian_blobs(200, 6, 3, 0.3, 67);
+        let rec = Recorder::enabled();
+        let rec_ref = &rec;
+        run_ranks(ranks, |comm| {
+            let mut rng = Rng::new(68);
+            let mut model = models::mlp(&[6, 16, 3], &mut rng);
+            let shard = d.shard(comm.rank(), ranks);
+            let mut opt = DistKfac::new(DistKfacConfig::default(), 7);
+            opt.set_recorder(rec_ref.clone());
+            comm.set_recorder(rec_ref.clone());
+            let compso = compso_core::ChunkedCompso::new(CompsoConfig::aggressive(4e-3));
+            for step in 0..steps {
+                let (x, y) = shard.batch(step, 8);
+                let logits = model.forward(&x, true);
+                let (_, grad) = softmax_cross_entropy(&logits, &y);
+                model.backward(&grad);
+                opt.step(comm, &mut model, &compso);
+                model.update_params(|p, g| p.axpy(-0.02, g));
+            }
+        });
+        let snap = rec.snapshot();
+        // Per rank per step: exactly ONE gradient-sync allreduce (the
+        // bucket) plus two factor allreduces per K-FAC layer. mlp
+        // [6,16,3] has 2 K-FAC (linear) layers.
+        let n_kfac = 2u64;
+        let expected = (ranks * steps) as u64 * (1 + 2 * n_kfac);
+        assert_eq!(snap.counter(names::COMM_ALLREDUCE_CALLS), expected);
+        // One compressed all-gather per step completes the picture.
+        assert_eq!(
+            snap.counter(names::COMM_ALLGATHER_VAR_CALLS),
+            (ranks * steps) as u64
+        );
+        // The bucket flatten/scatter spans wrap the sync (2 per step).
+        assert_eq!(
+            snap.timers[names::KFAC_BUCKET].count,
+            (ranks * steps * 2) as u64
+        );
+        // And the peer-decode span ran once per step per rank.
+        assert_eq!(
+            snap.timers[names::KFAC_PEER_DECODE].count,
+            (ranks * steps) as u64
+        );
+    }
+
+    #[test]
+    fn chunked_compressed_training_bit_identical_across_thread_counts() {
+        // Full-stack determinism: DistKfac + ChunkedCompso must produce
+        // bit-identical parameters on every rank no matter how many rayon
+        // workers the chunk kernels and peer decode fan out over, and the
+        // LayerSchedule must be built exactly once per optimizer lifetime.
+        let ranks = 3;
+        let steps = 6;
+        let d = data::gaussian_blobs(300, 6, 3, 0.3, 71);
+        let run = |threads: usize| {
+            let _guard = rayon::scoped_thread_override(threads);
+            let d = d.clone();
+            run_ranks(ranks, move |comm| {
+                let mut rng = Rng::new(72);
+                let mut model = models::mlp(&[6, 16, 16, 3], &mut rng);
+                let shard = d.shard(comm.rank(), ranks);
+                let mut opt = DistKfac::new(DistKfacConfig::default(), 7);
+                let compso = compso_core::ChunkedCompso::new(CompsoConfig::aggressive(4e-3));
+                for step in 0..steps {
+                    let (x, y) = shard.batch(step, 8);
+                    let logits = model.forward(&x, true);
+                    let (_, grad) = softmax_cross_entropy(&logits, &y);
+                    model.backward(&grad);
+                    opt.step(comm, &mut model, &compso);
+                    model.update_params(|p, g| p.axpy(-0.02, g));
+                }
+                let params: Vec<Matrix> = (0..model.len())
+                    .filter_map(|i| model.layer(i).params().cloned())
+                    .collect();
+                (params, opt.schedule_builds())
+            })
+        };
+        let single = run(1);
+        for &threads in &[2usize, 4] {
+            let multi = run(threads);
+            for (r, ((p1, b1), (pn, bn))) in single.iter().zip(&multi).enumerate() {
+                assert_eq!(b1, bn);
+                assert_eq!(*bn, 1, "schedule rebuilt on rank {r}");
+                assert_eq!(
+                    p1, pn,
+                    "rank {r} params differ between 1 and {threads} threads"
+                );
+            }
+        }
+        // Ranks agree among themselves too.
+        for r in 1..ranks {
+            assert_eq!(single[0].0, single[r].0, "rank {r} drifted");
+        }
+    }
+
+    #[test]
+    fn schedule_cache_is_built_once_and_only_for_chunked_compressors() {
+        let ranks = 2;
+        let d = data::gaussian_blobs(160, 6, 3, 0.3, 73);
+        let run = |use_chunked: bool| {
+            let d = d.clone();
+            run_ranks(ranks, move |comm| {
+                let mut rng = Rng::new(74);
+                let mut model = models::mlp(&[6, 16, 3], &mut rng);
+                let shard = d.shard(comm.rank(), ranks);
+                let mut opt = DistKfac::new(DistKfacConfig::default(), 7);
+                let chunked = compso_core::ChunkedCompso::new(CompsoConfig::aggressive(4e-3));
+                let serial = Compso::new(CompsoConfig::aggressive(4e-3));
+                let compressor: &dyn compso_core::Compressor =
+                    if use_chunked { &chunked } else { &serial };
+                for step in 0..5 {
+                    let (x, y) = shard.batch(step, 8);
+                    let logits = model.forward(&x, true);
+                    let (_, grad) = softmax_cross_entropy(&logits, &y);
+                    model.backward(&grad);
+                    opt.step(comm, &mut model, compressor);
+                    model.update_params(|p, g| p.axpy(-0.02, g));
+                }
+                opt.schedule_builds()
+            })
+        };
+        for builds in run(true) {
+            assert_eq!(builds, 1, "chunked compressor: schedule built once");
+        }
+        for builds in run(false) {
+            assert_eq!(builds, 0, "serial compressor needs no schedule");
+        }
+    }
+
+    #[test]
+    fn chunked_compressed_training_converges_and_compresses() {
+        // ChunkedCompso as the production compressor: ranks stay
+        // bit-identical, the model trains, and the wire is smaller.
+        let ranks = 3;
+        let d = data::gaussian_blobs(300, 6, 3, 0.3, 77);
+        let results = run_ranks(ranks, |comm| {
+            let mut rng = Rng::new(78);
+            let mut model = models::mlp(&[6, 32, 3], &mut rng);
+            let shard = d.shard(comm.rank(), ranks);
+            let mut opt = DistKfac::new(
+                DistKfacConfig {
+                    kfac: KfacConfig {
+                        damping: 0.1,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                7,
+            );
+            let compso = compso_core::ChunkedCompso::new(CompsoConfig::aggressive(4e-3));
+            let mut last = StepStats::default();
+            for step in 0..60 {
+                let (x, y) = shard.batch(step, 16);
+                let logits = model.forward(&x, true);
+                let (_, grad) = softmax_cross_entropy(&logits, &y);
+                model.backward(&grad);
+                last = opt.step(comm, &mut model, &compso);
+                model.update_params(|p, g| p.axpy(-0.01, g));
+            }
+            let logits = model.forward(&d.x, false);
+            (
+                accuracy(&logits, &d.y),
+                last,
+                model.layer(0).params().unwrap().clone(),
+            )
+        });
+        for r in 1..ranks {
+            assert_eq!(results[0].2, results[r].2, "rank {r} drifted");
+        }
+        for (acc, _, _) in &results {
+            assert!(*acc > 0.85, "accuracy {acc}");
+        }
+        let original: u64 = results
+            .iter()
+            .map(|(_, s, _)| s.gather_bytes_original)
+            .sum();
+        let wire: u64 = results.iter().map(|(_, s, _)| s.gather_bytes_wire).sum();
+        assert!(
+            (original as f64) / (wire as f64) > 1.5,
+            "chunked gather ratio {original}/{wire}"
+        );
     }
 
     #[test]

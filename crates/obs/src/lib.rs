@@ -300,6 +300,9 @@ pub mod names {
     pub const CORE_QUANTIZE: &str = "core/quantize";
     /// `compso-core`: lossless encode of aggregated streams.
     pub const CORE_ENCODE: &str = "core/encode";
+    /// `compso-core`: whole chunked-parallel kernel sweep (filter +
+    /// quantize + serialize + block encode) of one multi-layer group.
+    pub const CORE_CHUNKED_COMPRESS: &str = "core/chunked_compress";
     /// `compso-core`: lossless decode + dequantize + unfilter.
     pub const CORE_DECODE: &str = "core/decode";
     /// `compso-core`: raw f32 bytes entering the compressor.
@@ -323,11 +326,23 @@ pub mod names {
     pub const COMM_BYTES_SENT: &str = "comm/bytes_sent";
     /// `compso-comm`: per-message wire sizes (log2 histogram).
     pub const COMM_MSG_BYTES: &str = "comm/msg_bytes";
+    /// `compso-comm`: number of `allreduce_sum`/`allreduce_mean`
+    /// collective invocations (the bucketing win shows up here: one call
+    /// per step for gradient sync instead of one per layer).
+    pub const COMM_ALLREDUCE_CALLS: &str = "comm/allreduce_calls";
+    /// `compso-comm`: number of variable-size all-gather invocations.
+    pub const COMM_ALLGATHER_VAR_CALLS: &str = "comm/allgather_var_calls";
 
     /// `compso-kfac`: whole `DistKfac::step`.
     pub const KFAC_STEP: &str = "kfac/step";
     /// `compso-kfac`: data-parallel gradient all-reduce.
     pub const KFAC_GRAD_SYNC: &str = "kfac/step/grad_sync";
+    /// `compso-kfac`: fusion-buffer flatten + scatter-back around the
+    /// single bucketed gradient all-reduce (nested inside `grad_sync`).
+    pub const KFAC_BUCKET: &str = "kfac/step/grad_sync/bucket";
+    /// `compso-kfac`: parallel decode of the N−1 peer all-gather payloads
+    /// (nested inside `update`).
+    pub const KFAC_PEER_DECODE: &str = "kfac/step/update/peer_decode";
     /// `compso-kfac`: covariance factor compute + all-reduce (Fig. 1
     /// "KFAC Computations" + "Factor Allreduce").
     pub const KFAC_FACTOR: &str = "kfac/step/factor";

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Emits BENCH_compress.json: serial vs chunked-parallel compressor
+# throughput (MB/s) on this host, best-of-N round trips at 16 MiB.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+# Knobs: COMPSO_BENCH_ELEMS (f32 count, default 4Mi = 16 MiB),
+#        COMPSO_BENCH_REPS  (default 3).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_compress.json}"
+cargo run -p compso-bench --release --bin bench_compress -- "$OUT"

@@ -22,4 +22,9 @@ cargo run -p compso-bench --release --bin fig1 >/dev/null
 echo "==> bench smoke: obs_report"
 cargo run -p compso-bench --release --bin obs_report >/dev/null
 
+echo "==> bench smoke: bench_compress (reduced size)"
+COMPSO_BENCH_ELEMS=$((1 << 18)) COMPSO_BENCH_REPS=1 \
+  cargo run -p compso-bench --release --bin bench_compress -- \
+  target/BENCH_compress_smoke.json >/dev/null
+
 echo "CI green."

@@ -19,10 +19,59 @@
 //! slices, whole codec blocks) spawn overhead is noise.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide worker-count override (0 = no override). See
+/// [`set_thread_override`].
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces [`current_num_threads`] to report `n` workers (`None` clears the
+/// override). Shim-only API — real rayon sizes its pool once at startup;
+/// here the pool is per-operation, so tests can pin the worker count to
+/// prove thread-count invariance (same bytes at 1 worker and N workers),
+/// and benchmarks can sweep it. Takes effect for subsequent parallel
+/// operations; in-flight ones are unaffected.
+pub fn set_thread_override(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// RAII guard that restores the previous override on drop. Prefer this in
+/// tests so a panic cannot leak a pinned worker count into later tests.
+pub struct ThreadOverrideGuard {
+    prev: usize,
+}
+
+impl Drop for ThreadOverrideGuard {
+    fn drop(&mut self) {
+        THREAD_OVERRIDE.store(self.prev, Ordering::SeqCst);
+    }
+}
+
+/// Scoped form of [`set_thread_override`].
+#[must_use = "the override is cleared when the guard drops"]
+pub fn scoped_thread_override(n: usize) -> ThreadOverrideGuard {
+    ThreadOverrideGuard {
+        prev: THREAD_OVERRIDE.swap(n, Ordering::SeqCst),
+    }
+}
 
 /// Number of worker threads parallel operations fan out to — the shim
-/// equivalent of rayon's global-pool size.
+/// equivalent of rayon's global-pool size. Resolution order: the in-process
+/// override ([`set_thread_override`]), the `RAYON_NUM_THREADS` environment
+/// variable (matching real rayon), then the machine's available
+/// parallelism.
 pub fn current_num_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::SeqCst) {
+        0 => {}
+        n => return n,
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
@@ -326,6 +375,25 @@ mod tests {
             })
             .collect();
         assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn thread_override_pins_and_restores() {
+        // Serialized against itself only; other tests tolerate any count.
+        let before = current_num_threads();
+        {
+            let _g = scoped_thread_override(3);
+            assert_eq!(current_num_threads(), 3);
+            // Results are identical regardless of the worker count.
+            let xs: Vec<u64> = (0..5000).collect();
+            let pinned: u64 = xs.par_chunks(17).map(|c| c.iter().sum::<u64>()).sum();
+            assert_eq!(pinned, 5000 * 4999 / 2);
+        }
+        assert_eq!(current_num_threads(), before);
+        set_thread_override(Some(1));
+        assert_eq!(current_num_threads(), 1);
+        set_thread_override(None);
+        assert_eq!(current_num_threads(), before);
     }
 
     #[test]

@@ -17,7 +17,7 @@ fn bench_allreduce(c: &mut Criterion) {
                     b.iter(|| {
                         run_ranks(ranks, |comm| {
                             let mut data = vec![comm.rank() as f32; elems];
-                            allreduce_sum(comm, &mut data);
+                            allreduce_sum(comm, &mut data).expect("allreduce");
                             data[0]
                         })
                     });
@@ -41,7 +41,7 @@ fn bench_allgather_var(c: &mut Criterion) {
                 b.iter(|| {
                     run_ranks(ranks, |comm| {
                         let mine = vec![comm.rank() as u8; bytes];
-                        allgather_var(comm, mine).len()
+                        allgather_var(comm, mine).expect("allgather").len()
                     })
                 });
             },

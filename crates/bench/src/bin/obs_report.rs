@@ -60,11 +60,11 @@ fn main() {
             let logits = model.forward(&x, true);
             let (_, grad) = softmax_cross_entropy(&logits, &y);
             model.backward(&grad);
-            opt.step(comm, &mut model, &compso);
+            opt.step(comm, &mut model, &compso).expect("step");
             model.update_params(|p, g| p.axpy(-0.01, g));
 
             // Quiesce all ranks, snapshot on rank 0, then release.
-            comm.barrier();
+            comm.barrier().expect("barrier");
             if comm.rank() == 0 {
                 let cur = rec_ref.snapshot();
                 reports.push(StepReport::from_snapshot(
@@ -73,7 +73,7 @@ fn main() {
                 ));
                 prev = cur;
             }
-            comm.barrier();
+            comm.barrier().expect("barrier");
         }
         reports
     });

@@ -12,8 +12,14 @@
 //! * **broadcast** is a flat fan-out from the root (some K-FAC
 //!   implementations overlap broadcasts per layer; flat is enough for the
 //!   correctness role this substrate plays).
+//!
+//! Every collective is **fallible**: receives are deadline-bounded and
+//! surface [`CommError::Timeout`] naming the peer and the collective
+//! instead of deadlocking, and transport faults injected by an armed
+//! [`crate::fault::FaultPlane`] are absorbed transparently by the
+//! NACK/retransmit layer in [`crate::group`].
 
-use crate::group::{Communicator, Payload};
+use crate::group::{CommError, Communicator, Payload};
 use compso_obs::names;
 
 /// Splits `len` into `parts` contiguous block ranges, sizes differing by at
@@ -34,12 +40,12 @@ pub fn block_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
 
 /// Sum all-reduce: on return every rank's `data` holds the elementwise sum
 /// across ranks. Bandwidth-optimal ring (reduce-scatter + all-gather).
-pub fn allreduce_sum(comm: &mut Communicator, data: &mut [f32]) {
+pub fn allreduce_sum(comm: &mut Communicator, data: &mut [f32]) -> Result<(), CommError> {
     let _span = comm.recorder().span(names::COMM_ALLREDUCE);
     comm.recorder().incr(names::COMM_ALLREDUCE_CALLS);
     let p = comm.size();
     if p == 1 {
-        return;
+        return Ok(());
     }
     let ranges = block_ranges(data.len(), p);
     let r = comm.rank();
@@ -53,8 +59,8 @@ pub fn allreduce_sum(comm: &mut Communicator, data: &mut [f32]) {
         let send_block = (r + p - s) % p;
         let recv_block = (r + p - s - 1) % p;
         let chunk = data[ranges[send_block].clone()].to_vec();
-        comm.send(right, Payload::F32(chunk));
-        let incoming = comm.recv(left).into_f32();
+        comm.send(right, Payload::F32(chunk))?;
+        let incoming = comm.recv_labeled(left, names::COMM_ALLREDUCE)?.try_f32()?;
         let dst = &mut data[ranges[recv_block].clone()];
         debug_assert_eq!(incoming.len(), dst.len());
         for (d, v) in dst.iter_mut().zip(incoming) {
@@ -68,30 +74,32 @@ pub fn allreduce_sum(comm: &mut Communicator, data: &mut [f32]) {
         let send_block = (r + 1 + p - s) % p;
         let recv_block = (r + p - s) % p;
         let chunk = data[ranges[send_block].clone()].to_vec();
-        comm.send(right, Payload::F32(chunk));
-        let incoming = comm.recv(left).into_f32();
+        comm.send(right, Payload::F32(chunk))?;
+        let incoming = comm.recv_labeled(left, names::COMM_ALLREDUCE)?.try_f32()?;
         data[ranges[recv_block].clone()].copy_from_slice(&incoming);
     }
+    Ok(())
 }
 
 /// Average all-reduce: all-reduce then divide by the rank count — the form
 /// data-parallel gradient synchronization uses.
-pub fn allreduce_mean(comm: &mut Communicator, data: &mut [f32]) {
-    allreduce_sum(comm, data);
+pub fn allreduce_mean(comm: &mut Communicator, data: &mut [f32]) -> Result<(), CommError> {
+    allreduce_sum(comm, data)?;
     let inv = 1.0 / comm.size() as f32;
     for v in data.iter_mut() {
         *v *= inv;
     }
+    Ok(())
 }
 
 /// Ring reduce-scatter: each rank returns the fully reduced block for its
 /// own index (`block_ranges(data.len(), p)[rank]`).
-pub fn reduce_scatter_sum(comm: &mut Communicator, data: &[f32]) -> Vec<f32> {
+pub fn reduce_scatter_sum(comm: &mut Communicator, data: &[f32]) -> Result<Vec<f32>, CommError> {
     let _span = comm.recorder().span(names::COMM_REDUCE_SCATTER);
     let p = comm.size();
     let ranges = block_ranges(data.len(), p);
     if p == 1 {
-        return data.to_vec();
+        return Ok(data.to_vec());
     }
     let r = comm.rank();
     let left = comm.left();
@@ -103,8 +111,10 @@ pub fn reduce_scatter_sum(comm: &mut Communicator, data: &[f32]) -> Vec<f32> {
         let send_block = (r + p - s) % p;
         let recv_block = (r + p - s - 1) % p;
         let chunk = work[ranges[send_block].clone()].to_vec();
-        comm.send(right, Payload::F32(chunk));
-        let incoming = comm.recv(left).into_f32();
+        comm.send(right, Payload::F32(chunk))?;
+        let incoming = comm
+            .recv_labeled(left, names::COMM_REDUCE_SCATTER)?
+            .try_f32()?;
         let dst = &mut work[ranges[recv_block].clone()];
         for (d, v) in dst.iter_mut().zip(incoming) {
             *d += v;
@@ -113,13 +123,14 @@ pub fn reduce_scatter_sum(comm: &mut Communicator, data: &[f32]) -> Vec<f32> {
     // Rank r now owns block (r + 1) mod p; forward it one step so rank r
     // holds block r.
     let owned = (r + 1) % p;
-    comm.send(right, Payload::F32(work[ranges[owned].clone()].to_vec()));
-    comm.recv(left).into_f32()
+    comm.send(right, Payload::F32(work[ranges[owned].clone()].to_vec()))?;
+    comm.recv_labeled(left, names::COMM_REDUCE_SCATTER)?
+        .try_f32()
 }
 
 /// Fixed-size ring all-gather of f32 blocks. Every rank contributes
 /// `mine`; returns the concatenation ordered by rank.
-pub fn allgather(comm: &mut Communicator, mine: &[f32]) -> Vec<f32> {
+pub fn allgather(comm: &mut Communicator, mine: &[f32]) -> Result<Vec<f32>, CommError> {
     let _span = comm.recorder().span(names::COMM_ALLGATHER);
     let p = comm.size();
     let n = mine.len();
@@ -127,7 +138,7 @@ pub fn allgather(comm: &mut Communicator, mine: &[f32]) -> Vec<f32> {
     let r = comm.rank();
     out[r * n..(r + 1) * n].copy_from_slice(mine);
     if p == 1 {
-        return out;
+        return Ok(out);
     }
     let left = comm.left();
     let right = comm.right();
@@ -137,26 +148,42 @@ pub fn allgather(comm: &mut Communicator, mine: &[f32]) -> Vec<f32> {
         comm.send(
             right,
             Payload::F32(out[send_block * n..(send_block + 1) * n].to_vec()),
-        );
-        let incoming = comm.recv(left).into_f32();
-        assert_eq!(incoming.len(), n, "allgather block size mismatch");
+        )?;
+        let incoming = comm.recv_labeled(left, names::COMM_ALLGATHER)?.try_f32()?;
+        if incoming.len() != n {
+            return Err(CommError::Protocol {
+                expected: "allgather block of matching size",
+            });
+        }
         out[recv_block * n..(recv_block + 1) * n].copy_from_slice(&incoming);
     }
-    out
+    Ok(out)
 }
 
 /// Variable-size ring all-gather of byte blocks — the collective compressed
 /// K-FAC gradients travel over, since per-rank compressed sizes differ.
 /// Returns one buffer per rank, in rank order.
-pub fn allgather_var(comm: &mut Communicator, mine: Vec<u8>) -> Vec<Vec<u8>> {
+pub fn allgather_var(comm: &mut Communicator, mine: Vec<u8>) -> Result<Vec<Vec<u8>>, CommError> {
     let _span = comm.recorder().span(names::COMM_ALLGATHER_VAR);
     comm.recorder().incr(names::COMM_ALLGATHER_VAR_CALLS);
+    allgather_var_quiet(comm, mine, names::COMM_ALLGATHER_VAR)
+}
+
+/// [`allgather_var`] without the `comm/allgather_var` span/counter —
+/// used by auxiliary exchanges (the degradation ladder's repair status
+/// round) that must not perturb call-count invariants on the main
+/// collective. Errors carry `label` as the collective name.
+pub fn allgather_var_quiet(
+    comm: &mut Communicator,
+    mine: Vec<u8>,
+    label: &'static str,
+) -> Result<Vec<Vec<u8>>, CommError> {
     let p = comm.size();
     let r = comm.rank();
     let mut blocks: Vec<Option<Vec<u8>>> = (0..p).map(|_| None).collect();
     blocks[r] = Some(mine);
     if p == 1 {
-        return blocks.into_iter().map(|b| b.unwrap()).collect();
+        return Ok(blocks.into_iter().map(|b| b.unwrap()).collect());
     }
     let left = comm.left();
     let right = comm.right();
@@ -166,11 +193,11 @@ pub fn allgather_var(comm: &mut Communicator, mine: Vec<u8>) -> Vec<Vec<u8>> {
         let outgoing = blocks[send_block]
             .clone()
             .expect("ring schedule error: sending a block not yet received");
-        comm.send(right, Payload::Bytes(outgoing));
-        let incoming = comm.recv(left).into_bytes();
+        comm.send(right, Payload::Bytes(outgoing))?;
+        let incoming = comm.recv_labeled(left, label)?.try_bytes()?;
         blocks[recv_block] = Some(incoming);
     }
-    blocks.into_iter().map(|b| b.unwrap()).collect()
+    Ok(blocks.into_iter().map(|b| b.unwrap()).collect())
 }
 
 /// Lossy-compressed ring all-reduce: every reduce-scatter hop compresses
@@ -187,11 +214,11 @@ pub fn compressed_allreduce_mean(
     comm: &mut Communicator,
     data: &mut [f32],
     mut codec: impl FnMut(&[f32]) -> Vec<f32>,
-) {
+) -> Result<(), CommError> {
     let _span = comm.recorder().span(names::COMM_COMPRESSED_ALLREDUCE);
     let p = comm.size();
     if p == 1 {
-        return;
+        return Ok(());
     }
     let ranges = block_ranges(data.len(), p);
     let r = comm.rank();
@@ -203,8 +230,10 @@ pub fn compressed_allreduce_mean(
         let send_block = (r + p - s) % p;
         let recv_block = (r + p - s - 1) % p;
         let chunk = codec(&data[ranges[send_block].clone()]);
-        comm.send(right, Payload::F32(chunk));
-        let incoming = comm.recv(left).into_f32();
+        comm.send(right, Payload::F32(chunk))?;
+        let incoming = comm
+            .recv_labeled(left, names::COMM_COMPRESSED_ALLREDUCE)?
+            .try_f32()?;
         let dst = &mut data[ranges[recv_block].clone()];
         debug_assert_eq!(incoming.len(), dst.len());
         for (d, v) in dst.iter_mut().zip(incoming) {
@@ -218,8 +247,10 @@ pub fn compressed_allreduce_mean(
         let send_block = (r + 1 + p - s) % p;
         let recv_block = (r + p - s) % p;
         let chunk = codec(&data[ranges[send_block].clone()]);
-        comm.send(right, Payload::F32(chunk));
-        let incoming = comm.recv(left).into_f32();
+        comm.send(right, Payload::F32(chunk))?;
+        let incoming = comm
+            .recv_labeled(left, names::COMM_COMPRESSED_ALLREDUCE)?
+            .try_f32()?;
         data[ranges[recv_block].clone()].copy_from_slice(&incoming);
     }
 
@@ -227,46 +258,59 @@ pub fn compressed_allreduce_mean(
     for v in data.iter_mut() {
         *v *= inv;
     }
+    Ok(())
 }
 
 /// Broadcast `data` from `root` to all ranks (flat fan-out).
-pub fn broadcast(comm: &mut Communicator, root: usize, data: &mut Vec<f32>) {
+pub fn broadcast(
+    comm: &mut Communicator,
+    root: usize,
+    data: &mut Vec<f32>,
+) -> Result<(), CommError> {
     let p = comm.size();
     if p == 1 {
-        return;
+        return Ok(());
     }
     if comm.rank() == root {
         for dst in 0..p {
             if dst != root {
-                comm.send(dst, Payload::F32(data.clone()));
+                comm.send(dst, Payload::F32(data.clone()))?;
             }
         }
     } else {
-        *data = comm.recv(root).into_f32();
+        *data = comm.recv_labeled(root, "broadcast")?.try_f32()?;
     }
+    Ok(())
 }
 
 /// Broadcast opaque bytes from `root`.
-pub fn broadcast_bytes(comm: &mut Communicator, root: usize, data: &mut Vec<u8>) {
+pub fn broadcast_bytes(
+    comm: &mut Communicator,
+    root: usize,
+    data: &mut Vec<u8>,
+) -> Result<(), CommError> {
     let p = comm.size();
     if p == 1 {
-        return;
+        return Ok(());
     }
     if comm.rank() == root {
         for dst in 0..p {
             if dst != root {
-                comm.send(dst, Payload::Bytes(data.clone()));
+                comm.send(dst, Payload::Bytes(data.clone()))?;
             }
         }
     } else {
-        *data = comm.recv(root).into_bytes();
+        *data = comm.recv_labeled(root, "broadcast_bytes")?.try_bytes()?;
     }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::group::run_ranks;
+    use crate::fault::{FaultConfig, FaultPlane};
+    use crate::group::{run_ranks, run_ranks_with, CommConfig};
+    use std::time::Duration;
 
     #[test]
     fn block_ranges_cover_exactly() {
@@ -293,7 +337,7 @@ mod tests {
                     let r = comm.rank();
                     let mut data: Vec<f32> =
                         (0..len).map(|i| (r * 1000 + i) as f32 * 0.5).collect();
-                    allreduce_sum(comm, &mut data);
+                    allreduce_sum(comm, &mut data).unwrap();
                     data
                 });
                 let expected: Vec<f32> = (0..len)
@@ -315,7 +359,7 @@ mod tests {
     fn allreduce_mean_divides() {
         let results = run_ranks(4, |comm| {
             let mut data = vec![comm.rank() as f32; 10];
-            allreduce_mean(comm, &mut data);
+            allreduce_mean(comm, &mut data).unwrap();
             data
         });
         for res in results {
@@ -331,7 +375,7 @@ mod tests {
         let len = 10;
         let results = run_ranks(p, |comm| {
             let data: Vec<f32> = (0..len).map(|i| i as f32).collect();
-            reduce_scatter_sum(comm, &data)
+            reduce_scatter_sum(comm, &data).unwrap()
         });
         let ranges = block_ranges(len, p);
         for (rank, res) in results.iter().enumerate() {
@@ -345,7 +389,7 @@ mod tests {
         for p in [1usize, 2, 5] {
             let results = run_ranks(p, |comm| {
                 let mine = vec![comm.rank() as f32; 3];
-                allgather(comm, &mine)
+                allgather(comm, &mine).unwrap()
             });
             let expected: Vec<f32> = (0..p).flat_map(|r| vec![r as f32; 3]).collect();
             for res in results {
@@ -360,7 +404,7 @@ mod tests {
         let results = run_ranks(p, |comm| {
             let r = comm.rank();
             let mine: Vec<u8> = (0..(r * 3 + 1)).map(|i| (r * 10 + i) as u8).collect();
-            allgather_var(comm, mine)
+            allgather_var(comm, mine).unwrap()
         });
         for res in &results {
             assert_eq!(res.len(), p);
@@ -379,7 +423,7 @@ mod tests {
             } else {
                 Vec::new()
             };
-            allgather_var(comm, mine)
+            allgather_var(comm, mine).unwrap()
         });
         for res in results {
             assert_eq!(res[0], Vec::<u8>::new());
@@ -392,7 +436,7 @@ mod tests {
     fn compressed_allreduce_is_exact_with_identity_codec() {
         let results = run_ranks(4, |comm| {
             let mut data: Vec<f32> = (0..32).map(|i| (comm.rank() * 32 + i) as f32).collect();
-            compressed_allreduce_mean(comm, &mut data, |c| c.to_vec());
+            compressed_allreduce_mean(comm, &mut data, |c| c.to_vec()).unwrap();
             data
         });
         let expected: Vec<f32> = (0..32)
@@ -432,7 +476,7 @@ mod tests {
                             .sum::<f32>()
                     })
                     .collect();
-                compressed_allreduce_mean(comm, &mut data, lossy);
+                compressed_allreduce_mean(comm, &mut data, lossy).unwrap();
                 data.iter()
                     .zip(&exact_sum)
                     .map(|(&a, &b)| ((a * p as f32 - b) as f64).abs())
@@ -447,7 +491,7 @@ mod tests {
                     .map(|i| ((comm.rank() + 1) as f32 * 0.137 + i as f32 * 0.0113).sin() * 0.1)
                     .collect();
                 // All-gather path: compress once at the source.
-                let gathered = allgather(comm, &lossy(&mine));
+                let gathered = allgather(comm, &lossy(&mine)).unwrap();
                 // Error vs the exact gathered data.
                 let mut worst = 0.0f64;
                 for r in 0..p {
@@ -483,8 +527,8 @@ mod tests {
         run_ranks(4, |comm| {
             comm.set_recorder(rec_ref.clone());
             let mut data = vec![comm.rank() as f32; 64];
-            allreduce_sum(comm, &mut data);
-            let gathered = allgather_var(comm, vec![0u8; 16 * (comm.rank() + 1)]);
+            allreduce_sum(comm, &mut data).unwrap();
+            let gathered = allgather_var(comm, vec![0u8; 16 * (comm.rank() + 1)]).unwrap();
             assert_eq!(gathered.len(), 4);
         });
         let snap = rec.snapshot();
@@ -502,6 +546,9 @@ mod tests {
         assert_eq!(hist.sum, sent);
         // allreduce: 4 ranks × 2(p-1)=6 sends; allgather_var: 4 ranks × 3.
         assert_eq!(hist.count, 4 * 6 + 4 * 3);
+        // No retries or faults on the clean path.
+        assert_eq!(snap.counter(names::COMM_RETRY_RESENDS), 0);
+        assert_eq!(snap.counter(names::COMM_FAULT_CRC_DETECTED), 0);
     }
 
     #[test]
@@ -513,7 +560,7 @@ mod tests {
                 } else {
                     Vec::new()
                 };
-                broadcast(comm, root, &mut data);
+                broadcast(comm, root, &mut data).unwrap();
                 data
             });
             for res in results {
@@ -530,7 +577,7 @@ mod tests {
             } else {
                 Vec::new()
             };
-            broadcast_bytes(comm, 2, &mut data);
+            broadcast_bytes(comm, 2, &mut data).unwrap();
             data
         });
         for res in results {
@@ -543,11 +590,54 @@ mod tests {
         // Degenerate blocks (empty ranges) must still work.
         let results = run_ranks(6, |comm| {
             let mut data = vec![1.0f32; 2];
-            allreduce_sum(comm, &mut data);
+            allreduce_sum(comm, &mut data).unwrap();
             data
         });
         for res in results {
             assert_eq!(res, vec![6.0, 6.0]);
         }
+    }
+
+    #[test]
+    fn collectives_survive_injected_transport_faults() {
+        // Ring collectives under drops + wire corruption + one straggler:
+        // results must be bit-identical to the fault-free run.
+        let plane = FaultPlane::new(FaultConfig {
+            seed: 2024,
+            drop_p: 0.05,
+            corrupt_wire_p: 0.05,
+            straggler: Some((1, Duration::from_micros(200))),
+            ..FaultConfig::default()
+        });
+        let ledger_plane = plane.clone();
+        let config = CommConfig {
+            recv_timeout: Duration::from_secs(30),
+            retry_initial: Duration::from_millis(40),
+            max_retries: 12,
+        };
+        let p = 4;
+        let faulty = run_ranks_with(p, plane, config, |comm| {
+            let mut data: Vec<f32> = (0..97).map(|i| (comm.rank() * 97 + i) as f32).collect();
+            allreduce_sum(comm, &mut data).unwrap();
+            let mine: Vec<u8> = vec![comm.rank() as u8; 11 * (comm.rank() + 1)];
+            let gathered = allgather_var(comm, mine).unwrap();
+            comm.barrier().unwrap();
+            (data, gathered)
+        });
+        let clean = run_ranks(p, |comm| {
+            let mut data: Vec<f32> = (0..97).map(|i| (comm.rank() * 97 + i) as f32).collect();
+            allreduce_sum(comm, &mut data).unwrap();
+            let mine: Vec<u8> = vec![comm.rank() as u8; 11 * (comm.rank() + 1)];
+            let gathered = allgather_var(comm, mine).unwrap();
+            comm.barrier().unwrap();
+            (data, gathered)
+        });
+        assert_eq!(faulty, clean);
+        let ledger = ledger_plane.ledger();
+        assert!(
+            ledger.dropped + ledger.corrupted_wire > 0,
+            "fault matrix must actually fire: {ledger:?}"
+        );
+        assert!(ledger.delayed > 0, "straggler must have delayed sends");
     }
 }

@@ -1,15 +1,46 @@
-//! Rank groups and point-to-point plumbing.
+//! Rank groups, fallible point-to-point plumbing, and group poisoning.
 //!
 //! A [`CommGroup`] owns a full mesh of unbounded crossbeam channels between
-//! `n` ranks. Each rank's [`Communicator`] can send a [`Payload`] to any
-//! peer and receive from a *specific* peer, which is exactly the shape the
-//! ring collectives in [`crate::collectives`] need (receive-from-left,
-//! send-to-right). Channels are unbounded, so the collectives are
-//! deadlock-free for any interleaving of sends and receives.
+//! `n` ranks — a **data** mesh carrying sequence-numbered, CRC-enveloped
+//! payloads and a **control** mesh carrying ACK/NACK and barrier traffic.
+//! Each rank's [`Communicator`] can send a [`Payload`] to any peer and
+//! receive from a *specific* peer, which is exactly the shape the ring
+//! collectives in [`crate::collectives`] need (receive-from-left,
+//! send-to-right).
+//!
+//! Unlike the original infallible substrate, **no receive path can block
+//! forever**: every receive and the barrier carry a deadline and surface
+//! [`CommError::Timeout`] naming the peer they were waiting on (which is
+//! how a barrier timeout identifies the straggler rank). When a
+//! [`FaultPlane`] is armed, transport-level faults (drops, in-flight bit
+//! flips, straggler delay) are absorbed by a receiver-driven
+//! NACK/retransmit loop with exponential backoff: senders keep clean
+//! copies of in-flight messages in a per-destination outbox and lazily
+//! service control traffic on every communication call, so the ring stays
+//! deadlock-free even while messages are being re-requested. With
+//! [`FaultPlane::disabled`] the envelope degenerates to a plain tagged
+//! send and a single deadline-bounded receive — no CRC, no ACKs, no
+//! outbox.
+//!
+//! A rank that panics inside [`run_ranks`] **poisons** the group: peers
+//! blocked in receives or the barrier observe the poison (or the channel
+//! disconnect) and error out with [`CommError::Poisoned`] instead of
+//! hanging, and `run_ranks` re-raises the *first* panicking rank's payload
+//! tagged with its rank id.
 
+use crate::fault::{flip_bit, FaultPlane};
 use compso_obs::{names, Recorder};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::{Arc, Barrier};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Granularity of the receive poll loop: how often a blocked receiver
+/// wakes to service control traffic (peer NACKs needing retransmission)
+/// and check poison.
+const POLL_SLICE: Duration = Duration::from_millis(2);
 
 /// A message exchanged between ranks.
 ///
@@ -53,6 +84,30 @@ impl Payload {
         }
     }
 
+    /// Non-panicking variant of [`Payload::into_f32`].
+    pub fn try_f32(self) -> Result<Vec<f32>, CommError> {
+        match self {
+            Payload::F32(v) => Ok(v),
+            _ => Err(CommError::Protocol { expected: "F32" }),
+        }
+    }
+
+    /// Non-panicking variant of [`Payload::into_bytes`].
+    pub fn try_bytes(self) -> Result<Vec<u8>, CommError> {
+        match self {
+            Payload::Bytes(v) => Ok(v),
+            _ => Err(CommError::Protocol { expected: "Bytes" }),
+        }
+    }
+
+    /// Non-panicking variant of [`Payload::into_sizes`].
+    pub fn try_sizes(self) -> Result<Vec<u64>, CommError> {
+        match self {
+            Payload::Sizes(v) => Ok(v),
+            _ => Err(CommError::Protocol { expected: "Sizes" }),
+        }
+    }
+
     /// Number of wire bytes this payload represents (for traffic counters).
     pub fn wire_bytes(&self) -> usize {
         match self {
@@ -61,20 +116,245 @@ impl Payload {
             Payload::Sizes(v) => v.len() * 8,
         }
     }
+
+    /// Number of flippable bits (for wire fault injection).
+    fn wire_bits(&self) -> u64 {
+        self.wire_bytes() as u64 * 8
+    }
+}
+
+/// Error surfaced by the fallible transport and collectives.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// A receive deadline expired while waiting on `rank` inside
+    /// `collective` — for the barrier, `rank` is the identified straggler.
+    Timeout {
+        /// The peer that failed to deliver in time.
+        rank: usize,
+        /// Which collective was in flight.
+        collective: &'static str,
+    },
+    /// The bounded NACK/retransmit loop gave up on `rank`.
+    RetriesExhausted {
+        /// The peer whose message could not be recovered.
+        rank: usize,
+        /// Which collective was in flight.
+        collective: &'static str,
+        /// How many NACKs were sent before giving up.
+        attempts: u32,
+    },
+    /// The group was poisoned by a panic on `rank`.
+    Poisoned {
+        /// The rank whose panic poisoned the group.
+        rank: usize,
+    },
+    /// A peer's channel endpoints disappeared without poisoning (e.g. the
+    /// peer returned early from its rank function).
+    Disconnected {
+        /// The vanished peer.
+        rank: usize,
+    },
+    /// A payload arrived with an unexpected variant.
+    Protocol {
+        /// The variant the caller needed.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { rank, collective } => {
+                write!(f, "timeout waiting on rank {rank} in {collective}")
+            }
+            CommError::RetriesExhausted {
+                rank,
+                collective,
+                attempts,
+            } => write!(
+                f,
+                "gave up on rank {rank} in {collective} after {attempts} retries"
+            ),
+            CommError::Poisoned { rank } => write!(f, "group poisoned by panic on rank {rank}"),
+            CommError::Disconnected { rank } => write!(f, "rank {rank} disconnected"),
+            CommError::Protocol { expected } => {
+                write!(f, "protocol error: expected {expected} payload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Transport tuning knobs.
+#[derive(Clone, Debug)]
+pub struct CommConfig {
+    /// Overall deadline for any single receive / barrier wait. A peer
+    /// that stays silent this long surfaces [`CommError::Timeout`].
+    pub recv_timeout: Duration,
+    /// Delay before the first timeout-NACK for a missing message; doubles
+    /// on every subsequent NACK (exponential backoff). Must exceed the
+    /// worst-case in-flight latency (including straggler delay) or
+    /// spurious retransmissions occur.
+    pub retry_initial: Duration,
+    /// Maximum timeout-NACKs per missing message before
+    /// [`CommError::RetriesExhausted`].
+    pub max_retries: u32,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig {
+            recv_timeout: Duration::from_secs(30),
+            retry_initial: Duration::from_millis(50),
+            max_retries: 10,
+        }
+    }
+}
+
+/// Data-mesh envelope: a sequence number and payload CRC allow the
+/// receiver to detect loss (gaps) and corruption (CRC mismatch) and drive
+/// recovery with NACKs. With the fault plane disabled both fields are 0
+/// and ignored.
+struct DataMsg {
+    seq: u64,
+    crc: u32,
+    payload: Payload,
+}
+
+/// Control-mesh messages. The sending rank is implied by the channel the
+/// message arrives on (the mesh is per-source).
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Ctrl {
+    /// Every data seq `< upto` from me has been delivered — prune your
+    /// outbox.
+    Ack { upto: u64 },
+    /// Re-send data seq `seq` (missing or CRC-bad).
+    Nack { seq: u64 },
+    /// Barrier arrival (rank → root).
+    Arrive { gen: u64 },
+    /// Barrier release (root → rank).
+    Release { gen: u64 },
+}
+
+/// A clean in-flight copy kept for retransmission until acknowledged.
+struct Flight {
+    seq: u64,
+    attempt: u32,
+    crc: u32,
+    payload: Payload,
+}
+
+/// Shared poison flag: the first panicking rank wins and is reported.
+struct PoisonCell {
+    /// `usize::MAX` = clean; otherwise the first poisoner's rank.
+    who: AtomicUsize,
+}
+
+impl PoisonCell {
+    fn new() -> Self {
+        PoisonCell {
+            who: AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    fn poison(&self, rank: usize) {
+        let _ = self
+            .who
+            .compare_exchange(usize::MAX, rank, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    fn check(&self) -> Option<usize> {
+        let w = self.who.load(Ordering::Acquire);
+        (w != usize::MAX).then_some(w)
+    }
+}
+
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Streaming IEEE CRC-32 over a payload's wire representation, domain
+/// separated by variant tag. (Deliberately local to `compso-comm`: the
+/// transport envelope does not depend on `compso-core`'s frame format.)
+fn payload_crc(p: &Payload) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut feed = |bytes: &[u8]| {
+        for &b in bytes {
+            crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+    };
+    match p {
+        Payload::F32(v) => {
+            feed(&[0x01]);
+            for x in v {
+                feed(&x.to_le_bytes());
+            }
+        }
+        Payload::Bytes(v) => {
+            feed(&[0x02]);
+            feed(v);
+        }
+        Payload::Sizes(v) => {
+            feed(&[0x03]);
+            for x in v {
+                feed(&x.to_le_bytes());
+            }
+        }
+    }
+    !crc
+}
+
+/// Flips bit `hash % wire_bits` of the payload's wire representation.
+fn flip_payload_bit(p: &mut Payload, hash: u64) {
+    match p {
+        Payload::Bytes(v) => flip_bit(v, hash),
+        Payload::F32(v) => {
+            let bit = (hash % (v.len() as u64 * 32)) as usize;
+            let i = bit / 32;
+            v[i] = f32::from_bits(v[i].to_bits() ^ (1 << (bit % 32)));
+        }
+        Payload::Sizes(v) => {
+            let bit = (hash % (v.len() as u64 * 64)) as usize;
+            let i = bit / 64;
+            v[i] ^= 1 << (bit % 64);
+        }
+    }
 }
 
 /// Shared construction handle for a fixed-size group of ranks.
 pub struct CommGroup {
     size: usize,
-    /// `tx[src][dst]` sends from `src` to `dst`.
-    tx: Vec<Vec<Sender<Payload>>>,
-    /// `rx[dst][src]` receives at `dst` from `src`.
-    rx: Vec<Vec<Receiver<Payload>>>,
-    barrier: Arc<Barrier>,
+    /// `data_tx[src][dst]` sends from `src` to `dst`.
+    data_tx: Vec<Vec<Sender<DataMsg>>>,
+    /// `data_rx[dst][src]` receives at `dst` from `src`.
+    data_rx: Vec<Vec<Receiver<DataMsg>>>,
+    ctrl_tx: Vec<Vec<Sender<Ctrl>>>,
+    ctrl_rx: Vec<Vec<Receiver<Ctrl>>>,
+    poison: Arc<PoisonCell>,
+    plane: FaultPlane,
+    config: CommConfig,
 }
 
 impl CommGroup {
-    /// Builds the channel mesh for `size` ranks.
+    /// Builds the channel mesh for `size` ranks with no fault injection
+    /// and default deadlines.
     pub fn new(size: usize) -> Self {
         build_group(size)
     }
@@ -88,19 +368,33 @@ impl CommGroup {
     pub fn into_communicators(self) -> Vec<Communicator> {
         let CommGroup {
             size,
-            tx,
-            mut rx,
-            barrier,
+            data_tx,
+            mut data_rx,
+            ctrl_tx,
+            mut ctrl_rx,
+            poison,
+            plane,
+            config,
         } = self;
         let mut comms = Vec::with_capacity(size);
-        for (rank, tx_row) in tx.into_iter().enumerate() {
-            let rx_row = std::mem::take(&mut rx[rank]);
+        for (rank, (data_tx_row, ctrl_tx_row)) in data_tx.into_iter().zip(ctrl_tx).enumerate() {
             comms.push(Communicator {
                 rank,
                 size,
-                tx: tx_row,
-                rx: rx_row,
-                barrier: Arc::clone(&barrier),
+                data_tx: data_tx_row,
+                data_rx: std::mem::take(&mut data_rx[rank]),
+                ctrl_tx: ctrl_tx_row,
+                ctrl_rx: std::mem::take(&mut ctrl_rx[rank]),
+                poison: Arc::clone(&poison),
+                plane: plane.clone(),
+                config: config.clone(),
+                send_seq: vec![0; size],
+                recv_expect: vec![0; size],
+                outbox: (0..size).map(|_| VecDeque::new()).collect(),
+                stash: (0..size).map(|_| HashMap::new()).collect(),
+                barrier_stash: (0..size).map(|_| VecDeque::new()).collect(),
+                barrier_gen: 0,
+                step: 0,
                 sent_bytes: 0,
                 recorder: Recorder::disabled(),
             });
@@ -113,9 +407,26 @@ impl CommGroup {
 pub struct Communicator {
     rank: usize,
     size: usize,
-    tx: Vec<Sender<Payload>>,
-    rx: Vec<Receiver<Payload>>,
-    barrier: Arc<Barrier>,
+    data_tx: Vec<Sender<DataMsg>>,
+    data_rx: Vec<Receiver<DataMsg>>,
+    ctrl_tx: Vec<Sender<Ctrl>>,
+    ctrl_rx: Vec<Receiver<Ctrl>>,
+    poison: Arc<PoisonCell>,
+    plane: FaultPlane,
+    config: CommConfig,
+    /// Next data sequence number per destination.
+    send_seq: Vec<u64>,
+    /// Next expected data sequence number per source.
+    recv_expect: Vec<u64>,
+    /// Unacknowledged clean copies per destination (fault plane only).
+    outbox: Vec<VecDeque<Flight>>,
+    /// Out-of-order arrivals per source (fault plane only).
+    stash: Vec<HashMap<u64, Payload>>,
+    /// Barrier messages that arrived while servicing other control
+    /// traffic, per source.
+    barrier_stash: Vec<VecDeque<Ctrl>>,
+    barrier_gen: u64,
+    step: u64,
     sent_bytes: u64,
     recorder: Recorder,
 }
@@ -133,9 +444,10 @@ impl Communicator {
 
     /// Attaches an observability recorder: every subsequent [`send`]
     /// counts wire bytes (`comm/bytes_sent`) and feeds the message-size
-    /// histogram (`comm/msg_bytes`), and the collectives in
-    /// [`crate::collectives`] time themselves against it. The default is
-    /// the no-op [`Recorder::disabled`].
+    /// histogram (`comm/msg_bytes`), the collectives in
+    /// [`crate::collectives`] time themselves against it, and the
+    /// retry/fault machinery reports `comm/retry/*` and `comm/fault/*`.
+    /// The default is the no-op [`Recorder::disabled`].
     ///
     /// [`send`]: Communicator::send
     pub fn set_recorder(&mut self, recorder: Recorder) {
@@ -147,8 +459,49 @@ impl Communicator {
         &self.recorder
     }
 
+    /// The fault plane this group was built with (disabled by default).
+    pub fn fault_plane(&self) -> &FaultPlane {
+        &self.plane
+    }
+
+    /// The transport configuration this group was built with.
+    pub fn config(&self) -> &CommConfig {
+        &self.config
+    }
+
+    /// Marks a new training step: bumps the step counter and fires a
+    /// scheduled crash-at-step fault if one targets this rank. Returns
+    /// the 0-based index of the step that is starting.
+    pub fn begin_step(&mut self) -> u64 {
+        let s = self.step;
+        self.step += 1;
+        if self.plane.crash_due(self.rank, s) {
+            panic!("injected fault: rank {} crashed at step {s}", self.rank);
+        }
+        s
+    }
+
+    /// Poisons the group on behalf of this rank (normally invoked by
+    /// [`run_ranks`]'s panic handler).
+    pub fn mark_poisoned(&self) {
+        self.poison.poison(self.rank);
+    }
+
+    /// The error to surface when `peer`'s channel vanished: poison wins
+    /// over a plain disconnect.
+    fn disconnect_error(&self, peer: usize) -> CommError {
+        match self.poison.check() {
+            Some(rank) => CommError::Poisoned { rank },
+            None => CommError::Disconnected { rank: peer },
+        }
+    }
+
     /// Sends `payload` to `dst` (non-blocking; channels are unbounded).
-    pub fn send(&mut self, dst: usize, payload: Payload) {
+    /// With the fault plane armed, also assigns a sequence number,
+    /// computes the envelope CRC, retains a clean copy for
+    /// retransmission, applies injected faults to the transmitted copy,
+    /// and services pending control traffic.
+    pub fn send(&mut self, dst: usize, payload: Payload) -> Result<(), CommError> {
         assert!(dst < self.size, "dst {dst} out of range");
         let bytes = payload.wire_bytes() as u64;
         self.sent_bytes += bytes;
@@ -156,22 +509,286 @@ impl Communicator {
             self.recorder.add(names::COMM_BYTES_SENT, bytes);
             self.recorder.observe(names::COMM_MSG_BYTES, bytes);
         }
-        self.tx[dst]
-            .send(payload)
-            .expect("peer rank hung up mid-collective");
+        if !self.plane.is_enabled() {
+            return self.data_tx[dst]
+                .send(DataMsg {
+                    seq: 0,
+                    crc: 0,
+                    payload,
+                })
+                .map_err(|_| self.disconnect_error(dst));
+        }
+        let seq = self.send_seq[dst];
+        self.send_seq[dst] += 1;
+        if let Some(delay) = self.plane.straggler_delay(self.rank) {
+            std::thread::sleep(delay);
+        }
+        let flight = Flight {
+            seq,
+            attempt: 0,
+            crc: payload_crc(&payload),
+            payload,
+        };
+        self.transmit(dst, &flight)?;
+        self.outbox[dst].push_back(flight);
+        self.service_ctrl()
     }
 
-    /// Blocks until a payload from `src` arrives.
-    pub fn recv(&self, src: usize) -> Payload {
+    /// Puts one (possibly faulted) copy of `flight` on the wire.
+    fn transmit(&self, dst: usize, flight: &Flight) -> Result<(), CommError> {
+        if self
+            .plane
+            .should_drop(self.rank, dst, flight.seq, flight.attempt)
+        {
+            return Ok(()); // silently lost; the receiver's NACK recovers it
+        }
+        let mut msg = DataMsg {
+            seq: flight.seq,
+            crc: flight.crc,
+            payload: flight.payload.clone(),
+        };
+        if msg.payload.wire_bits() > 0 {
+            if let Some(hash) =
+                self.plane
+                    .wire_corrupt_bit(self.rank, dst, flight.seq, flight.attempt)
+            {
+                flip_payload_bit(&mut msg.payload, hash);
+            }
+        }
+        self.data_tx[dst]
+            .send(msg)
+            .map_err(|_| self.disconnect_error(dst))
+    }
+
+    /// Drains all pending control traffic without blocking: ACKs prune
+    /// outboxes, NACKs trigger retransmission, barrier messages are
+    /// stashed for [`Communicator::barrier`].
+    fn service_ctrl(&mut self) -> Result<(), CommError> {
+        for src in 0..self.size {
+            if src == self.rank {
+                continue;
+            }
+            self.service_ctrl_from(src)?;
+        }
+        Ok(())
+    }
+
+    fn service_ctrl_from(&mut self, src: usize) -> Result<(), CommError> {
+        while let Some(msg) = self.ctrl_rx[src].try_recv() {
+            self.handle_ctrl(src, msg)?;
+        }
+        Ok(())
+    }
+
+    fn handle_ctrl(&mut self, src: usize, msg: Ctrl) -> Result<(), CommError> {
+        match msg {
+            Ctrl::Ack { upto } => {
+                while self.outbox[src].front().is_some_and(|f| f.seq < upto) {
+                    self.outbox[src].pop_front();
+                }
+                Ok(())
+            }
+            Ctrl::Nack { seq } => self.retransmit(src, seq),
+            barrier_msg => {
+                self.barrier_stash[src].push_back(barrier_msg);
+                Ok(())
+            }
+        }
+    }
+
+    /// Answers a NACK from `dst` for `seq`. A NACK for an already-pruned
+    /// sequence (the original delivery raced the NACK) is ignored.
+    fn retransmit(&mut self, dst: usize, seq: u64) -> Result<(), CommError> {
+        let Some(pos) = self.outbox[dst].iter().position(|f| f.seq == seq) else {
+            return Ok(());
+        };
+        self.outbox[dst][pos].attempt += 1;
+        self.recorder.incr(names::COMM_RETRY_RESENDS);
+        // Clone out so `transmit` can borrow `self` immutably.
+        let flight = Flight {
+            seq,
+            attempt: self.outbox[dst][pos].attempt,
+            crc: self.outbox[dst][pos].crc,
+            payload: self.outbox[dst][pos].payload.clone(),
+        };
+        self.transmit(dst, &flight)
+    }
+
+    /// ACK failures are benign (the sender may have finished and torn
+    /// down), NACK failures are not (we still need its data).
+    fn send_ack(&self, dst: usize, upto: u64) {
+        let _ = self.ctrl_tx[dst].send(Ctrl::Ack { upto });
+    }
+
+    fn send_nack(&self, dst: usize, seq: u64) -> Result<(), CommError> {
+        self.recorder.incr(names::COMM_RETRY_NACKS_SENT);
+        self.ctrl_tx[dst]
+            .send(Ctrl::Nack { seq })
+            .map_err(|_| self.disconnect_error(dst))
+    }
+
+    /// Receives the next payload from `src`, bounded by the configured
+    /// deadline (label `"recv"` in errors).
+    pub fn recv(&mut self, src: usize) -> Result<Payload, CommError> {
+        self.recv_labeled(src, "recv")
+    }
+
+    /// [`Communicator::recv`] with the enclosing collective's name
+    /// threaded into any [`CommError`].
+    pub fn recv_labeled(
+        &mut self,
+        src: usize,
+        collective: &'static str,
+    ) -> Result<Payload, CommError> {
         assert!(src < self.size, "src {src} out of range");
-        self.rx[src]
-            .recv()
-            .expect("peer rank hung up mid-collective")
+        if !self.plane.is_enabled() {
+            return match self.data_rx[src].recv_timeout(self.config.recv_timeout) {
+                Ok(msg) => Ok(msg.payload),
+                Err(RecvTimeoutError::Timeout) => Err(CommError::Timeout {
+                    rank: src,
+                    collective,
+                }),
+                Err(RecvTimeoutError::Disconnected) => Err(self.disconnect_error(src)),
+            };
+        }
+        self.recv_arq(src, collective)
     }
 
-    /// Synchronizes all ranks.
-    pub fn barrier(&self) {
-        self.barrier.wait();
+    /// The receiver-driven ARQ loop: poll for the expected sequence
+    /// number, verify the envelope CRC, NACK losses/corruption with
+    /// exponential backoff, and keep servicing control traffic so peers'
+    /// recoveries make progress while we wait.
+    fn recv_arq(&mut self, src: usize, collective: &'static str) -> Result<Payload, CommError> {
+        let expect = self.recv_expect[src];
+        if let Some(p) = self.stash[src].remove(&expect) {
+            self.recv_expect[src] = expect + 1;
+            self.send_ack(src, expect + 1);
+            return Ok(p);
+        }
+        let start = Instant::now();
+        let deadline = start + self.config.recv_timeout;
+        let mut backoff = self.config.retry_initial;
+        let mut nack_at = start + backoff;
+        let mut nacks = 0u32;
+        loop {
+            if let Some(rank) = self.poison.check() {
+                return Err(CommError::Poisoned { rank });
+            }
+            self.service_ctrl()?;
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout {
+                    rank: src,
+                    collective,
+                });
+            }
+            let wake = deadline.min(nack_at).min(now + POLL_SLICE);
+            let slice = wake
+                .saturating_duration_since(now)
+                .max(Duration::from_micros(50));
+            match self.data_rx[src].recv_timeout(slice) {
+                Ok(msg) => {
+                    let expect = self.recv_expect[src];
+                    if msg.crc != payload_crc(&msg.payload) {
+                        self.recorder.incr(names::COMM_FAULT_CRC_DETECTED);
+                        self.send_nack(src, msg.seq)?;
+                        continue;
+                    }
+                    if msg.seq == expect {
+                        self.recv_expect[src] = expect + 1;
+                        self.send_ack(src, expect + 1);
+                        return Ok(msg.payload);
+                    } else if msg.seq > expect {
+                        // Out of order: a later message overtook a lost
+                        // one. Keep it; the NACK timer recovers `expect`.
+                        self.stash[src].insert(msg.seq, msg.payload);
+                    } else {
+                        // Duplicate from a spurious retransmit; re-ACK so
+                        // the sender prunes it.
+                        self.send_ack(src, expect);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return Err(self.disconnect_error(src)),
+            }
+            if Instant::now() >= nack_at {
+                if nacks >= self.config.max_retries {
+                    return Err(CommError::RetriesExhausted {
+                        rank: src,
+                        collective,
+                        attempts: nacks,
+                    });
+                }
+                self.send_nack(src, self.recv_expect[src])?;
+                nacks += 1;
+                self.recorder
+                    .observe(names::COMM_RETRY_BACKOFF_NS, backoff.as_nanos() as u64);
+                backoff *= 2;
+                nack_at = Instant::now() + backoff;
+            }
+        }
+    }
+
+    /// Synchronizes all ranks via control messages: everyone reports
+    /// arrival to rank 0, which releases the group once all have arrived.
+    /// Bounded by the receive deadline; when a rank fails to arrive, rank
+    /// 0's error *names the straggler*:
+    /// `CommError::Timeout { rank: straggler, collective: "barrier" }`.
+    pub fn barrier(&mut self) -> Result<(), CommError> {
+        let gen = self.barrier_gen;
+        self.barrier_gen += 1;
+        if self.size == 1 {
+            return Ok(());
+        }
+        let deadline = Instant::now() + self.config.recv_timeout;
+        if self.rank == 0 {
+            for src in 1..self.size {
+                self.wait_barrier(src, Ctrl::Arrive { gen }, deadline)?;
+            }
+            for dst in 1..self.size {
+                self.ctrl_tx[dst]
+                    .send(Ctrl::Release { gen })
+                    .map_err(|_| self.disconnect_error(dst))?;
+            }
+        } else {
+            self.ctrl_tx[0]
+                .send(Ctrl::Arrive { gen })
+                .map_err(|_| self.disconnect_error(0))?;
+            self.wait_barrier(0, Ctrl::Release { gen }, deadline)?;
+        }
+        Ok(())
+    }
+
+    /// Waits for barrier message `want` from `src`, servicing ACK/NACK
+    /// traffic (from `src` and everyone else) in the meantime.
+    fn wait_barrier(&mut self, src: usize, want: Ctrl, deadline: Instant) -> Result<(), CommError> {
+        loop {
+            if let Some(rank) = self.poison.check() {
+                return Err(CommError::Poisoned { rank });
+            }
+            // Drain control traffic BEFORE consulting the stash: the
+            // wanted message may already sit in the channel queue, and a
+            // peer that sent it and exited has disconnected the channel —
+            // polling first would misread that as a failure.
+            self.service_ctrl()?;
+            if let Some(pos) = self.barrier_stash[src].iter().position(|m| *m == want) {
+                self.barrier_stash[src].remove(pos);
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout {
+                    rank: src,
+                    collective: "barrier",
+                });
+            }
+            let slice = POLL_SLICE.min(deadline - now);
+            match self.ctrl_rx[src].recv_timeout(slice) {
+                Ok(msg) => self.handle_ctrl(src, msg)?,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return Err(self.disconnect_error(src)),
+            }
+        }
     }
 
     /// Total bytes this rank has put on the wire (traffic accounting for
@@ -191,70 +808,157 @@ impl Communicator {
     }
 }
 
+/// Converts a caught panic payload into a displayable message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Spawns `n` ranks on scoped threads, runs `f(communicator)` on each, and
-/// returns the per-rank results in rank order. Panics in any rank propagate.
+/// returns the per-rank results in rank order.
+///
+/// A panic in any rank **poisons the group**: peers blocked in receives
+/// or the barrier error out with [`CommError::Poisoned`] instead of
+/// hanging, and once all threads have been joined the *first* panicking
+/// rank's message is re-raised as `rank {r} panicked: {msg}`.
 pub fn run_ranks<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(&mut Communicator) -> T + Sync,
 {
-    let comms = build_group(n).into_communicators();
+    run_ranks_with(n, FaultPlane::disabled(), CommConfig::default(), f)
+}
+
+/// [`run_ranks`] with an armed [`FaultPlane`] and custom deadlines — the
+/// entry point of the chaos suite.
+pub fn run_ranks_with<T, F>(n: usize, plane: FaultPlane, config: CommConfig, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut Communicator) -> T + Sync,
+{
+    let comms = build_group_with(n, plane, config).into_communicators();
+    let poison = Arc::clone(&comms[0].poison);
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
         for (mut comm, slot) in comms.into_iter().zip(slots.iter_mut()) {
             let f = &f;
+            let panics = &panics;
             handles.push(scope.spawn(move || {
-                *slot = Some(f(&mut comm));
+                let rank = comm.rank();
+                match catch_unwind(AssertUnwindSafe(|| f(&mut comm))) {
+                    Ok(v) => {
+                        // Quiesce before tearing the rank down: with a
+                        // fault plane armed, a peer may still be waiting
+                        // on a retransmission of traffic this rank
+                        // originated (the original copy was dropped or
+                        // corrupted in flight). The barrier holds the
+                        // rank alive — servicing NACKs the whole time —
+                        // until every rank has finished its workload, so
+                        // exiting cannot strand a recovery. Best-effort:
+                        // a poisoned or torn group unblocks immediately.
+                        if comm.fault_plane().is_enabled() {
+                            let _ = comm.barrier();
+                        }
+                        *slot = Some(v);
+                    }
+                    Err(payload) => {
+                        comm.mark_poisoned();
+                        // Disconnect our channels so peers blocked on us
+                        // wake immediately instead of waiting out their
+                        // deadlines.
+                        drop(comm);
+                        panics
+                            .lock()
+                            .expect("panic registry lock")
+                            .push((rank, panic_message(payload.as_ref())));
+                    }
+                }
             }));
         }
         for h in handles {
-            h.join().expect("rank thread panicked");
+            let _ = h.join(); // panics were caught inside the thread
         }
     });
-    slots.into_iter().map(|s| s.unwrap()).collect()
+    if let Some(rank) = poison.check() {
+        let panics = panics.into_inner().expect("panic registry lock");
+        let msg = panics
+            .iter()
+            .find(|(r, _)| *r == rank)
+            .map(|(_, m)| m.clone())
+            .unwrap_or_default();
+        panic!("rank {rank} panicked: {msg}");
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("rank produced no result"))
+        .collect()
 }
 
 /// Builds the channel mesh for `size` ranks (free-function constructor used
 /// by [`run_ranks`]; `CommGroup::new` delegates here).
 pub fn build_group(size: usize) -> CommGroup {
+    build_group_with(size, FaultPlane::disabled(), CommConfig::default())
+}
+
+/// [`build_group`] with an armed [`FaultPlane`] and custom transport
+/// configuration.
+pub fn build_group_with(size: usize, plane: FaultPlane, config: CommConfig) -> CommGroup {
     assert!(size > 0, "a group needs at least one rank");
-    let mut tx: Vec<Vec<Sender<Payload>>> = (0..size).map(|_| Vec::with_capacity(size)).collect();
-    let mut rx: Vec<Vec<Receiver<Payload>>> = (0..size).map(|_| Vec::with_capacity(size)).collect();
-    // rx[dst][src]: build dst-major so each rank's receivers index by src.
-    let mut pending: Vec<Vec<Option<Receiver<Payload>>>> = (0..size)
-        .map(|_| (0..size).map(|_| None).collect())
-        .collect();
-    for (src, tx_row) in tx.iter_mut().enumerate() {
-        for pending_row in pending.iter_mut() {
-            let (s, r) = unbounded();
-            tx_row.push(s);
-            pending_row[src] = Some(r);
+    #[allow(clippy::type_complexity)] // src-major senders, dst-major receivers
+    fn mesh<T>(size: usize) -> (Vec<Vec<Sender<T>>>, Vec<Vec<Receiver<T>>>) {
+        let mut tx: Vec<Vec<Sender<T>>> = (0..size).map(|_| Vec::with_capacity(size)).collect();
+        // rx[dst][src]: build dst-major so each rank's receivers index by
+        // src.
+        let mut pending: Vec<Vec<Option<Receiver<T>>>> = (0..size)
+            .map(|_| (0..size).map(|_| None).collect())
+            .collect();
+        for (src, tx_row) in tx.iter_mut().enumerate() {
+            for pending_row in pending.iter_mut() {
+                let (s, r) = unbounded();
+                tx_row.push(s);
+                pending_row[src] = Some(r);
+            }
         }
+        let rx = pending
+            .into_iter()
+            .map(|row| row.into_iter().map(|r| r.unwrap()).collect())
+            .collect();
+        (tx, rx)
     }
-    for (dst, row) in pending.into_iter().enumerate() {
-        rx[dst] = row.into_iter().map(|r| r.unwrap()).collect();
-    }
+    let (data_tx, data_rx) = mesh(size);
+    let (ctrl_tx, ctrl_rx) = mesh(size);
     CommGroup {
         size,
-        tx,
-        rx,
-        barrier: Arc::new(Barrier::new(size)),
+        data_tx,
+        data_rx,
+        ctrl_tx,
+        ctrl_rx,
+        poison: Arc::new(PoisonCell::new()),
+        plane,
+        config,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultConfig;
 
     #[test]
     fn point_to_point_roundtrip() {
         let results = run_ranks(2, |comm| {
             if comm.rank() == 0 {
-                comm.send(1, Payload::F32(vec![1.0, 2.0, 3.0]));
+                comm.send(1, Payload::F32(vec![1.0, 2.0, 3.0])).unwrap();
                 Vec::new()
             } else {
-                comm.recv(0).into_f32()
+                comm.recv(0).unwrap().into_f32()
             }
         });
         assert_eq!(results[1], vec![1.0, 2.0, 3.0]);
@@ -264,18 +968,18 @@ mod tests {
     fn messages_from_distinct_sources_do_not_mix() {
         let results = run_ranks(3, |comm| match comm.rank() {
             0 => {
-                comm.send(2, Payload::Sizes(vec![0]));
+                comm.send(2, Payload::Sizes(vec![0])).unwrap();
                 0
             }
             1 => {
-                comm.send(2, Payload::Sizes(vec![1]));
+                comm.send(2, Payload::Sizes(vec![1])).unwrap();
                 0
             }
             _ => {
                 // Receive in the opposite order of likely arrival; per-source
                 // channels mean ordering across sources cannot interfere.
-                let from1 = comm.recv(1).into_sizes();
-                let from0 = comm.recv(0).into_sizes();
+                let from1 = comm.recv(1).unwrap().into_sizes();
+                let from0 = comm.recv(0).unwrap().into_sizes();
                 (from0[0] * 10 + from1[0]) as i32
             }
         });
@@ -287,11 +991,13 @@ mod tests {
         let results = run_ranks(2, |comm| {
             if comm.rank() == 0 {
                 for i in 0..10u64 {
-                    comm.send(1, Payload::Sizes(vec![i]));
+                    comm.send(1, Payload::Sizes(vec![i])).unwrap();
                 }
                 Vec::new()
             } else {
-                (0..10).map(|_| comm.recv(0).into_sizes()[0]).collect()
+                (0..10)
+                    .map(|_| comm.recv(0).unwrap().into_sizes()[0])
+                    .collect()
             }
         });
         assert_eq!(results[1], (0..10).collect::<Vec<u64>>());
@@ -300,7 +1006,7 @@ mod tests {
     #[test]
     fn barrier_allows_progress() {
         let results = run_ranks(4, |comm| {
-            comm.barrier();
+            comm.barrier().unwrap();
             comm.rank()
         });
         assert_eq!(results, vec![0, 1, 2, 3]);
@@ -324,11 +1030,11 @@ mod tests {
     fn traffic_accounting() {
         let results = run_ranks(2, |comm| {
             if comm.rank() == 0 {
-                comm.send(1, Payload::Bytes(vec![0u8; 100]));
-                comm.send(1, Payload::F32(vec![0.0; 25]));
+                comm.send(1, Payload::Bytes(vec![0u8; 100])).unwrap();
+                comm.send(1, Payload::F32(vec![0.0; 25])).unwrap();
             } else {
-                comm.recv(0);
-                comm.recv(0);
+                comm.recv(0).unwrap();
+                comm.recv(0).unwrap();
             }
             comm.sent_bytes()
         });
@@ -339,7 +1045,7 @@ mod tests {
     #[test]
     fn single_rank_group_works() {
         let results = run_ranks(1, |comm| {
-            comm.barrier();
+            comm.barrier().unwrap();
             comm.size()
         });
         assert_eq!(results, vec![1]);
@@ -349,5 +1055,184 @@ mod tests {
     #[should_panic(expected = "expected F32")]
     fn payload_type_confusion_panics() {
         Payload::Bytes(vec![1, 2]).into_f32();
+    }
+
+    #[test]
+    fn try_variants_error_instead_of_panicking() {
+        assert_eq!(
+            Payload::Bytes(vec![1]).try_f32(),
+            Err(CommError::Protocol { expected: "F32" })
+        );
+        assert_eq!(Payload::F32(vec![1.0]).try_f32(), Ok(vec![1.0]));
+        assert_eq!(
+            Payload::F32(vec![]).try_bytes(),
+            Err(CommError::Protocol { expected: "Bytes" })
+        );
+        assert_eq!(
+            Payload::Bytes(vec![]).try_sizes(),
+            Err(CommError::Protocol { expected: "Sizes" })
+        );
+    }
+
+    #[test]
+    fn recv_times_out_with_peer_and_collective() {
+        let results = run_ranks(2, |comm| {
+            if comm.rank() == 0 {
+                // Never send, but stay alive past rank 1's deadline so
+                // the failure is a timeout, not a disconnect.
+                std::thread::sleep(Duration::from_millis(150));
+                Ok(Payload::Sizes(vec![]))
+            } else {
+                let short = CommConfig {
+                    recv_timeout: Duration::from_millis(50),
+                    ..CommConfig::default()
+                };
+                comm.config = short;
+                comm.recv_labeled(0, "unit_test")
+            }
+        });
+        assert_eq!(
+            results[1],
+            Err(CommError::Timeout {
+                rank: 0,
+                collective: "unit_test"
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 1 panicked: boom")]
+    fn rank_panic_poisons_group_and_propagates() {
+        run_ranks(3, |comm| {
+            if comm.rank() == 1 {
+                panic!("boom");
+            }
+            // Peers would hang forever here without poisoning; they must
+            // instead observe the poisoned group and error out.
+            let err = comm.recv(1).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CommError::Poisoned { rank: 1 } | CommError::Disconnected { rank: 1 }
+                ),
+                "unexpected error {err:?}"
+            );
+            // Barrier must not hang either.
+            let _ = comm.barrier();
+        });
+    }
+
+    #[test]
+    fn barrier_timeout_identifies_straggler_at_root() {
+        let results = run_ranks(3, |comm| {
+            comm.config = CommConfig {
+                recv_timeout: Duration::from_millis(100),
+                ..CommConfig::default()
+            };
+            if comm.rank() == 2 {
+                // The straggler: never arrives at the barrier.
+                std::thread::sleep(Duration::from_millis(300));
+                return Err(CommError::Protocol { expected: "n/a" });
+            }
+            comm.barrier()
+        });
+        // Rank 0 (the root) names the missing rank.
+        assert_eq!(
+            results[0],
+            Err(CommError::Timeout {
+                rank: 2,
+                collective: "barrier"
+            })
+        );
+    }
+
+    #[test]
+    fn arq_recovers_drops_and_corruption() {
+        let plane = FaultPlane::new(FaultConfig {
+            seed: 99,
+            drop_p: 0.2,
+            corrupt_wire_p: 0.2,
+            ..FaultConfig::default()
+        });
+        let ledger_plane = plane.clone();
+        let rec = compso_obs::Recorder::enabled();
+        let rec_ref = &rec;
+        let config = CommConfig {
+            recv_timeout: Duration::from_secs(20),
+            retry_initial: Duration::from_millis(40),
+            max_retries: 12,
+        };
+        let n_msgs = 50u64;
+        let results = run_ranks_with(2, plane, config, |comm| {
+            comm.set_recorder(rec_ref.clone());
+            if comm.rank() == 0 {
+                for i in 0..n_msgs {
+                    comm.send(1, Payload::Sizes(vec![i, i * i])).unwrap();
+                }
+                // Stay alive until the receiver confirms delivery, so
+                // late NACKs still find a live sender.
+                comm.barrier().unwrap();
+                Vec::new()
+            } else {
+                let got: Vec<u64> = (0..n_msgs)
+                    .map(|_| comm.recv(0).unwrap().into_sizes()[0])
+                    .collect();
+                comm.barrier().unwrap();
+                got
+            }
+        });
+        assert_eq!(results[1], (0..n_msgs).collect::<Vec<u64>>());
+        let ledger = ledger_plane.ledger();
+        assert!(ledger.dropped > 0, "drop_p=0.2 over 50 sends must fire");
+        assert!(ledger.corrupted_wire > 0);
+        let snap = rec.snapshot();
+        // Every injected wire corruption was detected exactly once.
+        assert_eq!(
+            snap.counter(compso_obs::names::COMM_FAULT_CRC_DETECTED),
+            ledger.corrupted_wire
+        );
+        // Every drop and every corruption triggered exactly one resend.
+        assert_eq!(
+            snap.counter(compso_obs::names::COMM_RETRY_RESENDS),
+            ledger.dropped + ledger.corrupted_wire
+        );
+    }
+
+    #[test]
+    fn disabled_plane_sends_no_envelope_traffic() {
+        // Sequence numbers and outboxes stay untouched on the fast path.
+        let results = run_ranks(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, Payload::Bytes(vec![1, 2, 3])).unwrap();
+            } else {
+                comm.recv(0).unwrap();
+            }
+            (
+                comm.send_seq[1 - comm.rank()],
+                comm.outbox.iter().map(|o| o.len()).sum::<usize>(),
+            )
+        });
+        assert_eq!(results[0], (0, 0));
+        assert_eq!(results[1], (0, 0));
+    }
+
+    #[test]
+    fn begin_step_fires_scheduled_crash() {
+        let plane = FaultPlane::new(FaultConfig {
+            seed: 5,
+            crash_at: Some((0, 2)),
+            ..FaultConfig::default()
+        });
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_ranks_with(1, plane.clone(), CommConfig::default(), |comm| {
+                for _ in 0..5 {
+                    comm.begin_step();
+                }
+            });
+        }));
+        let msg = panic_message(caught.unwrap_err().as_ref());
+        assert!(msg.contains("rank 0 panicked"), "{msg}");
+        assert!(msg.contains("crashed at step 2"), "{msg}");
+        assert_eq!(plane.ledger().crashes, 1);
     }
 }

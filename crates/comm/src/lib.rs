@@ -19,8 +19,13 @@
 //!    the timing experiments (Figs. 1/7/9) query.
 
 pub mod collectives;
+pub mod fault;
 pub mod group;
 pub mod netmodel;
 
-pub use group::{run_ranks, CommGroup, Communicator, Payload};
+pub use fault::{FaultConfig, FaultPlane, LedgerSnapshot};
+pub use group::{
+    build_group, build_group_with, run_ranks, run_ranks_with, CommConfig, CommError, CommGroup,
+    Communicator, Payload,
+};
 pub use netmodel::{CollectiveKind, NetworkSpec, ThroughputTable};

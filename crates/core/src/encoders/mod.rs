@@ -147,7 +147,22 @@ impl Codec {
 
     /// Inverse of [`Codec::encode_blocks`] (also block-parallel).
     pub fn decode_blocks(input: &[u8]) -> Result<Vec<u8>, WireError> {
+        let mut out = Vec::new();
+        Self::decode_blocks_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Codec::decode_blocks`] writing into a caller-owned buffer.
+    ///
+    /// The buffer is cleared but its capacity is kept, so steady-state
+    /// decode loops (one per training step) stop paying an allocation for
+    /// the concatenated output stream. All length fields are validated
+    /// against the bytes actually received before anything is reserved:
+    /// a hostile block count cannot outrun the buffer because every block
+    /// frame costs at least its 8-byte length prefix.
+    pub fn decode_blocks_into(input: &[u8], out: &mut Vec<u8>) -> Result<(), WireError> {
         use rayon::prelude::*;
+        out.clear();
         let mut r = crate::wire::Reader::new(input);
         let codec = Codec::from_tag(r.u8()?).ok_or(WireError::Invalid("codec tag"))?;
         let total = crate::wire::checked_count(r.u64()?)?;
@@ -159,17 +174,28 @@ impl Codec {
         if n_blocks != total.div_ceil(block) {
             return Err(WireError::Invalid("block count"));
         }
+        if n_blocks > r.remaining() / 8 {
+            return Err(WireError::Invalid("block count vs buffer"));
+        }
         let mut frames = Vec::with_capacity(n_blocks);
         for _ in 0..n_blocks {
             frames.push(r.block()?);
         }
+        if !r.is_exhausted() {
+            return Err(WireError::Invalid("trailing block bytes"));
+        }
         let decoded: Result<Vec<Vec<u8>>, WireError> =
             frames.par_iter().map(|f| codec.decode(f)).collect();
-        let out: Vec<u8> = decoded?.concat();
-        if out.len() != total {
+        let decoded = decoded?;
+        let produced: usize = decoded.iter().map(|d| d.len()).sum();
+        if produced != total {
             return Err(WireError::Invalid("block payload length"));
         }
-        Ok(out)
+        out.reserve(produced);
+        for d in &decoded {
+            out.extend_from_slice(d);
+        }
+        Ok(())
     }
 }
 
@@ -277,6 +303,38 @@ mod tests {
         for cut in [0usize, 5, 12, enc.len() / 2, enc.len() - 1] {
             assert!(Codec::decode_blocks(&enc[..cut]).is_err(), "cut={cut}");
         }
+    }
+
+    #[test]
+    fn decode_blocks_into_reuses_capacity() {
+        let big = gradient_codes(150_000, 12);
+        let small = gradient_codes(500, 13);
+        let enc_big = Codec::Ans.encode_blocks(&big, 32 * 1024);
+        let enc_small = Codec::Ans.encode_blocks(&small, 32 * 1024);
+        let mut out = Vec::new();
+        Codec::decode_blocks_into(&enc_big, &mut out).unwrap();
+        assert_eq!(out, big);
+        let cap = out.capacity();
+        Codec::decode_blocks_into(&enc_small, &mut out).unwrap();
+        assert_eq!(out, small);
+        assert_eq!(out.capacity(), cap, "scratch capacity was not kept");
+    }
+
+    #[test]
+    fn hostile_block_count_cannot_outrun_buffer() {
+        // Claim a huge total/block-count with almost no bytes behind it:
+        // the count is rejected against the actual buffer before any
+        // frame vector is reserved.
+        let mut w = crate::wire::Writer::new();
+        w.u8(Codec::Ans.tag());
+        w.u64(1 << 27); // total bytes
+        w.u64(1); // block size -> 2^27 blocks
+        w.u32(1 << 27);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            Codec::decode_blocks(&bytes),
+            Err(WireError::Invalid("block count vs buffer"))
+        );
     }
 
     #[test]

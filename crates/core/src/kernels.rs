@@ -403,7 +403,10 @@ fn decompress_chunk(
         1 => true,
         _ => return Err(WireError::Invalid("filter flag").into()),
     };
-    let quant = Quantized::read(&mut cr)?;
+    // The chunk's element count is known from the schedule, so the
+    // quantized record (whose constant-block encoding carries a count
+    // backed by zero bytes) can be capped with real context.
+    let quant = Quantized::read_capped(&mut cr, c.len)?;
     if !cr.is_exhausted() {
         return Err(CompressError::Corrupt("chunk codes overrun"));
     }
@@ -443,6 +446,49 @@ fn decompress_chunk(
     Ok(out)
 }
 
+/// Reusable decode scratch: the two concatenated record streams that
+/// [`decompress_chunked_scratch`] materializes between entropy decoding
+/// and the chunk-parallel scatter.
+///
+/// These are the only per-call allocations whose size tracks the full
+/// gradient volume rather than one chunk, so holding one `DecodeScratch`
+/// per training loop (as `DistKfac` does) removes the dominant
+/// steady-state decode allocation (ROADMAP item d). The buffers are
+/// cleared — not shrunk — between calls.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    bitmaps: Vec<u8>,
+    codes: Vec<u8>,
+}
+
+impl DecodeScratch {
+    /// A fresh, empty scratch pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes currently reserved across both stream buffers (observability
+    /// for tests and memory dashboards).
+    pub fn capacity_bytes(&self) -> usize {
+        self.bitmaps.capacity() + self.codes.capacity()
+    }
+}
+
+thread_local! {
+    /// Per-thread [`DecodeScratch`] pool backing [`decompress_chunked`]:
+    /// repeat decodes on a training loop's thread reuse the same stream
+    /// buffers instead of reallocating the full gradient volume each step
+    /// (ROADMAP item d), with zero API churn for callers.
+    static DECODE_SCRATCH: std::cell::RefCell<DecodeScratch> =
+        std::cell::RefCell::new(DecodeScratch::new());
+}
+
+/// Bytes currently reserved by this thread's [`decompress_chunked`]
+/// scratch pool (observability for the reuse-invariant tests).
+pub fn decode_scratch_capacity_bytes() -> usize {
+    DECODE_SCRATCH.with(|s| s.borrow().capacity_bytes())
+}
+
 /// Inverse of [`compress_chunked`].
 ///
 /// The v2 offset index turns decode into a chunk-parallel scatter: every
@@ -450,7 +496,34 @@ fn decompress_chunk(
 /// workers, and stitched back into per-layer buffers. Offsets are
 /// validated (monotonic, in-bounds, gap-free via per-chunk reader
 /// exhaustion) before any worker touches the streams.
+///
+/// Scratch buffers come from a thread-local pool. The pool entry is
+/// *moved out* for the duration of the decode (not borrowed), so rayon
+/// work-stealing that re-enters this function on the same OS thread —
+/// e.g. a worker blocked in the inner chunk `collect` stealing another
+/// peer-payload decode — finds a fresh empty scratch instead of a held
+/// `RefCell` borrow. Re-entrant calls simply allocate; the common
+/// steady-state path reuses.
 pub fn decompress_chunked(bytes: &[u8]) -> Result<Vec<Vec<f32>>, CompressError> {
+    let mut scratch = DECODE_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+    let result = decompress_chunked_scratch(bytes, &mut scratch);
+    DECODE_SCRATCH.with(|s| *s.borrow_mut() = scratch);
+    result
+}
+
+/// [`decompress_chunked`] decoding through a caller-owned
+/// [`DecodeScratch`], reusing the bitmap/code stream buffers across calls.
+///
+/// Every length field read from the (untrusted) header is validated
+/// against arithmetic identities and the bytes actually received before
+/// any allocation sized by it: the layer count must fit in the remaining
+/// header bytes, the chunk count must equal the count the layer sizes
+/// imply *and* fit the offset index that follows, so a corrupted stream
+/// can never drive an allocation larger than the buffer it arrived in.
+pub fn decompress_chunked_scratch(
+    bytes: &[u8],
+    scratch: &mut DecodeScratch,
+) -> Result<Vec<Vec<f32>>, CompressError> {
     let mut r = Reader::new(bytes);
     if r.u8()? != MAGIC_CHUNKED {
         return Err(WireError::Invalid("chunked magic").into());
@@ -462,7 +535,9 @@ pub fn decompress_chunked(bytes: &[u8]) -> Result<Vec<Vec<f32>>, CompressError> 
     let _ = codec; // per-frame codec tags live inside the block frames
     let _flags = r.u8()?;
     let n_layers = r.u32()? as usize;
-    if n_layers > 1_000_000 {
+    // Each layer size costs 8 header bytes, so a count the buffer cannot
+    // back is corruption — checked before the sizes vector is reserved.
+    if n_layers > 1_000_000 || n_layers > r.remaining() / 8 {
         return Err(WireError::Invalid("layer count").into());
     }
     let mut layer_sizes = Vec::with_capacity(n_layers);
@@ -473,19 +548,37 @@ pub fn decompress_chunked(bytes: &[u8]) -> Result<Vec<Vec<f32>>, CompressError> 
     if chunk_elems == 0 {
         return Err(WireError::Invalid("chunk size").into());
     }
-    let schedule = LayerSchedule::build(&layer_sizes, chunk_elems);
+    // The chunk count is fully determined by (layer_sizes, chunk_elems):
+    // computing it arithmetically *before* building the schedule means a
+    // hostile header can never make `LayerSchedule::build` allocate a
+    // chunk vector the real stream would not carry.
+    let mut implied_chunks: usize = 0;
+    for &n in &layer_sizes {
+        let c = if n == 0 { 1 } else { n.div_ceil(chunk_elems) };
+        implied_chunks = implied_chunks
+            .checked_add(c)
+            .ok_or(WireError::Invalid("chunk count overflow"))?;
+    }
     let n_chunks = r.u32()? as usize;
-    if n_chunks != schedule.chunks().len() {
+    if n_chunks != implied_chunks {
         return Err(CompressError::Corrupt("chunk count vs schedule"));
     }
+    // Each chunk owns a 16-byte offset-index entry in what remains.
+    if n_chunks > r.remaining() / 16 {
+        return Err(WireError::Invalid("chunk count vs buffer").into());
+    }
+    let schedule = LayerSchedule::build(&layer_sizes, chunk_elems);
+    debug_assert_eq!(schedule.chunks().len(), n_chunks);
     let mut offsets: Vec<(usize, usize)> = Vec::with_capacity(n_chunks);
     for _ in 0..n_chunks {
         let c_off = crate::wire::checked_count(r.u64()?)?;
         let b_off = crate::wire::checked_count(r.u64()?)?;
         offsets.push((c_off, b_off));
     }
-    let bitmaps = crate::encoders::Codec::decode_blocks(r.block()?)?;
-    let codes = crate::encoders::Codec::decode_blocks(r.block()?)?;
+    crate::encoders::Codec::decode_blocks_into(r.block()?, &mut scratch.bitmaps)?;
+    crate::encoders::Codec::decode_blocks_into(r.block()?, &mut scratch.codes)?;
+    let bitmaps: &[u8] = &scratch.bitmaps;
+    let codes: &[u8] = &scratch.codes;
     if !r.is_exhausted() {
         return Err(CompressError::Corrupt("trailing bytes"));
     }
@@ -1054,6 +1147,54 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn decode_scratch_is_reused_across_calls() {
+        // ROADMAP item d: repeat decodes through one DecodeScratch must
+        // not keep allocating the stream buffers — after the first call
+        // the reserved capacity plateaus — and reuse must not change the
+        // decoded bytes.
+        let layers = layers_fixture(9);
+        let refs: Vec<&[f32]> = layers.iter().map(|l| l.as_slice()).collect();
+        let cfg = CompsoConfig::aggressive(4e-3);
+        let kc = KernelConfig::default();
+        let sizes: Vec<usize> = layers.iter().map(|l| l.len()).collect();
+        let schedule = LayerSchedule::build(&sizes, kc.chunk_elems);
+        let bytes = compress_chunked(&refs, &cfg, &kc, &schedule, &Rng::new(10));
+
+        let mut scratch = DecodeScratch::new();
+        assert_eq!(scratch.capacity_bytes(), 0);
+        let first = decompress_chunked_scratch(&bytes, &mut scratch).unwrap();
+        let cap = scratch.capacity_bytes();
+        assert!(cap > 0, "decode reserved nothing");
+        for _ in 0..5 {
+            let again = decompress_chunked_scratch(&bytes, &mut scratch).unwrap();
+            assert_eq!(first, again, "scratch reuse changed the decode");
+            assert_eq!(scratch.capacity_bytes(), cap, "scratch kept growing");
+        }
+    }
+
+    #[test]
+    fn thread_local_scratch_pool_backs_decompress_chunked() {
+        // The zero-API-churn path: plain decompress_chunked calls on one
+        // thread share the thread-local pool, so its capacity is non-zero
+        // after a decode and stable across repeats.
+        let layers = layers_fixture(11);
+        let refs: Vec<&[f32]> = layers.iter().map(|l| l.as_slice()).collect();
+        let cfg = CompsoConfig::aggressive(4e-3);
+        let kc = KernelConfig::default();
+        let sizes: Vec<usize> = layers.iter().map(|l| l.len()).collect();
+        let schedule = LayerSchedule::build(&sizes, kc.chunk_elems);
+        let bytes = compress_chunked(&refs, &cfg, &kc, &schedule, &Rng::new(12));
+
+        let first = decompress_chunked(&bytes).unwrap();
+        let cap = decode_scratch_capacity_bytes();
+        assert!(cap > 0, "pool untouched after decode");
+        for _ in 0..3 {
+            assert_eq!(decompress_chunked(&bytes).unwrap(), first);
+            assert_eq!(decode_scratch_capacity_bytes(), cap);
         }
     }
 

@@ -163,10 +163,27 @@ impl Quantized {
 
     /// Deserializes a block written by [`Quantized::write`].
     pub fn read(r: &mut Reader) -> Result<Self, WireError> {
+        Self::read_capped(r, crate::wire::MAX_DECODE_ELEMS)
+    }
+
+    /// [`Quantized::read`] with a caller-supplied element cap.
+    ///
+    /// The degenerate `n_bins == 0` encoding (constant-valued blocks)
+    /// carries *no* code bytes — that is the whole point of the encoding —
+    /// so its element count cannot be validated against the remaining
+    /// buffer the way packed codes can. Callers that know the expected
+    /// element count from outer framing (the chunked decoder knows every
+    /// chunk's length from its schedule; the serial decoder knows each
+    /// layer's declared length) pass it here so a hostile count in a
+    /// corrupted stream cannot drive an oversized allocation.
+    pub fn read_capped(r: &mut Reader, max_count: usize) -> Result<Self, WireError> {
         let lo = r.f32()?;
         let bin_width = r.f32()?;
         let n_bins = r.u32()?;
         let count = crate::wire::checked_count(r.u64()?)?;
+        if count > max_count {
+            return Err(WireError::Invalid("quantized count over cap"));
+        }
         if !lo.is_finite() || !bin_width.is_finite() || bin_width < 0.0 {
             return Err(WireError::Invalid("quantized header"));
         }
@@ -327,6 +344,34 @@ mod tests {
             let mut r = Reader::new(&bytes[..cut]);
             assert!(Quantized::read(&mut r).is_err(), "cut={cut}");
         }
+    }
+
+    #[test]
+    fn hostile_constant_block_count_is_capped() {
+        // A constant block (n_bins == 0) carries no code bytes, so its
+        // count field is the one length a reader cannot check against the
+        // buffer. `read_capped` bounds it with caller context instead.
+        let mut w = Writer::new();
+        w.f32(1.0); // lo
+        w.f32(0.0); // bin_width
+        w.u32(0); // n_bins: constant encoding
+        w.u64(1 << 27); // hostile: claims 128Mi elements backed by nothing
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(
+            Quantized::read_capped(&mut r, 1024),
+            Err(WireError::Invalid("quantized count over cap"))
+        );
+        // The honest count decodes fine under the same cap.
+        let mut w = Writer::new();
+        w.f32(1.0);
+        w.f32(0.0);
+        w.u32(0);
+        w.u64(1024);
+        let bytes = w.into_bytes();
+        let q = Quantized::read_capped(&mut Reader::new(&bytes), 1024).unwrap();
+        assert_eq!(q.len(), 1024);
+        assert!(q.dequantize().iter().all(|&v| v == 1.0));
     }
 
     #[test]

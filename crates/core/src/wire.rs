@@ -22,6 +22,82 @@ pub fn checked_count(n: u64) -> Result<usize, WireError> {
     Ok(n)
 }
 
+/// Magic byte of the checksum frame wrapped around every compressed
+/// payload before it enters a collective (see [`frame_checksummed`]).
+pub const MAGIC_FRAME: u8 = 0xCF;
+
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of `bytes` (the polynomial used by zip/ethernet).
+///
+/// Guards compressed payloads against in-flight corruption: any single
+/// bit flip — and any burst shorter than 32 bits — is guaranteed to
+/// change the checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Wraps `payload` in an integrity frame:
+/// `[MAGIC_FRAME][u32 crc32][u64 len][payload]`.
+///
+/// [`unframe_checksummed`] verifies length and checksum before handing
+/// the payload back, so a corrupted collective delivery is detected at
+/// the receiver instead of surfacing as a garbage gradient.
+pub fn frame_checksummed(payload: &[u8]) -> Vec<u8> {
+    let mut w = Writer::with_capacity(payload.len() + 13);
+    w.u8(MAGIC_FRAME);
+    w.u32(crc32(payload));
+    w.u64(payload.len() as u64);
+    w.bytes(payload);
+    w.into_bytes()
+}
+
+/// Inverse of [`frame_checksummed`]: validates magic, length, and CRC
+/// and returns the payload slice. Never allocates based on the embedded
+/// length — the length is checked against the actual buffer first.
+pub fn unframe_checksummed(frame: &[u8]) -> Result<&[u8], WireError> {
+    let mut r = Reader::new(frame);
+    if r.u8()? != MAGIC_FRAME {
+        return Err(WireError::Invalid("checksum frame magic"));
+    }
+    let want_crc = r.u32()?;
+    let len = r.u64()?;
+    let len = usize::try_from(len).map_err(|_| WireError::Invalid("frame length"))?;
+    if len != r.remaining() {
+        return Err(WireError::Truncated {
+            need: len,
+            have: r.remaining(),
+        });
+    }
+    let payload = r.bytes(len)?;
+    if crc32(payload) != want_crc {
+        return Err(WireError::Invalid("checksum mismatch"));
+    }
+    Ok(payload)
+}
+
 /// Error produced when decoding a malformed or truncated stream.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WireError {
@@ -234,6 +310,51 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert_eq!(r.block().unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn checksum_frame_roundtrip_and_detection() {
+        let payload = vec![0xAB; 257];
+        let frame = frame_checksummed(&payload);
+        assert_eq!(frame[0], MAGIC_FRAME);
+        assert_eq!(unframe_checksummed(&frame).unwrap(), payload.as_slice());
+
+        // Every single-bit flip anywhere in the frame is detected.
+        for byte in [0usize, 1, 5, 12, 13, frame.len() - 1] {
+            for bit in [0u8, 3, 7] {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    unframe_checksummed(&bad).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+
+        // Truncation and extension are detected.
+        assert!(unframe_checksummed(&frame[..frame.len() - 1]).is_err());
+        let mut long = frame.clone();
+        long.push(0);
+        assert!(unframe_checksummed(&long).is_err());
+
+        // A hostile length prefix cannot drive an allocation: the frame
+        // declares 2^60 bytes but the function just errors.
+        let mut hostile = frame_checksummed(&[1, 2, 3]);
+        hostile[5..13].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        assert!(unframe_checksummed(&hostile).is_err());
+    }
+
+    #[test]
+    fn empty_payload_frames() {
+        let frame = frame_checksummed(&[]);
+        assert_eq!(unframe_checksummed(&frame).unwrap(), &[] as &[u8]);
     }
 
     #[test]

@@ -26,15 +26,44 @@
 //! 6. every rank decodes the received peer payloads **in parallel**
 //!    (rayon over the N−1 buffers), installs the preconditioned
 //!    gradients, and applies the identical SGD(+momentum) update.
+//!
+//! # Fault model and the degradation ladder
+//!
+//! Every collective call is **fallible** ([`CommError`]): receives carry
+//! deadlines, transport faults are absorbed by the comm layer's ARQ, and
+//! a crashed peer surfaces as `Poisoned`/`Disconnected` instead of a
+//! hang. On top of that, every compressed all-gather payload travels
+//! inside a CRC-32 checksum frame, and a payload that fails its checksum
+//! or does not decode walks a **degradation ladder** (DESIGN.md §9)
+//! instead of panicking:
+//!
+//! * **rung 1** — request a compressed resend from the origin (the origin
+//!   keeps a clean framed copy of what it sent);
+//! * **rung 2** — request an *uncompressed* resend of the values the
+//!   origin itself installed (so a successful rung 2 keeps replicas
+//!   consistent);
+//! * **rung 3** — degrade locally: reuse the last good preconditioned
+//!   gradient for the affected layer group, or — when none exists yet —
+//!   leave the step-2 averaged raw gradient in place, i.e. take a plain
+//!   SGD step for those layers. Training continues either way.
+//!
+//! A tiny always-on repair status exchange after the all-gather keeps the
+//! repair schedule deterministic across ranks (everyone learns which
+//! (requester, origin) pairs need repair, so nobody deadlocks waiting for
+//! traffic that will never come). All ladder activity is counted into the
+//! recorder (`kfac/degrade/*`) so the chaos suite can reconcile observed
+//! degradations against the fault plane's injection ledger exactly.
 
 use crate::kfac::{covariance, Kfac, KfacConfig};
-use compso_comm::collectives::{allgather_var, allreduce_mean};
-use compso_comm::Communicator;
-use compso_core::{Compressor, LayerSchedule, NoCompression};
+use compso_comm::collectives::{allgather_var, allgather_var_quiet, allreduce_mean};
+use compso_comm::{CommError, Communicator, Payload};
+use compso_core::wire::{frame_checksummed, unframe_checksummed, Reader, Writer};
+use compso_core::{CompressError, Compressor, LayerSchedule, NoCompression};
 use compso_dnn::Sequential;
 use compso_obs::{names, Recorder};
 use compso_tensor::{Matrix, Rng};
 use rayon::prelude::*;
+use std::collections::HashMap;
 
 /// Distributed K-FAC configuration.
 pub struct DistKfacConfig {
@@ -112,6 +141,10 @@ pub struct DistKfac {
     /// Reusable fusion buffer for the bucketed step-2 gradient sync (no
     /// per-step allocation churn).
     fusion: Vec<f32>,
+    /// Last successfully decoded preconditioned gradient per layer — the
+    /// ladder's rung-3 fallback store. Populated only while a fault
+    /// campaign is armed, so the fault-free hot path pays nothing.
+    last_good: HashMap<usize, Matrix>,
     /// RNG for stochastic compression.
     rng: Rng,
     /// Observability sink for the step's sub-phases (Fig. 1 taxonomy);
@@ -130,6 +163,7 @@ impl DistKfac {
             schedules: None,
             schedule_builds: 0,
             fusion: Vec::new(),
+            last_good: HashMap::new(),
             rng: Rng::new(seed ^ 0xFACADE),
             recorder: Recorder::disabled(),
         }
@@ -148,13 +182,23 @@ impl DistKfac {
     /// `compressor` handles the preconditioned-gradient all-gather
     /// (pass [`NoCompression`] for the paper's baseline).
     ///
-    /// Returns the step's communication statistics.
+    /// Returns the step's communication statistics, or the first
+    /// unrecoverable transport error ([`CommError`]) — timeouts, exhausted
+    /// retries, a poisoned group. Recoverable trouble (corrupted or
+    /// undecodable compressed payloads) never surfaces here: it is
+    /// absorbed by the degradation ladder (see the module docs) and shows
+    /// up in the `kfac/degrade/*` counters instead.
+    ///
+    /// This calls [`Communicator::begin_step`] internally, so a scheduled
+    /// crash-at-step fault fires at the top of the step; drive the step
+    /// counter through this method only.
     pub fn step(
         &mut self,
         comm: &mut Communicator,
         model: &mut Sequential,
         compressor: &dyn Compressor,
-    ) -> StepStats {
+    ) -> Result<StepStats, CommError> {
+        let step_idx = comm.begin_step();
         let _step_span = self.recorder.span(names::KFAC_STEP);
         let mut stats = StepStats::default();
         let trainable = model.trainable_indices();
@@ -178,7 +222,7 @@ impl DistKfac {
                 }
             }
             stats.allreduce_bytes += self.fusion.len() as u64 * 4;
-            allreduce_mean(comm, &mut self.fusion);
+            allreduce_mean(comm, &mut self.fusion)?;
             {
                 let _bucket = self.recorder.span(names::KFAC_BUCKET);
                 let mut offset = 0usize;
@@ -203,8 +247,8 @@ impl DistKfac {
                 let s = model.kfac_stats(idx).expect("kfac stats");
                 let mut a_cov = covariance(&s.a);
                 let mut g_cov = covariance(&s.g);
-                allreduce_mean(comm, a_cov.as_mut_slice());
-                allreduce_mean(comm, g_cov.as_mut_slice());
+                allreduce_mean(comm, a_cov.as_mut_slice())?;
+                allreduce_mean(comm, g_cov.as_mut_slice())?;
                 self.kfac.absorb_covariances(idx, &a_cov, &g_cov);
             }
         }
@@ -267,9 +311,11 @@ impl DistKfac {
         // aggregation groups through the compressor's multi-layer entry
         // point (chunked compressors run the §4.5 parallel kernels here,
         // reusing the cached schedule; the layer slices are borrowed, so
-        // no flatten copy happens on this side either).
+        // no flatten copy happens on this side either). The whole payload
+        // travels inside a CRC-32 checksum frame; a clean copy stays
+        // behind for the ladder's repair rungs.
         let allgather_span = self.recorder.span(names::KFAC_ALLGATHER);
-        let mut payload = compso_core::wire::Writer::new();
+        let mut payload = Writer::new();
         payload.u32(owned.len() as u32);
         for (gi, group) in owned.chunks(m).enumerate() {
             // Group header: layer ids and shapes.
@@ -287,57 +333,152 @@ impl DistKfac {
                 compressor.compress_group(&refs, schedule, &mut self.rng, &self.recorder);
             payload.block(&compressed);
         }
-        let bytes = payload.into_bytes();
-        stats.gather_bytes_wire += bytes.len() as u64;
-        let gathered = allgather_var(comm, bytes);
+        let clean_frame = frame_checksummed(&payload.into_bytes());
+        stats.gather_bytes_wire += clean_frame.len() as u64;
+        let plane = comm.fault_plane().clone();
+        let mut tx = clean_frame.clone();
+        // Origin-side payload corruption (fault class the ladder absorbs;
+        // no-op with the plane disabled).
+        plane.maybe_corrupt_payload(me, step_idx, &mut tx);
+        let gathered = allgather_var(comm, tx)?;
         drop(allgather_span);
 
-        // (6) Decode every rank's contribution in parallel (one rayon
-        // task per received payload — the N−1 peer buffers plus our own
-        // echo decode concurrently), then install serially in rank order
-        // so the result is independent of worker scheduling.
+        // (6) Validate + decode every rank's contribution in parallel
+        // (one rayon task per payload), then repair/degrade, then install
+        // serially in rank order so the result is independent of worker
+        // scheduling. Our own contribution decodes from the clean frame —
+        // the origin never needs its own repair.
         let _update_span = self.recorder.span(names::KFAC_UPDATE);
-        let decoded: Vec<Vec<(usize, Matrix)>> = {
+        let p = comm.size();
+        // Deterministic per-rank expectation: which layers (and shapes)
+        // each rank's payload must carry. Identical on all ranks, and the
+        // yardstick hostile payload headers are validated against.
+        let mut expected: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); p];
+        for (pos, &idx) in kfac_layers.iter().enumerate() {
+            let g = model.layer(idx).grads().expect("grad");
+            expected[owners[pos]].push((idx, g.rows(), g.cols()));
+        }
+        let mut results: Vec<Result<Vec<(usize, Matrix)>, CompressError>> = {
             let _decode_span = self.recorder.span(names::KFAC_PEER_DECODE);
             let rec = &self.recorder;
-            gathered
-                .par_iter()
-                .map(|buf| {
-                    let mut out: Vec<(usize, Matrix)> = Vec::new();
-                    let mut r = compso_core::wire::Reader::new(buf);
-                    let n_owned = r.u32().expect("payload header") as usize;
-                    let mut groups_remaining = n_owned;
-                    while groups_remaining > 0 {
-                        let group_len = r.u32().expect("group header") as usize;
-                        assert!(group_len > 0 && group_len <= groups_remaining);
-                        let mut shapes = Vec::with_capacity(group_len);
-                        for _ in 0..group_len {
-                            let idx = r.u32().expect("layer id") as usize;
-                            let rows = r.u32().expect("rows") as usize;
-                            let cols = r.u32().expect("cols") as usize;
-                            shapes.push((idx, rows, cols));
-                        }
-                        let block = r.block().expect("compressed block");
-                        let layers = compressor
-                            .decompress_group(block, rec)
-                            .expect("peer sent undecodable gradient block");
-                        assert_eq!(layers.len(), group_len, "group layer count mismatch");
-                        for ((idx, rows, cols), flat) in shapes.into_iter().zip(layers) {
-                            assert_eq!(flat.len(), rows * cols, "layer payload size mismatch");
-                            out.push((idx, Matrix::from_vec(rows, cols, flat)));
-                        }
-                        groups_remaining -= group_len;
-                    }
-                    out
+            let frames: Vec<(usize, &[u8])> = (0..p)
+                .map(|r| {
+                    let bytes: &[u8] = if r == me { &clean_frame } else { &gathered[r] };
+                    (r, bytes)
                 })
+                .collect();
+            frames
+                .par_iter()
+                .map(|&(r, bytes)| decode_rank_payload(bytes, &expected[r], m, compressor, rec))
                 .collect()
         };
-        for entries in decoded {
-            for (idx, grad) in entries {
-                model.layer_mut(idx).set_grads(grad);
+
+        // Degradation ladder rungs 1–2: a tiny always-on status exchange
+        // tells every rank which (requester, origin) pairs need repair —
+        // the schedule stays deterministic, so the point-to-point repair
+        // handshakes below cannot deadlock.
+        let needs: Vec<u8> = results.iter().map(|r| u8::from(r.is_err())).collect();
+        for (r, &n) in needs.iter().enumerate() {
+            if n == 1 {
+                debug_assert_ne!(r, me, "own clean payload failed to decode");
+                self.recorder.incr(names::KFAC_DEGRADE_CHECKSUM_FAILURES);
+                self.recorder.incr(names::KFAC_DEGRADE_REPAIR_REQUESTS);
             }
         }
-        stats
+        let statuses = {
+            let _repair_span = self.recorder.span(names::COMM_ALLGATHER_REPAIR);
+            allgather_var_quiet(comm, needs, names::COMM_ALLGATHER_REPAIR)?
+        };
+        let repair_from = |q: usize, o: usize| -> bool {
+            q != o && statuses[q].get(o).copied().unwrap_or(0) == 1
+        };
+        // Precompute the rung-2 bytes once if anyone needs my payload:
+        // the values *I installed* — decoded, not raw — so a rung-2
+        // repair keeps replicas consistent.
+        let rung2_clean = (0..p)
+            .any(|q| repair_from(q, me))
+            .then(|| frame_checksummed(&flatten_entries(&results[me], &owned)));
+        // Walk every (origin, requester) repair pair in the SAME global
+        // order on every rank. Each handshake involves exactly two ranks
+        // and strictly alternates send/recv between them, so processing
+        // the pairs in one shared order makes the phase deadlock-free
+        // even when repairs are mutual (A needs B's payload while B
+        // needs A's) or chained across several ranks.
+        for o in 0..p {
+            for q in 0..p {
+                if !repair_from(q, o) {
+                    continue;
+                }
+                if me == o {
+                    // Origin side. Rung 1: compressed resend of the
+                    // clean framed copy.
+                    let mut r1 = clean_frame.clone();
+                    plane.maybe_corrupt_repair(me, q, step_idx, 1, &mut r1);
+                    comm.send(q, Payload::Bytes(r1))?;
+                    let ack = comm.recv_labeled(q, "kfac_repair_status")?.try_sizes()?;
+                    if ack.first() != Some(&1) {
+                        // Rung 2: uncompressed resend.
+                        let mut r2 = rung2_clean.clone().expect("rung2 precomputed");
+                        plane.maybe_corrupt_repair(me, q, step_idx, 2, &mut r2);
+                        comm.send(q, Payload::Bytes(r2))?;
+                    }
+                } else if me == q {
+                    // Requester side.
+                    let r1 = comm.recv_labeled(o, "kfac_repair")?.try_bytes()?;
+                    match decode_rank_payload(&r1, &expected[o], m, compressor, &self.recorder) {
+                        Ok(entries) => {
+                            comm.send(o, Payload::Sizes(vec![1]))?;
+                            self.recorder.incr(names::KFAC_DEGRADE_REPAIR_COMPRESSED_OK);
+                            results[o] = Ok(entries);
+                        }
+                        Err(_) => {
+                            comm.send(o, Payload::Sizes(vec![0]))?;
+                            let r2 = comm.recv_labeled(o, "kfac_repair")?.try_bytes()?;
+                            if let Ok(entries) = decode_uncompressed(&r2, &expected[o]) {
+                                self.recorder
+                                    .incr(names::KFAC_DEGRADE_REPAIR_UNCOMPRESSED_OK);
+                                results[o] = Ok(entries);
+                            }
+                            // Still broken: rung 3 handles it at install.
+                        }
+                    }
+                }
+            }
+        }
+
+        // Install in rank order. Unrepairable payloads take rung 3 per
+        // aggregation group: last good preconditioned gradient when one
+        // exists, else the step-2 averaged raw gradient already sitting in
+        // the model (a plain SGD step for those layers).
+        for (r, res) in results.into_iter().enumerate() {
+            match res {
+                Ok(entries) => {
+                    for (idx, grad) in entries {
+                        if plane.is_enabled() {
+                            self.last_good.insert(idx, grad.clone());
+                        }
+                        model.layer_mut(idx).set_grads(grad);
+                    }
+                }
+                Err(_) => {
+                    for group in expected[r].chunks(m) {
+                        let have_all = group
+                            .iter()
+                            .all(|(idx, _, _)| self.last_good.contains_key(idx));
+                        if have_all {
+                            self.recorder.incr(names::KFAC_DEGRADE_FALLBACK_LAST_GOOD);
+                            for (idx, _, _) in group {
+                                let grad = self.last_good[idx].clone();
+                                model.layer_mut(*idx).set_grads(grad);
+                            }
+                        } else {
+                            self.recorder.incr(names::KFAC_DEGRADE_FALLBACK_SGD);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(stats)
     }
 
     /// The greedy ownership map, once built.
@@ -356,6 +497,104 @@ impl DistKfac {
 /// Convenience: the no-compression baseline compressor.
 pub fn no_compression() -> NoCompression {
     NoCompression
+}
+
+/// Validates and decodes one rank's framed all-gather payload against the
+/// deterministic expectation (`(layer idx, rows, cols)` per owned layer,
+/// grouped by the aggregation factor `m`). Every header field is checked
+/// against the expectation *before* any decode work, so a hostile or
+/// bit-flipped payload fails fast instead of driving allocations.
+fn decode_rank_payload(
+    frame: &[u8],
+    expected: &[(usize, usize, usize)],
+    m: usize,
+    compressor: &dyn Compressor,
+    rec: &Recorder,
+) -> Result<Vec<(usize, Matrix)>, CompressError> {
+    let payload = unframe_checksummed(frame)?;
+    let mut r = Reader::new(payload);
+    let n_owned = r.u32()? as usize;
+    if n_owned != expected.len() {
+        return Err(CompressError::Corrupt("owned-layer count mismatch"));
+    }
+    let mut out: Vec<(usize, Matrix)> = Vec::with_capacity(n_owned);
+    for chunk in expected.chunks(m) {
+        let group_len = r.u32()? as usize;
+        if group_len != chunk.len() {
+            return Err(CompressError::Corrupt("group length mismatch"));
+        }
+        for &(idx, rows, cols) in chunk {
+            let got_idx = r.u32()? as usize;
+            let got_rows = r.u32()? as usize;
+            let got_cols = r.u32()? as usize;
+            if got_idx != idx || got_rows != rows || got_cols != cols {
+                return Err(CompressError::Corrupt("layer header mismatch"));
+            }
+        }
+        let block = r.block()?;
+        let layers = compressor.decompress_group(block, rec)?;
+        if layers.len() != chunk.len() {
+            return Err(CompressError::Corrupt("decoded layer count mismatch"));
+        }
+        for (flat, &(idx, rows, cols)) in layers.into_iter().zip(chunk) {
+            if flat.len() != rows * cols {
+                return Err(CompressError::Corrupt("decoded layer size mismatch"));
+            }
+            out.push((idx, Matrix::from_vec(rows, cols, flat)));
+        }
+    }
+    if !r.is_exhausted() {
+        return Err(CompressError::Corrupt("trailing payload bytes"));
+    }
+    Ok(out)
+}
+
+/// Decodes a rung-2 (uncompressed) repair frame: the origin's installed
+/// values as raw little-endian f32s, in `expected` order.
+fn decode_uncompressed(
+    frame: &[u8],
+    expected: &[(usize, usize, usize)],
+) -> Result<Vec<(usize, Matrix)>, CompressError> {
+    let payload = unframe_checksummed(frame)?;
+    let total: usize = expected.iter().map(|&(_, r, c)| r * c).sum();
+    if payload.len() != total * 4 {
+        return Err(CompressError::Corrupt("uncompressed repair size mismatch"));
+    }
+    let mut out = Vec::with_capacity(expected.len());
+    let mut off = 0usize;
+    for &(idx, rows, cols) in expected {
+        let n = rows * cols;
+        let flat: Vec<f32> = payload[off..off + n * 4]
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect();
+        off += n * 4;
+        out.push((idx, Matrix::from_vec(rows, cols, flat)));
+    }
+    Ok(out)
+}
+
+/// Serializes the values this rank *installed* for its owned layers (the
+/// decoded, possibly-lossy entries when its own decode succeeded, the raw
+/// preconditioned matrices otherwise) as raw little-endian f32s — the
+/// rung-2 repair body. Sending installed values keeps a repaired replica
+/// bit-identical to the origin.
+fn flatten_entries(
+    result: &Result<Vec<(usize, Matrix)>, CompressError>,
+    owned: &[(usize, Matrix)],
+) -> Vec<u8> {
+    let entries: &[(usize, Matrix)] = match result {
+        Ok(entries) => entries,
+        Err(_) => owned,
+    };
+    let total: usize = entries.iter().map(|(_, m)| m.len()).sum();
+    let mut bytes = Vec::with_capacity(total * 4);
+    for (_, m) in entries {
+        for v in m.as_slice() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    bytes
 }
 
 #[cfg(test)]
@@ -439,7 +678,7 @@ mod tests {
                 let logits = model.forward(&x, true);
                 let (_, grad) = softmax_cross_entropy(&logits, &y);
                 model.backward(&grad);
-                opt.step(comm, &mut model, &nc);
+                opt.step(comm, &mut model, &nc).unwrap();
                 model.update_params(|p, g| p.axpy(-0.02, g));
             }
             model.layer(0).params().unwrap().clone()
@@ -487,7 +726,7 @@ mod tests {
                 let logits = model.forward(&x, true);
                 let (_, grad) = softmax_cross_entropy(&logits, &y);
                 model.backward(&grad);
-                last = opt.step(comm, &mut model, &compso);
+                last = opt.step(comm, &mut model, &compso).unwrap();
                 model.update_params(|p, g| p.axpy(-0.005, g));
             }
             let logits = model.forward(&d.x, false);
@@ -522,7 +761,7 @@ mod tests {
                 let logits = model.forward(&x, true);
                 let (_, grad) = softmax_cross_entropy(&logits, &y);
                 model.backward(&grad);
-                opt.step(comm, &mut model, &compso);
+                opt.step(comm, &mut model, &compso).unwrap();
                 model.update_params(|p, g| p.axpy(-0.02, g));
             }
             model.layer(0).params().unwrap().clone()
@@ -555,7 +794,7 @@ mod tests {
                     let logits = model.forward(&x, true);
                     let (_, grad) = softmax_cross_entropy(&logits, &y);
                     model.backward(&grad);
-                    opt.step(comm, &mut model, &nc);
+                    opt.step(comm, &mut model, &nc).unwrap();
                     model.update_params(|p, g| p.axpy(-0.02, g));
                 }
                 model.layer(0).params().unwrap().clone()
@@ -586,7 +825,7 @@ mod tests {
                 let logits = model.forward(&x, true);
                 let (_, grad) = softmax_cross_entropy(&logits, &y);
                 model.backward(&grad);
-                opt.step(comm, &mut model, &compso);
+                opt.step(comm, &mut model, &compso).unwrap();
                 model.update_params(|p, g| p.axpy(-0.02, g));
             }
         });
@@ -632,7 +871,7 @@ mod tests {
             let mut per_layer: Vec<Vec<f32>> = Vec::new();
             for &idx in &trainable {
                 let mut g = model.layer(idx).grads().unwrap().clone();
-                allreduce_mean(comm, g.as_mut_slice());
+                allreduce_mean(comm, g.as_mut_slice()).unwrap();
                 per_layer.push(g.as_slice().to_vec());
             }
             // Bucketed: one collective over the concatenation.
@@ -640,7 +879,7 @@ mod tests {
             for &idx in &trainable {
                 fusion.extend_from_slice(model.layer(idx).grads().unwrap().as_slice());
             }
-            allreduce_mean(comm, &mut fusion);
+            allreduce_mean(comm, &mut fusion).unwrap();
             (per_layer, fusion)
         });
         for (per_layer, fusion) in &results {
@@ -676,7 +915,7 @@ mod tests {
                 let logits = model.forward(&x, true);
                 let (_, grad) = softmax_cross_entropy(&logits, &y);
                 model.backward(&grad);
-                opt.step(comm, &mut model, &compso);
+                opt.step(comm, &mut model, &compso).unwrap();
                 model.update_params(|p, g| p.axpy(-0.02, g));
             }
         });
@@ -727,7 +966,7 @@ mod tests {
                     let logits = model.forward(&x, true);
                     let (_, grad) = softmax_cross_entropy(&logits, &y);
                     model.backward(&grad);
-                    opt.step(comm, &mut model, &compso);
+                    opt.step(comm, &mut model, &compso).unwrap();
                     model.update_params(|p, g| p.axpy(-0.02, g));
                 }
                 let params: Vec<Matrix> = (0..model.len())
@@ -774,7 +1013,7 @@ mod tests {
                     let logits = model.forward(&x, true);
                     let (_, grad) = softmax_cross_entropy(&logits, &y);
                     model.backward(&grad);
-                    opt.step(comm, &mut model, compressor);
+                    opt.step(comm, &mut model, compressor).unwrap();
                     model.update_params(|p, g| p.axpy(-0.02, g));
                 }
                 opt.schedule_builds()
@@ -815,7 +1054,7 @@ mod tests {
                 let logits = model.forward(&x, true);
                 let (_, grad) = softmax_cross_entropy(&logits, &y);
                 model.backward(&grad);
-                last = opt.step(comm, &mut model, &compso);
+                last = opt.step(comm, &mut model, &compso).unwrap();
                 model.update_params(|p, g| p.axpy(-0.01, g));
             }
             let logits = model.forward(&d.x, false);
@@ -855,7 +1094,7 @@ mod tests {
             let logits = model.forward(&x, true);
             let (_, grad) = softmax_cross_entropy(&logits, &y);
             model.backward(&grad);
-            opt.step(comm, &mut model, &nc)
+            opt.step(comm, &mut model, &nc).unwrap()
         });
         // Two linear layers: (6+1)*8 + (8+1)*3 = 83 params -> 332 bytes
         // allreduced per rank.

@@ -32,7 +32,7 @@ mod report;
 mod snapshot;
 
 pub use json::{escape as json_escape, validate as json_validate};
-pub use report::{StepReport, PHASE_OTHER, STEP_PHASES};
+pub use report::{Resilience, StepReport, PHASE_OTHER, STEP_PHASES};
 pub use snapshot::{HistStat, Snapshot, TimerStat};
 
 use std::collections::HashMap;
@@ -332,6 +332,41 @@ pub mod names {
     pub const COMM_ALLREDUCE_CALLS: &str = "comm/allreduce_calls";
     /// `compso-comm`: number of variable-size all-gather invocations.
     pub const COMM_ALLGATHER_VAR_CALLS: &str = "comm/allgather_var_calls";
+
+    /// `compso-comm`: envelope-CRC failures detected at a receiver (each
+    /// one triggers an immediate NACK; reconciles 1:1 with the fault
+    /// plane's `corrupted_wire` ledger).
+    pub const COMM_FAULT_CRC_DETECTED: &str = "comm/fault/crc_detected";
+    /// `compso-comm`: data-message retransmissions performed by senders
+    /// in response to NACKs (`== dropped + corrupted_wire` injections
+    /// when no spurious timeouts fire).
+    pub const COMM_RETRY_RESENDS: &str = "comm/retry/resends";
+    /// `compso-comm`: NACKs sent by receivers (immediate on CRC failure,
+    /// deadline-based for silent drops).
+    pub const COMM_RETRY_NACKS_SENT: &str = "comm/retry/nacks_sent";
+    /// `compso-comm`: exponential-backoff waits between timeout NACKs,
+    /// in nanoseconds (log2 histogram).
+    pub const COMM_RETRY_BACKOFF_NS: &str = "comm/retry/backoff_ns";
+    /// `compso-kfac`: tiny always-on repair status exchange after the
+    /// gradient all-gather (kept separate from `comm/allgather_var` so
+    /// call-count invariants on the main collective stay exact).
+    pub const COMM_ALLGATHER_REPAIR: &str = "comm/allgather_repair";
+
+    /// `compso-kfac`: checksum/decode failures observed on gathered peer
+    /// payloads (`== corrupted_payload injections × (ranks − 1)`).
+    pub const KFAC_DEGRADE_CHECKSUM_FAILURES: &str = "kfac/degrade/checksum_failures";
+    /// `compso-kfac`: repair requests issued to payload origins (rung 1).
+    pub const KFAC_DEGRADE_REPAIR_REQUESTS: &str = "kfac/degrade/repair_requests";
+    /// `compso-kfac`: repairs satisfied by a compressed resend (rung 1).
+    pub const KFAC_DEGRADE_REPAIR_COMPRESSED_OK: &str = "kfac/degrade/repair_compressed_ok";
+    /// `compso-kfac`: repairs satisfied by an uncompressed resend (rung 2).
+    pub const KFAC_DEGRADE_REPAIR_UNCOMPRESSED_OK: &str = "kfac/degrade/repair_uncompressed_ok";
+    /// `compso-kfac`: layer groups that fell back to the last good
+    /// preconditioned gradient (rung 3a).
+    pub const KFAC_DEGRADE_FALLBACK_LAST_GOOD: &str = "kfac/degrade/fallback_last_good";
+    /// `compso-kfac`: layer groups that fell back to the plain averaged
+    /// gradient (an SGD-style step for those layers; rung 3b).
+    pub const KFAC_DEGRADE_FALLBACK_SGD: &str = "kfac/degrade/fallback_sgd";
 
     /// `compso-kfac`: whole `DistKfac::step`.
     pub const KFAC_STEP: &str = "kfac/step";

@@ -27,6 +27,65 @@ pub const STEP_PHASES: &[&str] = &[
 /// sub-phases.
 pub const PHASE_OTHER: &str = "kfac/step/other";
 
+/// The structured resilience view of a step: transport-level fault
+/// handling (ARQ) and the K-FAC degradation-ladder activity, pulled out
+/// of the raw counter map so chaos tooling and dashboards can reconcile
+/// them against a fault-injection ledger without knowing counter names.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Resilience {
+    /// Transport envelopes whose CRC failed on receive (ARQ detected).
+    pub crc_detected: u64,
+    /// Clean-copy retransmissions the ARQ performed (drops + corruption).
+    pub resends: u64,
+    /// NACKs receivers sent to trigger those resends.
+    pub nacks_sent: u64,
+    /// Nanoseconds spent in retry backoff sleeps.
+    pub backoff_ns: u64,
+    /// All-gather payloads that failed their checksum frame or decode.
+    pub checksum_failures: u64,
+    /// Degradation-ladder repair handshakes requested (= failures).
+    pub repair_requests: u64,
+    /// Repairs satisfied by the rung-1 compressed resend.
+    pub repair_compressed_ok: u64,
+    /// Repairs satisfied by the rung-2 uncompressed resend.
+    pub repair_uncompressed_ok: u64,
+    /// Rung-3 layer groups served from the last-good store.
+    pub fallback_last_good: u64,
+    /// Rung-3 layer groups degraded to a plain-SGD step.
+    pub fallback_sgd: u64,
+}
+
+impl Resilience {
+    /// Extracts the resilience counters from a (delta) snapshot.
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        Resilience {
+            crc_detected: snap.counter(names::COMM_FAULT_CRC_DETECTED),
+            resends: snap.counter(names::COMM_RETRY_RESENDS),
+            nacks_sent: snap.counter(names::COMM_RETRY_NACKS_SENT),
+            backoff_ns: snap.counter(names::COMM_RETRY_BACKOFF_NS),
+            checksum_failures: snap.counter(names::KFAC_DEGRADE_CHECKSUM_FAILURES),
+            repair_requests: snap.counter(names::KFAC_DEGRADE_REPAIR_REQUESTS),
+            repair_compressed_ok: snap.counter(names::KFAC_DEGRADE_REPAIR_COMPRESSED_OK),
+            repair_uncompressed_ok: snap.counter(names::KFAC_DEGRADE_REPAIR_UNCOMPRESSED_OK),
+            fallback_last_good: snap.counter(names::KFAC_DEGRADE_FALLBACK_LAST_GOOD),
+            fallback_sgd: snap.counter(names::KFAC_DEGRADE_FALLBACK_SGD),
+        }
+    }
+
+    /// True when the step saw no transport faults and no ladder activity
+    /// (the invariant a disabled fault plane must preserve).
+    pub fn is_quiet(&self) -> bool {
+        *self == Resilience::default()
+    }
+
+    /// Degradation events that changed what got installed: every failure
+    /// minus the repairs that fully recovered it.
+    pub fn degraded_installs(&self) -> u64 {
+        self.repair_requests
+            .saturating_sub(self.repair_compressed_ok + self.repair_uncompressed_ok)
+    }
+}
+
 /// One step's measured observability report.
 #[derive(Clone, Debug, Default)]
 pub struct StepReport {
@@ -44,6 +103,8 @@ pub struct StepReport {
     /// Live compression ratio `core/bytes_in ÷ core/bytes_out`, when the
     /// compressor recorded traffic.
     pub ratio: Option<f64>,
+    /// Structured fault-handling / degradation-ladder view of the step.
+    pub resilience: Resilience,
 }
 
 impl StepReport {
@@ -84,6 +145,7 @@ impl StepReport {
             fractions,
             counters: snap.counters.clone(),
             ratio,
+            resilience: Resilience::from_snapshot(snap),
         }
     }
 
@@ -116,6 +178,23 @@ impl StepReport {
             Some(r) => out.push_str(&format!(",\"ratio\":{}", fmt_f64(r))),
             None => out.push_str(",\"ratio\":null"),
         }
+        let rz = &self.resilience;
+        out.push_str(&format!(
+            ",\"resilience\":{{\"crc_detected\":{},\"resends\":{},\"nacks_sent\":{},\
+             \"backoff_ns\":{},\"checksum_failures\":{},\"repair_requests\":{},\
+             \"repair_compressed_ok\":{},\"repair_uncompressed_ok\":{},\
+             \"fallback_last_good\":{},\"fallback_sgd\":{}}}",
+            rz.crc_detected,
+            rz.resends,
+            rz.nacks_sent,
+            rz.backoff_ns,
+            rz.checksum_failures,
+            rz.repair_requests,
+            rz.repair_compressed_ok,
+            rz.repair_uncompressed_ok,
+            rz.fallback_last_good,
+            rz.fallback_sgd,
+        ));
         out.push('}');
         out
     }
@@ -182,6 +261,40 @@ mod tests {
         validate(&doc).unwrap_or_else(|(pos, msg)| panic!("{msg} at {pos} in {doc}"));
         assert!(doc.contains("\"ratio\":2e1"), "{doc}");
         assert!(doc.contains(&format!("\"{}\"", names::KFAC_FACTOR)));
+    }
+
+    #[test]
+    fn resilience_section_extracts_and_serializes() {
+        let rec = Recorder::enabled();
+        rec.add_time_ns(names::KFAC_STEP, 1_000_000);
+        rec.add(names::COMM_FAULT_CRC_DETECTED, 3);
+        rec.add(names::COMM_RETRY_RESENDS, 5);
+        rec.add(names::KFAC_DEGRADE_CHECKSUM_FAILURES, 2);
+        rec.add(names::KFAC_DEGRADE_REPAIR_REQUESTS, 2);
+        rec.add(names::KFAC_DEGRADE_REPAIR_COMPRESSED_OK, 1);
+        rec.add(names::KFAC_DEGRADE_FALLBACK_SGD, 1);
+        let report = StepReport::from_snapshot(0, &rec.snapshot());
+        let rz = report.resilience;
+        assert!(!rz.is_quiet());
+        assert_eq!(rz.crc_detected, 3);
+        assert_eq!(rz.resends, 5);
+        assert_eq!(rz.checksum_failures, 2);
+        assert_eq!(rz.repair_compressed_ok, 1);
+        assert_eq!(rz.degraded_installs(), 1);
+        let doc = report.to_json();
+        validate(&doc).unwrap_or_else(|(pos, msg)| panic!("{msg} at {pos} in {doc}"));
+        assert!(doc.contains("\"resilience\":{\"crc_detected\":3"), "{doc}");
+        assert!(doc.contains("\"fallback_sgd\":1"), "{doc}");
+    }
+
+    #[test]
+    fn quiet_step_reports_quiet_resilience() {
+        let report = StepReport::from_snapshot(1, &sample_snapshot());
+        assert!(report.resilience.is_quiet());
+        assert_eq!(report.resilience.degraded_installs(), 0);
+        assert!(report
+            .to_json()
+            .contains("\"resilience\":{\"crc_detected\":0"));
     }
 
     #[test]

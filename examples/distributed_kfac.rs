@@ -39,9 +39,9 @@ fn train(compressed: bool) -> (f64, u64, u64) {
             // before the LR drop, conservative after.
             let stats = if compressed {
                 let compso = Compso::new(schedule.config_at(step));
-                opt.step(comm, &mut model, &compso)
+                opt.step(comm, &mut model, &compso).expect("step")
             } else {
-                opt.step(comm, &mut model, &NoCompression)
+                opt.step(comm, &mut model, &NoCompression).expect("step")
             };
             original += stats.gather_bytes_original;
             wire += stats.gather_bytes_wire;

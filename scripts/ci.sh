@@ -16,6 +16,16 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> chaos smoke (hard 300s wall-clock cap)"
+# The chaos campaigns assert liveness ("no collective can block
+# forever"); a regression there would otherwise hang CI instead of
+# failing it, so the smoke runs under a hard external timeout.
+timeout --kill-after=10 300 \
+  cargo test --release --test chaos -q -- \
+  chaos_campaign_converges_with_exact_fault_accounting \
+  scheduled_crash_poisons_the_group_and_names_the_rank \
+  || { echo "chaos smoke failed or timed out" >&2; exit 1; }
+
 echo "==> bench smoke: fig1"
 cargo run -p compso-bench --release --bin fig1 >/dev/null
 

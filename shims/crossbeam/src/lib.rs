@@ -56,6 +56,26 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline expired with the channel still empty.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("receive timed out"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on an empty, disconnected channel")
+                }
+            }
+        }
+    }
+
     /// Creates an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
@@ -120,6 +140,31 @@ pub mod channel {
             }
         }
 
+        /// Blocks until a message arrives, every sender is gone, or
+        /// `timeout` elapses — whichever comes first.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut q = self.shared.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = q.pop_front() {
+                    return Ok(msg);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self
+                    .shared
+                    .ready
+                    .wait_timeout(q, deadline - now)
+                    .expect("channel poisoned");
+                q = guard;
+            }
+        }
+
         /// Non-blocking receive; `None` when the queue is currently empty.
         pub fn try_recv(&self) -> Option<T> {
             self.shared
@@ -148,7 +193,7 @@ pub mod channel {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{unbounded, RecvError};
+    use super::channel::{unbounded, RecvError, RecvTimeoutError};
 
     #[test]
     fn fifo_roundtrip() {
@@ -177,6 +222,24 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         drop(tx);
         assert_eq!(h.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u8>();
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(20));
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(20)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(20)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

@@ -1,0 +1,386 @@
+//! Chaos suite: seeded fault campaigns against full 4-rank distributed
+//! K-FAC training (ISSUE PR 3, tentpole acceptance).
+//!
+//! Every campaign is deterministic in its [`FaultConfig`] seed, so a
+//! failure here reproduces exactly. The assertions reconcile three
+//! independent books:
+//!
+//! 1. the fault plane's **injection ledger** (ground truth: what was
+//!    actually dropped / flipped / delayed / crashed),
+//! 2. the **observability counters** (what the ARQ and the degradation
+//!    ladder *noticed* and *did* about it), and
+//! 3. the **training outcome** (all steps complete, loss within
+//!    tolerance of the fault-free run, replicas consistent where the
+//!    ladder guarantees consistency).
+
+use compso::comm::{run_ranks, run_ranks_with, CommConfig, CommError, FaultConfig, FaultPlane};
+use compso::core::{ChunkedCompso, CompsoConfig};
+use compso::dnn::loss::softmax_cross_entropy;
+use compso::dnn::{data, models};
+use compso::kfac::{DistKfac, DistKfacConfig};
+use compso::obs::{names, Recorder, Resilience, StepReport};
+use compso::tensor::{Matrix, Rng};
+use std::sync::Mutex;
+use std::time::Duration;
+
+const RANKS: usize = 4;
+const STEPS: usize = 12;
+const BATCH: usize = 8;
+
+/// A short chaos-friendly transport config: generous enough that real
+/// recoveries finish, tight enough that a genuine hang fails the test
+/// instead of stalling CI.
+fn chaos_comm_config() -> CommConfig {
+    CommConfig {
+        recv_timeout: Duration::from_secs(30),
+        retry_initial: Duration::from_millis(40),
+        max_retries: 10,
+    }
+}
+
+/// Runs `STEPS` of 4-rank compressed distributed K-FAC training under
+/// `plane`, returning per-rank `(final loss, layer-0 params)`.
+fn train(plane: FaultPlane, rec: &Recorder) -> Vec<(f32, Matrix)> {
+    let d = data::gaussian_blobs(320, 6, 3, 0.3, 91);
+    let d_ref = &d;
+    run_ranks_with(RANKS, plane, chaos_comm_config(), move |comm| {
+        let mut rng = Rng::new(17);
+        let mut model = models::mlp(&[6, 16, 3], &mut rng);
+        let shard = d_ref.shard(comm.rank(), RANKS);
+        let mut opt = DistKfac::new(DistKfacConfig::default(), 7);
+        opt.set_recorder(rec.clone());
+        comm.set_recorder(rec.clone());
+        let compso = ChunkedCompso::new(CompsoConfig::aggressive(4e-3));
+        let mut loss = f32::NAN;
+        for step in 0..STEPS {
+            let (x, y) = shard.batch(step, BATCH);
+            let logits = model.forward(&x, true);
+            let (l, grad) = softmax_cross_entropy(&logits, &y);
+            loss = l;
+            model.backward(&grad);
+            opt.step(comm, &mut model, &compso)
+                .expect("chaos campaign must be absorbed, not surfaced");
+            model.update_params(|p, g| p.axpy(-0.02, g));
+        }
+        (loss, model.layer(0).params().unwrap().clone())
+    })
+}
+
+/// Fault-free reference trajectory.
+fn baseline() -> Vec<(f32, Matrix)> {
+    train(FaultPlane::disabled(), &Recorder::disabled())
+}
+
+#[test]
+fn chaos_campaign_converges_with_exact_fault_accounting() {
+    // The headline campaign: 2% transport drops, 2% in-flight bit flips,
+    // 30% per-(rank, step) origin payload corruption, one straggler —
+    // training must complete every step, repairs must all succeed at
+    // rung 1 (repair traffic is pristine), and every book must balance.
+    let plane = FaultPlane::new(FaultConfig {
+        seed: 0xC0FFEE,
+        drop_p: 0.02,
+        corrupt_wire_p: 0.02,
+        corrupt_payload_p: 0.30,
+        straggler: Some((2, Duration::from_millis(1))),
+        ..FaultConfig::default()
+    });
+    let ledger_plane = plane.clone();
+    let rec = Recorder::enabled();
+    let chaos = train(plane, &rec);
+    let clean = baseline();
+
+    // Training outcome: all ranks finished all steps; every successful
+    // rung-1 repair reinstalls the origin's exact bytes, so the faulted
+    // trajectory is not merely "within 5%" — it is the fault-free one.
+    for r in 0..RANKS {
+        let rel = (chaos[r].0 - clean[r].0).abs() / clean[r].0.abs().max(1e-6);
+        assert!(rel < 0.05, "rank {r} loss drifted {rel} under chaos");
+        assert_eq!(
+            chaos[r].1, clean[r].1,
+            "rank {r}: rung-1 repairs must restore the exact trajectory"
+        );
+    }
+    for r in 1..RANKS {
+        assert_eq!(chaos[0].1, chaos[r].1, "rank {r} replica diverged");
+    }
+
+    // Book-keeping: ledger vs counters, exactly.
+    let ledger = ledger_plane.ledger();
+    let snap = rec.snapshot();
+    assert!(ledger.dropped > 0, "campaign injected no drops");
+    assert!(ledger.corrupted_wire > 0, "campaign flipped no wire bits");
+    assert!(
+        ledger.corrupted_payload > 0,
+        "campaign corrupted no payloads"
+    );
+    assert!(ledger.delayed > 0, "straggler never delayed a send");
+    // Every in-flight flip was caught by the envelope CRC exactly once.
+    assert_eq!(
+        snap.counter(names::COMM_FAULT_CRC_DETECTED),
+        ledger.corrupted_wire
+    );
+    // Every drop and every wire flip was recovered by a retransmission.
+    // Under multi-rank cascade stalls a timer NACK can race a message
+    // that was just (re)sent and trigger a benign duplicate resend —
+    // duplicates are de-duplicated by sequence number at the receiver —
+    // so the resend count is bounded below by the injected losses and
+    // above by the NACKs that could have asked for one.
+    let resends = snap.counter(names::COMM_RETRY_RESENDS);
+    assert!(
+        resends >= ledger.dropped + ledger.corrupted_wire,
+        "resends {resends} < injected losses {}",
+        ledger.dropped + ledger.corrupted_wire
+    );
+    assert!(
+        resends <= snap.counter(names::COMM_RETRY_NACKS_SENT),
+        "more resends than NACKs"
+    );
+    // Each origin-corrupted payload failed on every *other* rank (the
+    // origin decodes its clean copy), each failure filed one repair
+    // request, and every repair succeeded on the compressed resend.
+    let expected_failures = ledger.corrupted_payload * (RANKS as u64 - 1);
+    assert_eq!(
+        snap.counter(names::KFAC_DEGRADE_CHECKSUM_FAILURES),
+        expected_failures
+    );
+    assert_eq!(
+        snap.counter(names::KFAC_DEGRADE_REPAIR_REQUESTS),
+        expected_failures
+    );
+    assert_eq!(
+        snap.counter(names::KFAC_DEGRADE_REPAIR_COMPRESSED_OK),
+        expected_failures
+    );
+    assert_eq!(snap.counter(names::KFAC_DEGRADE_REPAIR_UNCOMPRESSED_OK), 0);
+    assert_eq!(snap.counter(names::KFAC_DEGRADE_FALLBACK_LAST_GOOD), 0);
+    assert_eq!(snap.counter(names::KFAC_DEGRADE_FALLBACK_SGD), 0);
+    assert_eq!(ledger.corrupted_repair, 0);
+    assert_eq!(ledger.crashes, 0);
+    // The structured report view agrees with the raw counters.
+    let rz = Resilience::from_snapshot(&snap);
+    assert_eq!(rz.checksum_failures, expected_failures);
+    assert_eq!(rz.degraded_installs(), 0);
+    assert!(!rz.is_quiet());
+}
+
+#[test]
+fn ladder_rung_two_absorbs_corrupted_compressed_resends() {
+    // corrupt_repair_rungs = 1: every rung-1 resend is bit-flipped, so
+    // every repair must fall through to the uncompressed rung — and the
+    // uncompressed resend carries the origin's *installed* values, so
+    // the trajectory still matches fault-free exactly.
+    let plane = FaultPlane::new(FaultConfig {
+        seed: 0xBEEF,
+        corrupt_payload_p: 0.30,
+        corrupt_repair_rungs: 1,
+        ..FaultConfig::default()
+    });
+    let ledger_plane = plane.clone();
+    let rec = Recorder::enabled();
+    let chaos = train(plane, &rec);
+    let clean = baseline();
+    for r in 0..RANKS {
+        assert_eq!(
+            chaos[r].1, clean[r].1,
+            "rank {r}: rung-2 repairs must restore the exact trajectory"
+        );
+    }
+
+    let ledger = ledger_plane.ledger();
+    let snap = rec.snapshot();
+    let failures = ledger.corrupted_payload * (RANKS as u64 - 1);
+    assert!(failures > 0, "campaign never fired");
+    assert_eq!(snap.counter(names::KFAC_DEGRADE_REPAIR_REQUESTS), failures);
+    // Every compressed resend was corrupted (one injection per repair),
+    // so zero rung-1 successes and all-rung-2 successes.
+    assert_eq!(ledger.corrupted_repair, failures);
+    assert_eq!(snap.counter(names::KFAC_DEGRADE_REPAIR_COMPRESSED_OK), 0);
+    assert_eq!(
+        snap.counter(names::KFAC_DEGRADE_REPAIR_UNCOMPRESSED_OK),
+        failures
+    );
+    assert_eq!(snap.counter(names::KFAC_DEGRADE_FALLBACK_LAST_GOOD), 0);
+    assert_eq!(snap.counter(names::KFAC_DEGRADE_FALLBACK_SGD), 0);
+}
+
+#[test]
+fn ladder_bottom_rung_degrades_locally_and_training_survives() {
+    // corrupt_repair_rungs = 2: both resends are bit-flipped, so every
+    // repair fails and the affected ranks degrade locally (last-good
+    // preconditioned gradient, or a plain-SGD step before one exists).
+    // Training must still complete every step with a finite, sane loss.
+    let plane = FaultPlane::new(FaultConfig {
+        seed: 0xDEAD_0001,
+        corrupt_payload_p: 0.25,
+        corrupt_repair_rungs: 2,
+        ..FaultConfig::default()
+    });
+    let ledger_plane = plane.clone();
+    let rec = Recorder::enabled();
+    let chaos = train(plane, &rec);
+    let clean = baseline();
+    for r in 0..RANKS {
+        assert!(chaos[r].0.is_finite(), "rank {r} loss diverged");
+        // Degraded steps lose some preconditioning but not the descent
+        // direction: the final loss stays in the fault-free ballpark.
+        let rel = (chaos[r].0 - clean[r].0).abs() / clean[r].0.abs().max(1e-6);
+        assert!(
+            rel < 0.5,
+            "rank {r} loss {} vs clean {}",
+            chaos[r].0,
+            clean[r].0
+        );
+    }
+
+    let ledger = ledger_plane.ledger();
+    let snap = rec.snapshot();
+    let failures = ledger.corrupted_payload * (RANKS as u64 - 1);
+    assert!(failures > 0, "campaign never fired");
+    assert_eq!(snap.counter(names::KFAC_DEGRADE_REPAIR_REQUESTS), failures);
+    // Both rungs corrupted per repair: two injections each, no repair
+    // successes, and every failure landed on a rung-3 fallback.
+    assert_eq!(ledger.corrupted_repair, 2 * failures);
+    assert_eq!(snap.counter(names::KFAC_DEGRADE_REPAIR_COMPRESSED_OK), 0);
+    assert_eq!(snap.counter(names::KFAC_DEGRADE_REPAIR_UNCOMPRESSED_OK), 0);
+    let fallbacks = snap.counter(names::KFAC_DEGRADE_FALLBACK_LAST_GOOD)
+        + snap.counter(names::KFAC_DEGRADE_FALLBACK_SGD);
+    assert!(
+        fallbacks > 0,
+        "no rung-3 fallback despite unrepaired payloads"
+    );
+    let rz = Resilience::from_snapshot(&snap);
+    assert_eq!(rz.degraded_installs(), failures);
+}
+
+#[test]
+fn scheduled_crash_poisons_the_group_and_names_the_rank() {
+    // Rank 2 crashes at the top of step 3. Survivors must not hang:
+    // their next collective surfaces a CommError naming the dead rank,
+    // and the harness re-raises the crash with the rank id.
+    let plane = FaultPlane::new(FaultConfig {
+        seed: 5,
+        crash_at: Some((2, 3)),
+        ..FaultConfig::default()
+    });
+    let ledger_plane = plane.clone();
+    let survivor_errors: Mutex<Vec<(usize, CommError)>> = Mutex::new(Vec::new());
+    let errs_ref = &survivor_errors;
+    let outcome = std::panic::catch_unwind(|| {
+        let d = data::gaussian_blobs(320, 6, 3, 0.3, 91);
+        let d_ref = &d;
+        run_ranks_with(RANKS, plane, chaos_comm_config(), move |comm| {
+            let mut rng = Rng::new(17);
+            let mut model = models::mlp(&[6, 16, 3], &mut rng);
+            let shard = d_ref.shard(comm.rank(), RANKS);
+            let mut opt = DistKfac::new(DistKfacConfig::default(), 7);
+            let compso = ChunkedCompso::new(CompsoConfig::aggressive(4e-3));
+            for step in 0..STEPS {
+                let (x, y) = shard.batch(step, BATCH);
+                let logits = model.forward(&x, true);
+                let (_, grad) = softmax_cross_entropy(&logits, &y);
+                model.backward(&grad);
+                if let Err(e) = opt.step(comm, &mut model, &compso) {
+                    errs_ref.lock().unwrap().push((comm.rank(), e));
+                    return;
+                }
+                model.update_params(|p, g| p.axpy(-0.02, g));
+            }
+        });
+    });
+    // The harness re-panics with the crashed rank's id.
+    let panic_msg = match outcome {
+        Ok(_) => panic!("crash campaign completed without a panic"),
+        Err(p) => p
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic>".into()),
+    };
+    assert!(
+        panic_msg.contains("rank 2"),
+        "panic must name the crashed rank: {panic_msg}"
+    );
+    assert_eq!(ledger_plane.ledger().crashes, 1);
+    // Every survivor got a deadline-bounded error naming rank 2 — not a
+    // hang, not an anonymous failure.
+    let errs = survivor_errors.into_inner().unwrap();
+    assert_eq!(errs.len(), RANKS - 1, "all survivors must surface an error");
+    for (rank, e) in &errs {
+        match e {
+            CommError::Poisoned { rank: dead }
+            | CommError::Timeout { rank: dead, .. }
+            | CommError::Disconnected { rank: dead } => {
+                assert_eq!(*dead, 2, "rank {rank} blamed rank {dead}: {e:?}");
+            }
+            other => panic!("rank {rank}: unexpected error {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn disabled_plane_is_bit_identical_and_quiet() {
+    // Arming the machinery with a disabled plane must cost nothing
+    // semantically: the plain run_ranks path and the run_ranks_with
+    // (disabled) path produce identical parameters, and the resilience
+    // section of the step report stays all-zero.
+    let rec = Recorder::enabled();
+    let with_plane = train(FaultPlane::disabled(), &rec);
+    let d = data::gaussian_blobs(320, 6, 3, 0.3, 91);
+    let d_ref = &d;
+    let plain = run_ranks(RANKS, move |comm| {
+        let mut rng = Rng::new(17);
+        let mut model = models::mlp(&[6, 16, 3], &mut rng);
+        let shard = d_ref.shard(comm.rank(), RANKS);
+        let mut opt = DistKfac::new(DistKfacConfig::default(), 7);
+        let compso = ChunkedCompso::new(CompsoConfig::aggressive(4e-3));
+        let mut loss = f32::NAN;
+        for step in 0..STEPS {
+            let (x, y) = shard.batch(step, BATCH);
+            let logits = model.forward(&x, true);
+            let (l, grad) = softmax_cross_entropy(&logits, &y);
+            loss = l;
+            model.backward(&grad);
+            opt.step(comm, &mut model, &compso).unwrap();
+            model.update_params(|p, g| p.axpy(-0.02, g));
+        }
+        (loss, model.layer(0).params().unwrap().clone())
+    });
+    for r in 0..RANKS {
+        assert_eq!(with_plane[r].1, plain[r].1, "rank {r} params differ");
+        assert_eq!(with_plane[r].0, plain[r].0, "rank {r} loss differs");
+    }
+    let report = StepReport::from_snapshot(0, &rec.snapshot());
+    assert!(
+        report.resilience.is_quiet(),
+        "fault-free run recorded resilience activity: {:?}",
+        report.resilience
+    );
+}
+
+#[test]
+fn straggler_only_campaign_is_slow_but_exact() {
+    // A lone straggler exercises the deadline plumbing without any data
+    // faults: the result must be bit-identical to fault-free and the
+    // ledger must show only delays.
+    let plane = FaultPlane::new(FaultConfig {
+        seed: 31,
+        straggler: Some((1, Duration::from_millis(2))),
+        ..FaultConfig::default()
+    });
+    let ledger_plane = plane.clone();
+    let rec = Recorder::enabled();
+    let slow = train(plane, &rec);
+    let clean = baseline();
+    for r in 0..RANKS {
+        assert_eq!(slow[r].1, clean[r].1, "rank {r} params differ");
+    }
+    let ledger = ledger_plane.ledger();
+    assert!(ledger.delayed > 0);
+    assert_eq!(ledger.dropped, 0);
+    assert_eq!(ledger.corrupted_wire, 0);
+    assert_eq!(ledger.corrupted_payload, 0);
+    assert_eq!(
+        rec.snapshot().counter(names::KFAC_DEGRADE_REPAIR_REQUESTS),
+        0
+    );
+}

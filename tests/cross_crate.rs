@@ -20,7 +20,7 @@ fn compressed_allgather_is_bit_consistent_across_ranks() {
         let mut rng = Rng::new(100 + comm.rank() as u64);
         let mine = generate(20_000, 7 + comm.rank() as u64, GradientProfile::kfac());
         let bytes = compso.compress(&mine, &mut rng);
-        let gathered = allgather_var(comm, bytes);
+        let gathered = allgather_var(comm, bytes).unwrap();
         gathered
             .into_iter()
             .map(|b| compso.decompress(&b).expect("peer stream decodes"))

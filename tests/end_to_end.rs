@@ -31,9 +31,9 @@ fn train_distributed(
             model.backward(&grad);
             let stats = if use_compso {
                 let compso = Compso::new(schedule.config_at(step));
-                opt.step(comm, &mut model, &compso)
+                opt.step(comm, &mut model, &compso).unwrap()
             } else {
-                opt.step(comm, &mut model, &NoCompression)
+                opt.step(comm, &mut model, &NoCompression).unwrap()
             };
             original += stats.gather_bytes_original;
             wire += stats.gather_bytes_wire;

@@ -35,9 +35,9 @@ fn instrumented_run(rec: &Recorder, seed: u64) -> (Vec<StepReport>, Vec<Vec<f32>
             let logits = model.forward(&x, true);
             let (_, grad) = softmax_cross_entropy(&logits, &y);
             model.backward(&grad);
-            opt.step(comm, &mut model, &compso);
+            opt.step(comm, &mut model, &compso).unwrap();
             model.update_params(|p, g| p.axpy(-0.02, g));
-            comm.barrier();
+            comm.barrier().unwrap();
             if comm.rank() == 0 {
                 let cur = rec.snapshot();
                 reports.push(StepReport::from_snapshot(
@@ -46,7 +46,7 @@ fn instrumented_run(rec: &Recorder, seed: u64) -> (Vec<StepReport>, Vec<Vec<f32>
                 ));
                 prev = cur;
             }
-            comm.barrier();
+            comm.barrier().unwrap();
         }
         (
             reports,

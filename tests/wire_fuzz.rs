@@ -1,0 +1,281 @@
+//! Byte-mutation fuzz of every wire parser (ISSUE PR 3, satellite).
+//!
+//! Three formats cross rank boundaries and therefore parse bytes a peer
+//! may have corrupted in flight:
+//!
+//! * `0xC5` — the serial COMPSO pipeline stream ([`Compso::decompress`]),
+//! * `0xC6` — the chunked-parallel v2 stream ([`decompress_chunked`]),
+//! * `0xC7` — the generic multi-layer group framing
+//!   ([`Compressor::decompress_group`]),
+//!
+//! plus `0xCF`, the CRC32 checksum frame ([`unframe_checksummed`]) that
+//! the distributed K-FAC step wraps around all of them.
+//!
+//! Contract under mutation (ISSUE wording: "decode must return `Err`,
+//! never panic, never over-allocate"):
+//!
+//! * **Truncation** at any strict prefix must return `Err` — every
+//!   format either length-prefixes its payload or reads a
+//!   header-declared number of trailing values, so a shortened stream
+//!   is always structurally detectable.
+//! * **Arbitrary single-byte mutation** must never panic and must never
+//!   amplify: if the decoder still returns `Ok`, the decoded element
+//!   count stays within [`SLACK_ELEMS`] of the original. Value bits may
+//!   silently change — these formats carry no internal checksum; that
+//!   is exactly the gap the `0xCF` frame closes — but a flipped length
+//!   prefix must never buy a hostile peer an outsized allocation.
+//! * The **checksum frame** is strictly stronger: *every* single-byte
+//!   mutation of a `0xCF` frame must return `Err` (CRC32 detects all
+//!   single-byte payload changes; header bytes are covered by the
+//!   magic / length / digest cross-checks).
+//! * **Random garbage** fed to any parser must not panic, and any
+//!   accidental `Ok` must still obey the allocation bound.
+//!
+//! The proptest shim derives each case's RNG from its case index, so a
+//! failure here reproduces exactly; no shrinking, but the reported case
+//! index pins the input.
+
+use compso::core::kernels::{compress_chunked, decompress_chunked};
+use compso::core::wire::{frame_checksummed, unframe_checksummed};
+use compso::core::{Compressor, Compso, CompsoConfig, KernelConfig, LayerSchedule, NoCompression};
+use compso::obs::Recorder;
+use compso::tensor::Rng;
+use proptest::prelude::*;
+
+/// How many extra elements a mutated-but-`Ok` decode may report beyond
+/// the original stream's element count before we call it amplification.
+/// A single flipped byte in a length field can legitimately shift a
+/// count by at most 255 in its lowest byte and still pass the
+/// structural cross-checks (byte-budget, chunk-table, exhaustion); 64 Ki
+/// elements (256 KiB of f32) is comfortably above that and comfortably
+/// below anything an attacker could call an allocation win.
+const SLACK_ELEMS: usize = 1 << 16;
+
+fn total_elems(layers: &[Vec<f32>]) -> usize {
+    layers.iter().map(Vec::len).sum()
+}
+
+/// XORs one byte of `bytes` in place, guaranteeing a real change.
+fn flip_byte(bytes: &mut [u8], offset_seed: u64, xor: u8) {
+    let idx = (offset_seed % bytes.len() as u64) as usize;
+    bytes[idx] ^= if xor == 0 { 0xA5 } else { xor };
+}
+
+/// A valid serial-pipeline (`0xC5`) stream over `data`.
+fn v1_stream(data: &[f32], seed: u64) -> Vec<u8> {
+    let compso = Compso::new(CompsoConfig::aggressive(4e-3));
+    let mut rng = Rng::new(seed);
+    compso.compress(data, &mut rng)
+}
+
+/// A valid chunked v2 (`0xC6`) stream over `data` split into layers.
+fn v2_stream(data: &[f32], seed: u64) -> Vec<u8> {
+    let (a, b) = data.split_at(data.len() / 2);
+    let layers: Vec<&[f32]> = vec![a, b];
+    let sizes: Vec<usize> = layers.iter().map(|l| l.len()).collect();
+    // Small chunks so multi-chunk layers (the interesting header shape)
+    // appear even for short inputs.
+    let schedule = LayerSchedule::build(&sizes, 64);
+    let kc = KernelConfig::default();
+    compress_chunked(
+        &layers,
+        &CompsoConfig::aggressive(4e-3),
+        &kc,
+        &schedule,
+        &Rng::new(seed),
+    )
+}
+
+/// A valid generic group (`0xC7`) stream over `data` split into layers.
+/// `NoCompression` uses the default trait framing, which is the `0xC7`
+/// format under test (schedule-aware compressors override it).
+fn group_stream(data: &[f32], seed: u64) -> Vec<u8> {
+    let (a, b) = data.split_at(data.len() / 3);
+    let layers: Vec<&[f32]> = vec![a, b];
+    let mut rng = Rng::new(seed);
+    NoCompression.compress_group(&layers, None, &mut rng, &Recorder::disabled())
+}
+
+fn v1_decode(bytes: &[u8]) -> Result<usize, ()> {
+    Compso::new(CompsoConfig::aggressive(4e-3))
+        .decompress(bytes)
+        .map(|out| out.len())
+        .map_err(|_| ())
+}
+
+fn v2_decode(bytes: &[u8]) -> Result<usize, ()> {
+    decompress_chunked(bytes)
+        .map(|out| total_elems(&out))
+        .map_err(|_| ())
+}
+
+fn group_decode(bytes: &[u8]) -> Result<usize, ()> {
+    NoCompression
+        .decompress_group(bytes, &Recorder::disabled())
+        .map(|out| total_elems(&out))
+        .map_err(|_| ())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn v1_truncated_stream_always_errs(
+        data in proptest::collection::vec(-10.0f32..10.0, 8..1200),
+        seed in any::<u64>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let stream = v1_stream(&data, seed);
+        let cut = (cut_seed % stream.len() as u64) as usize;
+        prop_assert!(
+            v1_decode(&stream[..cut]).is_err(),
+            "truncation to {cut}/{} bytes decoded Ok",
+            stream.len()
+        );
+    }
+
+    #[test]
+    fn v1_byte_mutation_never_panics_or_amplifies(
+        data in proptest::collection::vec(-10.0f32..10.0, 8..1200),
+        seed in any::<u64>(),
+        offset_seed in any::<u64>(),
+        xor in any::<u8>(),
+    ) {
+        let mut stream = v1_stream(&data, seed);
+        flip_byte(&mut stream, offset_seed, xor);
+        if let Ok(n) = v1_decode(&stream) {
+            prop_assert!(
+                n <= data.len() + SLACK_ELEMS,
+                "mutated stream amplified {} -> {n} elems",
+                data.len()
+            );
+        }
+    }
+
+    #[test]
+    fn v2_truncated_stream_always_errs(
+        data in proptest::collection::vec(-10.0f32..10.0, 8..1200),
+        seed in any::<u64>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let stream = v2_stream(&data, seed);
+        let cut = (cut_seed % stream.len() as u64) as usize;
+        prop_assert!(
+            v2_decode(&stream[..cut]).is_err(),
+            "truncation to {cut}/{} bytes decoded Ok",
+            stream.len()
+        );
+    }
+
+    #[test]
+    fn v2_byte_mutation_never_panics_or_amplifies(
+        data in proptest::collection::vec(-10.0f32..10.0, 8..1200),
+        seed in any::<u64>(),
+        offset_seed in any::<u64>(),
+        xor in any::<u8>(),
+    ) {
+        let mut stream = v2_stream(&data, seed);
+        flip_byte(&mut stream, offset_seed, xor);
+        if let Ok(n) = v2_decode(&stream) {
+            prop_assert!(
+                n <= data.len() + SLACK_ELEMS,
+                "mutated stream amplified {} -> {n} elems",
+                data.len()
+            );
+        }
+    }
+
+    #[test]
+    fn group_truncated_stream_always_errs(
+        data in proptest::collection::vec(-10.0f32..10.0, 8..900),
+        seed in any::<u64>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let stream = group_stream(&data, seed);
+        let cut = (cut_seed % stream.len() as u64) as usize;
+        prop_assert!(
+            group_decode(&stream[..cut]).is_err(),
+            "truncation to {cut}/{} bytes decoded Ok",
+            stream.len()
+        );
+    }
+
+    #[test]
+    fn group_byte_mutation_never_panics_or_amplifies(
+        data in proptest::collection::vec(-10.0f32..10.0, 8..900),
+        seed in any::<u64>(),
+        offset_seed in any::<u64>(),
+        xor in any::<u8>(),
+    ) {
+        let mut stream = group_stream(&data, seed);
+        flip_byte(&mut stream, offset_seed, xor);
+        if let Ok(n) = group_decode(&stream) {
+            prop_assert!(
+                n <= data.len() + SLACK_ELEMS,
+                "mutated stream amplified {} -> {n} elems",
+                data.len()
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_frame_rejects_every_single_byte_mutation(
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+        offset_seed in any::<u64>(),
+        xor in any::<u8>(),
+    ) {
+        let mut frame = frame_checksummed(&payload);
+        flip_byte(&mut frame, offset_seed, xor);
+        prop_assert!(
+            unframe_checksummed(&frame).is_err(),
+            "single-byte mutation slipped past the CRC frame"
+        );
+    }
+
+    #[test]
+    fn checksum_frame_rejects_every_truncation(
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+        cut_seed in any::<u64>(),
+    ) {
+        let frame = frame_checksummed(&payload);
+        let cut = (cut_seed % frame.len() as u64) as usize;
+        prop_assert!(
+            unframe_checksummed(&frame[..cut]).is_err(),
+            "truncation to {cut}/{} bytes unframed Ok",
+            frame.len()
+        );
+    }
+
+    #[test]
+    fn random_garbage_never_panics_any_parser(
+        garbage in proptest::collection::vec(any::<u8>(), 0..1500),
+    ) {
+        // Any of these may return Ok by astronomical coincidence; the
+        // contract is only "no panic, no amplification".
+        for decode in [v1_decode, v2_decode, group_decode] {
+            if let Ok(n) = decode(&garbage) {
+                prop_assert!(
+                    n <= 8 * garbage.len() + SLACK_ELEMS,
+                    "garbage decoded to {n} elems from {} bytes",
+                    garbage.len()
+                );
+            }
+        }
+        let _ = unframe_checksummed(&garbage);
+    }
+
+    #[test]
+    fn valid_streams_still_roundtrip(
+        data in proptest::collection::vec(-10.0f32..10.0, 8..900),
+        seed in any::<u64>(),
+    ) {
+        // Sanity anchor: the unmutated encodings decode to the original
+        // shape, so the mutation tests above are exercising real
+        // parsers rather than vacuous Errs.
+        prop_assert_eq!(v1_decode(&v1_stream(&data, seed)), Ok(data.len()));
+        prop_assert_eq!(v2_decode(&v2_stream(&data, seed)), Ok(data.len()));
+        prop_assert_eq!(group_decode(&group_stream(&data, seed)), Ok(data.len()));
+        let framed = frame_checksummed(&v1_stream(&data, seed));
+        prop_assert!(unframe_checksummed(&framed).is_ok());
+    }
+}

@@ -8,7 +8,10 @@
 //! 2. `chunked_1thread` — the chunked kernels pinned to one worker
 //!    (measures chunking overhead in isolation),
 //! 3. `chunked_nthread` — the chunked kernels at the host's natural
-//!    worker count (the production configuration).
+//!    worker count (the production configuration),
+//! 4. `ckpt` — the checkpoint store's rank-file save/load over the same
+//!    buffer (lossless Zstd payloads, CRC framing, fsync'd commit), so
+//!    snapshot cost is tracked alongside the gradient hot path.
 //!
 //! Environment knobs: `COMPSO_BENCH_ELEMS` (default 4 Mi f32 = 16 MiB)
 //! and `COMPSO_BENCH_REPS` (default 3; best-of-N is reported). The
@@ -109,14 +112,56 @@ fn main() {
     let threads = rayon::current_num_threads().max(1);
     let chunked_n = chunked_at(None);
 
+    // Checkpoint store round-trip: the same buffer as snapshot tensors
+    // through the full on-disk path (encode + CRC frame + fsync'd
+    // commit, then validated load).
+    let ckpt = {
+        use compso_ckpt::{CheckpointStore, Manifest, Snapshot, TensorData, TensorEntry};
+        use compso_core::encoders::Codec;
+        let dir = std::env::temp_dir().join(format!("compso-bench-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(&dir, 1).expect("open bench store");
+        let mut snap = Snapshot::new(0);
+        for (i, part) in data.chunks(elems.div_ceil(8)).enumerate() {
+            snap.push(TensorEntry::vector(
+                format!("bench/{i}"),
+                TensorData::F32(part.to_vec()),
+            ));
+        }
+        let sample = measure(reps, bytes, || {
+            store.prepare_tmp(0).expect("prepare");
+            let t0 = Instant::now();
+            let (meta, stats) = store
+                .write_rank_file(0, 0, &snap, Codec::Zstd)
+                .expect("write rank file");
+            let manifest = Manifest {
+                step: 0,
+                world_size: 1,
+                fingerprint: 0,
+                ranks: vec![meta],
+            };
+            store.commit(&manifest).expect("commit");
+            let ct = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let back = store.load_rank(0, &manifest, 0).expect("load rank file");
+            let dt = t1.elapsed().as_secs_f64();
+            assert_eq!(back.tensors.len(), snap.tensors.len());
+            (ct, dt, stats.bytes_written as usize)
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        sample
+    };
+
     let json = format!(
         "{{\n  \"elems\": {elems},\n  \"bytes\": {bytes},\n  \"reps\": {reps},\n  \
          \"threads\": {threads},\n  \"serial\": {},\n  \"chunked_1thread\": {},\n  \
-         \"chunked_nthread\": {},\n  \"speedup_compress_chunked_vs_serial\": {:.2},\n  \
+         \"chunked_nthread\": {},\n  \"ckpt\": {},\n  \
+         \"speedup_compress_chunked_vs_serial\": {:.2},\n  \
          \"speedup_decompress_chunked_vs_serial\": {:.2}\n}}\n",
         serial.json(),
         chunked_1.json(),
         chunked_n.json(),
+        ckpt.json(),
         chunked_n.compress_mbps / serial.compress_mbps.max(1e-12),
         chunked_n.decompress_mbps / serial.decompress_mbps.max(1e-12),
     );

@@ -9,8 +9,13 @@
 //!   combined with 8-bit quantization (Wang et al., ICML'23);
 //! * [`topk::TopK`] — exact fixed-density Top-k at full precision (the
 //!   Ok-topk-style rigid-sparsity comparator of §4.3/§6).
+//!
+//! [`pargroup`] supplies the layer-parallel multi-layer frame (magic
+//! `0xC8`) that QSGD and SZ use for `compress_group`, replacing the
+//! serial generic `0xC7` fallback on the evaluation hot path.
 
 pub mod cocktail;
+pub mod pargroup;
 pub mod qsgd;
 pub mod sz;
 pub mod topk;

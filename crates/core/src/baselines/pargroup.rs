@@ -1,0 +1,184 @@
+//! Layer-parallel group framing for the baseline compressors.
+//!
+//! The default [`Compressor::compress_group`] frames each layer's serial
+//! `compress` output one after another (magic `0xC7`) — correct, but the
+//! per-layer work runs on one thread and the decoder cannot fan out
+//! either. This module gives the independent-per-layer baselines (QSGD,
+//! SZ) a real multi-layer format, magic [`MAGIC_PARGROUP`] (`0xC8`):
+//!
+//! ```text
+//! u8   magic (0xC8)
+//! u8   version (1)
+//! u32  n_layers
+//! u64 × n_layers   byte length of each layer's block
+//! [layer 0 block][layer 1 block]…   (each block self-describing)
+//! ```
+//!
+//! The explicit length index is what buys parallelism: workers slice
+//! their block by offset and encode/decode concurrently, exactly like
+//! the chunked COMPSO stream's offset index (`kernels.rs`). Order and
+//! bytes are deterministic at any thread count — stochastic compressors
+//! derive one base RNG from the caller's generator (advancing it exactly
+//! once) and give layer *i* the fork `base.fork(i)`, so the stream never
+//! depends on which worker ran first.
+//!
+//! Hostile-input posture matches the rest of the wire layer: decoders
+//! validate the layer count, check every block length against the bytes
+//! actually present *before* allocating, and reject trailing garbage.
+//!
+//! [`Compressor::compress_group`]: crate::traits::Compressor::compress_group
+
+use crate::traits::CompressError;
+use crate::wire::{Reader, WireError, Writer};
+use rayon::prelude::*;
+
+/// Magic byte of the layer-parallel baseline group format.
+pub const MAGIC_PARGROUP: u8 = 0xC8;
+
+/// Current version of the parallel group layout.
+pub const PARGROUP_VERSION: u8 = 1;
+
+/// Upper bound on the declared layer count (matches the generic group
+/// framing's guard; real models are thousands of layers at most).
+const MAX_LAYERS: usize = 1_000_000;
+
+/// Compresses `layers` in parallel under the [`MAGIC_PARGROUP`] frame.
+///
+/// `encode` maps `(layer_index, layer)` to that layer's self-describing
+/// block; it runs on rayon workers, so stochastic encoders must derive
+/// their randomness from the layer index (see the module docs), never
+/// from shared mutable state.
+pub fn compress<F>(layers: &[&[f32]], encode: F) -> Vec<u8>
+where
+    F: Fn(usize, &[f32]) -> Vec<u8> + Sync,
+{
+    let blocks: Vec<Vec<u8>> = layers
+        .par_iter()
+        .enumerate()
+        .map(|(i, layer)| encode(i, layer))
+        .collect();
+    let total: usize = blocks.iter().map(|b| b.len()).sum();
+    let mut w = Writer::with_capacity(6 + blocks.len() * 8 + total);
+    w.u8(MAGIC_PARGROUP);
+    w.u8(PARGROUP_VERSION);
+    w.u32(layers.len() as u32);
+    for b in &blocks {
+        w.u64(b.len() as u64);
+    }
+    for b in &blocks {
+        w.bytes(b);
+    }
+    w.into_bytes()
+}
+
+/// Inverse of [`compress`]: validates the frame, slices every layer's
+/// block by the length index, and decodes the blocks on rayon workers.
+pub fn decompress<F>(bytes: &[u8], decode: F) -> Result<Vec<Vec<f32>>, CompressError>
+where
+    F: Fn(&[u8]) -> Result<Vec<f32>, CompressError> + Sync,
+{
+    let mut r = Reader::new(bytes);
+    if r.u8()? != MAGIC_PARGROUP {
+        return Err(WireError::Invalid("pargroup magic").into());
+    }
+    if r.u8()? != PARGROUP_VERSION {
+        return Err(WireError::Invalid("pargroup version").into());
+    }
+    let n_layers = r.u32()? as usize;
+    if n_layers > MAX_LAYERS {
+        return Err(WireError::Invalid("pargroup layer count").into());
+    }
+    // Read the index and check the lengths tile the remaining bytes
+    // exactly before touching (or allocating for) any payload.
+    let mut lens = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        lens.push(crate::wire::checked_count(r.u64()?)?);
+    }
+    let payload = r.bytes(r.remaining())?;
+    let declared: usize = lens
+        .iter()
+        .try_fold(0usize, |acc, &l| acc.checked_add(l))
+        .ok_or(WireError::Invalid("pargroup lengths overflow"))?;
+    if declared != payload.len() {
+        return Err(CompressError::Corrupt("pargroup payload length"));
+    }
+    let mut slices = Vec::with_capacity(n_layers);
+    let mut off = 0usize;
+    for &l in &lens {
+        slices.push(&payload[off..off + l]);
+        off += l;
+    }
+    let decoded: Vec<Result<Vec<f32>, CompressError>> =
+        slices.par_iter().map(|block| decode(block)).collect();
+    decoded.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{Compressor, NoCompression};
+    use compso_tensor::rng::Rng;
+
+    fn frame(layers: &[Vec<f32>]) -> Vec<u8> {
+        let refs: Vec<&[f32]> = layers.iter().map(|l| l.as_slice()).collect();
+        compress(&refs, |_, layer| {
+            let mut rng = Rng::new(0);
+            NoCompression.compress(layer, &mut rng)
+        })
+    }
+
+    #[test]
+    fn roundtrips_including_empty_layers() {
+        let layers = vec![vec![1.0f32, -2.5, 3.25], vec![], vec![0.5; 33]];
+        let bytes = frame(&layers);
+        assert_eq!(bytes[0], MAGIC_PARGROUP);
+        let back = decompress(&bytes, |b| NoCompression.decompress(b)).unwrap();
+        assert_eq!(back, layers);
+        // Zero layers is a valid (tiny) frame too.
+        let empty = frame(&[]);
+        assert_eq!(
+            decompress(&empty, |b| NoCompression.decompress(b)).unwrap(),
+            Vec::<Vec<f32>>::new()
+        );
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_rejected() {
+        let layers = vec![vec![1.0f32; 9], vec![2.0f32; 4]];
+        let mut bytes = frame(&layers);
+        for cut in [0usize, 1, 2, 5, 6 + 8, bytes.len() - 1] {
+            assert!(
+                decompress(&bytes[..cut], |b| NoCompression.decompress(b)).is_err(),
+                "cut={cut}"
+            );
+        }
+        bytes.push(0xAB);
+        assert!(decompress(&bytes, |b| NoCompression.decompress(b)).is_err());
+    }
+
+    #[test]
+    fn hostile_headers_rejected_without_allocation() {
+        let good = frame(&[vec![1.0f32; 4]]);
+        // Wrong magic / version.
+        let mut b = good.clone();
+        b[0] = 0xC7;
+        assert!(decompress(&b, |b| NoCompression.decompress(b)).is_err());
+        let mut b = good.clone();
+        b[1] = 99;
+        assert!(decompress(&b, |b| NoCompression.decompress(b)).is_err());
+        // Absurd layer count with no matching index.
+        let mut w = Writer::new();
+        w.u8(MAGIC_PARGROUP);
+        w.u8(PARGROUP_VERSION);
+        w.u32(u32::MAX);
+        assert!(decompress(&w.into_bytes(), |b| NoCompression.decompress(b)).is_err());
+        // A length that overflows usize when summed.
+        let mut w = Writer::new();
+        w.u8(MAGIC_PARGROUP);
+        w.u8(PARGROUP_VERSION);
+        w.u32(2);
+        w.u64(u64::MAX / 2);
+        w.u64(u64::MAX / 2);
+        assert!(decompress(&w.into_bytes(), |b| NoCompression.decompress(b)).is_err());
+    }
+}

@@ -160,6 +160,34 @@ impl Compressor for Qsgd {
         w.into_bytes()
     }
 
+    /// Layer-parallel multi-layer frame (magic `0xC8`): each layer is
+    /// quantized on its own rayon worker with an RNG forked from the
+    /// layer index, so bytes are deterministic at any thread count and
+    /// the caller's generator advances exactly once. QSGD has no use
+    /// for a chunk schedule (its unit of work is the whole layer), so
+    /// the hint is ignored.
+    fn compress_group(
+        &self,
+        layers: &[&[f32]],
+        _schedule: Option<&crate::kernels::LayerSchedule>,
+        rng: &mut Rng,
+        _rec: &compso_obs::Recorder,
+    ) -> Vec<u8> {
+        let base = Rng::new(rng.next_u64());
+        super::pargroup::compress(layers, |i, layer| {
+            let mut layer_rng = base.fork(i as u64);
+            self.compress(layer, &mut layer_rng)
+        })
+    }
+
+    fn decompress_group(
+        &self,
+        bytes: &[u8],
+        _rec: &compso_obs::Recorder,
+    ) -> Result<Vec<Vec<f32>>, CompressError> {
+        super::pargroup::decompress(bytes, |block| self.decompress(block))
+    }
+
     fn decompress(&self, bytes: &[u8]) -> Result<Vec<f32>, CompressError> {
         let mut r = Reader::new(bytes);
         let bits_field = r.u8()? as u32;
@@ -299,6 +327,51 @@ mod tests {
         let mut r = BitReader::new(&bytes);
         for &v in &vals {
             assert_eq!(r.gamma().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn parallel_group_roundtrips_and_is_thread_deterministic() {
+        let layers: Vec<Vec<f32>> = vec![
+            gradient_like(3000, 20),
+            vec![],
+            gradient_like(700, 21),
+            vec![0.0f32; 64],
+        ];
+        let refs: Vec<&[f32]> = layers.iter().map(|l| l.as_slice()).collect();
+        let q = Qsgd::bits8();
+        let rec = compso_obs::Recorder::disabled();
+        let run = |threads: usize| {
+            let _guard = rayon::scoped_thread_override(threads);
+            let mut rng = Rng::new(22);
+            q.compress_group(&refs, None, &mut rng, &rec)
+        };
+        let bytes = run(1);
+        assert_eq!(bytes[0], super::super::pargroup::MAGIC_PARGROUP);
+        for threads in [2usize, 4] {
+            assert_eq!(run(threads), bytes, "threads={threads}");
+        }
+        let back = q.decompress_group(&bytes, &rec).unwrap();
+        assert_eq!(back.len(), layers.len());
+        let scale0 = compso_tensor::reduce::absmax_flat(&layers[0]);
+        let step = scale0 / q.levels() as f32;
+        for (&x, &y) in layers[0].iter().zip(&back[0]) {
+            assert!((x - y).abs() <= step * 1.001, "{x} vs {y}");
+        }
+        assert_eq!(back[1], layers[1]);
+        assert_eq!(back[3], layers[3]);
+        // The caller's RNG advanced exactly once per group call.
+        let mut a = Rng::new(22);
+        let mut b = Rng::new(22);
+        let _ = q.compress_group(&refs, None, &mut a, &rec);
+        let _ = b.next_u64();
+        assert_eq!(a.next_u64(), b.next_u64());
+        // Truncations of the group frame are detected, never panic.
+        for cut in [0usize, 1, 3, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                q.decompress_group(&bytes[..cut], &rec).is_err(),
+                "cut={cut}"
+            );
         }
     }
 

@@ -115,6 +115,32 @@ impl Compressor for Sz {
         w.into_bytes()
     }
 
+    /// Layer-parallel multi-layer frame (magic `0xC8`): SZ's predictor
+    /// is per-layer (the first value always predicts from 0), so layers
+    /// encode independently on rayon workers. SZ is deterministic — the
+    /// caller's RNG is left untouched, matching the serial path — and a
+    /// chunk schedule is meaningless to it.
+    fn compress_group(
+        &self,
+        layers: &[&[f32]],
+        _schedule: Option<&crate::kernels::LayerSchedule>,
+        _rng: &mut Rng,
+        _rec: &compso_obs::Recorder,
+    ) -> Vec<u8> {
+        super::pargroup::compress(layers, |_, layer| {
+            let mut unused = Rng::new(0);
+            self.compress(layer, &mut unused)
+        })
+    }
+
+    fn decompress_group(
+        &self,
+        bytes: &[u8],
+        _rec: &compso_obs::Recorder,
+    ) -> Result<Vec<Vec<f32>>, CompressError> {
+        super::pargroup::decompress(bytes, |block| self.decompress(block))
+    }
+
     fn decompress(&self, bytes: &[u8]) -> Result<Vec<f32>, CompressError> {
         let mut r = Reader::new(bytes);
         let n = crate::wire::checked_count(r.u64()?)?;
@@ -266,6 +292,57 @@ mod tests {
     fn zigzag_roundtrip() {
         for v in [-MAX_CODE, -100, -1, 0, 1, 100, MAX_CODE] {
             assert_eq!(unzigzag(zigzag(v)), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn parallel_group_matches_per_layer_serial_and_roundtrips() {
+        let layers: Vec<Vec<f32>> = vec![
+            smooth_data(4000, 20),
+            vec![],
+            gradient_like(900, 21),
+            vec![7.5f32; 50],
+        ];
+        let refs: Vec<&[f32]> = layers.iter().map(|l| l.as_slice()).collect();
+        let sz = Sz::new(4e-3);
+        let rec = compso_obs::Recorder::disabled();
+        let run = |threads: usize| {
+            let _guard = rayon::scoped_thread_override(threads);
+            let mut rng = Rng::new(22);
+            sz.compress_group(&refs, None, &mut rng, &rec)
+        };
+        let bytes = run(1);
+        assert_eq!(bytes[0], super::super::pargroup::MAGIC_PARGROUP);
+        for threads in [2usize, 4] {
+            assert_eq!(run(threads), bytes, "threads={threads}");
+        }
+        // SZ is deterministic: the group call leaves the RNG untouched,
+        // exactly like its serial compress.
+        let mut rng = Rng::new(22);
+        let _ = sz.compress_group(&refs, None, &mut rng, &rec);
+        assert_eq!(rng.next_u64(), Rng::new(22).next_u64());
+        let back = sz.decompress_group(&bytes, &rec).unwrap();
+        assert_eq!(back.len(), layers.len());
+        for (li, (orig, dec)) in layers.iter().zip(&back).enumerate() {
+            assert_eq!(orig.len(), dec.len(), "layer {li}");
+            let mm = compso_tensor::reduce::minmax_flat(orig);
+            let range = if orig.is_empty() {
+                0.0
+            } else {
+                mm.max - mm.min
+            };
+            for (&x, &y) in orig.iter().zip(dec) {
+                assert!(
+                    (x - y).abs() <= 4e-3 * range * 1.001 + 1e-7,
+                    "layer {li}: {x} vs {y}"
+                );
+            }
+        }
+        for cut in [0usize, 1, 3, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                sz.decompress_group(&bytes[..cut], &rec).is_err(),
+                "cut={cut}"
+            );
         }
     }
 

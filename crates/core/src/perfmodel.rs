@@ -165,6 +165,37 @@ pub fn choose_aggregation(
     best_m
 }
 
+/// Modeled parallel width of the chunked-kernel sweep, in workers. This
+/// is a **fixed model constant**, deliberately *not* the live thread
+/// count: the chunk choice feeds stochastic-rounding RNG forks, so it
+/// must be identical on every rank and every machine for replicas to
+/// stay bit-identical. 64 is the §4.4 model's saturation point — beyond
+/// one chunk per modeled worker, smaller tiles only add per-chunk
+/// header + extrema overhead without exposing more parallelism.
+pub const MODELED_PARALLEL_WIDTH: usize = 64;
+
+/// Chunk tile size (in elements) the §4.4 overhead model picks for a
+/// workload of `total_elems` elements, floored at `floor` (the fixed
+/// [`crate::kernels::KernelConfig`] default).
+///
+/// The model: per-chunk cost has a fixed part (header records, extrema
+/// reduction setup, RNG fork) and a linear part, so throughput rises
+/// with chunk size until the chunk count drops below the modeled
+/// worker width and load balance collapses. The optimum is therefore
+/// "as large as possible while keeping every modeled worker busy":
+/// `total / MODELED_PARALLEL_WIDTH`, rounded up to a power of two for
+/// alignment, floored at `floor`.
+///
+/// Pure in `total_elems` — see [`MODELED_PARALLEL_WIDTH`] for why. For
+/// any workload below `floor × MODELED_PARALLEL_WIDTH` elements (1 Mi
+/// with the defaults) the choice equals `floor`, so small-model
+/// training is bit-identical with and without adaptive chunking.
+pub fn choose_chunk_elems(total_elems: usize, floor: usize) -> usize {
+    assert!(floor > 0, "chunk floor must be positive");
+    let target = total_elems.div_ceil(MODELED_PARALLEL_WIDTH).max(1);
+    target.next_power_of_two().max(floor)
+}
+
 /// Measured behaviour of one candidate encoder on sampled real data
 /// (the §4.4 encoder-selection step).
 #[derive(Clone, Copy, Debug)]
@@ -235,6 +266,42 @@ mod tests {
             compress_tput: ct,
             decompress_tput: dt,
         }
+    }
+
+    #[test]
+    fn chunk_choice_floors_small_workloads_at_default() {
+        let floor = 16 * 1024;
+        // Everything up to floor × width collapses to the fixed default,
+        // so training-regime buffers chunk identically with and without
+        // the adaptive model.
+        for total in [
+            0usize,
+            1,
+            1000,
+            floor,
+            64 * floor,
+            floor * MODELED_PARALLEL_WIDTH,
+        ] {
+            assert_eq!(choose_chunk_elems(total, floor), floor, "total {total}");
+        }
+    }
+
+    #[test]
+    fn chunk_choice_scales_with_large_workloads() {
+        let floor = 16 * 1024;
+        let big = 64 * 1024 * 1024; // 64 Mi elements
+        let chosen = choose_chunk_elems(big, floor);
+        assert!(chosen > floor, "chosen {chosen}");
+        // Power of two, and the chunk count stays near the modeled width.
+        assert!(chosen.is_power_of_two());
+        let chunks = big.div_ceil(chosen);
+        assert!(
+            (MODELED_PARALLEL_WIDTH / 2..=MODELED_PARALLEL_WIDTH).contains(&chunks),
+            "chunks {chunks}"
+        );
+        // Monotone in the workload and deterministic.
+        assert!(choose_chunk_elems(2 * big, floor) >= chosen);
+        assert_eq!(choose_chunk_elems(big, floor), chosen);
     }
 
     #[test]

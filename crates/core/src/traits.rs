@@ -129,6 +129,20 @@ pub trait Compressor: Send + Sync {
         None
     }
 
+    /// Chunk tile size for a specific workload of `total_elems`
+    /// elements. The default defers to the fixed
+    /// [`Compressor::preferred_chunk_elems`]; compressors with adaptive
+    /// chunking ([`crate::kernels::ChunkedCompso`] built with
+    /// [`crate::kernels::ChunkedCompso::with_adaptive_chunking`])
+    /// override it with the §4.4 performance-model choice. Must be a
+    /// **pure function of `total_elems`** — never of live thread counts
+    /// or timings — so every rank builds identical schedules and
+    /// replicas stay bit-identical.
+    fn chunk_elems_for(&self, total_elems: usize) -> Option<usize> {
+        let _ = total_elems;
+        self.preferred_chunk_elems()
+    }
+
     /// Compression ratio achieved on `data` (original bytes / compressed
     /// bytes); convenience for the ratio experiments.
     fn ratio(&self, data: &[f32], rng: &mut Rng) -> f64 {

@@ -129,12 +129,14 @@ pub struct DistKfac {
     /// Owner rank per K-FAC layer (indexed by position in `kfac_indices`).
     owners: Option<Vec<usize>>,
     /// Cached per-aggregation-group [`LayerSchedule`]s for this rank's
-    /// owned layers: `(chunk_elems, one schedule per group)`. Built once
-    /// alongside the ownership map (the paper's layer-block hashmap
-    /// "built during the initialization of the KFAC optimizer and reused
-    /// for the rest of the iterations") when the compressor advertises a
-    /// preferred chunk size.
-    schedules: Option<(usize, Vec<LayerSchedule>)>,
+    /// owned layers: `(per-group chunk_elems choices, one schedule per
+    /// group)`. Built once alongside the ownership map (the paper's
+    /// layer-block hashmap "built during the initialization of the KFAC
+    /// optimizer and reused for the rest of the iterations") when the
+    /// compressor advertises a preferred chunk size; with adaptive
+    /// chunking the per-group choices come from the §4.4 model via
+    /// [`Compressor::chunk_elems_for`].
+    schedules: Option<(Vec<usize>, Vec<LayerSchedule>)>,
     /// Times the schedule cache was (re)built. Stays at ≤ 1 for any fixed
     /// compressor; exposed for the reuse-invariant tests.
     schedule_builds: u32,
@@ -289,20 +291,35 @@ impl DistKfac {
         // for any fixed compressor this runs exactly once per optimizer
         // lifetime and every later step reuses the cache.
         let m = self.config.aggregation.max(1);
-        if let Some(chunk_elems) = compressor.preferred_chunk_elems() {
+        if compressor.preferred_chunk_elems().is_some() {
+            // Per-group chunk choice: fixed compressors return their
+            // default for every total; adaptive ones scale the tile
+            // with the group's element count (§4.4 model). Either way
+            // the choice is a pure function of the static layer shapes,
+            // so the cache still builds exactly once per compressor.
+            let choices: Vec<usize> = owned
+                .chunks(m)
+                .map(|group| {
+                    let total: usize = group.iter().map(|(_, pre)| pre.len()).sum();
+                    compressor
+                        .chunk_elems_for(total)
+                        .expect("chunked compressor without chunk choice")
+                })
+                .collect();
             let stale = match &self.schedules {
-                Some((cached, _)) => *cached != chunk_elems,
+                Some((cached, _)) => *cached != choices,
                 None => true,
             };
             if stale {
                 let groups: Vec<LayerSchedule> = owned
                     .chunks(m)
-                    .map(|group| {
+                    .zip(&choices)
+                    .map(|(group, &chunk_elems)| {
                         let sizes: Vec<usize> = group.iter().map(|(_, pre)| pre.len()).collect();
                         LayerSchedule::build(&sizes, chunk_elems)
                     })
                     .collect();
-                self.schedules = Some((chunk_elems, groups));
+                self.schedules = Some((choices, groups));
                 self.schedule_builds += 1;
             }
         }
@@ -486,12 +503,79 @@ impl DistKfac {
         self.owners.as_deref()
     }
 
+    /// The inner (replicated) K-FAC optimizer, for factor-state export.
+    pub fn kfac(&self) -> &Kfac {
+        &self.kfac
+    }
+
+    /// Mutable access to the inner K-FAC optimizer, for factor-state
+    /// import at restore.
+    pub fn kfac_mut(&mut self) -> &mut Kfac {
+        &mut self.kfac
+    }
+
+    /// The attached observability recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Exports this rank's distributed-coordination state for
+    /// checkpointing: the ownership map, the per-rank compression RNG
+    /// stream (ranks consume different amounts, so each rank must save
+    /// its own), and the degradation ladder's last-good store. The
+    /// factor state itself travels separately via
+    /// [`Kfac::export_layer_state`]; the schedule cache is rebuilt
+    /// deterministically from the restored ownership map and is not
+    /// serialized.
+    pub fn export_state(&self) -> DistKfacState {
+        let mut last_good: Vec<(usize, Matrix)> = self
+            .last_good
+            .iter()
+            .map(|(&idx, m)| (idx, m.clone()))
+            .collect();
+        last_good.sort_by_key(|(idx, _)| *idx);
+        DistKfacState {
+            owners: self.owners.clone(),
+            rng: self.rng.state(),
+            last_good,
+        }
+    }
+
+    /// Restores the state exported by [`DistKfac::export_state`]. The
+    /// next [`DistKfac::step`] continues the interrupted trajectory
+    /// bit-identically (given the model, factor state, and communicator
+    /// step counter are restored alongside).
+    pub fn import_state(&mut self, state: DistKfacState) {
+        self.owners = state.owners;
+        let (s, spare) = state.rng;
+        self.rng = Rng::from_state(s, spare);
+        self.last_good = state.last_good.into_iter().collect();
+        // The schedule cache keys on the compressor's chunk size and the
+        // owned shapes; dropping it forces a deterministic rebuild.
+        self.schedules = None;
+    }
+
     /// How many times the owned-layer schedule cache has been built.
     /// For any fixed compressor this is 0 (schedule-less compressors)
     /// or 1 (chunked compressors) for the optimizer's whole lifetime.
     pub fn schedule_builds(&self) -> u32 {
         self.schedule_builds
     }
+}
+
+/// Portable distributed-coordination state of one rank's [`DistKfac`]
+/// (everything beyond the replicated factor state), produced by
+/// [`DistKfac::export_state`] and consumed by [`DistKfac::import_state`].
+#[derive(Clone, Debug)]
+pub struct DistKfacState {
+    /// Owner rank per K-FAC layer position, once built.
+    pub owners: Option<Vec<usize>>,
+    /// The stochastic-compression RNG stream `(xoshiro state, cached
+    /// spare normal)`.
+    pub rng: ([u64; 4], Option<f64>),
+    /// The ladder's last-good preconditioned gradients, sorted by layer
+    /// index.
+    pub last_good: Vec<(usize, Matrix)>,
 }
 
 /// Convenience: the no-compression baseline compressor.
@@ -1024,6 +1108,50 @@ mod tests {
         }
         for builds in run(false) {
             assert_eq!(builds, 0, "serial compressor needs no schedule");
+        }
+    }
+
+    #[test]
+    fn adaptive_chunking_pins_bit_identical_training() {
+        // §4.4 satellite pin: at training-regime layer-group sizes the
+        // perf-model chunk choice equals the fixed default, so flipping
+        // `with_adaptive_chunking()` must not move a single bit of the
+        // trajectory — and the schedule cache still builds exactly once
+        // (the per-group choices are pure functions of static shapes).
+        let ranks = 2;
+        let steps = 6;
+        let d = data::gaussian_blobs(200, 6, 3, 0.3, 81);
+        let run = |adaptive: bool| {
+            let d = d.clone();
+            run_ranks(ranks, move |comm| {
+                let mut rng = Rng::new(82);
+                let mut model = models::mlp(&[6, 16, 16, 3], &mut rng);
+                let shard = d.shard(comm.rank(), ranks);
+                let mut opt = DistKfac::new(DistKfacConfig::default(), 7);
+                let mut compso = compso_core::ChunkedCompso::new(CompsoConfig::aggressive(4e-3));
+                if adaptive {
+                    compso = compso.with_adaptive_chunking();
+                }
+                for step in 0..steps {
+                    let (x, y) = shard.batch(step, 8);
+                    let logits = model.forward(&x, true);
+                    let (_, grad) = softmax_cross_entropy(&logits, &y);
+                    model.backward(&grad);
+                    opt.step(comm, &mut model, &compso).unwrap();
+                    model.update_params(|p, g| p.axpy(-0.02, g));
+                }
+                let params: Vec<Matrix> = (0..model.len())
+                    .filter_map(|i| model.layer(i).params().cloned())
+                    .collect();
+                (params, opt.schedule_builds())
+            })
+        };
+        let fixed = run(false);
+        let chosen = run(true);
+        for (r, ((pf, bf), (pa, ba))) in fixed.iter().zip(&chosen).enumerate() {
+            assert_eq!(bf, ba);
+            assert_eq!(*ba, 1, "schedule rebuilt on rank {r}");
+            assert_eq!(pf, pa, "rank {r}: adaptive chunking moved the trajectory");
         }
     }
 

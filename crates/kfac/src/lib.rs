@@ -21,12 +21,14 @@
 //!    with any [`compso_core::Compressor`];
 //! 6. identical parameter update on every rank.
 
+pub mod checkpoint;
 pub mod distributed;
 pub mod kfac;
 pub mod optim;
 pub mod schedule;
 
-pub use distributed::{DistKfac, DistKfacConfig, StepStats};
-pub use kfac::{Kfac, KfacConfig};
+pub use checkpoint::{CheckpointConfig, CheckpointCoordinator, CoordError, Restored};
+pub use distributed::{DistKfac, DistKfacConfig, DistKfacState, StepStats};
+pub use kfac::{Kfac, KfacConfig, LayerStateExport};
 pub use optim::{Adam, Sgd};
 pub use schedule::{LrSchedule, SmoothLr, StepLr};

@@ -35,6 +35,19 @@ impl Sgd {
         }
     }
 
+    /// The momentum buffers, one per trainable layer (empty until the
+    /// first momentum step). Exported for checkpointing.
+    pub fn velocities(&self) -> &[Matrix] {
+        &self.velocities
+    }
+
+    /// Replaces the momentum buffers from a checkpoint. The next
+    /// [`Sgd::step`] continues the restored velocity trajectory
+    /// bit-identically.
+    pub fn set_velocities(&mut self, velocities: Vec<Matrix>) {
+        self.velocities = velocities;
+    }
+
     /// Applies one update with learning rate `lr` using each trainable
     /// layer's stored gradient.
     pub fn step(&mut self, model: &mut Sequential, lr: f32) {
@@ -91,6 +104,22 @@ impl Adam {
             v: Vec::new(),
             t: 0,
         }
+    }
+
+    /// Exports the full Adam state `(m, v, t)` for checkpointing. The
+    /// timestep `t` must travel with the moments: it drives the bias
+    /// correction, so restoring moments without it would re-warm the
+    /// step-size schedule and fork the trajectory.
+    pub fn state(&self) -> (&[Matrix], &[Matrix], i32) {
+        (&self.m, &self.v, self.t)
+    }
+
+    /// Restores the Adam state from a checkpoint (inverse of
+    /// [`Adam::state`]).
+    pub fn set_state(&mut self, m: Vec<Matrix>, v: Vec<Matrix>, t: i32) {
+        self.m = m;
+        self.v = v;
+        self.t = t;
     }
 
     /// Applies one Adam update with learning rate `lr`.

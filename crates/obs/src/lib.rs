@@ -388,6 +388,27 @@ pub mod names {
     pub const KFAC_ALLGATHER: &str = "kfac/step/allgather";
     /// `compso-kfac`: decode + install of gathered gradients.
     pub const KFAC_UPDATE: &str = "kfac/step/update";
+
+    /// `compso-kfac` checkpointing: whole coordinated save (encode +
+    /// write + fsync + metadata all-gather + commit).
+    pub const CKPT_SAVE: &str = "ckpt/save";
+    /// `compso-kfac` checkpointing: whole coordinated restore (read +
+    /// decode + redistribution + import).
+    pub const CKPT_LOAD: &str = "ckpt/load";
+    /// `compso-kfac` checkpointing: committed snapshots this rank
+    /// participated in.
+    pub const CKPT_SAVES: &str = "ckpt/saves";
+    /// `compso-kfac` checkpointing: encoded bytes this rank wrote to
+    /// its payload files (manifest bytes count on rank 0).
+    pub const CKPT_BYTES: &str = "ckpt/bytes";
+    /// `compso-kfac` checkpointing: raw (pre-compression) tensor bytes
+    /// behind `ckpt/bytes` — the ratio of the two is the checkpoint
+    /// compression ratio.
+    pub const CKPT_RAW_BYTES: &str = "ckpt/raw_bytes";
+    /// `compso-kfac` checkpointing: restore attempts that had to skip a
+    /// snapshot (missing/torn/corrupt manifest or payload) and fall
+    /// back to an older one. Zero on a clean restore.
+    pub const CKPT_RESTORE_RUNGS: &str = "ckpt/restore_rungs";
 }
 
 #[cfg(test)]

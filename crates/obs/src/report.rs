@@ -53,6 +53,15 @@ pub struct Resilience {
     pub fallback_last_good: u64,
     /// Rung-3 layer groups degraded to a plain-SGD step.
     pub fallback_sgd: u64,
+    /// Coordinated checkpoints committed this step (informational: a
+    /// clean run that checkpoints is still "quiet").
+    pub ckpt_saves: u64,
+    /// Encoded checkpoint bytes written this step (informational).
+    pub ckpt_bytes: u64,
+    /// Restore attempts that skipped a torn/corrupt snapshot and fell
+    /// back to an older one. Non-zero means recovery took a degraded
+    /// path, so it counts against quietness.
+    pub ckpt_restore_rungs: u64,
 }
 
 impl Resilience {
@@ -69,13 +78,23 @@ impl Resilience {
             repair_uncompressed_ok: snap.counter(names::KFAC_DEGRADE_REPAIR_UNCOMPRESSED_OK),
             fallback_last_good: snap.counter(names::KFAC_DEGRADE_FALLBACK_LAST_GOOD),
             fallback_sgd: snap.counter(names::KFAC_DEGRADE_FALLBACK_SGD),
+            ckpt_saves: snap.counter(names::CKPT_SAVES),
+            ckpt_bytes: snap.counter(names::CKPT_BYTES),
+            ckpt_restore_rungs: snap.counter(names::CKPT_RESTORE_RUNGS),
         }
     }
 
-    /// True when the step saw no transport faults and no ladder activity
-    /// (the invariant a disabled fault plane must preserve).
+    /// True when the step saw no transport faults, no ladder activity,
+    /// and no degraded restore (the invariant a disabled fault plane
+    /// must preserve). Clean checkpoint saves do **not** break
+    /// quietness: `ckpt_saves`/`ckpt_bytes` are informational.
     pub fn is_quiet(&self) -> bool {
-        *self == Resilience::default()
+        let informational = Resilience {
+            ckpt_saves: self.ckpt_saves,
+            ckpt_bytes: self.ckpt_bytes,
+            ..Resilience::default()
+        };
+        *self == informational
     }
 
     /// Degradation events that changed what got installed: every failure
@@ -183,7 +202,8 @@ impl StepReport {
             ",\"resilience\":{{\"crc_detected\":{},\"resends\":{},\"nacks_sent\":{},\
              \"backoff_ns\":{},\"checksum_failures\":{},\"repair_requests\":{},\
              \"repair_compressed_ok\":{},\"repair_uncompressed_ok\":{},\
-             \"fallback_last_good\":{},\"fallback_sgd\":{}}}",
+             \"fallback_last_good\":{},\"fallback_sgd\":{},\
+             \"ckpt_saves\":{},\"ckpt_bytes\":{},\"ckpt_restore_rungs\":{}}}",
             rz.crc_detected,
             rz.resends,
             rz.nacks_sent,
@@ -194,6 +214,9 @@ impl StepReport {
             rz.repair_uncompressed_ok,
             rz.fallback_last_good,
             rz.fallback_sgd,
+            rz.ckpt_saves,
+            rz.ckpt_bytes,
+            rz.ckpt_restore_rungs,
         ));
         out.push('}');
         out
@@ -285,6 +308,26 @@ mod tests {
         validate(&doc).unwrap_or_else(|(pos, msg)| panic!("{msg} at {pos} in {doc}"));
         assert!(doc.contains("\"resilience\":{\"crc_detected\":3"), "{doc}");
         assert!(doc.contains("\"fallback_sgd\":1"), "{doc}");
+    }
+
+    #[test]
+    fn ckpt_saves_stay_quiet_but_restore_rungs_do_not() {
+        let rec = Recorder::enabled();
+        rec.add_time_ns(names::KFAC_STEP, 1_000_000);
+        rec.add(names::CKPT_SAVES, 1);
+        rec.add(names::CKPT_BYTES, 4096);
+        let report = StepReport::from_snapshot(0, &rec.snapshot());
+        assert_eq!(report.resilience.ckpt_saves, 1);
+        assert_eq!(report.resilience.ckpt_bytes, 4096);
+        // A clean run that happens to checkpoint is still quiet...
+        assert!(report.resilience.is_quiet());
+        // ...but a restore that had to skip a torn snapshot is not.
+        rec.add(names::CKPT_RESTORE_RUNGS, 1);
+        let report = StepReport::from_snapshot(1, &rec.snapshot());
+        assert!(!report.resilience.is_quiet());
+        let doc = report.to_json();
+        validate(&doc).unwrap_or_else(|(pos, msg)| panic!("{msg} at {pos} in {doc}"));
+        assert!(doc.contains("\"ckpt_restore_rungs\":1"), "{doc}");
     }
 
     #[test]

@@ -58,6 +58,25 @@ impl Cholesky {
         self.n
     }
 
+    /// Raw factor state `(order, row-major lower-triangular f64 data)` —
+    /// the exact internal representation, exported so checkpoints can
+    /// restore a cached factorization **bit-identically** instead of
+    /// refactorizing (which would see a newer running-average factor and
+    /// drift the resumed trajectory). Inverse of [`Cholesky::from_raw`].
+    pub fn raw(&self) -> (usize, &[f64]) {
+        (self.n, &self.l)
+    }
+
+    /// Rebuilds a factor from a [`Cholesky::raw`] export. Returns `None`
+    /// when the data length does not match `n * n` (a corrupt or
+    /// truncated checkpoint payload must not panic here).
+    pub fn from_raw(n: usize, l: Vec<f64>) -> Option<Self> {
+        if l.len() != n.checked_mul(n)? {
+            return None;
+        }
+        Some(Cholesky { n, l })
+    }
+
     /// Solves `A x = b` for a single right-hand side.
     pub fn solve_vec(&self, b: &[f32]) -> Vec<f32> {
         assert_eq!(b.len(), self.n, "solve_vec rhs length");

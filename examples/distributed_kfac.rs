@@ -8,17 +8,32 @@
 //! ```text
 //! cargo run --release --example distributed_kfac
 //! ```
+//!
+//! Checkpoint/resume: pass `--ckpt-dir <dir>` to take a coordinated
+//! snapshot every [`SAVE_EVERY`] steps while training, and add
+//! `--resume` to restore the newest snapshot from that directory and
+//! continue from there instead of starting fresh. Resuming continues
+//! the interrupted trajectory bit-identically:
+//!
+//! ```text
+//! cargo run --release --example distributed_kfac -- --ckpt-dir /tmp/ckpt
+//! # kill it mid-run, then:
+//! cargo run --release --example distributed_kfac -- --ckpt-dir /tmp/ckpt --resume
+//! ```
 
 use compso::comm::run_ranks;
 use compso::core::adaptive::BoundSchedule;
 use compso::core::{Compressor, Compso, NoCompression};
 use compso::dnn::loss::{accuracy, softmax_cross_entropy};
 use compso::dnn::{data, models};
-use compso::kfac::{DistKfac, DistKfacConfig};
+use compso::kfac::checkpoint::fingerprint;
+use compso::kfac::{CheckpointConfig, CheckpointCoordinator, DistKfac, DistKfacConfig};
 use compso::tensor::Rng;
 
 const RANKS: usize = 4;
 const STEPS: usize = 120;
+/// Snapshot cadence for the `--ckpt-dir` mode.
+const SAVE_EVERY: usize = 20;
 
 fn train(compressed: bool) -> (f64, u64, u64) {
     let dataset = data::gaussian_blobs(640, 10, 4, 0.5, 99);
@@ -56,7 +71,72 @@ fn train(compressed: bool) -> (f64, u64, u64) {
     (acc, original, wire)
 }
 
+/// Compressed training with coordinated snapshots every [`SAVE_EVERY`]
+/// steps. With `resume`, restores the newest snapshot under `dir` and
+/// continues the interrupted trajectory bit-identically.
+fn train_with_checkpoints(dir: &std::path::Path, resume: bool) -> f64 {
+    let dataset = data::gaussian_blobs(640, 10, 4, 0.5, 99);
+    let schedule = BoundSchedule::step_paper(STEPS / 2);
+    let results = run_ranks(RANKS, |comm| {
+        let mut rng = Rng::new(11); // same init on every rank
+        let mut model = models::mlp(&[10, 48, 48, 4], &mut rng);
+        let shard = dataset.shard(comm.rank(), RANKS);
+        let mut opt = DistKfac::new(DistKfacConfig::default(), 5);
+        let coord = CheckpointCoordinator::new(CheckpointConfig::new(
+            dir,
+            fingerprint(&["distributed_kfac", "seed=5", "ranks=4", "compso"]),
+        ))
+        .expect("open checkpoint store");
+        let mut start = 0usize;
+        if resume {
+            let restored = coord
+                .restore(comm, &mut opt, &mut model)
+                .expect("restore from snapshot");
+            start = restored.step as usize;
+            if comm.rank() == 0 {
+                println!("resumed from snapshot at step {start}");
+            }
+        }
+        for step in start..STEPS {
+            let (x, y) = shard.batch(step, 16);
+            let logits = model.forward(&x, true);
+            let (_, grad) = softmax_cross_entropy(&logits, &y);
+            model.backward(&grad);
+            let compso = Compso::new(schedule.config_at(step));
+            opt.step(comm, &mut model, &compso).expect("step");
+            model.update_params(|p, g| p.axpy(-0.01, g));
+            let done = step + 1;
+            if done % SAVE_EVERY == 0 && done < STEPS {
+                coord
+                    .save(comm, done as u64, &opt, &model, &[])
+                    .expect("coordinated save");
+            }
+        }
+        let logits = model.forward(&dataset.x, false);
+        accuracy(&logits, &dataset.y)
+    });
+    results[0]
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ckpt_dir = args
+        .iter()
+        .position(|a| a == "--ckpt-dir")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let resume = args.iter().any(|a| a == "--resume");
+    if let Some(dir) = ckpt_dir {
+        let mode = if resume { "resuming" } else { "fresh run" };
+        println!("checkpointed 4-rank distributed K-FAC ({mode}, dir {dir})...\n");
+        let acc = train_with_checkpoints(std::path::Path::new(&dir), resume);
+        println!("final accuracy: {acc:.3}");
+        return;
+    } else if resume {
+        eprintln!("--resume requires --ckpt-dir <dir>");
+        std::process::exit(2);
+    }
+
     println!("training a 4-rank distributed K-FAC classifier...\n");
     let (acc_plain, orig_plain, wire_plain) = train(false);
     let (acc_compso, orig_compso, wire_compso) = train(true);

@@ -26,6 +26,34 @@ timeout --kill-after=10 300 \
   scheduled_crash_poisons_the_group_and_names_the_rank \
   || { echo "chaos smoke failed or timed out" >&2; exit 1; }
 
+echo "==> checkpoint smoke: save -> kill -> resume (hard 240s wall-clock cap)"
+# A real whole-process SIGKILL: the fresh run is killed as soon as its
+# first coordinated snapshot lands on disk; --resume must restore it and
+# finish. (The in-process rank-kill variant with bit-identity checks is
+# tests/checkpoint.rs::crash_campaign_..., gated below.)
+cargo build --release --example distributed_kfac
+CKPT_DIR=$(mktemp -d)
+target/release/examples/distributed_kfac --ckpt-dir "$CKPT_DIR" >/dev/null &
+CKPT_PID=$!
+for _ in $(seq 1 600); do
+  if compgen -G "$CKPT_DIR/step-*" >/dev/null; then break; fi
+  if ! kill -0 "$CKPT_PID" 2>/dev/null; then break; fi
+  sleep 0.1
+done
+kill -9 "$CKPT_PID" 2>/dev/null || true
+wait "$CKPT_PID" 2>/dev/null || true
+timeout --kill-after=10 240 \
+  target/release/examples/distributed_kfac --ckpt-dir "$CKPT_DIR" --resume \
+  | grep -q "resumed from snapshot" \
+  || { echo "checkpoint resume smoke failed" >&2; exit 1; }
+rm -rf "$CKPT_DIR"
+
+echo "==> checkpoint crash-campaign smoke (hard 300s wall-clock cap)"
+timeout --kill-after=10 300 \
+  cargo test --release --test checkpoint -q -- \
+  crash_campaign_restores_last_snapshot_and_matches_uninterrupted_run \
+  || { echo "checkpoint crash smoke failed or timed out" >&2; exit 1; }
+
 echo "==> bench smoke: fig1"
 cargo run -p compso-bench --release --bin fig1 >/dev/null
 

@@ -8,6 +8,7 @@
 //! * [`tensor`](compso_tensor) — dense linear algebra and the PRNG;
 //! * [`dnn`](compso_dnn) — the DNN training substrate;
 //! * [`kfac`](compso_kfac) — (distributed) K-FAC optimizers;
+//! * [`ckpt`](compso_ckpt) — compressed, CRC-framed checkpoint/restore;
 //! * [`comm`](compso_comm) — collectives and network models;
 //! * [`sim`](compso_sim) — the cluster performance simulator;
 //! * [`obs`](compso_obs) — step-level observability (timers, counters,
@@ -27,6 +28,7 @@
 //! assert_eq!(restored.len(), gradients.len());
 //! ```
 
+pub use compso_ckpt as ckpt;
 pub use compso_comm as comm;
 pub use compso_core as core;
 pub use compso_dnn as dnn;

@@ -11,6 +11,20 @@
 //! plus `0xCF`, the CRC32 checksum frame ([`unframe_checksummed`]) that
 //! the distributed K-FAC step wraps around all of them.
 //!
+//! The checkpoint subsystem (ISSUE: compso-ckpt) adds parsers that read
+//! bytes a *crashed process* may have torn or a hostile disk may have
+//! corrupted, plus one more cross-rank wire format:
+//!
+//! * `0xCB` — the snapshot tensor blob ([`decode_tensors`]), which also
+//!   crosses rank boundaries during the restore redistribution,
+//! * `0xCD` — the snapshot manifest ([`Manifest::decode`]) and the
+//!   standalone per-rank file metadata ([`RankFileMeta::decode`])
+//!   exchanged in the save-time all-gather,
+//! * `0xC8` — the layer-parallel baseline group framing
+//!   ([`pargroup::decompress`]).
+//!
+//! All obey the same contract as the gradient formats below.
+//!
 //! Contract under mutation (ISSUE wording: "decode must return `Err`,
 //! never panic, never over-allocate"):
 //!
@@ -35,6 +49,11 @@
 //! failure here reproduces exactly; no shrinking, but the reported case
 //! index pins the input.
 
+use compso::ckpt::{
+    decode_tensors, encode_tensors, Dtype, Manifest, RankFileMeta, TensorData, TensorEntry,
+    TensorMeta,
+};
+use compso::core::baselines::pargroup;
 use compso::core::kernels::{compress_chunked, decompress_chunked};
 use compso::core::wire::{frame_checksummed, unframe_checksummed};
 use compso::core::{Compressor, Compso, CompsoConfig, KernelConfig, LayerSchedule, NoCompression};
@@ -277,5 +296,271 @@ proptest! {
         prop_assert_eq!(group_decode(&group_stream(&data, seed)), Ok(data.len()));
         let framed = frame_checksummed(&v1_stream(&data, seed));
         prop_assert!(unframe_checksummed(&framed).is_ok());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint formats (ISSUE: compso-ckpt satellite): manifest (0xCD),
+// standalone rank metadata, tensor blob (0xCB), and the layer-parallel
+// baseline group (0xC8).
+// ---------------------------------------------------------------------
+
+/// A structurally valid per-rank file description: offsets tile the
+/// file contiguously and `raw_len` matches `rows × cols × width`, the
+/// invariants the parser cross-checks.
+fn rank_meta_fixture(rank: u32, rng: &mut Rng) -> RankFileMeta {
+    let n = 1 + (rng.next_u64() % 4) as usize;
+    let mut tensors = Vec::with_capacity(n);
+    let mut offset = 0u64;
+    for i in 0..n {
+        let (dtype, width) = match rng.next_u64() % 3 {
+            0 => (Dtype::F32, 4u64),
+            1 => (Dtype::F64, 8),
+            _ => (Dtype::U64, 8),
+        };
+        let rows = 1 + rng.next_u64() % 7;
+        let cols = 1 + rng.next_u64() % 7;
+        let enc_len = 13 + rng.next_u64() % 64;
+        tensors.push(TensorMeta {
+            name: format!("fuzz/{rank}/{i}"),
+            dtype,
+            rows,
+            cols,
+            offset,
+            enc_len,
+            raw_len: rows * cols * width,
+            crc32: rng.next_u64() as u32,
+        });
+        offset += enc_len;
+    }
+    RankFileMeta {
+        rank,
+        file_len: offset,
+        file_crc32: rng.next_u64() as u32,
+        tensors,
+    }
+}
+
+fn manifest_stream(seed: u64) -> Vec<u8> {
+    let mut rng = Rng::new(seed);
+    let world = 1 + (rng.next_u64() % 4) as u32;
+    let ranks = (0..world).map(|r| rank_meta_fixture(r, &mut rng)).collect();
+    Manifest {
+        step: rng.next_u64() % 10_000,
+        world_size: world,
+        fingerprint: rng.next_u64(),
+        ranks,
+    }
+    .encode()
+}
+
+fn rank_meta_stream(seed: u64) -> Vec<u8> {
+    let mut rng = Rng::new(seed);
+    rank_meta_fixture((rng.next_u64() % 8) as u32, &mut rng).encode()
+}
+
+fn tensors_stream(data: &[f32], seed: u64) -> Vec<u8> {
+    let mut rng = Rng::new(seed);
+    let entries = vec![
+        TensorEntry::vector("fuzz/f32", TensorData::F32(data.to_vec())),
+        TensorEntry::vector(
+            "fuzz/u64",
+            TensorData::U64((0..9).map(|_| rng.next_u64()).collect()),
+        ),
+        TensorEntry::vector(
+            "fuzz/f64",
+            TensorData::F64((0..5).map(|_| rng.normal_f64()).collect()),
+        ),
+    ];
+    encode_tensors(&entries)
+}
+
+fn pargroup_stream(data: &[f32], seed: u64) -> Vec<u8> {
+    let (a, b) = data.split_at(data.len() / 3);
+    let layers: Vec<&[f32]> = vec![a, b];
+    let rng = Rng::new(seed);
+    pargroup::compress(&layers, |i, layer| {
+        let mut lrng = rng.fork(i as u64);
+        NoCompression.compress(layer, &mut lrng)
+    })
+}
+
+/// Decoded "size" of a manifest: total index entries across ranks.
+fn manifest_decode(bytes: &[u8]) -> Result<usize, ()> {
+    Manifest::decode(bytes)
+        .map(|m| m.ranks.iter().map(|r| r.tensors.len()).sum())
+        .map_err(|_| ())
+}
+
+fn rank_meta_decode(bytes: &[u8]) -> Result<usize, ()> {
+    RankFileMeta::decode(bytes)
+        .map(|m| m.tensors.len())
+        .map_err(|_| ())
+}
+
+/// Decoded size of a tensor blob in raw payload bytes.
+fn tensors_decode(bytes: &[u8]) -> Result<usize, ()> {
+    decode_tensors(bytes)
+        .map(|entries| {
+            entries
+                .iter()
+                .map(|e| match &e.data {
+                    TensorData::F32(v) => v.len() * 4,
+                    TensorData::F64(v) => v.len() * 8,
+                    TensorData::U64(v) => v.len() * 8,
+                })
+                .sum()
+        })
+        .map_err(|_| ())
+}
+
+fn pargroup_decode(bytes: &[u8]) -> Result<usize, ()> {
+    pargroup::decompress(bytes, |b| NoCompression.decompress(b))
+        .map(|out| total_elems(&out))
+        .map_err(|_| ())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn manifest_truncation_always_errs(
+        seed in any::<u64>(),
+        cut_seed in any::<u64>(),
+    ) {
+        // Both the full manifest and the standalone rank metadata (the
+        // save-time all-gather payload) length-check every field and
+        // reject trailing bytes, so any strict prefix must fail.
+        for stream in [manifest_stream(seed), rank_meta_stream(seed)] {
+            let cut = (cut_seed % stream.len() as u64) as usize;
+            prop_assert!(
+                manifest_decode(&stream[..cut]).is_err(),
+                "manifest prefix {cut}/{} decoded Ok",
+                stream.len()
+            );
+            prop_assert!(rank_meta_decode(&stream[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn manifest_mutation_never_panics_or_amplifies(
+        seed in any::<u64>(),
+        offset_seed in any::<u64>(),
+        xor in any::<u8>(),
+    ) {
+        // A flipped byte may survive (the manifest itself carries no
+        // CRC — the store wraps it in the 0xCF frame on disk), but a
+        // surviving parse must stay within the structural caps: entry
+        // counts are cross-checked against the buffer size before any
+        // allocation.
+        let mut stream = manifest_stream(seed);
+        let orig_entries = manifest_decode(&stream).unwrap();
+        flip_byte(&mut stream, offset_seed, xor);
+        if let Ok(n) = manifest_decode(&stream) {
+            prop_assert!(
+                n <= orig_entries + stream.len() / 47,
+                "mutated manifest amplified {orig_entries} -> {n} entries"
+            );
+        }
+        let mut meta = rank_meta_stream(seed);
+        flip_byte(&mut meta, offset_seed, xor);
+        if let Ok(n) = rank_meta_decode(&meta) {
+            prop_assert!(n <= meta.len() / 47 + 1);
+        }
+    }
+
+    #[test]
+    fn tensor_blob_truncation_always_errs(
+        data in proptest::collection::vec(-10.0f32..10.0, 4..600),
+        seed in any::<u64>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let stream = tensors_stream(&data, seed);
+        let cut = (cut_seed % stream.len() as u64) as usize;
+        prop_assert!(
+            tensors_decode(&stream[..cut]).is_err(),
+            "tensor blob prefix {cut}/{} decoded Ok",
+            stream.len()
+        );
+    }
+
+    #[test]
+    fn tensor_blob_mutation_never_panics_or_amplifies(
+        data in proptest::collection::vec(-10.0f32..10.0, 4..600),
+        seed in any::<u64>(),
+        offset_seed in any::<u64>(),
+        xor in any::<u8>(),
+    ) {
+        let mut stream = tensors_stream(&data, seed);
+        flip_byte(&mut stream, offset_seed, xor);
+        if let Ok(raw_bytes) = tensors_decode(&stream) {
+            prop_assert!(
+                raw_bytes <= 8 * stream.len() + SLACK_ELEMS,
+                "mutated tensor blob amplified to {raw_bytes} raw bytes \
+                 from {} wire bytes",
+                stream.len()
+            );
+        }
+    }
+
+    #[test]
+    fn pargroup_truncation_always_errs(
+        data in proptest::collection::vec(-10.0f32..10.0, 8..900),
+        seed in any::<u64>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let stream = pargroup_stream(&data, seed);
+        let cut = (cut_seed % stream.len() as u64) as usize;
+        prop_assert!(
+            pargroup_decode(&stream[..cut]).is_err(),
+            "pargroup prefix {cut}/{} decoded Ok",
+            stream.len()
+        );
+    }
+
+    #[test]
+    fn pargroup_mutation_never_panics_or_amplifies(
+        data in proptest::collection::vec(-10.0f32..10.0, 8..900),
+        seed in any::<u64>(),
+        offset_seed in any::<u64>(),
+        xor in any::<u8>(),
+    ) {
+        let mut stream = pargroup_stream(&data, seed);
+        flip_byte(&mut stream, offset_seed, xor);
+        if let Ok(n) = pargroup_decode(&stream) {
+            prop_assert!(
+                n <= data.len() + SLACK_ELEMS,
+                "mutated pargroup amplified {} -> {n} elems",
+                data.len()
+            );
+        }
+    }
+
+    #[test]
+    fn random_garbage_never_panics_checkpoint_parsers(
+        garbage in proptest::collection::vec(any::<u8>(), 0..1500),
+    ) {
+        for decode in [manifest_decode, rank_meta_decode, tensors_decode, pargroup_decode] {
+            if let Ok(n) = decode(&garbage) {
+                prop_assert!(
+                    n <= 8 * garbage.len() + SLACK_ELEMS,
+                    "garbage decoded to size {n} from {} bytes",
+                    garbage.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn valid_checkpoint_streams_still_roundtrip(
+        data in proptest::collection::vec(-10.0f32..10.0, 8..600),
+        seed in any::<u64>(),
+    ) {
+        // Sanity anchors, as above.
+        prop_assert!(manifest_decode(&manifest_stream(seed)).is_ok());
+        prop_assert!(rank_meta_decode(&rank_meta_stream(seed)).is_ok());
+        let expected_raw = data.len() * 4 + 9 * 8 + 5 * 8;
+        prop_assert_eq!(tensors_decode(&tensors_stream(&data, seed)), Ok(expected_raw));
+        prop_assert_eq!(pargroup_decode(&pargroup_stream(&data, seed)), Ok(data.len()));
     }
 }

@@ -22,8 +22,9 @@ use crate::snapshot::{checked_shape, Dtype, NAME_MAX, TENSORS_MAX};
 use crate::CkptError;
 use compso_core::wire::{Reader, WireError, Writer};
 
-/// Manifest magic byte.
-pub const MAGIC_MANIFEST: u8 = 0xCD;
+/// Manifest magic byte (re-exported from the central
+/// `compso_core::wire::magic` registry).
+pub use compso_core::wire::magic::MAGIC_MANIFEST;
 /// Manifest format version.
 pub const MANIFEST_VERSION: u16 = 1;
 /// Largest accepted world size (hostile-input cap).

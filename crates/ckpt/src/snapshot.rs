@@ -16,8 +16,9 @@ use crate::CkptError;
 use compso_core::wire::{checked_count, Reader, WireError, Writer};
 use compso_tensor::Matrix;
 
-/// Wire/manifest magic for a tensor blob.
-pub const MAGIC_TENSORS: u8 = 0xCB;
+/// Wire/manifest magic for a tensor blob (re-exported from the
+/// central `compso_core::wire::magic` registry).
+pub use compso_core::wire::magic::MAGIC_TENSORS;
 /// Tensor-blob format version.
 pub const TENSORS_VERSION: u16 = 1;
 /// Longest accepted tensor name in bytes (hostile-input cap).

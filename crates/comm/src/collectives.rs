@@ -183,6 +183,7 @@ pub fn allgather_var_quiet(
     let mut blocks: Vec<Option<Vec<u8>>> = (0..p).map(|_| None).collect();
     blocks[r] = Some(mine);
     if p == 1 {
+        // lint:allow(no-unwrap-on-comm-path): p == 1, so the only block is ours and was just set
         return Ok(blocks.into_iter().map(|b| b.unwrap()).collect());
     }
     let left = comm.left();
@@ -190,14 +191,21 @@ pub fn allgather_var_quiet(
     for s in 0..p - 1 {
         let send_block = (r + p - s) % p;
         let recv_block = (r + p - s - 1) % p;
-        let outgoing = blocks[send_block]
-            .clone()
-            .expect("ring schedule error: sending a block not yet received");
+        let outgoing = blocks[send_block].clone().ok_or(CommError::Protocol {
+            expected: "ring schedule: block present before its send hop",
+        })?;
         comm.send(right, Payload::Bytes(outgoing))?;
         let incoming = comm.recv_labeled(left, label)?.try_bytes()?;
         blocks[recv_block] = Some(incoming);
     }
-    Ok(blocks.into_iter().map(|b| b.unwrap()).collect())
+    blocks
+        .into_iter()
+        .map(|b| {
+            b.ok_or(CommError::Protocol {
+                expected: "ring schedule: all blocks received after p - 1 hops",
+            })
+        })
+        .collect()
 }
 
 /// Lossy-compressed ring all-reduce: every reduce-scatter hop compresses
@@ -278,7 +286,7 @@ pub fn broadcast(
             }
         }
     } else {
-        *data = comm.recv_labeled(root, "broadcast")?.try_f32()?;
+        *data = comm.recv_labeled(root, names::COMM_BROADCAST)?.try_f32()?;
     }
     Ok(())
 }
@@ -300,7 +308,9 @@ pub fn broadcast_bytes(
             }
         }
     } else {
-        *data = comm.recv_labeled(root, "broadcast_bytes")?.try_bytes()?;
+        *data = comm
+            .recv_labeled(root, names::COMM_BROADCAST_BYTES)?
+            .try_bytes()?;
     }
     Ok(())
 }

@@ -628,9 +628,9 @@ impl Communicator {
     }
 
     /// Receives the next payload from `src`, bounded by the configured
-    /// deadline (label `"recv"` in errors).
+    /// deadline (label [`names::COMM_RECV`] in errors).
     pub fn recv(&mut self, src: usize) -> Result<Payload, CommError> {
-        self.recv_labeled(src, "recv")
+        self.recv_labeled(src, names::COMM_RECV)
     }
 
     /// [`Communicator::recv`] with the enclosing collective's name
@@ -733,7 +733,7 @@ impl Communicator {
     /// arrival to rank 0, which releases the group once all have arrived.
     /// Bounded by the receive deadline; when a rank fails to arrive, rank
     /// 0's error *names the straggler*:
-    /// `CommError::Timeout { rank: straggler, collective: "barrier" }`.
+    /// `CommError::Timeout { rank: straggler, collective: names::COMM_BARRIER }`.
     pub fn barrier(&mut self) -> Result<(), CommError> {
         let gen = self.barrier_gen;
         self.barrier_gen += 1;
@@ -779,7 +779,7 @@ impl Communicator {
             if now >= deadline {
                 return Err(CommError::Timeout {
                     rank: src,
-                    collective: "barrier",
+                    collective: names::COMM_BARRIER,
                 });
             }
             let slice = POLL_SLICE.min(deadline - now);
@@ -874,9 +874,13 @@ where
                         // wake immediately instead of waiting out their
                         // deadlines.
                         drop(comm);
+                        // A poisoned panic registry only means another
+                        // rank panicked while holding it; its contents
+                        // are still valid for reporting, so recover the
+                        // guard instead of double-panicking.
                         panics
                             .lock()
-                            .expect("panic registry lock")
+                            .unwrap_or_else(|p| p.into_inner())
                             .push((rank, panic_message(payload.as_ref())));
                     }
                 }
@@ -887,7 +891,9 @@ where
         }
     });
     if let Some(rank) = poison.check() {
-        let panics = panics.into_inner().expect("panic registry lock");
+        // Same poison-recovery as above: a panicking writer leaves the
+        // registry usable, and all threads are joined by now.
+        let panics = panics.into_inner().unwrap_or_else(|p| p.into_inner());
         let msg = panics
             .iter()
             .find(|(r, _)| *r == rank)
@@ -897,6 +903,7 @@ where
     }
     slots
         .into_iter()
+        // lint:allow(no-unwrap-on-comm-path): every rank either filled its slot or poisoned the group, and poison panics above
         .map(|s| s.expect("rank produced no result"))
         .collect()
 }
@@ -928,6 +935,7 @@ pub fn build_group_with(size: usize, plane: FaultPlane, config: CommConfig) -> C
         }
         let rx = pending
             .into_iter()
+            // lint:allow(no-unwrap-on-comm-path): the loop above fills pending[dst][src] for every (src, dst) pair
             .map(|row| row.into_iter().map(|r| r.unwrap()).collect())
             .collect();
         (tx, rx)
@@ -1141,7 +1149,7 @@ mod tests {
             results[0],
             Err(CommError::Timeout {
                 rank: 2,
-                collective: "barrier"
+                collective: names::COMM_BARRIER
             })
         );
     }

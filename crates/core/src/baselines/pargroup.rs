@@ -32,8 +32,9 @@ use crate::traits::CompressError;
 use crate::wire::{Reader, WireError, Writer};
 use rayon::prelude::*;
 
-/// Magic byte of the layer-parallel baseline group format.
-pub const MAGIC_PARGROUP: u8 = 0xC8;
+/// Magic byte of the layer-parallel baseline group format
+/// (re-exported from the central [`crate::wire::magic`] registry).
+pub use crate::wire::magic::MAGIC_PARGROUP;
 
 /// Current version of the parallel group layout.
 pub const PARGROUP_VERSION: u8 = 1;

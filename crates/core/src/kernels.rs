@@ -27,8 +27,9 @@ use compso_tensor::rng::Rng;
 use rayon::prelude::*;
 
 /// Magic byte of the chunked-parallel wire format (distinct from the
-/// serial pipeline's 0xC5).
-pub const MAGIC_CHUNKED: u8 = 0xC6;
+/// serial pipeline's v1 magic; registered as
+/// [`crate::wire::magic::MAGIC_STREAM_V2`]).
+pub const MAGIC_CHUNKED: u8 = crate::wire::magic::MAGIC_STREAM_V2;
 
 /// Version of the chunked wire format. v2 added the per-chunk byte-offset
 /// index over the code and bitmap streams, which is what makes

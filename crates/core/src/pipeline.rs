@@ -18,8 +18,9 @@ use crate::wire::{Reader, WireError, Writer};
 use compso_obs::{names, Recorder};
 use compso_tensor::rng::Rng;
 
-/// Magic byte opening every COMPSO stream.
-pub const MAGIC: u8 = 0xC5;
+/// Magic byte opening every COMPSO stream (registered as
+/// [`crate::wire::magic::MAGIC_STREAM_V1`]).
+pub const MAGIC: u8 = crate::wire::magic::MAGIC_STREAM_V1;
 /// Wire format version.
 pub const VERSION: u8 = 1;
 
@@ -256,7 +257,7 @@ impl Compso {
         }
         let codec = Codec::from_tag(r.u8()?).ok_or(WireError::Invalid("codec tag"))?;
         let _flags = r.u8()?;
-        let n_layers = r.u32()? as usize;
+        let n_layers = crate::wire::checked_count(r.u32()? as u64)?;
         let bitmaps = codec.decode(r.block()?)?;
         let codes = codec.decode(r.block()?)?;
         let mut bitmaps_r = Reader::new(&bitmaps);

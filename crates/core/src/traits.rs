@@ -12,8 +12,9 @@ use compso_tensor::rng::Rng;
 
 /// Magic byte of the generic per-layer group framing used by the default
 /// [`Compressor::compress_group`] implementation (distinct from the
-/// serial COMPSO stream's 0xC5 and the chunked format's 0xC6).
-pub const MAGIC_GROUP: u8 = 0xC7;
+/// serial COMPSO stream's v1 and the chunked v2 magics; re-exported
+/// from the central [`crate::wire::magic`] registry).
+pub use crate::wire::magic::MAGIC_GROUP;
 
 /// Error produced by decompression.
 #[derive(Clone, Debug, PartialEq, Eq)]

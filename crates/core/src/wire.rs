@@ -6,6 +6,63 @@
 //! access and returns [`WireError`] instead of panicking, which is what
 //! the failure-injection tests (truncated/corrupted streams) rely on.
 
+/// Central registry of every wire-format magic byte in the workspace.
+///
+/// Seven hand-rolled binary formats travel between ranks or to disk; each
+/// one's first byte is a magic from this module, and **only** this module
+/// may spell the literal values (`compso-lint`'s `wire-magic-registry`
+/// rule rejects bare `0xC?` byte literals anywhere else in prod code, and
+/// checks this registry for duplicates). Uniqueness is additionally
+/// enforced at compile time by the `const` assertion below, so two
+/// formats can never become indistinguishable on the wire.
+pub mod magic {
+    /// Serial COMPSO pipeline stream (v1), [`crate::pipeline`].
+    pub const MAGIC_STREAM_V1: u8 = 0xC5;
+    /// Chunked-parallel stream (v2) with a per-chunk byte-offset index,
+    /// [`crate::kernels`].
+    pub const MAGIC_STREAM_V2: u8 = 0xC6;
+    /// Generic multi-layer group framing (serial fallback of
+    /// `Compressor::compress_group`), [`crate::traits`].
+    pub const MAGIC_GROUP: u8 = 0xC7;
+    /// Layer-parallel baseline group framing (QSGD/SZ),
+    /// [`crate::baselines::pargroup`].
+    pub const MAGIC_PARGROUP: u8 = 0xC8;
+    /// Checkpoint tensor blob (`compso-ckpt`).
+    pub const MAGIC_TENSORS: u8 = 0xCB;
+    /// Checkpoint manifest, written last to commit a snapshot
+    /// (`compso-ckpt`).
+    pub const MAGIC_MANIFEST: u8 = 0xCD;
+    /// CRC-32 integrity frame wrapped around compressed payloads before
+    /// they enter a collective, [`super::frame_checksummed`].
+    pub const MAGIC_FRAME: u8 = 0xCF;
+
+    /// Every registered magic with its format name, for diagnostics and
+    /// the uniqueness tests.
+    pub const ALL: &[(&str, u8)] = &[
+        ("stream_v1", MAGIC_STREAM_V1),
+        ("stream_v2", MAGIC_STREAM_V2),
+        ("group", MAGIC_GROUP),
+        ("pargroup", MAGIC_PARGROUP),
+        ("tensors", MAGIC_TENSORS),
+        ("manifest", MAGIC_MANIFEST),
+        ("frame", MAGIC_FRAME),
+    ];
+
+    /// Compile-time uniqueness proof: building this crate fails if two
+    /// registered magics collide.
+    const _UNIQUE: () = {
+        let mut i = 0;
+        while i < ALL.len() {
+            let mut j = i + 1;
+            while j < ALL.len() {
+                assert!(ALL[i].1 != ALL[j].1, "duplicate wire magic byte");
+                j += 1;
+            }
+            i += 1;
+        }
+    };
+}
+
 /// Upper bound on element counts accepted from untrusted headers.
 ///
 /// 2^28 elements (1 GiB of f32) is far beyond any single K-FAC gradient
@@ -24,7 +81,8 @@ pub fn checked_count(n: u64) -> Result<usize, WireError> {
 
 /// Magic byte of the checksum frame wrapped around every compressed
 /// payload before it enters a collective (see [`frame_checksummed`]).
-pub const MAGIC_FRAME: u8 = 0xCF;
+/// Re-exported from the central [`magic`] registry.
+pub use magic::MAGIC_FRAME;
 
 const CRC32_TABLE: [u32; 256] = {
     let mut table = [0u32; 256];
@@ -310,6 +368,28 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert_eq!(r.block().unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn magic_registry_is_unique_and_stable() {
+        // Pairwise distinct (the const assertion proves this at compile
+        // time; this keeps the property visible in the test report).
+        for (i, (name_a, a)) in magic::ALL.iter().enumerate() {
+            for (name_b, b) in &magic::ALL[i + 1..] {
+                assert_ne!(a, b, "{name_a} and {name_b} share a magic byte");
+            }
+        }
+        // Wire compatibility: the registered values are frozen — changing
+        // any of them silently orphans every previously written stream,
+        // snapshot, and checkpoint.
+        assert_eq!(magic::MAGIC_STREAM_V1, 0xC5);
+        assert_eq!(magic::MAGIC_STREAM_V2, 0xC6);
+        assert_eq!(magic::MAGIC_GROUP, 0xC7);
+        assert_eq!(magic::MAGIC_PARGROUP, 0xC8);
+        assert_eq!(magic::MAGIC_TENSORS, 0xCB);
+        assert_eq!(magic::MAGIC_MANIFEST, 0xCD);
+        assert_eq!(magic::MAGIC_FRAME, 0xCF);
+        assert_eq!(magic::ALL.len(), 7);
     }
 
     #[test]

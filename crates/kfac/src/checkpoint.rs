@@ -272,7 +272,7 @@ impl CheckpointCoordinator {
             let p = model
                 .layer_mut(idx)
                 .params_mut()
-                .expect("trainable layer without params");
+                .ok_or(CkptError::Corrupt("trainable layer without params"))?;
             if (p.rows(), p.cols()) != (m.rows(), m.cols()) {
                 return Err(CkptError::Corrupt("model parameter shape").into());
             }

@@ -109,12 +109,13 @@ impl StepStats {
 pub fn assign_layers(costs: &[f64], ranks: usize) -> Vec<usize> {
     assert!(ranks > 0);
     let mut order: Vec<usize> = (0..costs.len()).collect();
-    order.sort_by(|&x, &y| costs[y].partial_cmp(&costs[x]).unwrap().then(x.cmp(&y)));
+    order.sort_by(|&x, &y| costs[y].total_cmp(&costs[x]).then(x.cmp(&y)));
     let mut load = vec![0.0f64; ranks];
     let mut owner = vec![0usize; costs.len()];
     for idx in order {
         let r = (0..ranks)
-            .min_by(|&a, &b| load[a].partial_cmp(&load[b]).unwrap())
+            .min_by(|&a, &b| load[a].total_cmp(&load[b]))
+            // lint:allow(no-unwrap-on-comm-path): ranks > 0 is asserted above, so the range is non-empty
             .unwrap();
         owner[idx] = r;
         load[r] += costs[idx];
@@ -219,7 +220,9 @@ impl DistKfac {
                 let _bucket = self.recorder.span(names::KFAC_BUCKET);
                 self.fusion.clear();
                 for &idx in &trainable {
-                    let grad = model.layer(idx).grads().expect("missing grad");
+                    let grad = model.layer(idx).grads().ok_or(CommError::Protocol {
+                        expected: "trainable layer with a gradient",
+                    })?;
                     self.fusion.extend_from_slice(grad.as_slice());
                 }
             }
@@ -232,7 +235,9 @@ impl DistKfac {
                     let grad = model
                         .layer_mut(idx)
                         .grads_mut()
-                        .expect("trainable layer without mutable grad");
+                        .ok_or(CommError::Protocol {
+                            expected: "trainable layer with a mutable gradient",
+                        })?;
                     let n = grad.len();
                     grad.as_mut_slice()
                         .copy_from_slice(&self.fusion[offset..offset + n]);
@@ -246,7 +251,9 @@ impl DistKfac {
         {
             let _span = self.recorder.span(names::KFAC_FACTOR);
             for &idx in &kfac_layers {
-                let s = model.kfac_stats(idx).expect("kfac stats");
+                let s = model.kfac_stats(idx).ok_or(CommError::Protocol {
+                    expected: "kfac layer with captured statistics",
+                })?;
                 let mut a_cov = covariance(&s.a);
                 let mut g_cov = covariance(&s.g);
                 allreduce_mean(comm, a_cov.as_mut_slice())?;
@@ -256,19 +263,23 @@ impl DistKfac {
         }
 
         // (4) Ownership map: built once (layer shapes are static).
-        if self.owners.is_none() {
-            let costs: Vec<f64> = kfac_layers
-                .iter()
-                .map(|&idx| {
-                    let s = model.kfac_stats(idx).expect("kfac stats");
+        let owners = match &self.owners {
+            Some(o) => o.clone(),
+            None => {
+                let mut costs: Vec<f64> = Vec::with_capacity(kfac_layers.len());
+                for &idx in &kfac_layers {
+                    let s = model.kfac_stats(idx).ok_or(CommError::Protocol {
+                        expected: "kfac layer with captured statistics",
+                    })?;
                     let a = s.a.cols() as f64;
                     let g = s.g.cols() as f64;
-                    a * a * a + g * g * g
-                })
-                .collect();
-            self.owners = Some(assign_layers(&costs, comm.size()));
-        }
-        let owners = self.owners.as_ref().unwrap().clone();
+                    costs.push(a * a * a + g * g * g);
+                }
+                let o = assign_layers(&costs, comm.size());
+                self.owners = Some(o.clone());
+                o
+            }
+        };
 
         // Precondition owned layers (the eigendecomposition / inverse
         // application phase of Fig. 1).
@@ -278,7 +289,13 @@ impl DistKfac {
             let _span = self.recorder.span(names::KFAC_INVERSE);
             for (pos, &idx) in kfac_layers.iter().enumerate() {
                 if owners[pos] == me {
-                    let grad = model.layer(idx).grads().expect("grad").clone();
+                    let grad = model
+                        .layer(idx)
+                        .grads()
+                        .ok_or(CommError::Protocol {
+                            expected: "owned kfac layer with a gradient",
+                        })?
+                        .clone();
                     let pre = self.kfac.precondition_layer(idx, &grad);
                     owned.push((idx, pre));
                 }
@@ -303,6 +320,7 @@ impl DistKfac {
                     let total: usize = group.iter().map(|(_, pre)| pre.len()).sum();
                     compressor
                         .chunk_elems_for(total)
+                        // lint:allow(no-unwrap-on-comm-path): guarded by the preferred_chunk_elems().is_some() branch above
                         .expect("chunked compressor without chunk choice")
                 })
                 .collect();
@@ -372,7 +390,9 @@ impl DistKfac {
         // yardstick hostile payload headers are validated against.
         let mut expected: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); p];
         for (pos, &idx) in kfac_layers.iter().enumerate() {
-            let g = model.layer(idx).grads().expect("grad");
+            let g = model.layer(idx).grads().ok_or(CommError::Protocol {
+                expected: "kfac layer with a gradient",
+            })?;
             expected[owners[pos]].push((idx, g.rows(), g.cols()));
         }
         let mut results: Vec<Result<Vec<(usize, Matrix)>, CompressError>> = {
@@ -432,16 +452,19 @@ impl DistKfac {
                     let mut r1 = clean_frame.clone();
                     plane.maybe_corrupt_repair(me, q, step_idx, 1, &mut r1);
                     comm.send(q, Payload::Bytes(r1))?;
-                    let ack = comm.recv_labeled(q, "kfac_repair_status")?.try_sizes()?;
+                    let ack = comm
+                        .recv_labeled(q, names::KFAC_REPAIR_STATUS)?
+                        .try_sizes()?;
                     if ack.first() != Some(&1) {
                         // Rung 2: uncompressed resend.
+                        // lint:allow(no-unwrap-on-comm-path): repair_from(q, me) implies rung2_clean was precomputed above
                         let mut r2 = rung2_clean.clone().expect("rung2 precomputed");
                         plane.maybe_corrupt_repair(me, q, step_idx, 2, &mut r2);
                         comm.send(q, Payload::Bytes(r2))?;
                     }
                 } else if me == q {
                     // Requester side.
-                    let r1 = comm.recv_labeled(o, "kfac_repair")?.try_bytes()?;
+                    let r1 = comm.recv_labeled(o, names::KFAC_REPAIR)?.try_bytes()?;
                     match decode_rank_payload(&r1, &expected[o], m, compressor, &self.recorder) {
                         Ok(entries) => {
                             comm.send(o, Payload::Sizes(vec![1]))?;
@@ -450,7 +473,7 @@ impl DistKfac {
                         }
                         Err(_) => {
                             comm.send(o, Payload::Sizes(vec![0]))?;
-                            let r2 = comm.recv_labeled(o, "kfac_repair")?.try_bytes()?;
+                            let r2 = comm.recv_labeled(o, names::KFAC_REPAIR)?.try_bytes()?;
                             if let Ok(entries) = decode_uncompressed(&r2, &expected[o]) {
                                 self.recorder
                                     .incr(names::KFAC_DEGRADE_REPAIR_UNCOMPRESSED_OK);
@@ -529,6 +552,7 @@ impl DistKfac {
     /// serialized.
     pub fn export_state(&self) -> DistKfacState {
         let mut last_good: Vec<(usize, Matrix)> = self
+            // lint:allow(nondeterministic-wire-iteration): collected then sorted by layer index below
             .last_good
             .iter()
             .map(|(&idx, m)| (idx, m.clone()))

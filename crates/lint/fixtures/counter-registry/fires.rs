@@ -1,0 +1,17 @@
+//# path: crates/obs/src/fake_metrics.rs
+// Fixture: unregistered counter names fire — whether counter-shaped
+// anywhere, or any literal fed to a name-keyed obs API.
+
+pub fn record(rec: &Recorder) {
+    rec.incr("comm/bogus_counter"); //~ counter-registry
+    rec.span("oops not a name"); //~ counter-registry
+}
+
+#[cfg(test)]
+mod tests {
+    fn pinned_by_literal(rec: &Recorder) {
+        // Counter-shaped literals are checked in tests too: this is
+        // exactly the drift the registry exists to stop.
+        assert_eq!(rec.counter("kfac/bogus_phase"), 0); //~ counter-registry
+    }
+}

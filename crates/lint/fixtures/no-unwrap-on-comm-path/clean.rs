@@ -1,0 +1,21 @@
+//# path: crates/comm/src/fake_clean.rs
+// Fixture: poison-recovery combinators, non-comm paths, and test code
+// never fire.
+
+use std::sync::Mutex;
+
+pub fn poison_safe(m: &Mutex<Vec<u32>>) -> usize {
+    // The sanctioned poisoned-mutex shape: recover the guard.
+    m.lock().unwrap_or_else(|p| p.into_inner()).len()
+}
+
+pub fn combinators(x: Option<u32>) -> u32 {
+    x.unwrap_or(0) + x.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_tests(x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+}

@@ -1,0 +1,10 @@
+//# path: crates/comm/src/fake.rs
+// Fixture: unwrap/expect anywhere in comm production code fires.
+
+pub fn recv_one(slot: Option<u32>) -> u32 {
+    slot.unwrap() //~ no-unwrap-on-comm-path
+}
+
+pub fn recv_two(slot: Option<u32>) -> u32 {
+    slot.expect("slot populated") //~ no-unwrap-on-comm-path
+}

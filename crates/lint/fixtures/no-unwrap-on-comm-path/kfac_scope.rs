@@ -1,0 +1,12 @@
+//# path: crates/kfac/src/fake.rs
+// Fixture: in kfac, only code inside Result-returning (fallible)
+// functions is on the comm path.
+
+pub fn fallible_step(x: Option<u32>) -> Result<u32, ()> {
+    let v = x.unwrap(); //~ no-unwrap-on-comm-path
+    Ok(v)
+}
+
+pub fn infallible_helper(x: Option<u32>) -> u32 {
+    x.unwrap() // no error channel to convert into: out of scope
+}

@@ -1,0 +1,11 @@
+//# path: crates/comm/src/fake_suppressed.rs
+// Fixture: provably-infallible unwraps carry an allow with the proof.
+
+pub fn single_rank(blocks: Vec<Option<Vec<u8>>>) -> Vec<Vec<u8>> {
+    // lint:allow(no-unwrap-on-comm-path): p == 1, the only block was just inserted
+    blocks.into_iter().map(|b| b.unwrap()).collect()
+}
+
+pub fn trailing(slot: Option<u32>) -> u32 {
+    slot.unwrap() // lint:allow(no-unwrap-on-comm-path): slot is set by the caller on the same line
+}

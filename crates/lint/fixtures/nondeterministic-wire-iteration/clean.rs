@@ -1,0 +1,34 @@
+//# path: crates/ckpt/src/fake_snapshot_clean.rs
+// Fixture: BTreeMap in wire paths, HashMap outside them, and test code
+// never fire.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct State {
+    factors: BTreeMap<usize, Vec<u8>>,
+    cache: HashMap<usize, Vec<u8>>,
+}
+
+impl State {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        // BTreeMap iteration is deterministic: the sanctioned shape.
+        for (idx, bytes) in self.factors.iter() {
+            out.push(*idx as u8);
+            out.extend_from_slice(bytes);
+        }
+    }
+
+    pub fn lookup_stats(&self) -> usize {
+        // Not a wire-producing function: ordering cannot leak into bytes.
+        self.cache.values().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode_in_test(s: &State) -> usize {
+        s.cache.iter().count()
+    }
+}

@@ -1,0 +1,27 @@
+//# path: crates/ckpt/src/fake_snapshot.rs
+// Fixture: HashMap iteration inside wire-producing functions fires.
+
+use std::collections::HashMap;
+
+pub struct State {
+    factors: HashMap<usize, Vec<u8>>,
+}
+
+impl State {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        for (idx, bytes) in self.factors.iter() { //~ nondeterministic-wire-iteration
+            out.push(*idx as u8);
+            out.extend_from_slice(bytes);
+        }
+    }
+
+    pub fn snapshot_keys(&self) -> Vec<usize> {
+        let mut local = HashMap::new();
+        local.insert(1usize, 2usize);
+        let mut keys = Vec::new();
+        for k in &local { //~ nondeterministic-wire-iteration
+            keys.push(*k.0);
+        }
+        keys
+    }
+}

@@ -1,0 +1,21 @@
+//# path: crates/ckpt/src/fake_snapshot_suppressed.rs
+// Fixture: iterate-then-sort with an allow carrying the justification.
+
+use std::collections::HashMap;
+
+pub struct State {
+    factors: HashMap<usize, Vec<u8>>,
+}
+
+impl State {
+    pub fn export(&self) -> Vec<(usize, Vec<u8>)> {
+        let mut entries: Vec<(usize, Vec<u8>)> = self
+            // lint:allow(nondeterministic-wire-iteration): collected then sorted by key below
+            .factors
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        entries.sort_by_key(|(k, _)| *k);
+        entries
+    }
+}

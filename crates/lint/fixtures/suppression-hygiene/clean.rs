@@ -1,0 +1,7 @@
+//# path: crates/comm/src/fake_hygiene_clean.rs
+// Fixture: a well-formed allow (known rule, non-empty reason) is clean.
+
+pub fn annotated(x: Option<u32>) -> u32 {
+    // lint:allow(no-unwrap-on-comm-path): x is Some by construction in the only caller
+    x.unwrap()
+}

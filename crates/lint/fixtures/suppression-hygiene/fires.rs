@@ -1,0 +1,13 @@
+//# path: crates/comm/src/fake_hygiene.rs
+// Fixture: suppressions are part of the invariant surface — a missing
+// reason or an unknown rule name is itself a finding.
+
+pub fn missing_reason(x: Option<u32>) -> u32 {
+    // lint:allow(no-unwrap-on-comm-path) //~ suppression-hygiene
+    x.unwrap()
+}
+
+pub fn unknown_rule(x: Option<u32>) -> u32 {
+    // lint:allow(no-such-rule): reason text //~ suppression-hygiene
+    x.unwrap_or(0)
+}

@@ -1,0 +1,30 @@
+//# path: crates/core/src/fake_decoder_clean.rs
+// Fixture: the sanctioned validation shapes all clear the taint.
+
+pub fn clamped_in_place(r: &mut Reader) -> Result<Vec<u8>, WireError> {
+    // Same-statement clamp: checked_count bounds before binding.
+    let n = checked_count(r.u32()? as u64)?;
+    Ok(Vec::with_capacity(n))
+}
+
+pub fn guarded_before_use(r: &mut Reader) -> Result<Vec<u8>, WireError> {
+    let n = r.u32()? as usize;
+    if n > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    Ok(Vec::with_capacity(n))
+}
+
+pub fn equality_pinned(r: &mut Reader, expected: usize) -> Result<Vec<u8>, WireError> {
+    let n = r.u64()? as usize;
+    if n != expected {
+        return Err(WireError::Invalid("length mismatch"));
+    }
+    Ok(vec![0u8; n])
+}
+
+pub fn trusted_size(layers: &[Vec<f32>]) -> Vec<f32> {
+    // No wire read involved: never tainted.
+    let n = layers.len();
+    Vec::with_capacity(n)
+}

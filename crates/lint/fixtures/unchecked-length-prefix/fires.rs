@@ -1,0 +1,21 @@
+//# path: crates/core/src/fake_decoder.rs
+// Fixture: wire-read lengths sizing allocations without a bound check.
+
+pub fn decode_vec(r: &mut Reader) -> Result<Vec<u8>, WireError> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n); //~ unchecked-length-prefix
+    out.push(0);
+    Ok(out)
+}
+
+pub fn decode_buf(r: &mut Reader) -> Result<Vec<u8>, WireError> {
+    let len = r.u64()? as usize;
+    let buf = vec![0u8; len]; //~ unchecked-length-prefix
+    Ok(buf)
+}
+
+pub fn decode_take(r: &mut Reader) -> Result<(), WireError> {
+    let count = r.u32()? as usize;
+    let _head = r.take(count); //~ unchecked-length-prefix
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//# path: crates/core/src/fake_decoder_suppressed.rs
+// Fixture: a justified allow silences the rule.
+
+pub fn preallocated_upstream(r: &mut Reader) -> Result<Vec<u8>, WireError> {
+    let n = r.u32()? as usize;
+    // lint:allow(unchecked-length-prefix): caller already validated n against the frame header
+    Ok(Vec::with_capacity(n))
+}

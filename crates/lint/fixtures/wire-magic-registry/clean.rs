@@ -1,0 +1,16 @@
+//# path: crates/core/src/fake_clean.rs
+// Fixture: named constants, out-of-range bytes, wide CRC constants, and
+// strings/comments never fire.
+
+pub const CRC_POLY: u32 = 0xCBF4_3926; // wide literal: not a magic
+pub const NOT_RESERVED: u8 = 0xBF; // outside 0xC0..=0xCF
+
+pub fn encode(out: &mut Vec<u8>, magic: u8) {
+    // doc text mentioning 0xC5 never fires
+    out.push(magic);
+    out.push(compso_core::wire::magic::MAGIC_FRAME);
+}
+
+pub fn describe() -> &'static str {
+    "frame magic is 0xC5 on the wire"
+}

@@ -1,0 +1,19 @@
+//# path: crates/core/src/fake_codec.rs
+// Fixture: bare wire magics in production encode/decode paths fire.
+
+pub fn encode(out: &mut Vec<u8>) {
+    out.push(0xC9); //~ wire-magic-registry
+}
+
+pub fn decode(bytes: &[u8]) -> bool {
+    let magic: u8 = 0xC5u8; //~ wire-magic-registry
+    bytes.first() == Some(&magic)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code forges bad magics on purpose; never fires.
+    fn forge() -> u8 {
+        0xC9
+    }
+}

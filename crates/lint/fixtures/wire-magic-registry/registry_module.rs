@@ -1,0 +1,12 @@
+//# path: crates/core/src/wire.rs
+// Fixture: the `mod magic` registry block is the one sanctioned home
+// for bare magic literals — nothing here fires.
+
+pub mod magic {
+    pub const MAGIC_STREAM_V1: u8 = 0xC5;
+    pub const MAGIC_FRAME: u8 = 0xCF;
+}
+
+pub fn frame(out: &mut Vec<u8>) {
+    out.push(magic::MAGIC_FRAME);
+}

@@ -1,0 +1,7 @@
+//# path: crates/core/src/fake_suppressed.rs
+// Fixture: an explicit lint:allow with a reason silences the rule.
+
+pub fn golden_vector() -> Vec<u8> {
+    // lint:allow(wire-magic-registry): frozen golden test vector bytes, not an encode path
+    vec![0xC5, 0x01, 0x00]
+}

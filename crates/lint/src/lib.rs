@@ -1,0 +1,57 @@
+//! **compso-lint** — in-repo static analysis for the COMPSO workspace.
+//!
+//! Clippy cannot express this project's invariants: which byte values
+//! are wire magics, which crates form the fallible comm path, which
+//! string literals are obs counter names. This crate is a std-only
+//! analyzer (no `syn`, no registry deps — the build environment is
+//! offline) built from four layers:
+//!
+//! - [`lexer`] — a real Rust lexer whose token spans exactly tile every
+//!   input file (property-tested over the whole workspace);
+//! - [`source`] — per-file context: line table, prod-vs-`#[cfg(test)]`
+//!   classification, `lint:allow` suppressions, a function map;
+//! - [`rules`] — the rule catalogue (see `DESIGN.md` §11);
+//! - [`engine`] + [`walker`] — diagnostics, the obs-name registry
+//!   context, suppression hygiene, and deterministic file discovery.
+//!
+//! The binary (`cargo run -p compso-lint`) walks the workspace, runs
+//! every rule over production code, and in `--deny` mode exits non-zero
+//! on any finding — wired into `scripts/ci.sh` with a hard runtime
+//! budget. Fixture corpora under `fixtures/` pin each rule's firing,
+//! clean, and suppressed behavior via golden diagnostics.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod walker;
+
+pub use engine::{check_file, check_files, to_json, Context, Diagnostic};
+pub use source::SourceFile;
+
+use std::path::Path;
+
+/// Paths (workspace-relative, `/`-separated) excluded from rule runs:
+/// the analyzer itself. Its rule tables spell out the byte ranges and
+/// name shapes they hunt for, and its fixtures contain deliberate
+/// violations — linting them would be self-referential noise. The lexer
+/// tiling property still covers these files.
+pub fn rules_apply_to(rel_path: &str) -> bool {
+    !rel_path.starts_with("crates/lint/")
+}
+
+/// Load and check the whole workspace rooted at `root`. Returns sorted
+/// diagnostics; IO failures surface as `Err`.
+pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let ctx = Context::from_workspace(root)?;
+    let mut files = Vec::new();
+    for path in walker::collect_files(root, false) {
+        let rel = walker::rel_path(root, &path);
+        if !rules_apply_to(&rel) {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path)?;
+        files.push(SourceFile::new(rel, src));
+    }
+    Ok(check_files(&files, &ctx))
+}

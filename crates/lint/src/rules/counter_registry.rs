@@ -1,0 +1,152 @@
+//! `counter-registry`: every obs counter / span / collective-label name
+//! must be registered in `compso_obs::names`.
+//!
+//! Observability names are string-keyed: `Recorder::incr("kfac/step")`,
+//! `recv_labeled(src, "comm/barrier")`, `StepReport` phase tables, and
+//! test assertions all meet on literal strings. Before the registry,
+//! renaming a counter silently broke the step report and whichever test
+//! pinned the old literal. The registry makes membership checkable; this
+//! rule makes it checked:
+//!
+//! 1. Any string literal **shaped like a counter name** — `core/…`,
+//!    `comm/…`, `kfac/…`, or `ckpt/…` with lowercase
+//!    `[a-z0-9_/]` segments — must be a member of the registry. This
+//!    applies to tests too: a test asserting an unregistered name is
+//!    drift by definition.
+//! 2. Any **literal argument to a name-keyed API** (`incr`, `add`,
+//!    `observe`, `span`, `add_time_ns`, `recv_labeled`) must be
+//!    registered, whatever its shape — catching typos that dodge the
+//!    name pattern entirely.
+//!
+//! The registry itself is parsed from `crates/obs/src/names.rs` by the
+//! engine (`const NAME: &str = "…";` entries), so its definitions
+//! trivially satisfy the rule.
+
+use super::{Rule, View};
+use crate::engine::{Context, Diagnostic};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+pub struct CounterRegistry;
+
+const NAME: &str = "counter-registry";
+
+/// Obs namespaces whose string shape implies "this is a counter name".
+const NAMESPACES: &[&str] = &["core", "comm", "kfac", "ckpt"];
+
+/// Name-keyed APIs whose literal arguments must be registered.
+const KEYED_APIS: &[&str] = &[
+    "incr",
+    "add",
+    "observe",
+    "span",
+    "add_time_ns",
+    "recv_labeled",
+];
+
+impl Rule for CounterRegistry {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn check(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
+        let v = View::new(file);
+        for ci in 0..v.len() {
+            if v.kind(ci) != TokenKind::Str {
+                continue;
+            }
+            let Some(value) = str_value(v.text(ci)) else {
+                continue;
+            };
+            if ctx.registered_names.contains(value) {
+                continue;
+            }
+            if counter_shaped(value) {
+                out.push(v.diag(
+                    NAME,
+                    ci,
+                    format!(
+                        "counter-shaped literal \"{value}\" is not registered in \
+                         compso_obs::names; add it there and use the constant"
+                    ),
+                ));
+            } else if is_keyed_api_arg(&v, ci) && !file.in_test(v.tok(ci).start) {
+                out.push(v.diag(
+                    NAME,
+                    ci,
+                    format!(
+                        "literal \"{value}\" passed to a name-keyed obs API; \
+                         register it in compso_obs::names and use the constant"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The literal's value, for plain (non-raw) strings without escapes —
+/// counter names never need either.
+fn str_value(text: &str) -> Option<&str> {
+    let inner = text.strip_prefix('"')?.strip_suffix('"')?;
+    (!inner.contains('\\')).then_some(inner)
+}
+
+/// `namespace/segment(/segment)*` with lowercase snake segments.
+fn counter_shaped(s: &str) -> bool {
+    let Some((ns, rest)) = s.split_once('/') else {
+        return false;
+    };
+    if !NAMESPACES.contains(&ns) || rest.is_empty() {
+        return false;
+    }
+    rest.split('/').all(|seg| {
+        !seg.is_empty()
+            && seg
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    })
+}
+
+/// Is the string token at `ci` an argument of a name-keyed API call?
+/// Matches `. api ( … "lit"` with the literal before the matching `)`.
+fn is_keyed_api_arg(v: &View, ci: usize) -> bool {
+    // Walk backwards to the opening `(` at depth 0, then check the two
+    // tokens before it for `.api` / `api`.
+    let mut depth = 0i32;
+    let mut k = ci;
+    while k > 0 {
+        k -= 1;
+        if v.is_punct(k, ")") || v.is_punct(k, "]") {
+            depth += 1;
+        } else if v.is_punct(k, "(") || v.is_punct(k, "[") {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        } else if depth == 0 && v.is_punct(k, ";") {
+            return false;
+        }
+    }
+    if k == 0 || !v.is_punct(k, "(") {
+        return false;
+    }
+    let callee = k.checked_sub(1);
+    callee.is_some_and(|c| v.kind(c) == TokenKind::Ident && KEYED_APIS.contains(&v.text(c)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_detection() {
+        assert!(counter_shaped("comm/recv"));
+        assert!(counter_shaped("kfac/step/other"));
+        assert!(counter_shaped("core/encode_v2"));
+        assert!(!counter_shaped("kfac/")); // dangling namespace prefix
+        assert!(!counter_shaped("global/step")); // not an obs namespace
+        assert!(!counter_shaped("comm/Recv")); // uppercase
+        assert!(!counter_shaped("comm")); // no slash
+        assert!(!counter_shaped("kfac/{idx}")); // format! placeholder
+    }
+}

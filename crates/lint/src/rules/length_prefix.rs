@@ -1,0 +1,230 @@
+//! `unchecked-length-prefix`: a length read from the wire must be
+//! bounds-checked before it sizes an allocation.
+//!
+//! Every decoder in this workspace reads `u32`/`u64` length prefixes
+//! from untrusted bytes (hostile-payload tests forge them on purpose).
+//! Feeding such a length straight into `Vec::with_capacity`, a
+//! `vec![0u8; n]`, or a `take(n)` lets a 4-byte payload demand a
+//! multi-gigabyte allocation. The sanctioned pattern is the one
+//! `compso_core::wire` provides: clamp through `checked_count` /
+//! compare against `Reader::remaining` *before* allocating.
+//!
+//! Heuristic (token-level, per function body, production code only):
+//!
+//! 1. A `let` statement whose initializer calls `.u32()` / `.u64()`
+//!    *taints* the bound identifier — unless the same statement already
+//!    guards it (e.g. `let n = checked_count(r.u32()? as u64)?;`).
+//! 2. A later statement mentioning the identifier together with a guard
+//!    marker (a `<`/`>`/`==`/`!=` comparison, `min`/`max`, or a call
+//!    whose name contains `check`/`ensure`/`remaining`/`bound`/`assert`
+//!    or starts with `MAX`) clears the taint — comparisons against
+//!    trusted expectations are this codebase's sanctioned validation
+//!    shape. Re-binding the name clears it too.
+//! 3. A statement that uses a still-tainted identifier **as an
+//!    allocation size** — inside `with_capacity(…)`, after the `;` of
+//!    `vec![…; …]`, or inside `.take(…)` — fires.
+
+use super::{Rule, View};
+use crate::engine::{Context, Diagnostic};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+pub struct UncheckedLengthPrefix;
+
+const NAME: &str = "unchecked-length-prefix";
+
+impl Rule for UncheckedLengthPrefix {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Diagnostic>) {
+        let v = View::new(file);
+        for f in &file.fns {
+            if f.body.is_empty() || file.in_test(f.body.start) {
+                continue;
+            }
+            let body: Vec<usize> = (0..v.len())
+                .filter(|&ci| f.body.contains(&v.tok(ci).start))
+                .collect();
+            check_body(&v, &body, out);
+        }
+    }
+}
+
+fn check_body(v: &View, body: &[usize], out: &mut Vec<Diagnostic>) {
+    // Statements: body token runs split on `;` — except inside `[...]`,
+    // so `vec![0u8; n]` stays one statement (brace-depth agnostic
+    // otherwise, which is good enough for a taint heuristic).
+    let mut stmts: Vec<&[usize]> = Vec::new();
+    let mut start = 0;
+    let mut brackets = 0i32;
+    for (i, &ci) in body.iter().enumerate() {
+        if v.is_punct(ci, "[") {
+            brackets += 1;
+        } else if v.is_punct(ci, "]") {
+            brackets -= 1;
+        } else if v.is_punct(ci, ";") && brackets == 0 {
+            stmts.push(&body[start..i]);
+            start = i + 1;
+        }
+    }
+    if start < body.len() {
+        stmts.push(&body[start..]);
+    }
+
+    let mut tainted: Vec<String> = Vec::new();
+    for mut stmt in stmts {
+        // Trim block-structure tokens: the body's own `{`, nested block
+        // openers (`if ok { let n = ... }`), and closers, so `let` is
+        // the statement's first meaningful token when present.
+        while let Some((&first, rest)) = stmt.split_first() {
+            if v.is_punct(first, "{") || v.is_punct(first, "}") {
+                stmt = rest;
+            } else {
+                break;
+            }
+        }
+        let mentions = |name: &str| {
+            stmt.iter()
+                .any(|&ci| v.kind(ci) == TokenKind::Ident && v.text(ci) == name)
+        };
+        let guarded = has_guard(v, stmt);
+
+        // Allocation check first: a statement like `let m = vec![0; n]`
+        // must fire on the *old* taint of `n` before `m` bookkeeping.
+        if let Some(flag_ci) = alloc_use(v, stmt, &tainted) {
+            if !guarded {
+                let name = v.text(flag_ci).to_string();
+                out.push(v.diag(
+                    NAME,
+                    flag_ci,
+                    format!(
+                        "wire-read length `{name}` sizes an allocation without a bound \
+                         check; clamp via checked_count / compare against remaining() first"
+                    ),
+                ));
+                tainted.retain(|t| t != &name); // report once per taint
+            }
+        }
+
+        // Guard statements clear taint for every identifier they mention.
+        if guarded {
+            tainted.retain(|t| !mentions(t));
+        }
+
+        // New taints: `let [mut] X … = … .u32()/.u64() …` without a guard
+        // in the same statement. Re-binding clears the old taint either way.
+        if let Some(name) = let_binding(v, stmt) {
+            tainted.retain(|t| t != &name);
+            if reads_wire_len(v, stmt) && !guarded {
+                tainted.push(name);
+            }
+        }
+    }
+}
+
+/// `let [mut] X` at the start of a statement → `Some(X)`.
+fn let_binding(v: &View, stmt: &[usize]) -> Option<String> {
+    let mut it = stmt.iter().copied();
+    let first = it.next()?;
+    if !v.is_ident(first, "let") {
+        return None;
+    }
+    let mut next = it.next()?;
+    if v.is_ident(next, "mut") {
+        next = it.next()?;
+    }
+    (v.kind(next) == TokenKind::Ident).then(|| v.text(next).to_string())
+}
+
+/// Does this statement call `.u32()` or `.u64()` (a wire length read)?
+fn reads_wire_len(v: &View, stmt: &[usize]) -> bool {
+    stmt.windows(3).any(|w| {
+        v.is_punct(w[0], ".")
+            && (v.is_ident(w[1], "u32") || v.is_ident(w[1], "u64"))
+            && v.is_punct(w[2], "(")
+    })
+}
+
+/// Does this statement contain a bound-check marker?
+fn has_guard(v: &View, stmt: &[usize]) -> bool {
+    // `==` / `!=` lex as two adjacent Punct tokens.
+    let eq_cmp = stmt
+        .windows(2)
+        .any(|w| (v.is_punct(w[0], "=") || v.is_punct(w[0], "!")) && v.is_punct(w[1], "="));
+    eq_cmp
+        || stmt.iter().any(|&ci| match v.kind(ci) {
+            TokenKind::Punct => {
+                let t = v.text(ci);
+                t == "<" || t == ">"
+            }
+            TokenKind::Ident => {
+                let t = v.text(ci);
+                t == "min"
+                    || t == "max"
+                    || t.starts_with("MAX")
+                    || t.contains("check")
+                    || t.contains("ensure")
+                    || t.contains("remaining")
+                    || t.contains("bound")
+                    || t.contains("assert")
+            }
+            _ => false,
+        })
+}
+
+/// If this statement uses a tainted identifier as an allocation *size*,
+/// return the token index of that identifier.
+fn alloc_use(v: &View, stmt: &[usize], tainted: &[String]) -> Option<usize> {
+    if tainted.is_empty() {
+        return None;
+    }
+    let is_tainted =
+        |ci: usize| v.kind(ci) == TokenKind::Ident && tainted.iter().any(|t| t == v.text(ci));
+    for pos in 0..stmt.len() {
+        // `with_capacity( … )` and `.take( … )`: tainted ident anywhere
+        // in the argument list.
+        let callee = v.is_ident(stmt[pos], "with_capacity")
+            || (v.is_ident(stmt[pos], "take") && pos > 0 && v.is_punct(stmt[pos - 1], "."));
+        if callee && pos + 1 < stmt.len() && v.is_punct(stmt[pos + 1], "(") {
+            let mut depth = 0i32;
+            for &ci in &stmt[pos + 1..] {
+                if v.is_punct(ci, "(") {
+                    depth += 1;
+                } else if v.is_punct(ci, ")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if is_tainted(ci) {
+                    return Some(ci);
+                }
+            }
+        }
+        // `vec![ … ; LEN ]`: tainted ident in the length position only.
+        if v.is_ident(stmt[pos], "vec")
+            && pos + 2 < stmt.len()
+            && v.is_punct(stmt[pos + 1], "!")
+            && v.is_punct(stmt[pos + 2], "[")
+        {
+            let mut depth = 0i32;
+            let mut in_len = false;
+            for &ci in &stmt[pos + 2..] {
+                if v.is_punct(ci, "[") {
+                    depth += 1;
+                } else if v.is_punct(ci, "]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if depth == 1 && v.is_punct(ci, ";") {
+                    in_len = true;
+                } else if in_len && is_tainted(ci) {
+                    return Some(ci);
+                }
+            }
+        }
+    }
+    None
+}

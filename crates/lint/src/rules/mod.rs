@@ -1,0 +1,109 @@
+//! The rule catalogue.
+//!
+//! Every rule implements [`Rule`] over a [`SourceFile`] token stream and
+//! appends [`Diagnostic`]s. Rules never see suppressed lines — the
+//! engine filters `lint:allow` afterwards — and they are expected to be
+//! *sound over the token stream*: literals and comments are opaque
+//! tokens, so a magic byte in a doc comment or a counter name inside a
+//! test string can never fire by accident.
+//!
+//! Scope note: `crates/lint/` itself is excluded from rule runs (see the
+//! driver). The rule tables below necessarily spell out the byte ranges
+//! and name shapes they hunt for, so the analyzer cannot soundly lint
+//! its own source; its fixtures hold deliberate violations by design.
+
+use crate::engine::{Context, Diagnostic, SUPPRESSION_HYGIENE};
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+
+mod counter_registry;
+mod hashmap_iter;
+mod length_prefix;
+mod no_unwrap;
+mod wire_magic;
+
+pub use counter_registry::CounterRegistry;
+pub use hashmap_iter::NondeterministicWireIteration;
+pub use length_prefix::UncheckedLengthPrefix;
+pub use no_unwrap::NoUnwrapOnCommPath;
+pub use wire_magic::WireMagicRegistry;
+
+/// A single analysis rule.
+pub trait Rule {
+    fn name(&self) -> &'static str;
+    fn check(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>);
+}
+
+/// Every rule, in catalogue order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(WireMagicRegistry),
+        Box::new(NoUnwrapOnCommPath),
+        Box::new(UncheckedLengthPrefix),
+        Box::new(CounterRegistry),
+        Box::new(NondeterministicWireIteration),
+    ]
+}
+
+/// Rule names valid in `lint:allow(...)` (includes the hygiene rule).
+pub const RULE_NAMES: &[&str] = &[
+    "wire-magic-registry",
+    "no-unwrap-on-comm-path",
+    "unchecked-length-prefix",
+    "counter-registry",
+    "nondeterministic-wire-iteration",
+    SUPPRESSION_HYGIENE,
+];
+
+/// A non-trivia view over a file's tokens, shared by the rules.
+pub(crate) struct View<'a> {
+    pub file: &'a SourceFile,
+    pub code: Vec<usize>,
+}
+
+impl<'a> View<'a> {
+    pub fn new(file: &'a SourceFile) -> Self {
+        View {
+            file,
+            code: file.code_tokens(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    pub fn tok(&self, ci: usize) -> &Token {
+        &self.file.tokens[self.code[ci]]
+    }
+
+    pub fn text(&self, ci: usize) -> &str {
+        self.tok(ci).text(&self.file.src)
+    }
+
+    pub fn kind(&self, ci: usize) -> TokenKind {
+        self.tok(ci).kind
+    }
+
+    /// Is the non-trivia token at `ci` exactly `Punct(p)`?
+    pub fn is_punct(&self, ci: usize, p: &str) -> bool {
+        ci < self.len() && self.kind(ci) == TokenKind::Punct && self.text(ci) == p
+    }
+
+    /// Is the non-trivia token at `ci` exactly `Ident(name)`?
+    pub fn is_ident(&self, ci: usize, name: &str) -> bool {
+        ci < self.len() && self.kind(ci) == TokenKind::Ident && self.text(ci) == name
+    }
+
+    /// Build a diagnostic pointing at token `ci`.
+    pub fn diag(&self, rule: &'static str, ci: usize, message: String) -> Diagnostic {
+        let (line, col) = self.file.line_col(self.tok(ci).start);
+        Diagnostic {
+            rule,
+            path: self.file.path.clone(),
+            line,
+            col,
+            message,
+        }
+    }
+}

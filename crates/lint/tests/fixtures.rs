@@ -1,0 +1,183 @@
+//! Golden fixture corpus: every rule has at least one firing, one
+//! clean, and one suppressed case under `fixtures/<rule>/`.
+//!
+//! Fixture format:
+//! - first line `//# path: crates/…/fake.rs` — the pretend workspace
+//!   path the file is analyzed under (rules are path-scoped);
+//! - a trailing `//~ rule-name` marker on every line expected to fire.
+//!
+//! The test asserts the *exact* set of `(line, rule)` diagnostics per
+//! fixture — extra findings fail as loudly as missing ones — and pins a
+//! handful of full human renderings as goldens.
+
+use compso_lint::{check_file, Context, SourceFile};
+use std::path::Path;
+
+/// Names considered registered while analyzing fixtures.
+fn fixture_context() -> Context {
+    Context::with_names(
+        ["comm/recv", "comm/barrier", "kfac/step"]
+            .into_iter()
+            .map(String::from),
+    )
+}
+
+fn fixture_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+/// Parse a fixture: pretend path + expected `(line, rule)` markers.
+fn parse_fixture(src: &str, file: &Path) -> (String, Vec<(usize, String)>) {
+    let first = src.lines().next().unwrap_or_default();
+    let path = first
+        .strip_prefix("//# path: ")
+        .unwrap_or_else(|| panic!("{}: first line must be `//# path: …`", file.display()))
+        .trim()
+        .to_string();
+    let mut expected = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        if let Some(at) = line.find("//~") {
+            let rule = line[at + 3..].trim().to_string();
+            assert!(
+                !rule.is_empty(),
+                "{}:{}: empty //~ marker",
+                file.display(),
+                i + 1
+            );
+            expected.push((i + 1, rule));
+        }
+    }
+    (path, expected)
+}
+
+fn check_fixture(file: &Path) -> (Vec<(usize, String)>, Vec<String>) {
+    let src = std::fs::read_to_string(file).expect("read fixture");
+    let (pretend, expected) = parse_fixture(&src, file);
+    let sf = SourceFile::new(pretend, src);
+    let mut diags = Vec::new();
+    check_file(&sf, &fixture_context(), &mut diags);
+    let mut got: Vec<(usize, String)> =
+        diags.iter().map(|d| (d.line, d.rule.to_string())).collect();
+    got.sort();
+    let mut want = expected;
+    want.sort();
+    assert_eq!(
+        got,
+        want,
+        "{}: diagnostics do not match //~ markers\n  got: {:?}",
+        file.display(),
+        diags.iter().map(|d| d.human()).collect::<Vec<_>>()
+    );
+    (got, diags.iter().map(|d| d.human()).collect())
+}
+
+#[test]
+fn every_rule_has_firing_clean_and_suppressed_fixtures() {
+    let root = fixture_root();
+    let rules = [
+        "wire-magic-registry",
+        "no-unwrap-on-comm-path",
+        "unchecked-length-prefix",
+        "counter-registry",
+        "nondeterministic-wire-iteration",
+    ];
+    for rule in rules {
+        let dir = root.join(rule);
+        for required in ["fires.rs", "clean.rs", "suppressed.rs"] {
+            assert!(
+                dir.join(required).is_file(),
+                "missing fixture {rule}/{required}"
+            );
+        }
+    }
+    // The hygiene rule has no "suppressed" case: suppressing hygiene
+    // findings with broken suppressions would be circular.
+    assert!(root.join("suppression-hygiene/fires.rs").is_file());
+    assert!(root.join("suppression-hygiene/clean.rs").is_file());
+}
+
+#[test]
+fn all_fixtures_match_their_markers() {
+    let root = fixture_root();
+    let mut checked = 0;
+    let mut dirs: Vec<_> = std::fs::read_dir(&root)
+        .expect("fixtures dir")
+        .flatten()
+        .map(|e| e.path())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut files: Vec<_> = std::fs::read_dir(&dir)
+            .expect("rule dir")
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+            .collect();
+        files.sort();
+        for file in files {
+            let (got, _) = check_fixture(&file);
+            let stem = file.file_stem().unwrap().to_string_lossy().to_string();
+            match stem.as_str() {
+                // Firing fixtures must fire; clean/suppressed must not.
+                "fires" | "kfac_scope" => assert!(
+                    !got.is_empty(),
+                    "{}: expected at least one finding",
+                    file.display()
+                ),
+                _ => assert!(
+                    got.is_empty(),
+                    "{}: expected no findings, got {got:?}",
+                    file.display()
+                ),
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked >= 17, "fixture corpus shrank: {checked} files");
+}
+
+#[test]
+fn golden_diagnostic_renderings() {
+    let root = fixture_root();
+    let (_, human) = check_fixture(&root.join("wire-magic-registry/fires.rs"));
+    assert_eq!(
+        human[0],
+        "crates/core/src/fake_codec.rs:5:14: [wire-magic-registry] bare wire magic \
+         literal 0xC9 in production code; use the named constant from \
+         compso_core::wire::magic"
+    );
+    let (_, human) = check_fixture(&root.join("no-unwrap-on-comm-path/fires.rs"));
+    assert!(human[0].starts_with("crates/comm/src/fake.rs:5:10: [no-unwrap-on-comm-path]"));
+    let (_, human) = check_fixture(&root.join("unchecked-length-prefix/fires.rs"));
+    assert!(
+        human[0].starts_with("crates/core/src/fake_decoder.rs:6:38: [unchecked-length-prefix]"),
+        "{human:?}"
+    );
+}
+
+#[test]
+fn seeded_violation_is_detected_via_library_path() {
+    // The CI gate's contract, exercised hermetically: a clean file
+    // passes, and seeding a violation into the same pretend crate flips
+    // it to a finding with the right location.
+    let ctx = fixture_context();
+    let clean = SourceFile::new(
+        "crates/comm/src/seeded.rs".into(),
+        "pub fn ok(x: Option<u8>) -> u8 {\n    x.unwrap_or(0)\n}\n".into(),
+    );
+    let mut diags = Vec::new();
+    check_file(&clean, &ctx, &mut diags);
+    assert!(diags.is_empty());
+
+    let seeded = SourceFile::new(
+        "crates/comm/src/seeded.rs".into(),
+        "pub fn bad(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n".into(),
+    );
+    check_file(&seeded, &ctx, &mut diags);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "no-unwrap-on-comm-path");
+    assert_eq!((diags[0].line, diags[0].col), (2, 7));
+}

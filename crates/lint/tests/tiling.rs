@@ -1,0 +1,106 @@
+//! The lexer's foundational contract, checked against the real world:
+//! token spans exactly tile every source file in this workspace —
+//! `tokens[0].start == 0`, each token ends where the next begins, the
+//! last token ends at `src.len()`, and no token is empty.
+//!
+//! Two layers:
+//! - a straight test over every `.rs` file the walker can see
+//!   (including the shims and this crate's own fixture corpus, which
+//!   holds deliberately weird code);
+//! - a proptest that cuts random char-boundary prefixes of those files
+//!   and re-lexes them, exercising totality on *malformed* input
+//!   (unterminated strings, half-open block comments, dangling `0x`).
+
+use compso_lint::lexer::lex;
+use compso_lint::walker::collect_files;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+/// Walk up from this crate to the `[workspace]` root.
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file()
+            && std::fs::read_to_string(&manifest).is_ok_and(|s| s.contains("[workspace]"))
+        {
+            return dir;
+        }
+        assert!(
+            dir.pop(),
+            "no [workspace] Cargo.toml above CARGO_MANIFEST_DIR"
+        );
+    }
+}
+
+/// Every file the tiling contract covers: the walker's view (shims
+/// included) plus this crate's fixture corpus, which the walker skips
+/// for *rule* runs but which must still lex cleanly.
+fn corpus() -> Vec<PathBuf> {
+    let root = workspace_root();
+    let mut files = collect_files(&root, true);
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut dirs = vec![fixtures];
+    while let Some(dir) = dirs.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                dirs.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    assert!(
+        files.len() >= 60,
+        "workspace corpus shrank: {}",
+        files.len()
+    );
+    files
+}
+
+/// Assert the tiling invariant for one source string.
+fn assert_tiles(src: &str, what: &dyn std::fmt::Display) {
+    let tokens = lex(src);
+    if src.is_empty() {
+        assert!(tokens.is_empty(), "{what}: tokens on empty input");
+        return;
+    }
+    let mut cursor = 0usize;
+    for (i, t) in tokens.iter().enumerate() {
+        assert_eq!(t.start, cursor, "{what}: gap/overlap before token {i}");
+        assert!(t.end > t.start, "{what}: empty token {i} at byte {cursor}");
+        cursor = t.end;
+    }
+    assert_eq!(cursor, src.len(), "{what}: tokens stop short of EOF");
+}
+
+#[test]
+fn token_spans_tile_every_workspace_file() {
+    for file in corpus() {
+        let src = std::fs::read_to_string(&file).expect("read source file");
+        assert_tiles(&src, &file.display());
+    }
+}
+
+proptest! {
+    /// Cut a random char-boundary prefix of a random workspace file and
+    /// re-lex: truncation manufactures unterminated literals and
+    /// comments, and the lexer must stay total and still tile exactly.
+    #[test]
+    fn token_spans_tile_random_prefixes(file_pick in 0usize..1usize << 16, cut_pick in 0usize..1usize << 16) {
+        let files = corpus();
+        let file = &files[file_pick % files.len()];
+        let src = std::fs::read_to_string(file).expect("read source file");
+        let mut cut = cut_pick % (src.len() + 1);
+        while !src.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let prefix = &src[..cut];
+        assert_tiles(prefix, &format_args!("{}[..{}]", file.display(), cut));
+    }
+}

@@ -1,0 +1,36 @@
+//! The CI gate's core promise, as a plain test: the workspace is clean
+//! under every rule. A failure here names the exact file:line:col and
+//! rule, so a regression is actionable without running the CLI.
+
+use compso_lint::check_workspace;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file()
+            && std::fs::read_to_string(&manifest).is_ok_and(|s| s.contains("[workspace]"))
+        {
+            return dir;
+        }
+        assert!(
+            dir.pop(),
+            "no [workspace] Cargo.toml above CARGO_MANIFEST_DIR"
+        );
+    }
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let diags = check_workspace(&workspace_root()).expect("walk workspace");
+    assert!(
+        diags.is_empty(),
+        "workspace has lint findings:\n{}",
+        diags
+            .iter()
+            .map(|d| format!("  {}", d.human()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

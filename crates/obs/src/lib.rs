@@ -28,6 +28,7 @@
 //! [`IterationModel::breakdown`]: ../compso_sim/timing/struct.IterationModel.html
 
 mod json;
+pub mod names;
 mod report;
 mod snapshot;
 
@@ -289,126 +290,6 @@ impl Drop for SpanGuard {
             cell.count.fetch_add(1, Ordering::Relaxed);
         }
     }
-}
-
-/// Canonical metric names used across the instrumented crates, so reports
-/// and dashboards agree on spelling.
-pub mod names {
-    /// `compso-core`: per-layer filter pass.
-    pub const CORE_FILTER: &str = "core/filter";
-    /// `compso-core`: per-layer quantize pass.
-    pub const CORE_QUANTIZE: &str = "core/quantize";
-    /// `compso-core`: lossless encode of aggregated streams.
-    pub const CORE_ENCODE: &str = "core/encode";
-    /// `compso-core`: whole chunked-parallel kernel sweep (filter +
-    /// quantize + serialize + block encode) of one multi-layer group.
-    pub const CORE_CHUNKED_COMPRESS: &str = "core/chunked_compress";
-    /// `compso-core`: lossless decode + dequantize + unfilter.
-    pub const CORE_DECODE: &str = "core/decode";
-    /// `compso-core`: raw f32 bytes entering the compressor.
-    pub const CORE_BYTES_IN: &str = "core/bytes_in";
-    /// `compso-core`: wire bytes leaving the compressor.
-    pub const CORE_BYTES_OUT: &str = "core/bytes_out";
-    /// `compso-core`: wire bytes entering the decompressor.
-    pub const CORE_DECODE_BYTES_IN: &str = "core/decode_bytes_in";
-
-    /// `compso-comm`: ring sum all-reduce wall time.
-    pub const COMM_ALLREDUCE: &str = "comm/allreduce_sum";
-    /// `compso-comm`: ring reduce-scatter wall time.
-    pub const COMM_REDUCE_SCATTER: &str = "comm/reduce_scatter_sum";
-    /// `compso-comm`: variable-size ring all-gather wall time.
-    pub const COMM_ALLGATHER_VAR: &str = "comm/allgather_var";
-    /// `compso-comm`: fixed-size ring all-gather wall time.
-    pub const COMM_ALLGATHER: &str = "comm/allgather";
-    /// `compso-comm`: compressed ring all-reduce wall time.
-    pub const COMM_COMPRESSED_ALLREDUCE: &str = "comm/compressed_allreduce_mean";
-    /// `compso-comm`: total bytes this rank put on the wire.
-    pub const COMM_BYTES_SENT: &str = "comm/bytes_sent";
-    /// `compso-comm`: per-message wire sizes (log2 histogram).
-    pub const COMM_MSG_BYTES: &str = "comm/msg_bytes";
-    /// `compso-comm`: number of `allreduce_sum`/`allreduce_mean`
-    /// collective invocations (the bucketing win shows up here: one call
-    /// per step for gradient sync instead of one per layer).
-    pub const COMM_ALLREDUCE_CALLS: &str = "comm/allreduce_calls";
-    /// `compso-comm`: number of variable-size all-gather invocations.
-    pub const COMM_ALLGATHER_VAR_CALLS: &str = "comm/allgather_var_calls";
-
-    /// `compso-comm`: envelope-CRC failures detected at a receiver (each
-    /// one triggers an immediate NACK; reconciles 1:1 with the fault
-    /// plane's `corrupted_wire` ledger).
-    pub const COMM_FAULT_CRC_DETECTED: &str = "comm/fault/crc_detected";
-    /// `compso-comm`: data-message retransmissions performed by senders
-    /// in response to NACKs (`== dropped + corrupted_wire` injections
-    /// when no spurious timeouts fire).
-    pub const COMM_RETRY_RESENDS: &str = "comm/retry/resends";
-    /// `compso-comm`: NACKs sent by receivers (immediate on CRC failure,
-    /// deadline-based for silent drops).
-    pub const COMM_RETRY_NACKS_SENT: &str = "comm/retry/nacks_sent";
-    /// `compso-comm`: exponential-backoff waits between timeout NACKs,
-    /// in nanoseconds (log2 histogram).
-    pub const COMM_RETRY_BACKOFF_NS: &str = "comm/retry/backoff_ns";
-    /// `compso-kfac`: tiny always-on repair status exchange after the
-    /// gradient all-gather (kept separate from `comm/allgather_var` so
-    /// call-count invariants on the main collective stay exact).
-    pub const COMM_ALLGATHER_REPAIR: &str = "comm/allgather_repair";
-
-    /// `compso-kfac`: checksum/decode failures observed on gathered peer
-    /// payloads (`== corrupted_payload injections × (ranks − 1)`).
-    pub const KFAC_DEGRADE_CHECKSUM_FAILURES: &str = "kfac/degrade/checksum_failures";
-    /// `compso-kfac`: repair requests issued to payload origins (rung 1).
-    pub const KFAC_DEGRADE_REPAIR_REQUESTS: &str = "kfac/degrade/repair_requests";
-    /// `compso-kfac`: repairs satisfied by a compressed resend (rung 1).
-    pub const KFAC_DEGRADE_REPAIR_COMPRESSED_OK: &str = "kfac/degrade/repair_compressed_ok";
-    /// `compso-kfac`: repairs satisfied by an uncompressed resend (rung 2).
-    pub const KFAC_DEGRADE_REPAIR_UNCOMPRESSED_OK: &str = "kfac/degrade/repair_uncompressed_ok";
-    /// `compso-kfac`: layer groups that fell back to the last good
-    /// preconditioned gradient (rung 3a).
-    pub const KFAC_DEGRADE_FALLBACK_LAST_GOOD: &str = "kfac/degrade/fallback_last_good";
-    /// `compso-kfac`: layer groups that fell back to the plain averaged
-    /// gradient (an SGD-style step for those layers; rung 3b).
-    pub const KFAC_DEGRADE_FALLBACK_SGD: &str = "kfac/degrade/fallback_sgd";
-
-    /// `compso-kfac`: whole `DistKfac::step`.
-    pub const KFAC_STEP: &str = "kfac/step";
-    /// `compso-kfac`: data-parallel gradient all-reduce.
-    pub const KFAC_GRAD_SYNC: &str = "kfac/step/grad_sync";
-    /// `compso-kfac`: fusion-buffer flatten + scatter-back around the
-    /// single bucketed gradient all-reduce (nested inside `grad_sync`).
-    pub const KFAC_BUCKET: &str = "kfac/step/grad_sync/bucket";
-    /// `compso-kfac`: parallel decode of the N−1 peer all-gather payloads
-    /// (nested inside `update`).
-    pub const KFAC_PEER_DECODE: &str = "kfac/step/update/peer_decode";
-    /// `compso-kfac`: covariance factor compute + all-reduce (Fig. 1
-    /// "KFAC Computations" + "Factor Allreduce").
-    pub const KFAC_FACTOR: &str = "kfac/step/factor";
-    /// `compso-kfac`: eigendecomposition / preconditioning of owned layers
-    /// (Fig. 1 "inverse").
-    pub const KFAC_INVERSE: &str = "kfac/step/inverse";
-    /// `compso-kfac`: compress + all-gather of preconditioned gradients.
-    pub const KFAC_ALLGATHER: &str = "kfac/step/allgather";
-    /// `compso-kfac`: decode + install of gathered gradients.
-    pub const KFAC_UPDATE: &str = "kfac/step/update";
-
-    /// `compso-kfac` checkpointing: whole coordinated save (encode +
-    /// write + fsync + metadata all-gather + commit).
-    pub const CKPT_SAVE: &str = "ckpt/save";
-    /// `compso-kfac` checkpointing: whole coordinated restore (read +
-    /// decode + redistribution + import).
-    pub const CKPT_LOAD: &str = "ckpt/load";
-    /// `compso-kfac` checkpointing: committed snapshots this rank
-    /// participated in.
-    pub const CKPT_SAVES: &str = "ckpt/saves";
-    /// `compso-kfac` checkpointing: encoded bytes this rank wrote to
-    /// its payload files (manifest bytes count on rank 0).
-    pub const CKPT_BYTES: &str = "ckpt/bytes";
-    /// `compso-kfac` checkpointing: raw (pre-compression) tensor bytes
-    /// behind `ckpt/bytes` — the ratio of the two is the checkpoint
-    /// compression ratio.
-    pub const CKPT_RAW_BYTES: &str = "ckpt/raw_bytes";
-    /// `compso-kfac` checkpointing: restore attempts that had to skip a
-    /// snapshot (missing/torn/corrupt manifest or payload) and fall
-    /// back to an older one. Zero on a clean restore.
-    pub const CKPT_RESTORE_RUNGS: &str = "ckpt/restore_rungs";
 }
 
 #[cfg(test)]

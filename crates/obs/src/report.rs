@@ -24,8 +24,8 @@ pub const STEP_PHASES: &[&str] = &[
 ];
 
 /// Name of the synthetic phase covering step time outside the tracked
-/// sub-phases.
-pub const PHASE_OTHER: &str = "kfac/step/other";
+/// sub-phases (registered as [`names::KFAC_STEP_OTHER`]).
+pub const PHASE_OTHER: &str = names::KFAC_STEP_OTHER;
 
 /// The structured resilience view of a step: transport-level fault
 /// handling (ARQ) and the K-FAC degradation-ladder activity, pulled out

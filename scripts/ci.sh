@@ -16,6 +16,16 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> compso-lint --deny (hard 10s budget)"
+# Invariant lint over the whole workspace: wire magics, comm-path
+# unwraps, unchecked length prefixes, counter registry, deterministic
+# wire iteration. The binary was just built by the release build above,
+# so the budget measures analysis, not compilation. The JSON report is
+# uploaded as a CI artifact (see .github/workflows/ci.yml).
+timeout --kill-after=5 10 \
+  target/release/compso-lint --deny --json-out target/lint-report.json \
+  || { echo "compso-lint found violations or blew its 10s budget" >&2; exit 1; }
+
 echo "==> chaos smoke (hard 300s wall-clock cap)"
 # The chaos campaigns assert liveness ("no collective can block
 # forever"); a regression there would otherwise hang CI instead of

@@ -10,7 +10,7 @@
 //! 3. `chunked_nthread` — the chunked kernels at the host's natural
 //!    worker count (the production configuration),
 //! 4. `ckpt` — the checkpoint store's rank-file save/load over the same
-//!    buffer (lossless Zstd payloads, CRC framing, fsync'd commit), so
+//!    buffer (lossless rANS payloads, CRC framing, fsync'd commit), so
 //!    snapshot cost is tracked alongside the gradient hot path.
 //!
 //! Environment knobs: `COMPSO_BENCH_ELEMS` (default 4 Mi f32 = 16 MiB)
@@ -132,7 +132,7 @@ fn main() {
             store.prepare_tmp(0).expect("prepare");
             let t0 = Instant::now();
             let (meta, stats) = store
-                .write_rank_file(0, 0, &snap, Codec::Zstd)
+                .write_rank_file(0, 0, &snap, Codec::Ans)
                 .expect("write rank file");
             let manifest = Manifest {
                 step: 0,

@@ -17,8 +17,10 @@
 //! [`ChunkedCompso`] packages these kernels behind the [`Compressor`]
 //! trait so `DistKfac` can drive them as the production compression path.
 
+use crate::bitpack::bits_for;
+use crate::microkernel;
 use crate::pipeline::CompsoConfig;
-use crate::quantize::{Quantized, Quantizer};
+use crate::quantize::{ErrorBound, Quantized, Quantizer};
 use crate::traits::{CompressError, Compressor};
 use crate::wire::{Reader, WireError, Writer};
 use compso_obs::{names, Recorder};
@@ -230,6 +232,10 @@ fn serialize_chunk(n: usize, used_filter: bool, quant: &Quantized) -> Vec<u8> {
 /// Compresses one chunk in a single fused sweep: filter decision,
 /// kept-value collection, quantization, and serialization without
 /// materializing cross-chunk intermediates.
+///
+/// Scalar composition of the shared per-stage helpers, retained as the
+/// bit-identity oracle for [`compress_chunk_fast`] (§12 of DESIGN.md).
+#[cfg(test)]
 fn compress_chunk_fused(
     data: &[f32],
     range: MinMax,
@@ -242,6 +248,79 @@ fn compress_chunk_fused(
         bitmap: f.bitmap,
         codes: serialize_chunk(f.n, f.used_filter, &quant),
     }
+}
+
+/// The production fused sweep, rebuilt on the [`microkernel`] layer: the
+/// u64-window filter kernel, the mode-hoisted (branchless-SR) quantize
+/// kernel, and the u64-window bit-packer, all writing through the
+/// per-thread compress arena instead of fresh `Vec`s.
+///
+/// Bit-identical to [`compress_chunk_fused`] by construction: the
+/// threshold/range/bin arithmetic below replicates `filter_chunk` +
+/// `Quantizer::quantize_with_range` exactly (f32 span, f64 coordinate,
+/// same clamp, same per-element RNG draws), and the staged ablation path
+/// still runs the scalar helpers — so the existing fused-vs-staged wire
+/// equality test doubles as the end-to-end microkernel bit-identity pin.
+fn compress_chunk_fast(data: &[f32], range: MinMax, cfg: &CompsoConfig, rng: &mut Rng) -> ChunkOut {
+    microkernel::with_compress_scratch(|s| {
+        // Filter threshold: identical derivation to `filter_chunk`.
+        let span = if data.is_empty() {
+            0.0
+        } else {
+            range.max - range.min
+        };
+        let threshold = match cfg.eb_filter {
+            Some(ebf) if span > 0.0 => ebf * span,
+            _ => 0.0,
+        };
+        let use_filter = threshold > 0.0;
+        let mut bitmap = Vec::new();
+        if use_filter {
+            microkernel::filter_kernel(data, threshold, &mut bitmap, &mut s.kept);
+        } else {
+            s.kept.clear();
+            s.kept.extend_from_slice(data);
+        }
+
+        // Quantizer header: identical derivation to `quantize_chunk` /
+        // `Quantizer::quantize_with_range` (layer-global range, f32 span,
+        // f64 reciprocal width).
+        let (lo, hi) = if data.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (range.min, range.max)
+        };
+        assert!(hi >= lo, "invalid range [{lo}, {hi}]");
+        let qrange = hi - lo;
+        let (bin_width, n_bins) = if qrange == 0.0 || s.kept.is_empty() {
+            (0.0f32, 0u32)
+        } else {
+            let eb_abs = ErrorBound::Relative(cfg.eb_quant).absolute_for_range(qrange);
+            assert!(eb_abs > 0.0, "error bound collapsed to zero");
+            (eb_abs, (qrange as f64 / eb_abs as f64).ceil() as u32)
+        };
+        if n_bins > 0 {
+            let inv_w = 1.0 / bin_width as f64;
+            microkernel::quantize_kernel(&s.kept, lo, inv_w, n_bins, cfg.mode, rng, &mut s.codes);
+            microkernel::pack_into(&s.codes, bits_for(n_bins), &mut s.packed);
+        }
+
+        // Serialize: same record layout as `serialize_chunk` +
+        // `Quantized::write`, straight from the arena.
+        let packed = if n_bins > 0 { s.packed.as_slice() } else { &[] };
+        let mut w = Writer::with_capacity(29 + packed.len());
+        w.u64(data.len() as u64);
+        w.u8(u8::from(use_filter));
+        w.f32(lo);
+        w.f32(bin_width);
+        w.u32(n_bins);
+        w.u64(s.kept.len() as u64);
+        w.bytes(packed);
+        ChunkOut {
+            bitmap,
+            codes: w.into_bytes(),
+        }
+    })
 }
 
 /// Compresses multiple layers with the chunked-parallel kernels.
@@ -285,7 +364,7 @@ pub fn compress_chunked(
             .map(|(idx, c)| {
                 let slice = &layers[c.layer][c.offset..c.offset + c.len];
                 let mut chunk_rng = rng.fork(idx as u64);
-                compress_chunk_fused(slice, ranges[c.layer], cfg, &mut chunk_rng)
+                compress_chunk_fast(slice, ranges[c.layer], cfg, &mut chunk_rng)
             })
             .collect()
     } else {
@@ -389,7 +468,130 @@ pub fn compress_chunked_recorded(
 /// Decodes one chunk's record from its exact byte slices. Both readers
 /// must be fully consumed — a chunk that under- or over-runs its indexed
 /// slice is corrupt.
+///
+/// Microkernel rewrite of [`decompress_chunk_ref`]: the quantized record
+/// is unpacked through the u64-window [`microkernel::unpack_into`] into a
+/// per-thread code buffer (no per-chunk `Vec<u32>` churn), and the
+/// dequantize + keep-mask scatter are fused — values materialize directly
+/// into the caller's pre-zeroed output window via
+/// [`microkernel::scatter_kept`] instead of through intermediate `kept`
+/// and per-chunk output vectors (the window is the chunk's slice of the
+/// final layer buffer, so decode has no assembly copy at all). Every
+/// validation check and error string of the scalar reference is
+/// preserved, in the same order.
+///
+/// `out` must be zero-filled and exactly `c.len` long.
+fn decompress_chunk_into(
+    c: &ChunkDesc,
+    codes: &[u8],
+    bitmaps: &[u8],
+    out: &mut [f32],
+) -> Result<(), CompressError> {
+    debug_assert_eq!(out.len(), c.len);
+    let mut cr = Reader::new(codes);
+    let n = usize::try_from(cr.u64()?).map_err(|_| WireError::Invalid("chunk len"))?;
+    if n != c.len {
+        return Err(CompressError::Corrupt("chunk length mismatch"));
+    }
+    let used_filter = match cr.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(WireError::Invalid("filter flag").into()),
+    };
+    // Inline `Quantized::read_capped` with identical validation (the
+    // chunk's element count from the schedule caps the carried count), but
+    // unpacking into the thread-local code buffer.
+    let lo = cr.f32()?;
+    let bin_width = cr.f32()?;
+    let n_bins = cr.u32()?;
+    let count = crate::wire::checked_count(cr.u64()?)?;
+    if count > c.len {
+        return Err(WireError::Invalid("quantized count over cap").into());
+    }
+    if !lo.is_finite() || !bin_width.is_finite() || bin_width < 0.0 {
+        return Err(WireError::Invalid("quantized header").into());
+    }
+    microkernel::with_decode_codes(|qcodes| {
+        // A zero-bin or zero-count record is the constant block: `count`
+        // codes of value 0, backed by zero stream bytes.
+        let constant = count == 0 || n_bins == 0;
+        if constant {
+            qcodes.clear();
+        } else {
+            let bits = bits_for(n_bins);
+            let need = (count * bits as usize).div_ceil(8);
+            let bytes = cr.bytes(need)?;
+            let maxc = microkernel::unpack_into(bytes, bits, count, qcodes)?;
+            if maxc > n_bins {
+                return Err(WireError::Invalid("quantized code out of range").into());
+            }
+        }
+        if !cr.is_exhausted() {
+            return Err(CompressError::Corrupt("chunk codes overrun"));
+        }
+        let lo64 = lo as f64;
+        let bw64 = bin_width as f64;
+        if used_filter {
+            let mut br = Reader::new(bitmaps);
+            let bm = br.bytes(n.div_ceil(8))?;
+            if !br.is_exhausted() {
+                return Err(CompressError::Corrupt("chunk bitmap overrun"));
+            }
+            let res = if constant {
+                // Code 0 dequantizes to exactly `lo` (f32→f64→f32 is
+                // exact), independent of the carried bin width.
+                microkernel::scatter_kept(bm, n, count, out, |_| lo)
+            } else {
+                let qc: &[u32] = qcodes;
+                microkernel::scatter_kept(bm, n, count, out, |k| {
+                    (lo64 + qc[k] as f64 * bw64) as f32
+                })
+            };
+            match res {
+                Ok(()) => Ok(()),
+                Err(microkernel::ScatterError::Underrun) => {
+                    Err(CompressError::Corrupt("kept underrun"))
+                }
+                Err(microkernel::ScatterError::Overrun) => {
+                    Err(CompressError::Corrupt("kept overrun"))
+                }
+            }
+        } else {
+            if !bitmaps.is_empty() {
+                return Err(CompressError::Corrupt("unexpected bitmap bytes"));
+            }
+            if count != n {
+                return Err(CompressError::Corrupt("unfiltered chunk size"));
+            }
+            if constant {
+                out.fill(lo);
+            } else {
+                for (o, &code) in out.iter_mut().zip(qcodes.iter()) {
+                    *o = (lo64 + code as f64 * bw64) as f32;
+                }
+            }
+            Ok(())
+        }
+    })
+}
+
+/// [`decompress_chunk_into`] materializing its own output vector — the
+/// shape the equivalence and corruption proptests drive directly.
+#[cfg(test)]
 fn decompress_chunk(
+    c: &ChunkDesc,
+    codes: &[u8],
+    bitmaps: &[u8],
+) -> Result<Vec<f32>, CompressError> {
+    let mut out = vec![0.0f32; c.len];
+    decompress_chunk_into(c, codes, bitmaps, &mut out)?;
+    Ok(out)
+}
+
+/// Scalar reference decoder, retained as the bit-identity oracle for
+/// [`decompress_chunk`] (pinned by `prop_decompress_chunk_matches_ref`).
+#[cfg(test)]
+fn decompress_chunk_ref(
     c: &ChunkDesc,
     codes: &[u8],
     bitmaps: &[u8],
@@ -605,42 +807,33 @@ pub fn decompress_chunked_scratch(
         return Err(CompressError::Corrupt("chunk offset index"));
     }
 
-    // Chunk-parallel decode: each worker seeks straight to its records.
-    let decoded: Vec<Vec<f32>> = schedule
-        .chunks()
-        .par_iter()
+    // Chunk-parallel decode, straight into the layer buffers: chunks are
+    // in layer-then-offset order and tile each layer contiguously, so
+    // every chunk owns a disjoint window of its layer's output and the
+    // old gather-and-copy assembly stage disappears. The buffers come
+    // from the zeroed allocator, which is what the scatter path's
+    // "dropped values are exactly 0.0" contract needs.
+    let mut out: Vec<Vec<f32>> = layer_sizes.iter().map(|&n| vec![0.0f32; n]).collect();
+    let mut windows: Vec<&mut [f32]> = Vec::with_capacity(n_chunks);
+    for buf in out.iter_mut() {
+        if buf.is_empty() {
+            // A zero-length layer still carries one (empty) chunk record.
+            windows.push(&mut []);
+        } else {
+            windows.extend(buf.chunks_mut(chunk_elems));
+        }
+    }
+    debug_assert_eq!(windows.len(), n_chunks);
+    let chunks = schedule.chunks();
+    windows
+        .into_par_iter()
         .enumerate()
-        .map(|(i, c)| {
+        .map(|(i, dst)| {
             let (c0, b0) = offsets[i];
             let (c1, b1) = ends[i];
-            decompress_chunk(c, &codes[c0..c1], &bitmaps[b0..b1])
+            decompress_chunk_into(&chunks[i], &codes[c0..c1], &bitmaps[b0..b1], dst)
         })
-        .collect::<Result<Vec<_>, CompressError>>()?;
-
-    // Layer-parallel assembly: chunks are in layer-then-offset order, so
-    // each layer owns a contiguous run of decoded chunks.
-    let chunks = schedule.chunks();
-    let mut layer_ranges: Vec<(usize, usize)> = Vec::with_capacity(n_layers);
-    let mut start = 0usize;
-    for layer in 0..n_layers {
-        let mut end = start;
-        while end < chunks.len() && chunks[end].layer == layer {
-            end += 1;
-        }
-        layer_ranges.push((start, end));
-        start = end;
-    }
-    let out: Vec<Vec<f32>> = layer_ranges
-        .par_iter()
-        .enumerate()
-        .map(|(layer, &(s, e))| {
-            let mut v = Vec::with_capacity(layer_sizes[layer]);
-            for d in &decoded[s..e] {
-                v.extend_from_slice(d);
-            }
-            v
-        })
-        .collect();
+        .collect::<Result<Vec<()>, CompressError>>()?;
     Ok(out)
 }
 
@@ -791,6 +984,7 @@ impl Compressor for ChunkedCompso {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rounding::RoundingMode;
     use crate::synthetic::{generate_layers, GradientProfile};
 
     fn layers_fixture(seed: u64) -> Vec<Vec<f32>> {
@@ -880,6 +1074,134 @@ mod tests {
             &rng,
         );
         assert_eq!(fused, staged);
+    }
+
+    /// Direct chunk-level pin: the microkernel fused sweep must emit the
+    /// same bitmap and record bytes as the scalar helper composition for
+    /// every rounding mode, with and without the filter, including the
+    /// degenerate constant/empty chunks — and leave the RNG at the same
+    /// stream position.
+    #[test]
+    fn fast_chunk_matches_scalar_fused_across_modes() {
+        let datasets: Vec<Vec<f32>> = vec![
+            crate::synthetic::generate(10_000, 41, GradientProfile::kfac()),
+            crate::synthetic::generate(7, 42, GradientProfile::kfac()),
+            vec![0.25f32; 513], // constant: degenerate zero-span range
+            vec![],
+            vec![1.0, -1.0, 0.0, -0.0, f32::MIN_POSITIVE],
+        ];
+        for data in &datasets {
+            let range = minmax_flat(data);
+            for mode in [
+                RoundingMode::Nearest,
+                RoundingMode::Stochastic,
+                RoundingMode::HalfProbability,
+            ] {
+                for eb_filter in [Some(1e-3), None] {
+                    let cfg = CompsoConfig {
+                        mode,
+                        eb_filter,
+                        ..CompsoConfig::aggressive(4e-3)
+                    };
+                    let mut rng_fast = Rng::new(91);
+                    let mut rng_ref = Rng::new(91);
+                    let fast = compress_chunk_fast(data, range, &cfg, &mut rng_fast);
+                    let reference = compress_chunk_fused(data, range, &cfg, &mut rng_ref);
+                    assert_eq!(fast.bitmap, reference.bitmap, "{mode:?} {eb_filter:?}");
+                    assert_eq!(fast.codes, reference.codes, "{mode:?} {eb_filter:?}");
+                    assert_eq!(
+                        rng_fast.next_u64(),
+                        rng_ref.next_u64(),
+                        "RNG stream position diverged ({mode:?} {eb_filter:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compress_scratch_pool_backs_compress_chunked() {
+        // Compress-side twin of the decode pool test: after one chunked
+        // compress the per-thread arena holds capacity, and repeats
+        // neither grow it nor change the emitted bytes.
+        let layers = layers_fixture(43);
+        let refs: Vec<&[f32]> = layers.iter().map(|l| l.as_slice()).collect();
+        let cfg = CompsoConfig::aggressive(4e-3);
+        let kc = KernelConfig::default();
+        let sizes: Vec<usize> = layers.iter().map(|l| l.len()).collect();
+        let schedule = LayerSchedule::build(&sizes, kc.chunk_elems);
+        let first = compress_chunked(&refs, &cfg, &kc, &schedule, &Rng::new(44));
+        let cap = microkernel::compress_scratch_capacity_bytes();
+        assert!(cap > 0, "compress arena untouched");
+        for _ in 0..3 {
+            assert_eq!(
+                compress_chunked(&refs, &cfg, &kc, &schedule, &Rng::new(44)),
+                first
+            );
+            assert_eq!(microkernel::compress_scratch_capacity_bytes(), cap);
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+        /// The microkernel chunk decoder against the retained scalar
+        /// reference: bit-identical accepts on valid records, and the
+        /// same accept/reject verdict (with equal values on accept) when
+        /// a byte of the record or bitmap is corrupted.
+        #[test]
+        fn prop_decompress_chunk_matches_ref(
+            n in 0usize..4000,
+            seed in proptest::prelude::any::<u64>(),
+            filtered in proptest::prelude::any::<bool>(),
+            flip in proptest::prelude::any::<(usize, u8)>(),
+        ) {
+            let data = crate::synthetic::generate(n, seed, GradientProfile::kfac());
+            let cfg = if filtered {
+                CompsoConfig::aggressive(4e-3)
+            } else {
+                CompsoConfig::conservative(4e-3)
+            };
+            let range = minmax_flat(&data);
+            let mut rng = Rng::new(seed ^ 0x51);
+            let out = compress_chunk_fast(&data, range, &cfg, &mut rng);
+            let c = ChunkDesc { layer: 0, offset: 0, len: n };
+            let fast = decompress_chunk(&c, &out.codes, &out.bitmap).unwrap();
+            let reference = decompress_chunk_ref(&c, &out.codes, &out.bitmap).unwrap();
+            let fast_bits: Vec<u32> = fast.iter().map(|v| v.to_bits()).collect();
+            let ref_bits: Vec<u32> = reference.iter().map(|v| v.to_bits()).collect();
+            proptest::prop_assert_eq!(fast_bits, ref_bits);
+
+            // Corrupt one byte: both decoders must agree on the verdict.
+            let mut codes = out.codes.clone();
+            let mut bitmap = out.bitmap.clone();
+            let total = codes.len() + bitmap.len();
+            if total > 0 {
+                let (pos, xor) = flip;
+                let pos = pos % total;
+                let xor = xor | 1; // non-zero so the byte really changes
+                if pos < codes.len() {
+                    codes[pos] ^= xor;
+                } else {
+                    bitmap[pos - codes.len()] ^= xor;
+                }
+                let fast = decompress_chunk(&c, &codes, &bitmap);
+                let reference = decompress_chunk_ref(&c, &codes, &bitmap);
+                match (fast, reference) {
+                    (Ok(a), Ok(b)) => {
+                        let ab: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+                        let bb: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+                        proptest::prop_assert_eq!(ab, bb);
+                    }
+                    (Err(_), Err(_)) => {}
+                    (a, b) => proptest::prop_assert!(
+                        false,
+                        "verdicts diverged: fast={:?} ref={:?}",
+                        a.map(|v| v.len()),
+                        b.map(|v| v.len())
+                    ),
+                }
+            }
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod encoders;
 pub mod factors;
 pub mod filter;
 pub mod kernels;
+pub mod microkernel;
 pub mod perfmodel;
 pub mod pipeline;
 pub mod quantize;

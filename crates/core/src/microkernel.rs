@@ -1,0 +1,554 @@
+//! Blocked, allocation-free microkernels for the chunked hot path.
+//!
+//! The scalar helpers in [`crate::bitpack`], [`crate::kernels`] and
+//! [`crate::quantize`] are the reference implementations; this module
+//! holds the u64-lane rewrites the fused kernel path runs in production
+//! (DESIGN.md §12). Every kernel here is pinned **bit-identical** to its
+//! scalar oracle by the equivalence proptests below, and at the wire
+//! level by `fused_and_staged_produce_identical_bytes`: the staged
+//! ablation path still runs the scalar helpers, so any divergence in a
+//! microkernel shows up as a byte diff there.
+//!
+//! What makes bit-identity possible (and cheap to maintain):
+//!
+//! * [`pack_into`] / [`unpack_into`] move whole codes through unaligned
+//!   u64 windows instead of a per-bit carry loop. A code is ≤ 32 bits and
+//!   the in-byte shift is ≤ 7 bits, so every window fits u64 exactly;
+//!   the emitted bytes are the same LSB-first layout as the scalar
+//!   packer, not merely an equivalent one.
+//! * [`filter_kernel`] builds the drop bitmap branchlessly and compacts
+//!   kept values with an unconditional store + predicated index bump.
+//!   The bit layout (LSB-first, set ⇔ dropped) matches the scalar filter.
+//! * [`quantize_kernel`] hoists the per-element rounding-mode dispatch
+//!   out of the loop. Stochastic rounding becomes branchless because the
+//!   scalar path *already* draws one uniform per element unconditionally;
+//!   `P0.5` consumes randomness conditionally (exact grid points draw
+//!   nothing), so that mode keeps the scalar rounding call per element.
+//! * [`scatter_kept`] walks the keep-mask as u64 words with
+//!   `trailing_zeros`, so decode scatter cost scales with the *kept*
+//!   count, not the chunk length — the dropped majority is covered by a
+//!   single pre-zeroed output buffer.
+//! * [`CompressScratch`] extends the PR-3 thread-local decode scratch to
+//!   the compress side: kept values, quantized codes, and packed bytes
+//!   live in per-thread arenas that are cleared, never shrunk.
+
+use crate::rounding::RoundingMode;
+use crate::wire::WireError;
+use compso_tensor::rng::Rng;
+
+/// Packs `width`-bit codes LSB-first into `out` (cleared first), emitting
+/// byte-identical output to [`crate::bitpack::pack`].
+///
+/// # Panics
+/// If `width` is 0 or > 32, or any code does not fit in `width` bits —
+/// the same contract as the scalar packer.
+pub fn pack_into(codes: &[u32], width: u32, out: &mut Vec<u8>) {
+    assert!((1..=32).contains(&width), "width {width} out of range");
+    out.clear();
+    let total_bits = codes.len() * width as usize;
+    let n_bytes = total_bits.div_ceil(8);
+    // Eight slack bytes let every code be written as one whole u64 store
+    // at its byte offset; the slack stays zero and is truncated off.
+    out.resize(n_bytes + 8, 0);
+    let buf = &mut out[..];
+    let mut bitpos = 0usize;
+    for &code in codes {
+        assert!(
+            width == 32 || code < (1u32 << width),
+            "code {code} does not fit in {width} bits"
+        );
+        let byte = bitpos >> 3;
+        let shift = (bitpos & 7) as u32;
+        let window = &mut buf[byte..byte + 8];
+        let cur = u64::from_le_bytes(window.try_into().unwrap());
+        window.copy_from_slice(&(cur | ((code as u64) << shift)).to_le_bytes());
+        bitpos += width as usize;
+    }
+    out.truncate(n_bytes);
+}
+
+/// Unpacks `count` codes of `width` bits into `out` (cleared first),
+/// returning the largest code seen so callers can range-check without a
+/// second pass. Matches [`crate::bitpack::unpack`] bit for bit, including
+/// its error cases.
+pub fn unpack_into(
+    bytes: &[u8],
+    width: u32,
+    count: usize,
+    out: &mut Vec<u32>,
+) -> Result<u32, WireError> {
+    if !(1..=32).contains(&width) {
+        return Err(WireError::Invalid("bit width"));
+    }
+    let total_bits = count * width as usize;
+    let need = total_bits.div_ceil(8);
+    if bytes.len() < need {
+        return Err(WireError::Truncated {
+            need,
+            have: bytes.len(),
+        });
+    }
+    out.clear();
+    out.reserve(count);
+    let mask = if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    };
+    let mut maxc = 0u32;
+    let mut bitpos = 0usize;
+    // Fast path: while a full u64 window is in bounds, a code is one
+    // unaligned load + shift + mask (shift ≤ 7 + width ≤ 32 fits u64).
+    while out.len() < count {
+        let byte = bitpos >> 3;
+        if byte + 8 > bytes.len() {
+            break;
+        }
+        let w = u64::from_le_bytes(bytes[byte..byte + 8].try_into().unwrap());
+        let v = ((w >> (bitpos & 7)) as u32) & mask;
+        maxc = maxc.max(v);
+        out.push(v);
+        bitpos += width as usize;
+    }
+    // Scalar tail: identical to the reference per-bit loop.
+    while out.len() < count {
+        let mut value: u64 = 0;
+        let mut got: u32 = 0;
+        while got < width {
+            let byte = bytes[bitpos / 8] as u64;
+            let offset = (bitpos % 8) as u32;
+            let space = 8 - offset;
+            let take = (width - got).min(space);
+            let chunk = (byte >> offset) & ((1u64 << take) - 1);
+            value |= chunk << got;
+            got += take;
+            bitpos += take as usize;
+        }
+        let v = value as u32;
+        maxc = maxc.max(v);
+        out.push(v);
+    }
+    Ok(maxc)
+}
+
+/// The filter sweep as a branchless microkernel: builds the LSB-first
+/// drop bitmap (`bit set ⇔ |v| < threshold`) into `bitmap` and compacts
+/// surviving values into `kept`, both cleared first. Byte-identical to
+/// the scalar filter loop in `kernels::filter_chunk`.
+pub fn filter_kernel(data: &[f32], threshold: f32, bitmap: &mut Vec<u8>, kept: &mut Vec<f32>) {
+    bitmap.clear();
+    bitmap.reserve(data.len().div_ceil(8));
+    kept.clear();
+    kept.resize(data.len(), 0.0);
+    let mut kn = 0usize;
+    {
+        let kbuf = &mut kept[..];
+        for chunk8 in data.chunks(8) {
+            let mut b = 0u8;
+            for (j, &v) in chunk8.iter().enumerate() {
+                // `abs` is a sign-bit mask and the comparison feeds a
+                // predicated store: no branch per element.
+                let dropped = v.abs() < threshold;
+                b |= (dropped as u8) << j;
+                kbuf[kn] = v;
+                kn += (!dropped) as usize;
+            }
+            bitmap.push(b);
+        }
+    }
+    kept.truncate(kn);
+}
+
+/// The quantize sweep with the rounding-mode dispatch hoisted out of the
+/// inner loop. Consumes the RNG stream exactly like per-element
+/// `RoundingMode::round` calls would, and emits identical codes.
+///
+/// `lo`, `inv_w` and `n_bins` must be derived exactly as
+/// `Quantizer::quantize_with_range` derives them; the caller owns that
+/// arithmetic so the two paths cannot drift.
+pub fn quantize_kernel(
+    kept: &[f32],
+    lo: f32,
+    inv_w: f64,
+    n_bins: u32,
+    mode: RoundingMode,
+    rng: &mut Rng,
+    codes: &mut Vec<u32>,
+) {
+    codes.clear();
+    codes.reserve(kept.len());
+    let lo64 = lo as f64;
+    let cap = n_bins as i64;
+    match mode {
+        RoundingMode::Nearest => {
+            for &x in kept {
+                let coord = (x as f64 - lo64) * inv_w;
+                let c = coord.round_ties_even() as i64;
+                codes.push(c.clamp(0, cap) as u32);
+            }
+        }
+        RoundingMode::Stochastic => {
+            // The scalar path draws one uniform per element no matter
+            // which way it rounds, so the branchless form below keeps the
+            // RNG stream position and every rounding decision identical.
+            for &x in kept {
+                let coord = (x as f64 - lo64) * inv_w;
+                let floor = coord.floor();
+                let p = coord - floor;
+                let up = (rng.uniform_f64() < p) as i64;
+                let c = floor as i64 + up;
+                codes.push(c.clamp(0, cap) as u32);
+            }
+        }
+        RoundingMode::HalfProbability => {
+            // P0.5 draws randomness *conditionally* (exact grid points
+            // consume nothing), so it cannot be made branchless without
+            // desyncing the stream; keep the scalar rounding call.
+            for &x in kept {
+                let coord = (x as f64 - lo64) * inv_w;
+                let c = mode.round(coord, rng);
+                codes.push(c.clamp(0, cap) as u32);
+            }
+        }
+    }
+}
+
+/// Why [`scatter_kept`] stopped early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScatterError {
+    /// A kept slot had no value behind it.
+    Underrun,
+    /// Values were left over after every kept slot was filled.
+    Overrun,
+}
+
+/// Scatters `kept` values into the kept (bit clear) positions of a
+/// pre-zeroed `out[..n]`, walking the bitmap as u64 keep-masks. `value(k)`
+/// produces the k-th kept value. `bitmap` must hold `n.div_ceil(8)` bytes;
+/// bits past `n` in the last byte are ignored, exactly like the scalar
+/// scatter loop.
+pub fn scatter_kept(
+    bitmap: &[u8],
+    n: usize,
+    kept: usize,
+    out: &mut [f32],
+    mut value: impl FnMut(usize) -> f32,
+) -> Result<(), ScatterError> {
+    debug_assert!(bitmap.len() >= n.div_ceil(8));
+    debug_assert!(out.len() >= n);
+    let mut next = 0usize;
+    let full_words = n / 64;
+    for wi in 0..full_words {
+        let w = u64::from_le_bytes(bitmap[wi * 8..wi * 8 + 8].try_into().unwrap());
+        let base = wi * 64;
+        let mut keep = !w;
+        while keep != 0 {
+            let tz = keep.trailing_zeros() as usize;
+            if next >= kept {
+                return Err(ScatterError::Underrun);
+            }
+            out[base + tz] = value(next);
+            next += 1;
+            keep &= keep - 1;
+        }
+    }
+    for i in full_words * 64..n {
+        let dropped = (bitmap[i / 8] >> (i % 8)) & 1 == 1;
+        if !dropped {
+            if next >= kept {
+                return Err(ScatterError::Underrun);
+            }
+            out[i] = value(next);
+            next += 1;
+        }
+    }
+    if next != kept {
+        return Err(ScatterError::Overrun);
+    }
+    Ok(())
+}
+
+/// Per-thread compress-side arena (the PR-3 decode scratch's sibling):
+/// the fused kernel's kept values, quantized codes, and packed bytes are
+/// materialized here instead of fresh `Vec`s per chunk. Buffers are
+/// cleared between chunks, never shrunk.
+#[derive(Debug, Default)]
+pub struct CompressScratch {
+    /// Surviving values after the filter sweep.
+    pub kept: Vec<f32>,
+    /// Quantized bin indices for the kept values.
+    pub codes: Vec<u32>,
+    /// Bit-packed code bytes, staged before the chunk record is written.
+    pub packed: Vec<u8>,
+}
+
+impl CompressScratch {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes currently reserved across all arena buffers (observability
+    /// for the reuse-invariant tests).
+    pub fn capacity_bytes(&self) -> usize {
+        self.kept.capacity() * 4 + self.codes.capacity() * 4 + self.packed.capacity()
+    }
+}
+
+thread_local! {
+    /// Per-thread [`CompressScratch`] pool backing the fused compress
+    /// kernel. Moved out (not borrowed) for the duration of a chunk so
+    /// rayon work-stealing that re-enters compression on the same OS
+    /// thread finds a fresh empty arena instead of a held borrow.
+    static COMPRESS_SCRATCH: std::cell::RefCell<CompressScratch> =
+        std::cell::RefCell::new(CompressScratch::new());
+
+    /// Per-thread code buffer for the chunk decoder's unpack stage.
+    static DECODE_CODES: std::cell::RefCell<Vec<u32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with this thread's compress arena.
+pub fn with_compress_scratch<R>(f: impl FnOnce(&mut CompressScratch) -> R) -> R {
+    let mut s = COMPRESS_SCRATCH.with(|p| std::mem::take(&mut *p.borrow_mut()));
+    let r = f(&mut s);
+    COMPRESS_SCRATCH.with(|p| *p.borrow_mut() = s);
+    r
+}
+
+/// Bytes currently reserved by this thread's compress arena.
+pub fn compress_scratch_capacity_bytes() -> usize {
+    COMPRESS_SCRATCH.with(|p| p.borrow().capacity_bytes())
+}
+
+/// Runs `f` with this thread's decode code buffer.
+pub fn with_decode_codes<R>(f: impl FnOnce(&mut Vec<u32>) -> R) -> R {
+    let mut s = DECODE_CODES.with(|p| std::mem::take(&mut *p.borrow_mut()));
+    let r = f(&mut s);
+    DECODE_CODES.with(|p| *p.borrow_mut() = s);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitpack;
+    use proptest::prelude::*;
+    // Explicit import: proptest's prelude also globs a `Rng` trait.
+    use compso_tensor::rng::Rng;
+
+    #[test]
+    fn pack_into_matches_scalar_on_awkward_widths() {
+        for width in [1u32, 3, 7, 8, 9, 13, 17, 31, 32] {
+            let mask = if width == 32 {
+                u32::MAX
+            } else {
+                (1u32 << width) - 1
+            };
+            let codes: Vec<u32> = (0..257u32)
+                .map(|i| i.wrapping_mul(2654435761) & mask)
+                .collect();
+            let mut fast = Vec::new();
+            pack_into(&codes, width, &mut fast);
+            assert_eq!(fast, bitpack::pack(&codes, width), "width={width}");
+        }
+    }
+
+    #[test]
+    fn unpack_into_matches_scalar_and_reports_max() {
+        let codes = vec![5u32, 0, 99, 100, 127, 1];
+        let packed = bitpack::pack(&codes, 7);
+        let mut out = Vec::new();
+        let maxc = unpack_into(&packed, 7, codes.len(), &mut out).unwrap();
+        assert_eq!(out, codes);
+        assert_eq!(maxc, 127);
+    }
+
+    #[test]
+    fn unpack_into_error_cases_match_scalar() {
+        let packed = bitpack::pack(&[5u32; 16], 5);
+        let mut out = Vec::new();
+        assert_eq!(
+            unpack_into(&packed[..packed.len() - 1], 5, 16, &mut out),
+            Err(WireError::Truncated { need: 10, have: 9 })
+        );
+        assert_eq!(
+            unpack_into(&[0u8; 8], 0, 1, &mut out),
+            Err(WireError::Invalid("bit width"))
+        );
+        assert_eq!(
+            unpack_into(&[0u8; 8], 33, 1, &mut out),
+            Err(WireError::Invalid("bit width"))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn pack_into_oversized_code_panics_like_scalar() {
+        pack_into(&[8u32], 3, &mut Vec::new());
+    }
+
+    #[test]
+    fn scatter_kept_matches_bit_semantics() {
+        // n = 70 crosses a u64 word boundary; drop odd indices.
+        let n = 70usize;
+        let mut bitmap = vec![0u8; n.div_ceil(8)];
+        for i in (1..n).step_by(2) {
+            bitmap[i / 8] |= 1 << (i % 8);
+        }
+        let kept_count = n.div_ceil(2);
+        let mut out = vec![0.0f32; n];
+        scatter_kept(&bitmap, n, kept_count, &mut out, |k| k as f32 + 1.0).unwrap();
+        let mut k = 0;
+        for (i, &v) in out.iter().enumerate() {
+            if i % 2 == 0 {
+                k += 1;
+                assert_eq!(v, k as f32, "i={i}");
+            } else {
+                assert_eq!(v, 0.0, "i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_kept_under_and_overrun() {
+        let bitmap = vec![0u8; 2]; // nothing dropped
+        let mut out = vec![0.0f32; 10];
+        assert_eq!(
+            scatter_kept(&bitmap, 10, 9, &mut out, |_| 1.0),
+            Err(ScatterError::Underrun)
+        );
+        assert_eq!(
+            scatter_kept(&bitmap, 10, 11, &mut out, |_| 1.0),
+            Err(ScatterError::Overrun)
+        );
+        assert_eq!(scatter_kept(&bitmap, 10, 10, &mut out, |_| 1.0), Ok(()));
+    }
+
+    #[test]
+    fn scratch_pools_plateau() {
+        let data: Vec<f32> = (0..10_000).map(|i| (i % 83) as f32 - 41.0).collect();
+        let cap_after_first = {
+            with_compress_scratch(|s| {
+                filter_kernel(&data, 5.0, &mut s.packed, &mut s.kept);
+            });
+            compress_scratch_capacity_bytes()
+        };
+        assert!(cap_after_first > 0);
+        for _ in 0..3 {
+            with_compress_scratch(|s| {
+                filter_kernel(&data, 5.0, &mut s.packed, &mut s.kept);
+            });
+            assert_eq!(compress_scratch_capacity_bytes(), cap_after_first);
+        }
+    }
+
+    proptest! {
+        /// Bitpack bit-identity: the u64-window packer emits the exact
+        /// bytes of the scalar packer, and the window unpacker recovers
+        /// the exact codes, for every width.
+        #[test]
+        fn prop_pack_unpack_bit_identical(
+            width in 1u32..=32,
+            raw in proptest::collection::vec(any::<u32>(), 0..400),
+        ) {
+            let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+            let codes: Vec<u32> = raw.iter().map(|&v| v & mask).collect();
+            let scalar = bitpack::pack(&codes, width);
+            let mut fast = Vec::new();
+            pack_into(&codes, width, &mut fast);
+            prop_assert_eq!(&fast, &scalar);
+            let mut out = Vec::new();
+            let maxc = unpack_into(&scalar, width, codes.len(), &mut out).unwrap();
+            prop_assert_eq!(&out, &bitpack::unpack(&scalar, width, codes.len()).unwrap());
+            prop_assert_eq!(&out, &codes);
+            prop_assert_eq!(maxc, codes.iter().copied().max().unwrap_or(0));
+        }
+
+        /// Filter bit-identity vs. the scalar reference loop.
+        #[test]
+        fn prop_filter_kernel_bit_identical(
+            data in proptest::collection::vec(-10.0f32..10.0, 0..500),
+            threshold in 0.0f32..5.0,
+        ) {
+            // Scalar reference: the loop `kernels::filter_chunk` runs.
+            let mut ref_bitmap = vec![0u8; data.len().div_ceil(8)];
+            let mut ref_kept = Vec::new();
+            for (i, &v) in data.iter().enumerate() {
+                if v.abs() < threshold {
+                    ref_bitmap[i / 8] |= 1 << (i % 8);
+                } else {
+                    ref_kept.push(v);
+                }
+            }
+            let (mut bitmap, mut kept) = (Vec::new(), Vec::new());
+            filter_kernel(&data, threshold, &mut bitmap, &mut kept);
+            prop_assert_eq!(bitmap, ref_bitmap);
+            prop_assert_eq!(
+                kept.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                ref_kept.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+
+        /// Quantize bit-identity: same codes AND same RNG stream position
+        /// as per-element `RoundingMode::round`, for every mode.
+        #[test]
+        fn prop_quantize_kernel_bit_identical(
+            data in proptest::collection::vec(-100.0f32..100.0, 0..400),
+            n_bins in 1u32..4000,
+            seed in any::<u64>(),
+            mode_sel in 0u8..3,
+        ) {
+            let mode = RoundingMode::from_tag(mode_sel).unwrap();
+            let lo = -100.0f32;
+            let inv_w = n_bins as f64 / 200.0;
+            // Scalar reference.
+            let mut rng_ref = Rng::new(seed);
+            let ref_codes: Vec<u32> = data
+                .iter()
+                .map(|&x| {
+                    let coord = (x as f64 - lo as f64) * inv_w;
+                    mode.round(coord, &mut rng_ref).clamp(0, n_bins as i64) as u32
+                })
+                .collect();
+            let mut rng_fast = Rng::new(seed);
+            let mut codes = Vec::new();
+            quantize_kernel(&data, lo, inv_w, n_bins, mode, &mut rng_fast, &mut codes);
+            prop_assert_eq!(codes, ref_codes);
+            // The stream positions must agree too.
+            prop_assert_eq!(rng_fast.next_u64(), rng_ref.next_u64());
+        }
+
+        /// Scatter bit-identity vs. the scalar per-bit scatter loop.
+        #[test]
+        fn prop_scatter_kept_bit_identical(
+            bits in proptest::collection::vec(any::<bool>(), 0..300),
+        ) {
+            let n = bits.len();
+            let mut bitmap = vec![0u8; n.div_ceil(8)];
+            for (i, &dropped) in bits.iter().enumerate() {
+                if dropped {
+                    bitmap[i / 8] |= 1 << (i % 8);
+                }
+            }
+            let kept_vals: Vec<f32> =
+                (0..bits.iter().filter(|&&d| !d).count()).map(|k| (k as f32) * 0.5 - 7.0).collect();
+            // Scalar reference scatter.
+            let mut ref_out = Vec::with_capacity(n);
+            let mut next = 0usize;
+            for &dropped in &bits {
+                if dropped {
+                    ref_out.push(0.0f32);
+                } else {
+                    ref_out.push(kept_vals[next]);
+                    next += 1;
+                }
+            }
+            let mut out = vec![0.0f32; n];
+            scatter_kept(&bitmap, n, kept_vals.len(), &mut out, |k| kept_vals[k]).unwrap();
+            prop_assert_eq!(
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                ref_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -398,30 +398,42 @@ mod tests {
         let mut rng = Rng::new(2);
         let quant = Quantizer::relative(4e-3, RoundingMode::Stochastic).quantize(&grads, &mut rng);
         let bytes: Vec<u8> = quant.codes.iter().map(|&c| (c & 0xFF) as u8).collect();
-        let ms = measure_encoders(&bytes);
-        assert_eq!(ms.len(), 8);
-        // On a bandwidth-starved network the codec with the best size wins
-        // outright — and on gradient codes that is an entropy coder
-        // (Table 2's headline finding).
-        let slow_net = choose_encoder(&ms, 1e6);
-        assert!(
-            slow_net.is_entropy_coding(),
-            "slow network chose {}",
-            slow_net.name()
-        );
-        // On a fast network the choice balances throughput too; whatever
-        // wins must still be within 4x of the best achievable size, i.e.
-        // never a ratio disaster.
-        let fast_net = choose_encoder(&ms, 25e9);
-        let chosen_m = ms.iter().find(|m| m.codec == fast_net).unwrap();
-        let best_size = ms.iter().map(|m| m.compressed_bytes).min().unwrap();
-        assert!(
-            chosen_m.compressed_bytes <= best_size * 4,
-            "chose {} at {} vs best {}",
-            fast_net.name(),
-            chosen_m.compressed_bytes,
-            best_size
-        );
+        // The measurements are real wall-clock timings; on a loaded
+        // single-core test runner one preempted encode can distort a
+        // codec's throughput enough to flip the fast-network choice, so
+        // allow a few fresh measurement rounds before declaring the
+        // selection model wrong. A genuinely broken model (bad size
+        // accounting, ratio-blind choice) fails every round the same way.
+        let mut last_err = String::new();
+        for _attempt in 0..3 {
+            let ms = measure_encoders(&bytes);
+            assert_eq!(ms.len(), 8);
+            // On a bandwidth-starved network the codec with the best size
+            // wins outright — and on gradient codes that is an entropy
+            // coder (Table 2's headline finding).
+            let slow_net = choose_encoder(&ms, 1e6);
+            if !slow_net.is_entropy_coding() {
+                last_err = format!("slow network chose {}", slow_net.name());
+                continue;
+            }
+            // On a fast network the choice balances throughput too;
+            // whatever wins must still be within 4x of the best achievable
+            // size, i.e. never a ratio disaster.
+            let fast_net = choose_encoder(&ms, 25e9);
+            let chosen_m = ms.iter().find(|m| m.codec == fast_net).unwrap();
+            let best_size = ms.iter().map(|m| m.compressed_bytes).min().unwrap();
+            if chosen_m.compressed_bytes > best_size * 4 {
+                last_err = format!(
+                    "chose {} at {} vs best {}",
+                    fast_net.name(),
+                    chosen_m.compressed_bytes,
+                    best_size
+                );
+                continue;
+            }
+            return;
+        }
+        panic!("encoder selection failed 3 measurement rounds: {last_err}");
     }
 
     #[test]

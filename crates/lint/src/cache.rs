@@ -1,0 +1,440 @@
+//! Incremental analysis cache keyed on file identity.
+//!
+//! A full workspace run lexes every first-party file even though CI and
+//! local loops touch a handful between runs. The cache records, per
+//! file, the `(mtime_ns, size)` observed at check time and the
+//! diagnostics produced, under a context fingerprint covering
+//! everything else a verdict depends on: the obs name registry, the
+//! rule catalogue, and the analyzer's own sources. A hit replays the
+//! stored diagnostics without reading the file body; any mismatch —
+//! stale mtime, changed size, unknown rule name, malformed cache line,
+//! fingerprint drift — falls back to a fresh check of that file (or the
+//! whole run). Correctness never depends on the cache: the worst a
+//! corrupt cache can do is cause re-checking.
+//!
+//! Format (line-oriented text, one file per `F` record, its findings as
+//! following `D` records):
+//!
+//! ```text
+//! compso-lint-cache v1 <context-fingerprint-hex>
+//! F <mtime_ns> <size> <workspace-relative path>
+//! D <rule> <line> <col> <escaped message>
+//! ```
+
+use crate::engine::{check_file, sort_diags, Context, Diagnostic, SUPPRESSION_HYGIENE};
+use crate::rules::RULE_NAMES;
+use crate::source::SourceFile;
+use crate::{rules_apply_to, walker};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::UNIX_EPOCH;
+
+const HEADER: &str = "compso-lint-cache v1";
+
+/// Hit accounting for the summary line (and the equality tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Files subject to rules this run.
+    pub files: usize,
+    /// Files whose diagnostics were replayed from the cache.
+    pub hits: usize,
+}
+
+struct CachedFile {
+    mtime_ns: u128,
+    size: u64,
+    diags: Vec<Diagnostic>,
+}
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Fingerprint of everything a cached verdict depends on besides the
+/// checked file itself. An edit to the obs registry, the rule list, or
+/// any analyzer source invalidates the whole cache — conservatively:
+/// over-invalidation costs one cold run, under-invalidation would serve
+/// stale verdicts.
+fn context_fingerprint(root: &Path) -> io::Result<u64> {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv1a(&mut h, HEADER.as_bytes());
+    for name in RULE_NAMES {
+        fnv1a(&mut h, name.as_bytes());
+        fnv1a(&mut h, b"\x1f");
+    }
+    fnv1a(
+        &mut h,
+        &std::fs::read(root.join("crates/obs/src/names.rs"))?,
+    );
+    let mut lint_src = Vec::new();
+    collect_rs(&root.join("crates/lint/src"), &mut lint_src);
+    lint_src.sort();
+    for path in &lint_src {
+        fnv1a(&mut h, walker::rel_path(root, path).as_bytes());
+        fnv1a(&mut h, b"\x1f");
+        // The analyzer may run from a tree where its own sources are
+        // absent (e.g. a packaged binary); that just pins the
+        // fingerprint to "no sources" rather than failing the run.
+        if let Ok(bytes) = std::fs::read(path) {
+            fnv1a(&mut h, &bytes);
+        }
+    }
+    Ok(h)
+}
+
+fn escape(msg: &str) -> String {
+    let mut out = String::with_capacity(msg.len());
+    for c in msg.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(msg: &str) -> Option<String> {
+    let mut out = String::with_capacity(msg.len());
+    let mut it = msg.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next()? {
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Diagnostics carry `&'static str` rule names; a cached name is only
+/// valid if it still denotes a live rule.
+fn static_rule_name(name: &str) -> Option<&'static str> {
+    if name == SUPPRESSION_HYGIENE {
+        return Some(SUPPRESSION_HYGIENE);
+    }
+    RULE_NAMES.iter().find(|&&r| r == name).copied()
+}
+
+/// Parse a cache file. Any anomaly — wrong header, wrong fingerprint,
+/// malformed record, unknown rule — discards the whole cache: the next
+/// run simply re-checks everything.
+fn load(cache_path: &Path, fingerprint: u64) -> HashMap<String, CachedFile> {
+    let Ok(text) = std::fs::read_to_string(cache_path) else {
+        return HashMap::new();
+    };
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h == format!("{HEADER} {fingerprint:016x}") => {}
+        _ => return HashMap::new(),
+    }
+    let mut out: HashMap<String, CachedFile> = HashMap::new();
+    let mut current: Option<String> = None;
+    for line in lines {
+        if let Some(rest) = line.strip_prefix("F ") {
+            let mut it = rest.splitn(3, ' ');
+            let parsed = (|| {
+                let mtime_ns: u128 = it.next()?.parse().ok()?;
+                let size: u64 = it.next()?.parse().ok()?;
+                let path = it.next()?.to_string();
+                Some((mtime_ns, size, path))
+            })();
+            let Some((mtime_ns, size, path)) = parsed else {
+                return HashMap::new();
+            };
+            out.insert(
+                path.clone(),
+                CachedFile {
+                    mtime_ns,
+                    size,
+                    diags: Vec::new(),
+                },
+            );
+            current = Some(path);
+        } else if let Some(rest) = line.strip_prefix("D ") {
+            let Some(path) = &current else {
+                return HashMap::new();
+            };
+            let mut it = rest.splitn(4, ' ');
+            let parsed = (|| {
+                let rule = static_rule_name(it.next()?)?;
+                let line: usize = it.next()?.parse().ok()?;
+                let col: usize = it.next()?.parse().ok()?;
+                let message = unescape(it.next().unwrap_or(""))?;
+                Some(Diagnostic {
+                    rule,
+                    path: path.clone(),
+                    line,
+                    col,
+                    message,
+                })
+            })();
+            let Some(d) = parsed else {
+                return HashMap::new();
+            };
+            out.get_mut(path)
+                .expect("current implies entry")
+                .diags
+                .push(d);
+        } else if !line.is_empty() {
+            return HashMap::new();
+        }
+    }
+    out
+}
+
+fn write_cache(
+    cache_path: &Path,
+    fingerprint: u64,
+    entries: &[(String, u128, u64, Vec<Diagnostic>)],
+) -> io::Result<()> {
+    let mut text = format!("{HEADER} {fingerprint:016x}\n");
+    for (path, mtime_ns, size, diags) in entries {
+        let _ = writeln!(text, "F {mtime_ns} {size} {path}");
+        for d in diags {
+            let _ = writeln!(
+                text,
+                "D {} {} {} {}",
+                d.rule,
+                d.line,
+                d.col,
+                escape(&d.message)
+            );
+        }
+    }
+    if let Some(parent) = cache_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(cache_path, text)
+}
+
+fn file_identity(path: &Path) -> Option<(u128, u64)> {
+    let meta = std::fs::metadata(path).ok()?;
+    let mtime = meta.modified().ok()?.duration_since(UNIX_EPOCH).ok()?;
+    Some((mtime.as_nanos(), meta.len()))
+}
+
+/// [`crate::check_workspace`] with an incremental cache at `cache_path`.
+///
+/// Produces diagnostics identical to the cold path for any cache state
+/// (pinned by `cached_runs_match_cold_run_exactly`); the cache file is
+/// rewritten after every run. A cache write failure is swallowed — the
+/// cache is an optimization, never a correctness dependency.
+pub fn check_workspace_cached(
+    root: &Path,
+    cache_path: &Path,
+) -> io::Result<(Vec<Diagnostic>, CacheStats)> {
+    let ctx = Context::from_workspace(root)?;
+    let fingerprint = context_fingerprint(root)?;
+    let cache = load(cache_path, fingerprint);
+    let mut out = Vec::new();
+    let mut entries: Vec<(String, u128, u64, Vec<Diagnostic>)> = Vec::new();
+    let mut stats = CacheStats { files: 0, hits: 0 };
+    for path in walker::collect_files(root, false) {
+        let rel = walker::rel_path(root, &path);
+        if !rules_apply_to(&rel) {
+            continue;
+        }
+        stats.files += 1;
+        let identity = file_identity(&path);
+        if let (Some((mtime_ns, size)), Some(c)) = (identity, cache.get(&rel)) {
+            if c.mtime_ns == mtime_ns && c.size == size {
+                stats.hits += 1;
+                out.extend(c.diags.iter().cloned());
+                entries.push((rel, mtime_ns, size, c.diags.clone()));
+                continue;
+            }
+        }
+        let src = std::fs::read_to_string(&path)?;
+        let file = SourceFile::new(rel.clone(), src);
+        let mut diags = Vec::new();
+        check_file(&file, &ctx, &mut diags);
+        out.extend(diags.iter().cloned());
+        if let Some((mtime_ns, size)) = identity {
+            entries.push((rel, mtime_ns, size, diags));
+        }
+    }
+    sort_diags(&mut out);
+    let _ = write_cache(cache_path, fingerprint, &entries);
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_workspace;
+
+    /// Scratch directory cleaned up on drop (no tempfile dependency in
+    /// the offline build).
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            let dir = std::env::temp_dir()
+                .join(format!("compso-lint-cache-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            Scratch(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// Builds a miniature workspace: an obs registry (required by
+    /// `Context::from_workspace`) plus two first-party files, one with a
+    /// deterministic suppression-hygiene finding.
+    fn mini_workspace(root: &Path) {
+        let obs = root.join("crates/obs/src");
+        std::fs::create_dir_all(&obs).unwrap();
+        std::fs::write(
+            obs.join("names.rs"),
+            "pub const STEP: &str = \"kfac/step\";\n",
+        )
+        .unwrap();
+        let foo = root.join("crates/foo/src");
+        std::fs::create_dir_all(&foo).unwrap();
+        std::fs::write(foo.join("lib.rs"), "pub fn ok() {}\n").unwrap();
+        std::fs::write(
+            foo.join("dirty.rs"),
+            "// lint:allow(no-such-rule): pinned finding\npub fn f() {}\n",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn cached_runs_match_cold_run_exactly() {
+        let scratch = Scratch::new("equality");
+        let root = scratch.path();
+        mini_workspace(root);
+        let cache = root.join("lint-cache");
+
+        let cold = check_workspace(root).unwrap();
+        assert!(
+            cold.iter().any(|d| d.message.contains("no-such-rule")),
+            "mini workspace must produce at least one finding: {cold:?}"
+        );
+
+        let (first, s1) = check_workspace_cached(root, &cache).unwrap();
+        assert_eq!(first, cold, "cold cache run must equal uncached run");
+        assert_eq!(s1.hits, 0);
+        assert!(s1.files >= 2);
+
+        let (second, s2) = check_workspace_cached(root, &cache).unwrap();
+        assert_eq!(second, cold, "warm cache run must equal uncached run");
+        assert_eq!(
+            s2,
+            CacheStats {
+                files: s1.files,
+                hits: s1.files
+            }
+        );
+    }
+
+    #[test]
+    fn edited_file_is_rechecked_and_others_replay() {
+        let scratch = Scratch::new("invalidate");
+        let root = scratch.path();
+        mini_workspace(root);
+        let cache = root.join("lint-cache");
+        let (_, _) = check_workspace_cached(root, &cache).unwrap();
+
+        // Different length, so invalidation cannot depend on mtime
+        // granularity.
+        let dirty = root.join("crates/foo/src/dirty.rs");
+        std::fs::write(
+            &dirty,
+            "// lint:allow(still-not-a-rule): edited, new length\npub fn f() {}\n",
+        )
+        .unwrap();
+
+        let (diags, stats) = check_workspace_cached(root, &cache).unwrap();
+        assert_eq!(stats.hits, stats.files - 1, "only the edit misses");
+        assert!(diags.iter().any(|d| d.message.contains("still-not-a-rule")));
+        assert!(!diags.iter().any(|d| d.message.contains("`no-such-rule`")));
+        assert_eq!(diags, check_workspace(root).unwrap());
+    }
+
+    #[test]
+    fn registry_edit_invalidates_whole_cache() {
+        let scratch = Scratch::new("context");
+        let root = scratch.path();
+        mini_workspace(root);
+        let cache = root.join("lint-cache");
+        let (_, _) = check_workspace_cached(root, &cache).unwrap();
+
+        std::fs::write(
+            root.join("crates/obs/src/names.rs"),
+            "pub const STEP: &str = \"kfac/step\";\npub const NEW: &str = \"kfac/new\";\n",
+        )
+        .unwrap();
+
+        let (diags, stats) = check_workspace_cached(root, &cache).unwrap();
+        assert_eq!(
+            stats.hits, 0,
+            "registry edit must drop every cached verdict"
+        );
+        assert_eq!(diags, check_workspace(root).unwrap());
+    }
+
+    #[test]
+    fn corrupt_cache_degrades_to_cold_run() {
+        let scratch = Scratch::new("corrupt");
+        let root = scratch.path();
+        mini_workspace(root);
+        let cache = root.join("lint-cache");
+        let (_, _) = check_workspace_cached(root, &cache).unwrap();
+
+        for garbage in [
+            "not a cache at all\n".to_string(),
+            "compso-lint-cache v1 0000000000000000\nF 1 2 x.rs\n".to_string(),
+            std::fs::read_to_string(&cache).unwrap().replace("D ", "Z "),
+        ] {
+            std::fs::write(&cache, garbage).unwrap();
+            let (diags, _) = check_workspace_cached(root, &cache).unwrap();
+            assert_eq!(diags, check_workspace(root).unwrap());
+        }
+    }
+
+    #[test]
+    fn message_escaping_roundtrips() {
+        for msg in ["plain", "with\nnewline", "back\\slash", "\r\n mixed \\n"] {
+            assert_eq!(unescape(&escape(msg)).as_deref(), Some(msg));
+        }
+        assert_eq!(unescape("bad \\q escape"), None);
+    }
+}

@@ -169,6 +169,15 @@ pub fn check_file(file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
     });
 }
 
+/// The one canonical diagnostic order: path, line, column, rule — used
+/// by both the cold driver and the incremental cache so their outputs
+/// compare equal byte-for-byte.
+pub fn sort_diags(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+}
+
 /// Check a whole file set, returning diagnostics sorted by path, line,
 /// column, rule — a stable order for golden tests and CI artifacts.
 pub fn check_files(files: &[SourceFile], ctx: &Context) -> Vec<Diagnostic> {
@@ -176,9 +185,7 @@ pub fn check_files(files: &[SourceFile], ctx: &Context) -> Vec<Diagnostic> {
     for f in files {
         check_file(f, ctx, &mut out);
     }
-    out.sort_by(|a, b| {
-        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
-    });
+    sort_diags(&mut out);
     out
 }
 

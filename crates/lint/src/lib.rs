@@ -12,7 +12,10 @@
 //!   classification, `lint:allow` suppressions, a function map;
 //! - [`rules`] — the rule catalogue (see `DESIGN.md` §11);
 //! - [`engine`] + [`walker`] — diagnostics, the obs-name registry
-//!   context, suppression hygiene, and deterministic file discovery.
+//!   context, suppression hygiene, and deterministic file discovery;
+//! - [`cache`] — the incremental `(mtime, size)` cache that keeps
+//!   `--deny` runs inside the CI runtime budget by replaying verdicts
+//!   for untouched files.
 //!
 //! The binary (`cargo run -p compso-lint`) walks the workspace, runs
 //! every rule over production code, and in `--deny` mode exits non-zero
@@ -20,12 +23,14 @@
 //! budget. Fixture corpora under `fixtures/` pin each rule's firing,
 //! clean, and suppressed behavior via golden diagnostics.
 
+pub mod cache;
 pub mod engine;
 pub mod lexer;
 pub mod rules;
 pub mod source;
 pub mod walker;
 
+pub use cache::{check_workspace_cached, CacheStats};
 pub use engine::{check_file, check_files, to_json, Context, Diagnostic};
 pub use source::SourceFile;
 

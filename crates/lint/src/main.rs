@@ -1,7 +1,7 @@
 //! The `compso-lint` CLI.
 //!
 //! ```text
-//! compso-lint [--deny] [--json] [--json-out PATH] [--root PATH]
+//! compso-lint [--deny] [--json] [--json-out PATH] [--cache PATH] [--root PATH]
 //! ```
 //!
 //! Walks the workspace (auto-detected by searching upward for the
@@ -9,10 +9,12 @@
 //! production code, and prints human-readable `path:line:col` findings.
 //! `--json` prints the machine-readable document to stdout instead;
 //! `--json-out` writes it to a file (the CI artifact) in addition to
-//! the human output. Exit status: `0` when clean, `1` on findings with
-//! `--deny`, `2` on usage or IO errors.
+//! the human output. `--cache` enables the incremental file cache (see
+//! [`compso_lint::cache`]) — diagnostics are identical either way, only
+//! untouched files skip re-analysis. Exit status: `0` when clean, `1`
+//! on findings with `--deny`, `2` on usage or IO errors.
 
-use compso_lint::{check_workspace, to_json};
+use compso_lint::{check_workspace, check_workspace_cached, to_json};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -36,6 +38,7 @@ fn main() -> ExitCode {
     let mut deny = false;
     let mut json = false;
     let mut json_out: Option<PathBuf> = None;
+    let mut cache: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,6 +52,13 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--cache" => match args.next() {
+                Some(p) => cache = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("compso-lint: --cache needs a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -57,7 +67,10 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: compso-lint [--deny] [--json] [--json-out PATH] [--root PATH]");
+                println!(
+                    "usage: compso-lint [--deny] [--json] [--json-out PATH] \
+                     [--cache PATH] [--root PATH]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -73,7 +86,11 @@ fn main() -> ExitCode {
     };
 
     let start = Instant::now();
-    let diags = match check_workspace(&root) {
+    let checked = match &cache {
+        Some(path) => check_workspace_cached(&root, path).map(|(d, s)| (d, Some(s))),
+        None => check_workspace(&root).map(|d| (d, None)),
+    };
+    let (diags, stats) = match checked {
         Ok(d) => d,
         Err(e) => {
             eprintln!("compso-lint: {e}");
@@ -94,11 +111,16 @@ fn main() -> ExitCode {
         for d in &diags {
             println!("{}", d.human());
         }
+        let cache_note = match stats {
+            Some(s) => format!(" (cache: {}/{} hits)", s.hits, s.files),
+            None => String::new(),
+        };
         println!(
-            "compso-lint: {} finding{} in {:.2?}{}",
+            "compso-lint: {} finding{} in {:.2?}{}{}",
             diags.len(),
             if diags.len() == 1 { "" } else { "s" },
             elapsed,
+            cache_note,
             if deny { " (--deny)" } else { "" },
         );
     }

@@ -37,8 +37,16 @@ impl Cholesky {
         for i in 0..n {
             for j in 0..=i {
                 let mut sum = 0.5 * (a.get(i, j) as f64 + a.get(j, i) as f64);
-                for k in 0..j {
-                    sum -= l[i * n + k] * l[j * n + k];
+                // Panel dot over the two finished row prefixes as slices
+                // (no per-step index arithmetic or bounds checks), in the
+                // same strict ascending-k order as the scalar reference —
+                // f64 adds do not reassociate, so the factor stays
+                // bit-identical (`factor_bit_identical_to_scalar`).
+                {
+                    let (li, lj) = (&l[i * n..i * n + j], &l[j * n..j * n + j]);
+                    for (&x, &y) in li.iter().zip(lj) {
+                        sum -= x * y;
+                    }
                 }
                 if i == j {
                     if sum <= 0.0 || !sum.is_finite() {
@@ -177,6 +185,44 @@ mod tests {
         let inv = Cholesky::new(&a).unwrap().inverse();
         let prod = a.matmul(&inv);
         assert!(prod.max_diff(&Matrix::identity(8)) < 1e-3);
+    }
+
+    /// The pre-panel scalar factorization, retained as the bit-identity
+    /// oracle.
+    fn factor_scalar(a: &Matrix) -> Result<Vec<f64>, NotPositiveDefinite> {
+        let n = a.rows();
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = 0.5 * (a.get(i, j) as f64 + a.get(j, i) as f64);
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(NotPositiveDefinite);
+                    }
+                    l[i * n + i] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    #[test]
+    fn factor_bit_identical_to_scalar() {
+        for (n, seed) in [(1usize, 11u64), (2, 12), (7, 13), (32, 14), (65, 15)] {
+            let a = random_spd(n, seed);
+            let ch = Cholesky::new(&a).unwrap();
+            let reference = factor_scalar(&a).unwrap();
+            let (_, l) = ch.raw();
+            assert_eq!(l.len(), reference.len());
+            for (i, (x, y)) in l.iter().zip(&reference).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "n={n} idx={i}: {x} vs {y}");
+            }
+        }
     }
 
     #[test]

@@ -44,6 +44,39 @@ impl EigenDecomposition {
     }
 }
 
+/// One Jacobi rotation applied to columns `p` and `r` of a row-major
+/// `n×n` buffer: every row's `(p, r)` pair maps through the fixed 2×2
+/// rotation. Iterating whole rows via `chunks_exact_mut` removes the
+/// per-step index arithmetic of the scalar `a[k*n+p]` loop; the
+/// arithmetic per element is unchanged, so the sweep stays bit-identical
+/// (pinned by `rotation_panels_bit_identical_to_scalar`).
+#[inline(always)]
+fn rotate_cols(a: &mut [f64], n: usize, p: usize, r: usize, c: f64, s: f64) {
+    for row in a.chunks_exact_mut(n) {
+        let xp = row[p];
+        let xr = row[r];
+        row[p] = c * xp - s * xr;
+        row[r] = s * xp + c * xr;
+    }
+}
+
+/// The same rotation applied to rows `p` and `r` (`p < r`): the two
+/// contiguous row panels come from `split_at_mut`, and the elementwise
+/// update carries no loop dependence, so it vectorizes.
+#[inline(always)]
+fn rotate_rows(a: &mut [f64], n: usize, p: usize, r: usize, c: f64, s: f64) {
+    debug_assert!(p < r);
+    let (top, bottom) = a.split_at_mut(r * n);
+    let prow = &mut top[p * n..p * n + n];
+    let rrow = &mut bottom[..n];
+    for (x, y) in prow.iter_mut().zip(rrow) {
+        let xp = *x;
+        let xr = *y;
+        *x = c * xp - s * xr;
+        *y = s * xp + c * xr;
+    }
+}
+
 /// Cyclic Jacobi eigendecomposition of a symmetric matrix.
 ///
 /// # Panics
@@ -114,26 +147,12 @@ pub fn sym_eig(m: &Matrix) -> EigenDecomposition {
                 let c = 1.0 / (1.0 + t * t).sqrt();
                 let s = t * c;
 
-                // A <- JᵀAJ applied to rows/cols p, r.
-                for k in 0..n {
-                    let akp = a[k * n + p];
-                    let akr = a[k * n + r];
-                    a[k * n + p] = c * akp - s * akr;
-                    a[k * n + r] = s * akp + c * akr;
-                }
-                for k in 0..n {
-                    let apk = a[p * n + k];
-                    let ark = a[r * n + k];
-                    a[p * n + k] = c * apk - s * ark;
-                    a[r * n + k] = s * apk + c * ark;
-                }
+                // A <- JᵀAJ applied to rows/cols p, r (columns first —
+                // the order is part of the pinned bit-exact trajectory).
+                rotate_cols(&mut a, n, p, r, c, s);
+                rotate_rows(&mut a, n, p, r, c, s);
                 // Accumulate Q <- QJ.
-                for k in 0..n {
-                    let qkp = q[k * n + p];
-                    let qkr = q[k * n + r];
-                    q[k * n + p] = c * qkp - s * qkr;
-                    q[k * n + r] = s * qkp + c * qkr;
-                }
+                rotate_cols(&mut q, n, p, r, c, s);
             }
         }
     }
@@ -245,6 +264,45 @@ mod tests {
         let e1 = sym_eig(&Matrix::from_vec(1, 1, vec![4.0]));
         assert!((e1.values[0] - 4.0).abs() < 1e-6);
         assert!((e1.vectors.get(0, 0).abs() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rotation_panels_bit_identical_to_scalar() {
+        // The panel helpers vs. the original index-arithmetic loops, over
+        // several sizes/pivots: identical f64 bits everywhere.
+        let mut rng = Rng::new(55);
+        for n in [2usize, 3, 5, 16, 33] {
+            for (p, r) in [(0usize, 1usize), (0, n - 1), (n / 2, n - 1)] {
+                if p >= r {
+                    continue;
+                }
+                let base: Vec<f64> = {
+                    let mut v = vec![0.0f32; n * n];
+                    rng.fill_normal(&mut v);
+                    v.into_iter().map(|x| x as f64).collect()
+                };
+                let (c, s) = (0.8299371, -0.5578463);
+                let mut fast = base.clone();
+                rotate_cols(&mut fast, n, p, r, c, s);
+                rotate_rows(&mut fast, n, p, r, c, s);
+                let mut reference = base;
+                for k in 0..n {
+                    let akp = reference[k * n + p];
+                    let akr = reference[k * n + r];
+                    reference[k * n + p] = c * akp - s * akr;
+                    reference[k * n + r] = s * akp + c * akr;
+                }
+                for k in 0..n {
+                    let apk = reference[p * n + k];
+                    let ark = reference[r * n + k];
+                    reference[p * n + k] = c * apk - s * ark;
+                    reference[r * n + k] = s * apk + c * ark;
+                }
+                for (i, (x, y)) in fast.iter().zip(&reference).enumerate() {
+                    assert_eq!(x.to_bits(), y.to_bits(), "n={n} p={p} r={r} idx={i}");
+                }
+            }
+        }
     }
 
     #[test]

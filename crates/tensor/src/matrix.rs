@@ -12,6 +12,18 @@ const PAR_THRESHOLD: usize = 64 * 64;
 /// Cache-block edge used by the GEMM micro-kernel.
 const BLOCK: usize = 64;
 
+/// Register-tile width of the GEMM microkernels: output columns per
+/// accumulator block. 16 f32 lanes = four 128-bit (or two 256-bit) vector
+/// registers of accumulators that live across the whole k loop, instead
+/// of a load/store of the output row per k step.
+///
+/// Bit-identity note (DESIGN.md §12): tiling only hoists `out[i][j]` into
+/// a register — each output element still accumulates the same
+/// multiply-add sequence in the same k order, with the same zero-skip, so
+/// the result is bit-identical to the scalar reference kernels (pinned by
+/// the `*_bit_identical_to_scalar` proptests below).
+const NR: usize = 16;
+
 /// A dense row-major `f32` matrix.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Matrix {
@@ -180,14 +192,36 @@ impl Matrix {
         let a = &self.data;
         let b = &other.data;
         let kernel = |row: usize, out_row: &mut [f32]| {
-            for kk in 0..k {
-                let aik = a[row * k + kk];
-                if aik == 0.0 {
-                    continue;
+            let arow = &a[row * k..row * k + k];
+            // Register-tiled panels: NR output columns accumulate in
+            // registers across the whole k loop. The zero-skip is
+            // semantically load-bearing (it preserves a -0.0 accumulator
+            // and avoids 0 × ∞), not just a flop saver.
+            let mut jb = 0;
+            while jb + NR <= n {
+                let mut acc = [0.0f32; NR];
+                for (kk, &aik) in arow.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let bb = &b[kk * n + jb..kk * n + jb + NR];
+                    for jj in 0..NR {
+                        acc[jj] += aik * bb[jj];
+                    }
                 }
-                let brow = &b[kk * n..kk * n + n];
-                for (o, &bv) in out_row.iter_mut().zip(brow) {
-                    *o += aik * bv;
+                out_row[jb..jb + NR].copy_from_slice(&acc);
+                jb += NR;
+            }
+            // Column tail: same k-outer traversal as the scalar kernel.
+            if jb < n {
+                for (kk, &aik) in arow.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[kk * n..kk * n + n];
+                    for j in jb..n {
+                        out_row[j] += aik * brow[j];
+                    }
                 }
             }
         };
@@ -221,14 +255,34 @@ impl Matrix {
         let b = &other.data;
         let rows = self.rows;
         let kernel = |i: usize, out_row: &mut [f32]| {
-            for r in 0..rows {
-                let ari = a[r * m + i];
-                if ari == 0.0 {
-                    continue;
+            // Same register-tiled panel structure as `matmul`, with the
+            // batch dimension r playing the role of k.
+            let mut jb = 0;
+            while jb + NR <= n {
+                let mut acc = [0.0f32; NR];
+                for r in 0..rows {
+                    let ari = a[r * m + i];
+                    if ari == 0.0 {
+                        continue;
+                    }
+                    let bb = &b[r * n + jb..r * n + jb + NR];
+                    for jj in 0..NR {
+                        acc[jj] += ari * bb[jj];
+                    }
                 }
-                let brow = &b[r * n..r * n + n];
-                for (o, &bv) in out_row.iter_mut().zip(brow) {
-                    *o += ari * bv;
+                out_row[jb..jb + NR].copy_from_slice(&acc);
+                jb += NR;
+            }
+            if jb < n {
+                for r in 0..rows {
+                    let ari = a[r * m + i];
+                    if ari == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[r * n..r * n + n];
+                    for j in jb..n {
+                        out_row[j] += ari * brow[j];
+                    }
                 }
             }
         };
@@ -260,8 +314,30 @@ impl Matrix {
         let b = &other.data;
         let kernel = |i: usize, out_row: &mut [f32]| {
             let arow = &a[i * k..i * k + k];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let brow = &b[j * k..j * k + k];
+            // Four output columns at a time: four *independent* dot
+            // products share one pass over `arow`, each still summing in
+            // strict k order — bit-identical to the one-column kernel.
+            let mut j = 0;
+            while j + 4 <= n {
+                let b0 = &b[j * k..j * k + k];
+                let b1 = &b[(j + 1) * k..(j + 1) * k + k];
+                let b2 = &b[(j + 2) * k..(j + 2) * k + k];
+                let b3 = &b[(j + 3) * k..(j + 3) * k + k];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for (kk, &av) in arow.iter().enumerate() {
+                    s0 += av * b0[kk];
+                    s1 += av * b1[kk];
+                    s2 += av * b2[kk];
+                    s3 += av * b3[kk];
+                }
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                j += 4;
+            }
+            for (jj, o) in out_row.iter_mut().enumerate().skip(j) {
+                let brow = &b[jj * k..jj * k + k];
                 let mut acc = 0.0f32;
                 for (&av, &bv) in arow.iter().zip(brow) {
                     acc += av * bv;
@@ -556,6 +632,103 @@ mod tests {
         assert!((m.fro_norm() - 5.0).abs() < 1e-6);
     }
 
+    /// The pre-tiling scalar kernels, retained verbatim as bit-identity
+    /// oracles for the register-tiled production kernels.
+    mod scalar_oracle {
+        use super::Matrix;
+
+        pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+            let (k, n) = (a.cols(), b.cols());
+            let mut out = Matrix::zeros(a.rows(), n);
+            for row in 0..a.rows() {
+                for kk in 0..k {
+                    let aik = a.get(row, kk);
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        let v = out.get(row, j) + aik * b.get(kk, j);
+                        out.set(row, j, v);
+                    }
+                }
+            }
+            out
+        }
+
+        pub fn t_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+            let (m, n) = (a.cols(), b.cols());
+            let mut out = Matrix::zeros(m, n);
+            for i in 0..m {
+                for r in 0..a.rows() {
+                    let ari = a.get(r, i);
+                    if ari == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        let v = out.get(i, j) + ari * b.get(r, j);
+                        out.set(i, j, v);
+                    }
+                }
+            }
+            out
+        }
+
+        pub fn matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
+            let (m, n, k) = (a.rows(), b.rows(), a.cols());
+            let mut out = Matrix::zeros(m, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += a.get(i, kk) * b.get(j, kk);
+                    }
+                    out.set(i, j, acc);
+                }
+            }
+            out
+        }
+    }
+
+    fn assert_bits_equal(fast: &Matrix, oracle: &Matrix, what: &str) {
+        assert_eq!((fast.rows(), fast.cols()), (oracle.rows(), oracle.cols()));
+        for (i, (x, y)) in fast.as_slice().iter().zip(oracle.as_slice()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what} diverged at flat index {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_kernels_bit_identical_on_parallel_sized_inputs() {
+        // Dims chosen to cross PAR_THRESHOLD and to leave a ragged column
+        // tail (not a multiple of NR or 4), with exact zeros mixed in so
+        // the zero-skip path runs.
+        let mut rng = Rng::new(77);
+        let mut a = Matrix::random_normal(70, 130, &mut rng);
+        let mut b = Matrix::random_normal(130, 101, &mut rng);
+        for idx in (0..a.len()).step_by(13) {
+            a.as_mut_slice()[idx] = 0.0;
+        }
+        for idx in (0..b.len()).step_by(7) {
+            b.as_mut_slice()[idx] = 0.0;
+        }
+        assert_bits_equal(&a.matmul(&b), &scalar_oracle::matmul(&a, &b), "matmul");
+        let c = Matrix::random_normal(130, 90, &mut rng);
+        assert_bits_equal(
+            &b.t_matmul(&c),
+            &scalar_oracle::t_matmul(&b, &c),
+            "t_matmul",
+        );
+        let d = Matrix::random_normal(99, 130, &mut rng);
+        assert_bits_equal(
+            &a.matmul_t(&d),
+            &scalar_oracle::matmul_t(&a, &d),
+            "matmul_t",
+        );
+    }
+
     mod props {
         use super::*;
         use proptest::prelude::*;
@@ -610,6 +783,30 @@ mod tests {
                 let trace: f64 = (0..c.rows()).map(|i| c.get(i, i) as f64).sum();
                 let fro2 = (m.fro_norm() as f64).powi(2);
                 prop_assert!((trace - fro2).abs() < 1e-3 * fro2.max(1.0));
+            }
+
+            /// Register-tiled vs scalar-oracle bit identity across random
+            /// shapes (ragged tails, zero entries, and the sub-threshold
+            /// serial path included).
+            #[test]
+            fn prop_gemm_kernels_bit_identical_to_scalar(
+                (a, b, c, d) in (1usize..40, 1usize..40, 1usize..40, any::<u64>()).prop_map(
+                    |(m, k, n, seed)| {
+                        let mut rng = CRng::new(seed);
+                        let mut a = Matrix::random_normal(m, k, &mut rng);
+                        let b = Matrix::random_normal(k, n, &mut rng);
+                        let c = Matrix::random_normal(n, k, &mut rng);
+                        let d = Matrix::random_normal(m, n, &mut rng);
+                        for idx in (0..a.len()).step_by(5) {
+                            a.as_mut_slice()[idx] = 0.0;
+                        }
+                        (a, b, c, d)
+                    },
+                )
+            ) {
+                assert_bits_equal(&a.matmul(&b), &scalar_oracle::matmul(&a, &b), "matmul");
+                assert_bits_equal(&a.t_matmul(&d), &scalar_oracle::t_matmul(&a, &d), "t_matmul");
+                assert_bits_equal(&a.matmul_t(&c), &scalar_oracle::matmul_t(&a, &c), "matmul_t");
             }
 
             #[test]

@@ -55,14 +55,43 @@ pub fn minmax_flat(xs: &[f32]) -> MinMax {
     mm
 }
 
-/// Hierarchical parallel min/max: chunk-private scans combined in a
-/// rayon reduction tree.
+/// 8-lane unrolled min/max leaf scan — the warp-shuffle analogue of the
+/// GPU block reduction, and the leaf kernel of [`minmax_hierarchical`].
+///
+/// Eight independent accumulator lanes strip-mine the slice (breaking the
+/// serial min/max dependency chain so the ALUs pipeline), then the lanes
+/// and the scalar remainder merge in a fixed order. `min`/`max` are
+/// commutative and associative over the totally-ordered non-NaN floats,
+/// so the result is value-identical to [`minmax_flat`] — the retained
+/// scalar oracle — for every input the pipeline feeds it (gradients are
+/// NaN-free by construction; `prop_minmax_lanes_matches_flat` pins the
+/// equivalence, signed zeros included).
+pub fn minmax_lanes(xs: &[f32]) -> MinMax {
+    let mut lo = [f32::INFINITY; 8];
+    let mut hi = [f32::NEG_INFINITY; 8];
+    let mut it = xs.chunks_exact(8);
+    for c in it.by_ref() {
+        for j in 0..8 {
+            lo[j] = lo[j].min(c[j]);
+            hi[j] = hi[j].max(c[j]);
+        }
+    }
+    let mut mm = minmax_flat(it.remainder());
+    for j in 0..8 {
+        mm.min = mm.min.min(lo[j]);
+        mm.max = mm.max.max(hi[j]);
+    }
+    mm
+}
+
+/// Hierarchical parallel min/max: chunk-private 8-lane scans combined in
+/// a rayon reduction tree.
 pub fn minmax_hierarchical(xs: &[f32]) -> MinMax {
     if xs.len() <= REDUCE_CHUNK {
-        return minmax_flat(xs);
+        return minmax_lanes(xs);
     }
     xs.par_chunks(REDUCE_CHUNK)
-        .map(minmax_flat)
+        .map(minmax_lanes)
         .reduce(|| MinMax::EMPTY, MinMax::merge)
 }
 
@@ -177,6 +206,34 @@ mod tests {
             let a = minmax_flat(&xs);
             let b = minmax_hierarchical(&xs);
             assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn minmax_lanes_agrees_with_flat_on_awkward_lengths() {
+        for n in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 4096, 4097] {
+            let xs = data(n, 31 + n as u64);
+            assert_eq!(minmax_lanes(&xs), minmax_flat(&xs), "n={n}");
+        }
+    }
+
+    proptest::proptest! {
+        /// Lane-vs-flat value identity over arbitrary finite floats,
+        /// signed zeros and subnormals included (NaN excluded: min/max
+        /// over NaN is not order-independent, and the pipeline never
+        /// feeds NaN gradients).
+        #[test]
+        fn prop_minmax_lanes_matches_flat(
+            bits in proptest::collection::vec(proptest::prelude::any::<u32>(), 0..600),
+        ) {
+            let xs: Vec<f32> = bits
+                .iter()
+                .map(|&b| {
+                    let v = f32::from_bits(b);
+                    if v.is_nan() { 0.0 } else { v }
+                })
+                .collect();
+            proptest::prop_assert_eq!(minmax_lanes(&xs), minmax_flat(&xs));
         }
     }
 

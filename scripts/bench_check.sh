@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Bench regression gate: compares a fresh reduced-size bench_compress
+# smoke run against the committed full-size snapshot and fails when the
+# chunked-path numbers regress beyond tolerance.
+#
+#   bench_check.sh [SMOKE_JSON] [COMMITTED_JSON]
+#
+# Defaults: target/BENCH_compress_smoke.json vs BENCH_compress.json.
+#
+# Gated metrics:
+#   - speedup_decompress_chunked_vs_serial  (the headline chunked win)
+#   - chunked_nthread.compress_MBps         (absolute compress throughput)
+#
+# The smoke run is much smaller than the committed snapshot (2^18 vs
+# 2^22 elements, single rep) and CI machines are noisy, so the floor is
+# `committed * (1 - COMPSO_BENCH_TOL)` with a deliberately loose default
+# tolerance of 0.5: the gate exists to catch a kernel falling off a
+# cliff (an accidental debug path, a lost parallel dispatch, a codec
+# misroute), not 10% jitter.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE="${1:-target/BENCH_compress_smoke.json}"
+BASE="${2:-BENCH_compress.json}"
+TOL="${COMPSO_BENCH_TOL:-0.5}"
+
+[ -f "$SMOKE" ] || { echo "bench_check: smoke snapshot $SMOKE missing (run bench_compress first)" >&2; exit 1; }
+[ -f "$BASE" ] || { echo "bench_check: committed snapshot $BASE missing" >&2; exit 1; }
+
+python3 - "$SMOKE" "$BASE" "$TOL" <<'EOF'
+import json, sys
+
+smoke = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+tol = float(sys.argv[3])
+
+checks = [
+    (
+        "speedup_decompress_chunked_vs_serial",
+        smoke["speedup_decompress_chunked_vs_serial"],
+        base["speedup_decompress_chunked_vs_serial"],
+    ),
+    (
+        "chunked_nthread.compress_MBps",
+        smoke["chunked_nthread"]["compress_MBps"],
+        base["chunked_nthread"]["compress_MBps"],
+    ),
+]
+
+failed = []
+for name, got, want in checks:
+    floor = want * (1.0 - tol)
+    ok = got >= floor
+    print(
+        f"bench_check: {name}: smoke={got:.2f} committed={want:.2f} "
+        f"floor={floor:.2f} -> {'ok' if ok else 'REGRESSION'}"
+    )
+    if not ok:
+        failed.append(name)
+
+if failed:
+    print(f"bench_check: regression in {', '.join(failed)}", file=sys.stderr)
+    sys.exit(1)
+print("bench_check: within tolerance")
+EOF

@@ -1,32 +1,58 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: format, lint, build, test, and a bench smoke run.
 # Everything here must pass before a change lands (see ROADMAP.md).
+#
+# Each step is timed; a wall-clock summary prints at the end so a CI
+# slowdown can be attributed to a step without spelunking the log.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
+STEP_NAMES=()
+STEP_SECS=()
+STEP_NAME=""
+STEP_T0=0
+
+step_start() {
+  STEP_NAME="$1"
+  STEP_T0=$SECONDS
+  echo "==> $1"
+}
+
+step_end() {
+  STEP_NAMES+=("$STEP_NAME")
+  STEP_SECS+=($((SECONDS - STEP_T0)))
+}
+
+step_start "cargo fmt --check"
 cargo fmt --all -- --check
+step_end
 
-echo "==> cargo clippy (deny warnings)"
+step_start "cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
+step_end
 
-echo "==> cargo build --release"
+step_start "cargo build --release"
 cargo build --release --workspace
+step_end
 
-echo "==> cargo test"
+step_start "cargo test"
 cargo test -q --workspace
+step_end
 
-echo "==> compso-lint --deny (hard 10s budget)"
+step_start "compso-lint --deny (hard 10s budget)"
 # Invariant lint over the whole workspace: wire magics, comm-path
 # unwraps, unchecked length prefixes, counter registry, deterministic
 # wire iteration. The binary was just built by the release build above,
-# so the budget measures analysis, not compilation. The JSON report is
-# uploaded as a CI artifact (see .github/workflows/ci.yml).
+# so the budget measures analysis, not compilation; the incremental
+# cache keeps warm re-runs well inside it. The JSON report is uploaded
+# as a CI artifact (see .github/workflows/ci.yml).
 timeout --kill-after=5 10 \
   target/release/compso-lint --deny --json-out target/lint-report.json \
+  --cache target/lint-cache \
   || { echo "compso-lint found violations or blew its 10s budget" >&2; exit 1; }
+step_end
 
-echo "==> chaos smoke (hard 300s wall-clock cap)"
+step_start "chaos smoke (hard 300s wall-clock cap)"
 # The chaos campaigns assert liveness ("no collective can block
 # forever"); a regression there would otherwise hang CI instead of
 # failing it, so the smoke runs under a hard external timeout.
@@ -35,8 +61,9 @@ timeout --kill-after=10 300 \
   chaos_campaign_converges_with_exact_fault_accounting \
   scheduled_crash_poisons_the_group_and_names_the_rank \
   || { echo "chaos smoke failed or timed out" >&2; exit 1; }
+step_end
 
-echo "==> checkpoint smoke: save -> kill -> resume (hard 240s wall-clock cap)"
+step_start "checkpoint smoke: save -> kill -> resume (hard 240s wall-clock cap)"
 # A real whole-process SIGKILL: the fresh run is killed as soon as its
 # first coordinated snapshot lands on disk; --resume must restore it and
 # finish. (The in-process rank-kill variant with bit-identity checks is
@@ -52,27 +79,48 @@ for _ in $(seq 1 600); do
 done
 kill -9 "$CKPT_PID" 2>/dev/null || true
 wait "$CKPT_PID" 2>/dev/null || true
+# Capture then grep: piping straight into `grep -q` races — grep exits
+# at first match and the example dies on SIGPIPE under pipefail.
+RESUME_LOG=$(mktemp)
 timeout --kill-after=10 240 \
   target/release/examples/distributed_kfac --ckpt-dir "$CKPT_DIR" --resume \
-  | grep -q "resumed from snapshot" \
+  > "$RESUME_LOG" \
   || { echo "checkpoint resume smoke failed" >&2; exit 1; }
+grep -q "resumed from snapshot" "$RESUME_LOG" \
+  || { echo "checkpoint resume smoke: no resume line in output" >&2; exit 1; }
+rm -f "$RESUME_LOG"
 rm -rf "$CKPT_DIR"
+step_end
 
-echo "==> checkpoint crash-campaign smoke (hard 300s wall-clock cap)"
+step_start "checkpoint crash-campaign smoke (hard 300s wall-clock cap)"
 timeout --kill-after=10 300 \
   cargo test --release --test checkpoint -q -- \
   crash_campaign_restores_last_snapshot_and_matches_uninterrupted_run \
   || { echo "checkpoint crash smoke failed or timed out" >&2; exit 1; }
+step_end
 
-echo "==> bench smoke: fig1"
+step_start "bench smoke: fig1"
 cargo run -p compso-bench --release --bin fig1 >/dev/null
+step_end
 
-echo "==> bench smoke: obs_report"
+step_start "bench smoke: obs_report"
 cargo run -p compso-bench --release --bin obs_report >/dev/null
+step_end
 
-echo "==> bench smoke: bench_compress (reduced size)"
+step_start "bench smoke: bench_compress (reduced size)"
 COMPSO_BENCH_ELEMS=$((1 << 18)) COMPSO_BENCH_REPS=1 \
   cargo run -p compso-bench --release --bin bench_compress -- \
   target/BENCH_compress_smoke.json >/dev/null
+step_end
+
+step_start "bench regression gate (bench_check.sh)"
+scripts/bench_check.sh
+step_end
+
+echo "==> step timing summary"
+for i in "${!STEP_NAMES[@]}"; do
+  printf '%4ss  %s\n' "${STEP_SECS[$i]}" "${STEP_NAMES[$i]}"
+done
+printf '%4ss  total\n' "$SECONDS"
 
 echo "CI green."

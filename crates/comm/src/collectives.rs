@@ -208,6 +208,130 @@ pub fn allgather_var_quiet(
         .collect()
 }
 
+/// Pipelined variable-size ring all-gather: the COMPSO overlap primitive.
+///
+/// Each rank contributes `groups_per_rank[rank]` byte blocks (one per
+/// aggregation group) that are **produced lazily** while earlier blocks
+/// circulate the ring, and every received block is **delivered as it
+/// lands** instead of after the full gather. `groups_per_rank` must be
+/// identical on every rank (in the hot path it is derived from the
+/// globally known layer shapes); every rank computes the same hop
+/// schedule from it, so slots past a rank's last group circulate no
+/// filler traffic at all — on imbalanced ownership only the widest
+/// rank's blocks keep hopping. Per pipeline slot `g`:
+///
+/// 1. the rank sends its own `g`-th block right (nothing when `g` is
+///    past its last group);
+/// 2. it immediately calls `produce(g + 1)` — rank-local compression of
+///    the *next* group overlaps the `p − 1` ring hops of the current
+///    slot;
+/// 3. it runs the `p − 1` hops, skipping origins with no block in this
+///    slot: receive from the left, forward right *before* delivering
+///    (so downstream ranks are never stalled behind this rank's
+///    decode), then hand the block to `deliver(origin, g, bytes)` —
+///    streaming per-group decode overlapping later hops.
+///
+/// `produce(g)` is called exactly once per own group, strictly in order
+/// `0..groups_per_rank[rank]` — callers that advance an RNG per group
+/// therefore consume the identical stream as a compress-then-gather
+/// loop, which is what keeps the pipelined path bit-identical.
+/// `deliver` is called exactly once per `(origin, group)` pair for every
+/// *other* rank's groups (a rank's own blocks never come back around the
+/// ring; the caller keeps its own clean copies).
+///
+/// Exposed (un-overlapped) receive time accumulates in
+/// `comm/pipeline/wait`; the producer/delivery callbacks are timed under
+/// `comm/pipeline/produce` and `comm/pipeline/deliver`, and each call
+/// adds the slot count to `comm/pipeline_stages`. Transport faults from
+/// an armed [`crate::fault::FaultPlane`] are absorbed by the ARQ layer
+/// exactly as for [`allgather_var`].
+pub fn pipelined_allgather(
+    comm: &mut Communicator,
+    groups_per_rank: &[usize],
+    mut produce: impl FnMut(usize) -> Vec<u8>,
+    mut deliver: impl FnMut(usize, usize, Vec<u8>),
+) -> Result<(), CommError> {
+    let rec = comm.recorder().clone();
+    let _span = rec.span(names::COMM_PIPELINED_ALLGATHER);
+    rec.incr(names::COMM_PIPELINED_ALLGATHER_CALLS);
+    let p = comm.size();
+    let r = comm.rank();
+    if groups_per_rank.len() != p {
+        return Err(CommError::Protocol {
+            expected: "one group count per rank",
+        });
+    }
+    let g_me = groups_per_rank[r];
+    let g_max = groups_per_rank.iter().copied().max().unwrap_or(0);
+    rec.add(names::COMM_PIPELINE_STAGES, g_max as u64);
+    let mut timed_produce = |g: usize| -> Vec<u8> {
+        let t0 = std::time::Instant::now();
+        let block = produce(g);
+        rec.add_time_ns(
+            names::COMM_PIPELINE_PRODUCE,
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+        block
+    };
+    if p == 1 {
+        // Degenerate ring: no wire, but the producer must still run once
+        // per group in order so the caller's RNG stream matches.
+        for g in 0..g_me {
+            let _ = timed_produce(g);
+        }
+        return Ok(());
+    }
+    let left = comm.left();
+    let right = comm.right();
+    let mut next: Option<Vec<u8>> = (g_me > 0).then(|| timed_produce(0));
+    for slot in 0..g_max {
+        // Empty slots hop nothing: `groups_per_rank` is global
+        // knowledge, so every rank derives the same schedule and skips
+        // the send/recv pair outright instead of circulating filler
+        // blocks. On imbalanced ownership (one rank owning most groups,
+        // the common case that motivates pipelining) this halves the
+        // message count — slots past the small ranks' last group carry
+        // only the big owner's blocks.
+        if slot < g_me {
+            let own = next.take().ok_or(CommError::Protocol {
+                expected: "pipeline schedule: own block produced before its slot",
+            })?;
+            comm.send(right, Payload::Bytes(own))?;
+        }
+        // The overlap: compress the next group while this slot's blocks
+        // make their way around the ring.
+        if slot + 1 < g_me {
+            next = Some(timed_produce(slot + 1));
+        }
+        for s in 0..p - 1 {
+            let origin = (r + p - s - 1) % p;
+            if slot >= groups_per_rank[origin] {
+                continue;
+            }
+            let t0 = std::time::Instant::now();
+            let incoming = comm
+                .recv_labeled(left, names::COMM_PIPELINED_ALLGATHER)?
+                .try_bytes()?;
+            rec.add_time_ns(
+                names::COMM_PIPELINE_WAIT,
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+            // Forward before delivering: the downstream ranks' hop `s+1`
+            // must not wait behind this rank's decode of the block.
+            if s < p - 2 {
+                comm.send(right, Payload::Bytes(incoming.clone()))?;
+            }
+            let t1 = std::time::Instant::now();
+            deliver(origin, slot, incoming);
+            rec.add_time_ns(
+                names::COMM_PIPELINE_DELIVER,
+                u64::try_from(t1.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
+    }
+    Ok(())
+}
+
 /// Lossy-compressed ring all-reduce: every reduce-scatter hop compresses
 /// its outgoing chunk with `codec` (encode → decode at the receiver),
 /// so quantization error **accumulates across the `p − 1` hops** — the
@@ -624,6 +748,7 @@ mod tests {
             recv_timeout: Duration::from_secs(30),
             retry_initial: Duration::from_millis(40),
             max_retries: 12,
+            ..CommConfig::default()
         };
         let p = 4;
         let faulty = run_ranks_with(p, plane, config, |comm| {
@@ -642,6 +767,131 @@ mod tests {
             comm.barrier().unwrap();
             (data, gathered)
         });
+        assert_eq!(faulty, clean);
+        let ledger = ledger_plane.ledger();
+        assert!(
+            ledger.dropped + ledger.corrupted_wire > 0,
+            "fault matrix must actually fire: {ledger:?}"
+        );
+        assert!(ledger.delayed > 0, "straggler must have delayed sends");
+    }
+
+    /// Deterministic test block for `(origin, group)` — length varies per
+    /// pair so size confusion between slots would be caught.
+    fn pipe_block(origin: usize, g: usize) -> Vec<u8> {
+        vec![(origin * 16 + g) as u8; 3 + origin * 5 + g * 2]
+    }
+
+    /// `(origin, group, bytes)` triples delivered by a pipelined gather.
+    type Delivered = Vec<(usize, usize, Vec<u8>)>;
+
+    /// Runs `pipelined_allgather` on one rank and returns
+    /// `(produce order, delivered triples)`.
+    fn run_pipe(comm: &mut Communicator, groups: &[usize]) -> (Vec<usize>, Delivered) {
+        let me = comm.rank();
+        let mut order = Vec::new();
+        let mut delivered = Vec::new();
+        pipelined_allgather(
+            comm,
+            groups,
+            |g| {
+                order.push(g);
+                pipe_block(me, g)
+            },
+            |origin, g, bytes| delivered.push((origin, g, bytes)),
+        )
+        .unwrap();
+        (order, delivered)
+    }
+
+    #[test]
+    fn pipelined_allgather_delivers_every_group_with_unequal_counts() {
+        // Uneven group counts (including a zero-group rank) at several
+        // ring sizes: every rank must see exactly every other rank's
+        // blocks, correctly attributed, and produce must run strictly in
+        // order 0..own_groups (the bit-identity contract).
+        for p in [1usize, 2, 3, 4] {
+            let groups: Vec<usize> = (0..p).map(|r| (r * 3 + 5) % 4).collect();
+            let groups_ref = &groups;
+            let results = run_ranks(p, move |comm| run_pipe(comm, groups_ref));
+            for (me, (order, delivered)) in results.into_iter().enumerate() {
+                assert_eq!(order, (0..groups[me]).collect::<Vec<_>>());
+                let mut expect: Vec<(usize, usize, Vec<u8>)> = Vec::new();
+                for (o, &g_o) in groups.iter().enumerate() {
+                    if o == me {
+                        continue;
+                    }
+                    for g in 0..g_o {
+                        expect.push((o, g, pipe_block(o, g)));
+                    }
+                }
+                let mut got = delivered;
+                got.sort();
+                expect.sort();
+                assert_eq!(got, expect, "rank {me} of {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_allgather_rejects_wrong_group_count_vector() {
+        let results = run_ranks(2, |comm| {
+            pipelined_allgather(comm, &[1], |_| Vec::new(), |_, _, _| {})
+        });
+        for res in results {
+            assert!(matches!(res, Err(CommError::Protocol { .. })));
+        }
+    }
+
+    #[test]
+    fn pipelined_allgather_records_stages_and_timers() {
+        use compso_obs::{names, Recorder};
+        let rec = Recorder::enabled();
+        let rec_ref = &rec;
+        let groups = [3usize, 1, 2];
+        let groups_ref = &groups;
+        run_ranks(3, move |comm| {
+            comm.set_recorder(rec_ref.clone());
+            run_pipe(comm, groups_ref);
+        });
+        let snap = rec.snapshot();
+        // One span + one call per rank; each adds g_max = 3 stages.
+        assert_eq!(snap.timers[names::COMM_PIPELINED_ALLGATHER].count, 3);
+        assert_eq!(snap.counter(names::COMM_PIPELINED_ALLGATHER_CALLS), 3);
+        assert_eq!(snap.counter(names::COMM_PIPELINE_STAGES), 3 * 3);
+        // produce ran once per own group (3+1+2 = 6 across ranks);
+        // deliver once per foreign (origin, group) pair (each rank sees
+        // the 6 total groups minus its own: (6-3)+(6-1)+(6-2) = 12); and
+        // every recv was waited on.
+        assert_eq!(snap.timers[names::COMM_PIPELINE_PRODUCE].count, 6);
+        assert_eq!(snap.timers[names::COMM_PIPELINE_DELIVER].count, 12);
+        assert!(snap.timers[names::COMM_PIPELINE_WAIT].count > 0);
+    }
+
+    #[test]
+    fn pipelined_allgather_survives_injected_transport_faults() {
+        // Drops, wire corruption, and a straggler mid-pipeline: the ARQ
+        // layer must absorb everything and the delivered blocks must be
+        // bit-identical to the fault-free run.
+        let plane = FaultPlane::new(FaultConfig {
+            seed: 7031,
+            drop_p: 0.05,
+            corrupt_wire_p: 0.05,
+            straggler: Some((2, Duration::from_micros(200))),
+            ..FaultConfig::default()
+        });
+        let ledger_plane = plane.clone();
+        let config = CommConfig {
+            recv_timeout: Duration::from_secs(30),
+            retry_initial: Duration::from_millis(40),
+            max_retries: 12,
+            ..CommConfig::default()
+        };
+        let p = 4;
+        let groups = [2usize, 3, 1, 2];
+        let groups_ref = &groups;
+        let faulty = run_ranks_with(p, plane, config, move |comm| run_pipe(comm, groups_ref));
+        let clean = run_ranks(p, move |comm| run_pipe(comm, groups_ref));
         assert_eq!(faulty, clean);
         let ledger = ledger_plane.ledger();
         assert!(

@@ -200,6 +200,19 @@ pub struct CommConfig {
     /// Maximum timeout-NACKs per missing message before
     /// [`CommError::RetriesExhausted`].
     pub max_retries: u32,
+    /// Modeled wire bandwidth in MB/s: every data message is stamped at
+    /// send time and the **receiver** sleeps until
+    /// `sent_at + payload bytes / bandwidth` before the message is
+    /// considered delivered — the bandwidth-delay of an asynchronous
+    /// NIC that drains concurrently with the sender's compute (links
+    /// drain independently; no backpressure is modeled). The sender
+    /// never blocks, so a schedule that overlaps compression with
+    /// in-flight payloads genuinely finishes earlier, which is what
+    /// makes compression–communication overlap *physically observable*
+    /// in the in-process harness. `None` (the default) keeps the wire
+    /// free and changes nothing. Control traffic (ACKs/NACKs) is not
+    /// modeled; empty payloads add zero delay.
+    pub modeled_wire_mbps: Option<f64>,
 }
 
 impl Default for CommConfig {
@@ -208,6 +221,7 @@ impl Default for CommConfig {
             recv_timeout: Duration::from_secs(30),
             retry_initial: Duration::from_millis(50),
             max_retries: 10,
+            modeled_wire_mbps: None,
         }
     }
 }
@@ -219,6 +233,10 @@ impl Default for CommConfig {
 struct DataMsg {
     seq: u64,
     crc: u32,
+    /// Send timestamp, set as the message goes on the wire — the
+    /// receiver turns it into a bandwidth-delay when
+    /// [`CommConfig::modeled_wire_mbps`] is set.
+    sent_at: Instant,
     payload: Payload,
 }
 
@@ -514,6 +532,7 @@ impl Communicator {
                 .send(DataMsg {
                     seq: 0,
                     crc: 0,
+                    sent_at: Instant::now(),
                     payload,
                 })
                 .map_err(|_| self.disconnect_error(dst));
@@ -534,6 +553,25 @@ impl Communicator {
         self.service_ctrl()
     }
 
+    /// Holds a just-dequeued message until its modeled wire drain
+    /// completes: sleeps out the remainder of `bytes / bandwidth` past
+    /// its send stamp. No-op without [`CommConfig::modeled_wire_mbps`]
+    /// or once the drain interval has already elapsed.
+    fn wire_delay(&self, msg: &DataMsg) {
+        let Some(mbps) = self.config.modeled_wire_mbps else {
+            return;
+        };
+        let bytes = msg.payload.wire_bytes();
+        if bytes == 0 || mbps <= 0.0 {
+            return;
+        }
+        let ready = msg.sent_at + Duration::from_secs_f64(bytes as f64 / (mbps * 1e6));
+        let now = Instant::now();
+        if ready > now {
+            std::thread::sleep(ready - now);
+        }
+    }
+
     /// Puts one (possibly faulted) copy of `flight` on the wire.
     fn transmit(&self, dst: usize, flight: &Flight) -> Result<(), CommError> {
         if self
@@ -545,6 +583,7 @@ impl Communicator {
         let mut msg = DataMsg {
             seq: flight.seq,
             crc: flight.crc,
+            sent_at: Instant::now(),
             payload: flight.payload.clone(),
         };
         if msg.payload.wire_bits() > 0 {
@@ -643,7 +682,10 @@ impl Communicator {
         assert!(src < self.size, "src {src} out of range");
         if !self.plane.is_enabled() {
             return match self.data_rx[src].recv_timeout(self.config.recv_timeout) {
-                Ok(msg) => Ok(msg.payload),
+                Ok(msg) => {
+                    self.wire_delay(&msg);
+                    Ok(msg.payload)
+                }
                 Err(RecvTimeoutError::Timeout) => Err(CommError::Timeout {
                     rank: src,
                     collective,
@@ -688,6 +730,7 @@ impl Communicator {
                 .max(Duration::from_micros(50));
             match self.data_rx[src].recv_timeout(slice) {
                 Ok(msg) => {
+                    self.wire_delay(&msg);
                     let expect = self.recv_expect[src];
                     if msg.crc != payload_crc(&msg.payload) {
                         self.recorder.incr(names::COMM_FAULT_CRC_DETECTED);
@@ -1131,6 +1174,43 @@ mod tests {
     }
 
     #[test]
+    fn modeled_wire_delays_delivery_by_bandwidth_not_the_sender() {
+        // 1 MB at 50 MB/s models a 20 ms drain: the sender returns
+        // immediately (async NIC), the receiver observes the delay.
+        let config = CommConfig {
+            modeled_wire_mbps: Some(50.0),
+            ..CommConfig::default()
+        };
+        let results = run_ranks_with(2, FaultPlane::disabled(), config, |comm| {
+            if comm.rank() == 0 {
+                let t0 = Instant::now();
+                comm.send(1, Payload::Bytes(vec![0u8; 1 << 20])).unwrap();
+                let send_s = t0.elapsed().as_secs_f64();
+                // Empty payloads model zero drain in either direction.
+                comm.send(1, Payload::Bytes(Vec::new())).unwrap();
+                send_s
+            } else {
+                let t0 = Instant::now();
+                let big = comm.recv(0).unwrap().try_bytes().unwrap();
+                let recv_s = t0.elapsed().as_secs_f64();
+                assert_eq!(big.len(), 1 << 20);
+                let empty = comm.recv(0).unwrap().try_bytes().unwrap();
+                assert!(empty.is_empty());
+                recv_s
+            }
+        });
+        let (send_s, recv_s) = (results[0], results[1]);
+        assert!(
+            send_s < 0.015,
+            "sender must not block on the modeled drain, took {send_s}s"
+        );
+        assert!(
+            recv_s >= 0.018,
+            "1 MB at 50 MB/s must take ~20 ms to deliver, took {recv_s}s"
+        );
+    }
+
+    #[test]
     fn barrier_timeout_identifies_straggler_at_root() {
         let results = run_ranks(3, |comm| {
             comm.config = CommConfig {
@@ -1169,6 +1249,7 @@ mod tests {
             recv_timeout: Duration::from_secs(20),
             retry_initial: Duration::from_millis(40),
             max_retries: 12,
+            ..CommConfig::default()
         };
         let n_msgs = 50u64;
         let results = run_ranks_with(2, plane, config, |comm| {

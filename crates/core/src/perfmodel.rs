@@ -114,6 +114,36 @@ pub fn end_to_end_gain(r: f64, s: f64) -> f64 {
     1.0 / ((1.0 - r) + r / s)
 }
 
+/// Wall-clock of a gather whose compression compute (`compute_s`:
+/// compress + decompress seconds) is pipelined against its wire time
+/// (`comm_s`) in `stages` slots: the longer side hides the shorter
+/// except for one slot's worth of pipeline fill,
+/// `max + min / stages`. With `stages == 1` this degenerates to the
+/// serial `compute + comm` sum; as `stages → ∞` it approaches perfect
+/// overlap `max(compute, comm)`.
+pub fn pipelined_wall(compute_s: f64, comm_s: f64, stages: usize) -> f64 {
+    let g = stages.max(1) as f64;
+    compute_s.max(comm_s) + compute_s.min(comm_s) / g
+}
+
+/// Predicted achieved overlap fraction of a pipelined gather:
+/// `1 − wait / wall`, where `wait` is the exposed wire time — the
+/// steady-state excess of communication over compute plus the fill
+/// bubble, `max(comm − compute, 0) + min(comm, compute) / stages`. This
+/// is the model-side counterpart of the measured
+/// `1 − comm/pipeline/wait ÷ kfac/step/allgather` in `StepReport`.
+/// Returns 0 when nothing runs (`wall == 0`) or when there is no compute
+/// to hide the wire behind.
+pub fn predicted_overlap_frac(compute_s: f64, comm_s: f64, stages: usize) -> f64 {
+    let g = stages.max(1) as f64;
+    let wall = pipelined_wall(compute_s, comm_s, stages);
+    if wall <= 0.0 {
+        return 0.0;
+    }
+    let wait = (comm_s - compute_s).max(0.0) + comm_s.min(compute_s) / g;
+    (1.0 - wait / wall).clamp(0.0, 1.0)
+}
+
 /// Searches the layer-aggregation factor `m` maximizing the estimated
 /// end-to-end gain (§4.4's "we find the m such that the end-to-end
 /// speedup is high").
@@ -357,6 +387,41 @@ mod tests {
     #[test]
     fn end_to_end_equals_s_when_all_communication() {
         assert!((end_to_end_gain(1.0, 7.0) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipelined_wall_interpolates_serial_to_perfect_overlap() {
+        // One stage = no overlap at all: compute + comm.
+        assert!((pipelined_wall(2.0, 3.0, 1) - 5.0).abs() < 1e-12);
+        // Four stages: max + min/4.
+        assert!((pipelined_wall(2.0, 3.0, 4) - 3.5).abs() < 1e-12);
+        // Many stages approach max(compute, comm).
+        assert!(pipelined_wall(2.0, 3.0, 1_000_000) - 3.0 < 1e-5);
+        // stages == 0 is clamped to 1, not a division blowup.
+        assert!((pipelined_wall(2.0, 3.0, 0) - 5.0).abs() < 1e-12);
+        // Symmetric in which side is longer.
+        assert!((pipelined_wall(3.0, 2.0, 4) - pipelined_wall(2.0, 3.0, 4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predicted_overlap_grows_with_stages_and_needs_compute() {
+        // No compute → nothing can hide the wire → zero overlap.
+        assert_eq!(predicted_overlap_frac(0.0, 3.0, 8), 0.0);
+        // Nothing running at all → zero, not NaN.
+        assert_eq!(predicted_overlap_frac(0.0, 0.0, 8), 0.0);
+        // More stages hide more of the shorter side.
+        let f2 = predicted_overlap_frac(2.0, 3.0, 2);
+        let f8 = predicted_overlap_frac(2.0, 3.0, 8);
+        assert!(f8 > f2, "{f8} vs {f2}");
+        assert!((0.0..=1.0).contains(&f2) && (0.0..=1.0).contains(&f8));
+        // Balanced compute == comm with many stages → near-total overlap.
+        assert!(predicted_overlap_frac(3.0, 3.0, 1_000_000) > 0.999);
+        // Consistency with the wall model: wall == compute + wait when
+        // comm dominates (every non-hidden wire second is a wait).
+        let (c, w, g) = (1.5, 4.0, 6);
+        let wait = (w - c) + c / g as f64;
+        let wall = pipelined_wall(c, w, g);
+        assert!((predicted_overlap_frac(c, w, g) - (1.0 - wait / wall)).abs() < 1e-12);
     }
 
     #[test]

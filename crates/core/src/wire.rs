@@ -208,6 +208,24 @@ pub fn unframe_checksummed(frame: &[u8]) -> Result<&[u8], WireError> {
     Ok(payload)
 }
 
+/// Total on-wire length of the checksum frame starting at `buf[0]`, when
+/// its header is well-formed and the frame fits inside `buf`. Lets a
+/// reader walk a concatenation of [`frame_checksummed`] frames (the
+/// per-group streaming gather payload) without any extra length
+/// prefixes: frames are self-delimiting. Returns `None` on a bad magic,
+/// a short header, or an embedded length pointing past `buf` — the
+/// caller treats that as a corrupt payload, never as an allocation size.
+pub fn framed_len(buf: &[u8]) -> Option<usize> {
+    const HEADER: usize = 13; // magic + u32 crc + u64 len
+    if buf.len() < HEADER || buf[0] != MAGIC_FRAME {
+        return None;
+    }
+    let len = u64::from_le_bytes(buf[5..13].try_into().ok()?);
+    let len = usize::try_from(len).ok()?;
+    let total = HEADER.checked_add(len)?;
+    (total <= buf.len()).then_some(total)
+}
+
 /// Error produced when decoding a malformed or truncated stream.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WireError {
@@ -509,6 +527,39 @@ mod tests {
     fn empty_payload_frames() {
         let frame = frame_checksummed(&[]);
         assert_eq!(unframe_checksummed(&frame).unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn framed_len_walks_concatenated_frames() {
+        let a = frame_checksummed(&[1, 2, 3]);
+        let b = frame_checksummed(&[]);
+        let c = frame_checksummed(&vec![9u8; 300]);
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        concat.extend_from_slice(&c);
+        // Walk the concatenation frame by frame.
+        let mut off = 0usize;
+        let mut lens = Vec::new();
+        while off < concat.len() {
+            let l = framed_len(&concat[off..]).expect("well-formed frame");
+            assert!(unframe_checksummed(&concat[off..off + l]).is_ok());
+            lens.push(l);
+            off += l;
+        }
+        assert_eq!(off, concat.len());
+        assert_eq!(lens, vec![a.len(), b.len(), c.len()]);
+
+        // Hostile inputs yield None, never a length past the buffer.
+        assert_eq!(framed_len(&[]), None);
+        assert_eq!(framed_len(&a[..12]), None); // short header
+        let mut bad_magic = a.clone();
+        bad_magic[0] ^= 0xFF;
+        assert_eq!(framed_len(&bad_magic), None);
+        let mut hostile = a.clone();
+        hostile[5..13].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        assert_eq!(framed_len(&hostile), None);
+        // Truncated body: header claims more than the buffer holds.
+        assert_eq!(framed_len(&c[..c.len() - 1]), None);
     }
 
     #[test]

@@ -10,22 +10,36 @@
 //!    values are scattered back in place — one collective per step
 //!    instead of one per layer (the gradient-fusion argument of the
 //!    adaptive-compression systems line of work);
-//! 3. per-K-FAC-layer covariances, all-reduced and folded into running
-//!    averages (identical on every rank);
+//! 3. per-K-FAC-layer covariances, **bucketed** like step 2: every
+//!    layer's `a_cov`/`g_cov` is flattened into a reusable factor fusion
+//!    buffer and one `allreduce_mean` moves the whole bucket (one
+//!    collective per step instead of two per K-FAC layer), then the
+//!    averaged factors are folded into running averages (identical on
+//!    every rank);
 //! 4. the *owner* of each layer (greedy cost-balanced assignment, as in
 //!    KAISA) refreshes eigendecompositions on schedule and preconditions
 //!    the layer's gradient;
-//! 5. variable-size ring **all-gather** of the preconditioned gradients.
-//!    This is the traffic COMPSO compresses: with a compressor installed,
-//!    owners compress their layers' preconditioned gradients (aggregating
-//!    up to `aggregation` layers per compressed unit, via
-//!    [`Compressor::compress_group`] with a cached [`LayerSchedule`] so
-//!    chunked compressors reuse the paper's "pre-determined layer-block
-//!    hashmap" every iteration) and every rank decompresses what it
-//!    receives;
-//! 6. every rank decodes the received peer payloads **in parallel**
-//!    (rayon over the N−1 buffers), installs the preconditioned
-//!    gradients, and applies the identical SGD(+momentum) update.
+//! 5. **pipelined** ring all-gather of the preconditioned gradients.
+//!    This is the traffic COMPSO compresses: owners compress their
+//!    layers' preconditioned gradients (aggregating up to `aggregation`
+//!    layers per compressed unit, via [`Compressor::compress_group`]
+//!    with a cached [`LayerSchedule`] so chunked compressors reuse the
+//!    paper's "pre-determined layer-block hashmap" every iteration).
+//!    Each aggregation group travels in its own CRC-32 checksum frame,
+//!    and on the default pipelined path
+//!    ([`DistKfacConfig::pipeline_gather`]) the groups stream through
+//!    the ring in slots: compression of group *k+1* overlaps the hops of
+//!    group *k*, and peers decode each group **as it lands** instead of
+//!    after the full gather — the paper's headline
+//!    compression–communication overlap. With `pipeline_gather: false`
+//!    the same frames travel concatenated through one
+//!    compress-then-`allgather_var` call (the measurable baseline);
+//!    group framing, compression order, and the RNG stream are identical
+//!    in both modes, so the two paths are bit-identical;
+//! 6. every rank installs the decoded preconditioned gradients (decoded
+//!    in parallel over the N−1 peer buffers on the serial path; already
+//!    streamed in on the pipelined path) and applies the identical
+//!    SGD(+momentum) update.
 //!
 //! # Fault model and the degradation ladder
 //!
@@ -55,9 +69,11 @@
 //! degradations against the fault plane's injection ledger exactly.
 
 use crate::kfac::{covariance, Kfac, KfacConfig};
-use compso_comm::collectives::{allgather_var, allgather_var_quiet, allreduce_mean};
+use compso_comm::collectives::{
+    allgather_var, allgather_var_quiet, allreduce_mean, pipelined_allgather,
+};
 use compso_comm::{CommError, Communicator, Payload};
-use compso_core::wire::{frame_checksummed, unframe_checksummed, Reader, Writer};
+use compso_core::wire::{frame_checksummed, framed_len, unframe_checksummed, Reader, Writer};
 use compso_core::{CompressError, Compressor, LayerSchedule, NoCompression};
 use compso_dnn::Sequential;
 use compso_obs::{names, Recorder};
@@ -71,6 +87,13 @@ pub struct DistKfacConfig {
     pub kfac: KfacConfig,
     /// Layers aggregated per compressed unit (§4.4's factor `m`).
     pub aggregation: usize,
+    /// Stream the step-5 aggregation groups through the ring (compress
+    /// group *k+1* while group *k*'s hops are in flight, decode each
+    /// group as it lands) instead of compress-then-gather. Bit-identical
+    /// to the serial path — same per-group frames, same compression
+    /// order, same RNG stream — so `false` is purely the A/B baseline
+    /// for measuring the overlap win.
+    pub pipeline_gather: bool,
 }
 
 impl Default for DistKfacConfig {
@@ -78,6 +101,7 @@ impl Default for DistKfacConfig {
         DistKfacConfig {
             kfac: KfacConfig::default(),
             aggregation: 4,
+            pipeline_gather: true,
         }
     }
 }
@@ -89,7 +113,8 @@ pub struct StepStats {
     pub gather_bytes_original: u64,
     /// Bytes actually all-gathered (equals original without compression).
     pub gather_bytes_wire: u64,
-    /// Raw-gradient all-reduce volume in bytes (uncompressed path).
+    /// All-reduce volume in bytes: the step-2 gradient bucket plus the
+    /// step-3 fused factor bucket (both always travel uncompressed).
     pub allreduce_bytes: u64,
 }
 
@@ -141,8 +166,8 @@ pub struct DistKfac {
     /// Times the schedule cache was (re)built. Stays at ≤ 1 for any fixed
     /// compressor; exposed for the reuse-invariant tests.
     schedule_builds: u32,
-    /// Reusable fusion buffer for the bucketed step-2 gradient sync (no
-    /// per-step allocation churn).
+    /// Reusable fusion buffer for the bucketed step-2 gradient sync and
+    /// the step-3 factor bucket (no per-step allocation churn).
     fusion: Vec<f32>,
     /// Last successfully decoded preconditioned gradient per layer — the
     /// ladder's rung-3 fallback store. Populated only while a fault
@@ -247,19 +272,46 @@ impl DistKfac {
             }
         }
 
-        // (3) Factor statistics: local covariance, all-reduce, fold.
+        // (3) Factor statistics, bucketed like step 2: every layer's
+        // local `a_cov`/`g_cov` is flattened into the (now free) fusion
+        // buffer and ONE `allreduce_mean` moves the whole factor bucket —
+        // 2·layers collectives fused into one per step. The f32 reduction
+        // order changes (blocks span factor boundaries) but identically
+        // on every rank, so replicas stay bit-identical.
         {
             let _span = self.recorder.span(names::KFAC_FACTOR);
+            let mut covs: Vec<(usize, Matrix, Matrix)> = Vec::with_capacity(kfac_layers.len());
+            self.fusion.clear();
             for &idx in &kfac_layers {
                 let s = model.kfac_stats(idx).ok_or(CommError::Protocol {
                     expected: "kfac layer with captured statistics",
                 })?;
-                let mut a_cov = covariance(&s.a);
-                let mut g_cov = covariance(&s.g);
-                allreduce_mean(comm, a_cov.as_mut_slice())?;
-                allreduce_mean(comm, g_cov.as_mut_slice())?;
+                let a_cov = covariance(&s.a);
+                let g_cov = covariance(&s.g);
+                self.fusion.extend_from_slice(a_cov.as_slice());
+                self.fusion.extend_from_slice(g_cov.as_slice());
+                covs.push((idx, a_cov, g_cov));
+            }
+            let fused_bytes = self.fusion.len() as u64 * 4;
+            stats.allreduce_bytes += fused_bytes;
+            self.recorder
+                .add(names::KFAC_FACTOR_FUSED_BYTES, fused_bytes);
+            allreduce_mean(comm, &mut self.fusion)?;
+            let mut off = 0usize;
+            for (idx, mut a_cov, mut g_cov) in covs {
+                let n = a_cov.len();
+                a_cov
+                    .as_mut_slice()
+                    .copy_from_slice(&self.fusion[off..off + n]);
+                off += n;
+                let n = g_cov.len();
+                g_cov
+                    .as_mut_slice()
+                    .copy_from_slice(&self.fusion[off..off + n]);
+                off += n;
                 self.kfac.absorb_covariances(idx, &a_cov, &g_cov);
             }
+            debug_assert_eq!(off, self.fusion.len());
         }
 
         // (4) Ownership map: built once (layer shapes are static).
@@ -342,52 +394,13 @@ impl DistKfac {
             }
         }
 
-        // (5) All-gather the preconditioned gradients, compressed in
-        // aggregation groups through the compressor's multi-layer entry
-        // point (chunked compressors run the §4.5 parallel kernels here,
-        // reusing the cached schedule; the layer slices are borrowed, so
-        // no flatten copy happens on this side either). The whole payload
-        // travels inside a CRC-32 checksum frame; a clean copy stays
-        // behind for the ladder's repair rungs.
-        let allgather_span = self.recorder.span(names::KFAC_ALLGATHER);
-        let mut payload = Writer::new();
-        payload.u32(owned.len() as u32);
-        for (gi, group) in owned.chunks(m).enumerate() {
-            // Group header: layer ids and shapes.
-            payload.u32(group.len() as u32);
-            let mut refs: Vec<&[f32]> = Vec::with_capacity(group.len());
-            for (idx, pre) in group {
-                payload.u32(*idx as u32);
-                payload.u32(pre.rows() as u32);
-                payload.u32(pre.cols() as u32);
-                stats.gather_bytes_original += pre.len() as u64 * 4;
-                refs.push(pre.as_slice());
-            }
-            let schedule = self.schedules.as_ref().and_then(|(_, gs)| gs.get(gi));
-            let compressed =
-                compressor.compress_group(&refs, schedule, &mut self.rng, &self.recorder);
-            payload.block(&compressed);
-        }
-        let clean_frame = frame_checksummed(&payload.into_bytes());
-        stats.gather_bytes_wire += clean_frame.len() as u64;
-        let plane = comm.fault_plane().clone();
-        let mut tx = clean_frame.clone();
-        // Origin-side payload corruption (fault class the ladder absorbs;
-        // no-op with the plane disabled).
-        plane.maybe_corrupt_payload(me, step_idx, &mut tx);
-        let gathered = allgather_var(comm, tx)?;
-        drop(allgather_span);
-
-        // (6) Validate + decode every rank's contribution in parallel
-        // (one rayon task per payload), then repair/degrade, then install
-        // serially in rank order so the result is independent of worker
-        // scheduling. Our own contribution decodes from the clean frame —
-        // the origin never needs its own repair.
-        let _update_span = self.recorder.span(names::KFAC_UPDATE);
-        let p = comm.size();
         // Deterministic per-rank expectation: which layers (and shapes)
-        // each rank's payload must carry. Identical on all ranks, and the
-        // yardstick hostile payload headers are validated against.
+        // each rank's payload must carry, grouped by the aggregation
+        // factor. Identical on all ranks, computed *before* the gather so
+        // the pipelined path can validate and decode each group the
+        // moment it lands; it is also the yardstick hostile payload
+        // headers are validated against.
+        let p = comm.size();
         let mut expected: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); p];
         for (pos, &idx) in kfac_layers.iter().enumerate() {
             let g = model.layer(idx).grads().ok_or(CommError::Protocol {
@@ -395,19 +408,154 @@ impl DistKfac {
             })?;
             expected[owners[pos]].push((idx, g.rows(), g.cols()));
         }
+        let n_groups: Vec<usize> = expected.iter().map(|e| e.chunks(m).count()).collect();
+
+        // (5) All-gather the preconditioned gradients, compressed in
+        // aggregation groups through the compressor's multi-layer entry
+        // point (chunked compressors run the §4.5 parallel kernels here,
+        // reusing the cached schedule; the layer slices are borrowed, so
+        // no flatten copy happens on this side either). Each group
+        // travels in its own CRC-32 checksum frame — frames are
+        // self-delimiting, so a rank's canonical payload is simply their
+        // concatenation — and clean copies stay behind for the ladder's
+        // repair rungs. On the default pipelined path the groups stream
+        // through the ring: compression of group k+1 overlaps the hops
+        // of group k, and every peer group is decoded as it lands. Both
+        // modes produce the frames in the same order with the same RNG
+        // stream, so they are bit-identical.
+        let allgather_span = self.recorder.span(names::KFAC_ALLGATHER);
+        for (_, pre) in &owned {
+            stats.gather_bytes_original += pre.len() as u64 * 4;
+        }
+        let plane = comm.fault_plane().clone();
+        let mut clean_frames: Vec<Vec<u8>> = Vec::with_capacity(n_groups[me]);
+        // Per-(origin, group) streaming decode slots for the pipelined
+        // path.
+        type DecodedGroup = Option<Result<Vec<(usize, Matrix)>, CompressError>>;
+        let mut decoded: Vec<Vec<DecodedGroup>> = n_groups
+            .iter()
+            .map(|&g| (0..g).map(|_| None).collect())
+            .collect();
+        let gathered: Vec<Vec<u8>> = if self.config.pipeline_gather {
+            let rng = &mut self.rng;
+            let rec = &self.recorder;
+            let schedules = &self.schedules;
+            let owned_ref = &owned;
+            let clean = &mut clean_frames;
+            let out = &mut decoded;
+            let expected_ref = &expected;
+            pipelined_allgather(
+                comm,
+                &n_groups,
+                |g| {
+                    // lint:allow(no-unwrap-on-comm-path): pipelined_allgather only calls produce for g < n_groups[me]
+                    let group = owned_ref.chunks(m).nth(g).expect("produce group in range");
+                    let schedule = schedules.as_ref().and_then(|(_, gs)| gs.get(g));
+                    let frame = encode_group_frame(group, schedule, compressor, rng, rec);
+                    clean.push(frame.clone());
+                    let mut tx = frame;
+                    if g == 0 {
+                        // Origin-side payload corruption (fault class the
+                        // ladder absorbs; no-op with the plane disabled).
+                        // The per-(rank, step) corruption decision lands
+                        // in the first group's frame; detection is
+                        // per-group but repair stays at origin
+                        // granularity, so the ladder behaves exactly as
+                        // on the serial path.
+                        plane.maybe_corrupt_payload(me, step_idx, &mut tx);
+                    }
+                    tx
+                },
+                |origin, g, bytes| {
+                    let chunk = expected_ref[origin].chunks(m).nth(g);
+                    out[origin][g] = Some(match chunk {
+                        Some(chunk) => decode_group_frame(&bytes, chunk, compressor, rec),
+                        None => Err(CompressError::Corrupt("pipeline group out of range")),
+                    });
+                },
+            )?;
+            Vec::new()
+        } else {
+            for (gi, group) in owned.chunks(m).enumerate() {
+                let schedule = self.schedules.as_ref().and_then(|(_, gs)| gs.get(gi));
+                clean_frames.push(encode_group_frame(
+                    group,
+                    schedule,
+                    compressor,
+                    &mut self.rng,
+                    &self.recorder,
+                ));
+            }
+            let mut tx = clean_frames.concat();
+            // Origin-side payload corruption (fault class the ladder
+            // absorbs; no-op with the plane disabled).
+            plane.maybe_corrupt_payload(me, step_idx, &mut tx);
+            allgather_var(comm, tx)?
+        };
+        // Canonical per-rank wire payload: the frames' concatenation —
+        // identical in both modes, so the traffic stats agree whichever
+        // path ran. Also the ladder's rung-1 resend body.
+        let clean_payload: Vec<u8> = clean_frames.concat();
+        stats.gather_bytes_wire += clean_payload.len() as u64;
+        drop(allgather_span);
+
+        // (6) Assemble every rank's contribution, then repair/degrade,
+        // then install serially in rank order so the result is
+        // independent of worker scheduling. Our own contribution decodes
+        // from the clean frames — the origin never needs its own repair.
+        let _update_span = self.recorder.span(names::KFAC_UPDATE);
         let mut results: Vec<Result<Vec<(usize, Matrix)>, CompressError>> = {
             let _decode_span = self.recorder.span(names::KFAC_PEER_DECODE);
-            let rec = &self.recorder;
-            let frames: Vec<(usize, &[u8])> = (0..p)
-                .map(|r| {
-                    let bytes: &[u8] = if r == me { &clean_frame } else { &gathered[r] };
-                    (r, bytes)
-                })
-                .collect();
-            frames
-                .par_iter()
-                .map(|&(r, bytes)| decode_rank_payload(bytes, &expected[r], m, compressor, rec))
-                .collect()
+            if self.config.pipeline_gather {
+                // Peer groups already streamed in during the collective;
+                // decode our own groups and fold per-group results into
+                // one result per origin (any failed group marks the whole
+                // origin for the ladder, which repairs at origin
+                // granularity).
+                for (g, frame) in clean_frames.iter().enumerate() {
+                    // lint:allow(no-unwrap-on-comm-path): clean_frames holds exactly n_groups[me] frames
+                    let chunk = expected[me].chunks(m).nth(g).expect("own group in range");
+                    decoded[me][g] =
+                        Some(decode_group_frame(frame, chunk, compressor, &self.recorder));
+                }
+                decoded
+                    .into_iter()
+                    .map(|groups| {
+                        let mut entries = Vec::new();
+                        for slot in groups {
+                            match slot {
+                                Some(Ok(e)) => entries.extend(e),
+                                Some(Err(e)) => return Err(e),
+                                None => {
+                                    return Err(CompressError::Corrupt(
+                                        "pipeline group never delivered",
+                                    ))
+                                }
+                            }
+                        }
+                        Ok(entries)
+                    })
+                    .collect()
+            } else {
+                // Compress-then-gather baseline: validate + decode every
+                // rank's concatenated payload in parallel (one rayon task
+                // per payload).
+                let rec = &self.recorder;
+                let frames: Vec<(usize, &[u8])> = (0..p)
+                    .map(|r| {
+                        let bytes: &[u8] = if r == me {
+                            &clean_payload
+                        } else {
+                            &gathered[r]
+                        };
+                        (r, bytes)
+                    })
+                    .collect();
+                frames
+                    .par_iter()
+                    .map(|&(r, bytes)| decode_rank_frames(bytes, &expected[r], m, compressor, rec))
+                    .collect()
+            }
         };
 
         // Degradation ladder rungs 1–2: a tiny always-on status exchange
@@ -448,8 +596,8 @@ impl DistKfac {
                 }
                 if me == o {
                     // Origin side. Rung 1: compressed resend of the
-                    // clean framed copy.
-                    let mut r1 = clean_frame.clone();
+                    // clean framed copy (all groups, concatenated).
+                    let mut r1 = clean_payload.clone();
                     plane.maybe_corrupt_repair(me, q, step_idx, 1, &mut r1);
                     comm.send(q, Payload::Bytes(r1))?;
                     let ack = comm
@@ -465,7 +613,7 @@ impl DistKfac {
                 } else if me == q {
                     // Requester side.
                     let r1 = comm.recv_labeled(o, names::KFAC_REPAIR)?.try_bytes()?;
-                    match decode_rank_payload(&r1, &expected[o], m, compressor, &self.recorder) {
+                    match decode_rank_frames(&r1, &expected[o], m, compressor, &self.recorder) {
                         Ok(entries) => {
                             comm.send(o, Payload::Sizes(vec![1]))?;
                             self.recorder.incr(names::KFAC_DEGRADE_REPAIR_COMPRESSED_OK);
@@ -607,51 +755,102 @@ pub fn no_compression() -> NoCompression {
     NoCompression
 }
 
-/// Validates and decodes one rank's framed all-gather payload against the
-/// deterministic expectation (`(layer idx, rows, cols)` per owned layer,
-/// grouped by the aggregation factor `m`). Every header field is checked
-/// against the expectation *before* any decode work, so a hostile or
-/// bit-flipped payload fails fast instead of driving allocations.
-fn decode_rank_payload(
+/// Compresses one aggregation group into its self-contained CRC-32
+/// checksum frame: `[group header][compressed block]` framed by
+/// [`frame_checksummed`]. The unit of transfer for both gather modes —
+/// the pipelined path streams one frame per ring slot, the serial path
+/// concatenates them into one payload.
+fn encode_group_frame(
+    group: &[(usize, Matrix)],
+    schedule: Option<&LayerSchedule>,
+    compressor: &dyn Compressor,
+    rng: &mut Rng,
+    rec: &Recorder,
+) -> Vec<u8> {
+    let mut payload = Writer::new();
+    // Group header: layer ids and shapes.
+    payload.u32(group.len() as u32);
+    let mut refs: Vec<&[f32]> = Vec::with_capacity(group.len());
+    for (idx, pre) in group {
+        payload.u32(*idx as u32);
+        payload.u32(pre.rows() as u32);
+        payload.u32(pre.cols() as u32);
+        refs.push(pre.as_slice());
+    }
+    let compressed = compressor.compress_group(&refs, schedule, rng, rec);
+    payload.block(&compressed);
+    frame_checksummed(&payload.into_bytes())
+}
+
+/// Validates and decodes one aggregation-group frame against its
+/// deterministic expectation (`(layer idx, rows, cols)` per layer of the
+/// group). Every header field is checked against the expectation *before*
+/// any decode work, so a hostile or bit-flipped frame fails fast instead
+/// of driving allocations.
+fn decode_group_frame(
     frame: &[u8],
-    expected: &[(usize, usize, usize)],
-    m: usize,
+    chunk: &[(usize, usize, usize)],
     compressor: &dyn Compressor,
     rec: &Recorder,
 ) -> Result<Vec<(usize, Matrix)>, CompressError> {
     let payload = unframe_checksummed(frame)?;
     let mut r = Reader::new(payload);
-    let n_owned = r.u32()? as usize;
-    if n_owned != expected.len() {
-        return Err(CompressError::Corrupt("owned-layer count mismatch"));
+    let group_len = r.u32()? as usize;
+    if group_len != chunk.len() {
+        return Err(CompressError::Corrupt("group length mismatch"));
     }
-    let mut out: Vec<(usize, Matrix)> = Vec::with_capacity(n_owned);
-    for chunk in expected.chunks(m) {
-        let group_len = r.u32()? as usize;
-        if group_len != chunk.len() {
-            return Err(CompressError::Corrupt("group length mismatch"));
+    for &(idx, rows, cols) in chunk {
+        let got_idx = r.u32()? as usize;
+        let got_rows = r.u32()? as usize;
+        let got_cols = r.u32()? as usize;
+        if got_idx != idx || got_rows != rows || got_cols != cols {
+            return Err(CompressError::Corrupt("layer header mismatch"));
         }
-        for &(idx, rows, cols) in chunk {
-            let got_idx = r.u32()? as usize;
-            let got_rows = r.u32()? as usize;
-            let got_cols = r.u32()? as usize;
-            if got_idx != idx || got_rows != rows || got_cols != cols {
-                return Err(CompressError::Corrupt("layer header mismatch"));
-            }
+    }
+    let block = r.block()?;
+    let layers = compressor.decompress_group(block, rec)?;
+    if layers.len() != chunk.len() {
+        return Err(CompressError::Corrupt("decoded layer count mismatch"));
+    }
+    let mut out = Vec::with_capacity(chunk.len());
+    for (flat, &(idx, rows, cols)) in layers.into_iter().zip(chunk) {
+        if flat.len() != rows * cols {
+            return Err(CompressError::Corrupt("decoded layer size mismatch"));
         }
-        let block = r.block()?;
-        let layers = compressor.decompress_group(block, rec)?;
-        if layers.len() != chunk.len() {
-            return Err(CompressError::Corrupt("decoded layer count mismatch"));
-        }
-        for (flat, &(idx, rows, cols)) in layers.into_iter().zip(chunk) {
-            if flat.len() != rows * cols {
-                return Err(CompressError::Corrupt("decoded layer size mismatch"));
-            }
-            out.push((idx, Matrix::from_vec(rows, cols, flat)));
-        }
+        out.push((idx, Matrix::from_vec(rows, cols, flat)));
     }
     if !r.is_exhausted() {
+        return Err(CompressError::Corrupt("trailing group bytes"));
+    }
+    Ok(out)
+}
+
+/// Validates and decodes one rank's full all-gather payload — the
+/// concatenation of its self-delimiting group frames, walked with
+/// [`framed_len`] — against the deterministic expectation grouped by the
+/// aggregation factor `m`. The serial gather path and the ladder's rung-1
+/// repair both decode through here.
+fn decode_rank_frames(
+    bytes: &[u8],
+    expected: &[(usize, usize, usize)],
+    m: usize,
+    compressor: &dyn Compressor,
+    rec: &Recorder,
+) -> Result<Vec<(usize, Matrix)>, CompressError> {
+    let mut out: Vec<(usize, Matrix)> = Vec::with_capacity(expected.len());
+    let mut off = 0usize;
+    for chunk in expected.chunks(m) {
+        let len = framed_len(&bytes[off..])
+            .ok_or(CompressError::Corrupt("bad or truncated group frame"))?;
+        out.extend(decode_group_frame(
+            &bytes[off..off + len],
+            chunk,
+            compressor,
+            rec,
+        )?);
+        off += len;
+    }
+    if off != bytes.len() {
         return Err(CompressError::Corrupt("trailing payload bytes"));
     }
     Ok(out)
@@ -1029,16 +1228,20 @@ mod tests {
         });
         let snap = rec.snapshot();
         // Per rank per step: exactly ONE gradient-sync allreduce (the
-        // bucket) plus two factor allreduces per K-FAC layer. mlp
-        // [6,16,3] has 2 K-FAC (linear) layers.
-        let n_kfac = 2u64;
-        let expected = (ranks * steps) as u64 * (1 + 2 * n_kfac);
+        // step-2 bucket) plus exactly ONE fused factor allreduce (the
+        // step-3 bucket) — regardless of how many K-FAC layers the model
+        // has.
+        let expected = (ranks * steps) as u64 * 2;
         assert_eq!(snap.counter(names::COMM_ALLREDUCE_CALLS), expected);
-        // One compressed all-gather per step completes the picture.
+        // The fused factor bucket actually moved bytes.
+        assert!(snap.counter(names::KFAC_FACTOR_FUSED_BYTES) > 0);
+        // One pipelined compressed all-gather per step completes the
+        // picture; the serial allgather_var path stays cold by default.
         assert_eq!(
-            snap.counter(names::COMM_ALLGATHER_VAR_CALLS),
+            snap.counter(names::COMM_PIPELINED_ALLGATHER_CALLS),
             (ranks * steps) as u64
         );
+        assert_eq!(snap.counter(names::COMM_ALLGATHER_VAR_CALLS), 0);
         // The bucket flatten/scatter spans wrap the sync (2 per step).
         assert_eq!(
             snap.timers[names::KFAC_BUCKET].count,
@@ -1236,22 +1439,33 @@ mod tests {
     #[test]
     fn step_stats_account_traffic() {
         let d = data::gaussian_blobs(100, 6, 3, 0.3, 23);
-        let results = run_ranks(2, |comm| {
-            let mut rng = Rng::new(44);
-            let mut model = models::mlp(&[6, 8, 3], &mut rng);
-            let shard = d.shard(comm.rank(), 2);
-            let mut opt = DistKfac::new(DistKfacConfig::default(), 7);
-            let nc = no_compression();
-            let (x, y) = shard.batch(0, 8);
-            let logits = model.forward(&x, true);
-            let (_, grad) = softmax_cross_entropy(&logits, &y);
-            model.backward(&grad);
-            opt.step(comm, &mut model, &nc).unwrap()
-        });
-        // Two linear layers: (6+1)*8 + (8+1)*3 = 83 params -> 332 bytes
-        // allreduced per rank.
+        let run = |pipeline: bool| {
+            let d = d.clone();
+            run_ranks(2, move |comm| {
+                let mut rng = Rng::new(44);
+                let mut model = models::mlp(&[6, 8, 3], &mut rng);
+                let shard = d.shard(comm.rank(), 2);
+                let config = DistKfacConfig {
+                    pipeline_gather: pipeline,
+                    ..DistKfacConfig::default()
+                };
+                let mut opt = DistKfac::new(config, 7);
+                let nc = no_compression();
+                let (x, y) = shard.batch(0, 8);
+                let logits = model.forward(&x, true);
+                let (_, grad) = softmax_cross_entropy(&logits, &y);
+                model.backward(&grad);
+                opt.step(comm, &mut model, &nc).unwrap()
+            })
+        };
+        let results = run(true);
+        // Step-2 gradient bucket: two linear layers, (6+1)*8 + (8+1)*3 =
+        // 83 params -> 332 bytes. Step-3 fused factor bucket: a_cov is
+        // (in+1)², g_cov is out² per layer, (6+1)² + 8² + (8+1)² + 3² =
+        // 203 floats -> 812 bytes. Total allreduced per rank per step:
+        // 1144 bytes.
         for s in &results {
-            assert_eq!(s.allreduce_bytes, 332);
+            assert_eq!(s.allreduce_bytes, 332 + 812);
             assert!(s.gather_bytes_original > 0);
             // NoCompression wire size ≈ original + headers.
             assert!(s.gather_bytes_wire >= s.gather_bytes_original);
@@ -1259,5 +1473,140 @@ mod tests {
         // Every layer is owned exactly once across ranks.
         let total_original: u64 = results.iter().map(|s| s.gather_bytes_original).sum();
         assert_eq!(total_original, 332);
+        // The serial compress-then-gather baseline accounts the exact
+        // same traffic: the canonical wire payload (concatenated group
+        // frames) is identical in both modes.
+        let serial = run(false);
+        for (a, b) in results.iter().zip(&serial) {
+            assert_eq!(a.allreduce_bytes, b.allreduce_bytes);
+            assert_eq!(a.gather_bytes_original, b.gather_bytes_original);
+            assert_eq!(a.gather_bytes_wire, b.gather_bytes_wire);
+        }
+    }
+
+    #[test]
+    fn serial_gather_mode_keeps_allgather_var_baseline() {
+        use compso_obs::{names, Recorder};
+        let ranks = 2;
+        let steps = 3;
+        let d = data::gaussian_blobs(160, 6, 3, 0.3, 91);
+        let rec = Recorder::enabled();
+        let rec_ref = &rec;
+        run_ranks(ranks, |comm| {
+            let mut rng = Rng::new(92);
+            let mut model = models::mlp(&[6, 16, 3], &mut rng);
+            let shard = d.shard(comm.rank(), ranks);
+            let config = DistKfacConfig {
+                pipeline_gather: false,
+                ..DistKfacConfig::default()
+            };
+            let mut opt = DistKfac::new(config, 7);
+            opt.set_recorder(rec_ref.clone());
+            comm.set_recorder(rec_ref.clone());
+            let compso = compso_core::ChunkedCompso::new(CompsoConfig::aggressive(4e-3));
+            for step in 0..steps {
+                let (x, y) = shard.batch(step, 8);
+                let logits = model.forward(&x, true);
+                let (_, grad) = softmax_cross_entropy(&logits, &y);
+                model.backward(&grad);
+                opt.step(comm, &mut model, &compso).unwrap();
+                model.update_params(|p, g| p.axpy(-0.02, g));
+            }
+        });
+        let snap = rec.snapshot();
+        // With pipeline_gather disabled the step-5 gather runs through
+        // the classic compress-then-allgather_var path, and the pipelined
+        // collective stays cold.
+        assert_eq!(
+            snap.counter(names::COMM_ALLGATHER_VAR_CALLS),
+            (ranks * steps) as u64
+        );
+        assert_eq!(snap.counter(names::COMM_PIPELINED_ALLGATHER_CALLS), 0);
+        // The factor fusion is mode-independent: still exactly two
+        // allreduces per rank per step.
+        assert_eq!(
+            snap.counter(names::COMM_ALLREDUCE_CALLS),
+            (ranks * steps) as u64 * 2
+        );
+    }
+
+    #[test]
+    fn pipelined_gather_is_bit_identical_to_serial_at_1_2_4_ranks() {
+        // The tentpole invariant: streaming groups through the ring
+        // (compress k+1 while k's hops are in flight, decode on arrival)
+        // must not change a single bit of the training trajectory
+        // relative to compress-then-gather, at any rank count.
+        let steps = 5;
+        let d = data::gaussian_blobs(240, 6, 3, 0.3, 87);
+        let run = |ranks: usize, pipeline: bool| {
+            let d = d.clone();
+            run_ranks(ranks, move |comm| {
+                let mut rng = Rng::new(88);
+                let mut model = models::mlp(&[6, 16, 16, 3], &mut rng);
+                let shard = d.shard(comm.rank(), ranks);
+                let config = DistKfacConfig {
+                    pipeline_gather: pipeline,
+                    ..DistKfacConfig::default()
+                };
+                let mut opt = DistKfac::new(config, 7);
+                let compso = compso_core::ChunkedCompso::new(CompsoConfig::aggressive(4e-3));
+                for step in 0..steps {
+                    let (x, y) = shard.batch(step, 8);
+                    let logits = model.forward(&x, true);
+                    let (_, grad) = softmax_cross_entropy(&logits, &y);
+                    model.backward(&grad);
+                    opt.step(comm, &mut model, &compso).unwrap();
+                    model.update_params(|p, g| p.axpy(-0.02, g));
+                }
+                let params: Vec<Matrix> = (0..model.len())
+                    .filter_map(|i| model.layer(i).params().cloned())
+                    .collect();
+                params
+            })
+        };
+        for &ranks in &[1usize, 2, 4] {
+            let pipelined = run(ranks, true);
+            let serial = run(ranks, false);
+            for (r, (a, b)) in pipelined.iter().zip(&serial).enumerate() {
+                assert_eq!(
+                    a, b,
+                    "rank {r}/{ranks} params differ between pipelined and serial gather"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_factor_sync_matches_per_layer_sync_within_f32_tolerance() {
+        // The step-3 fusion changes the f32 reduction order (ring blocks
+        // span factor boundaries). Per-factor allreduce_mean is the
+        // semantic reference; fused values must agree to f32 tolerance.
+        let ranks = 3;
+        let results = run_ranks(ranks, |comm| {
+            let r = comm.rank();
+            let mut rng = Rng::new(900 + r as u64);
+            // Heterogeneous fake factors, different on every rank.
+            let factors: Vec<Vec<f32>> = [49usize, 64, 81, 9]
+                .iter()
+                .map(|&n| (0..n).map(|_| rng.normal(0.0, 1.0)).collect())
+                .collect();
+            let mut per_factor = factors.clone();
+            for f in &mut per_factor {
+                allreduce_mean(comm, f).unwrap();
+            }
+            let mut fused: Vec<f32> = factors.iter().flatten().copied().collect();
+            allreduce_mean(comm, &mut fused).unwrap();
+            (per_factor, fused)
+        });
+        for (per_factor, fused) in &results {
+            let flat_ref: Vec<f32> = per_factor.iter().flatten().copied().collect();
+            assert_eq!(flat_ref.len(), fused.len());
+            for (a, b) in flat_ref.iter().zip(fused) {
+                assert!(
+                    (a - b).abs() <= 1e-6 + a.abs() * 1e-5,
+                    "fused factor {b} vs per-layer {a}"
+                );
+            }
+        }
     }
 }

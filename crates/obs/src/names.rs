@@ -50,6 +50,25 @@ pub const COMM_MSG_BYTES: &str = "comm/msg_bytes";
 pub const COMM_ALLREDUCE_CALLS: &str = "comm/allreduce_calls";
 /// `compso-comm`: number of variable-size all-gather invocations.
 pub const COMM_ALLGATHER_VAR_CALLS: &str = "comm/allgather_var_calls";
+/// `compso-comm`: pipelined (group-streamed) ring all-gather wall time;
+/// also the collective label its receives carry in `CommError`s.
+pub const COMM_PIPELINED_ALLGATHER: &str = "comm/pipelined_allgather";
+/// `compso-comm`: number of pipelined all-gather invocations (the
+/// pipelined counterpart of `comm/allgather_var_calls`).
+pub const COMM_PIPELINED_ALLGATHER_CALLS: &str = "comm/pipelined_allgather_calls";
+/// `compso-comm`: pipeline slots executed across all pipelined
+/// all-gathers (max aggregation-group count over the ranks, per call).
+pub const COMM_PIPELINE_STAGES: &str = "comm/pipeline_stages";
+/// `compso-comm`: time spent inside the producer callback (rank-local
+/// compression of the next group) during a pipelined all-gather.
+pub const COMM_PIPELINE_PRODUCE: &str = "comm/pipeline/produce";
+/// `compso-comm`: time spent inside the delivery callback (streaming
+/// per-group decode) during a pipelined all-gather.
+pub const COMM_PIPELINE_DELIVER: &str = "comm/pipeline/deliver";
+/// `compso-comm`: time spent blocked on ring receives during a
+/// pipelined all-gather — the *exposed* (un-overlapped) communication.
+/// `1 − wait/allgather-span` is the achieved overlap fraction.
+pub const COMM_PIPELINE_WAIT: &str = "comm/pipeline/wait";
 
 /// `compso-comm`: label of a bare point-to-point receive
 /// ([`Communicator::recv`]) in `CommError`s.
@@ -129,6 +148,14 @@ pub const KFAC_UPDATE: &str = "kfac/step/update";
 /// Synthetic report phase covering step time outside the tracked
 /// sub-phases (computed by `StepReport`, never recorded directly).
 pub const KFAC_STEP_OTHER: &str = "kfac/step/other";
+/// Synthetic report metric: achieved compression–communication overlap
+/// fraction of the all-gather phase, `1 − pipeline-wait/allgather-span`
+/// (computed by `StepReport` from the pipeline timers, never recorded
+/// directly; absent on the compress-then-gather path).
+pub const KFAC_OVERLAP_FRAC: &str = "kfac/overlap_frac";
+/// `compso-kfac`: bytes moved by the single fused factor all-reduce
+/// (step 3's `a_cov`/`g_cov` bucket; 2·layers collectives fused into 1).
+pub const KFAC_FACTOR_FUSED_BYTES: &str = "kfac/factor_fused_bytes";
 
 /// `compso-kfac` checkpointing: whole coordinated save (encode +
 /// write + fsync + metadata all-gather + commit).
@@ -173,6 +200,12 @@ pub const ALL: &[&str] = &[
     COMM_MSG_BYTES,
     COMM_ALLREDUCE_CALLS,
     COMM_ALLGATHER_VAR_CALLS,
+    COMM_PIPELINED_ALLGATHER,
+    COMM_PIPELINED_ALLGATHER_CALLS,
+    COMM_PIPELINE_STAGES,
+    COMM_PIPELINE_PRODUCE,
+    COMM_PIPELINE_DELIVER,
+    COMM_PIPELINE_WAIT,
     COMM_RECV,
     COMM_BARRIER,
     COMM_BROADCAST,
@@ -199,6 +232,8 @@ pub const ALL: &[&str] = &[
     KFAC_ALLGATHER,
     KFAC_UPDATE,
     KFAC_STEP_OTHER,
+    KFAC_OVERLAP_FRAC,
+    KFAC_FACTOR_FUSED_BYTES,
     CKPT_SAVE,
     CKPT_LOAD,
     CKPT_SAVES,

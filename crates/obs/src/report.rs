@@ -122,6 +122,12 @@ pub struct StepReport {
     /// Live compression ratio `core/bytes_in ÷ core/bytes_out`, when the
     /// compressor recorded traffic.
     pub ratio: Option<f64>,
+    /// Achieved compression–communication overlap of the pipelined
+    /// gather, when it ran: `1 − comm/pipeline/wait ÷ kfac/step/allgather`
+    /// (the fraction of the gather wall NOT spent blocked on the wire),
+    /// clamped to `[0, 1]`. The measured counterpart of the §4.4 model's
+    /// predicted overlap.
+    pub overlap_frac: Option<f64>,
     /// Structured fault-handling / degradation-ladder view of the step.
     pub resilience: Resilience,
 }
@@ -157,6 +163,13 @@ impl StepReport {
         let bytes_out = snap.counter(names::CORE_BYTES_OUT);
         let ratio = (bytes_out > 0).then(|| bytes_in as f64 / bytes_out as f64);
 
+        let gather_s = snap.timer_seconds(names::KFAC_ALLGATHER);
+        let overlap_frac = (snap.timers.contains_key(names::COMM_PIPELINE_WAIT) && gather_s > 0.0)
+            .then(|| {
+                let wait_s = snap.timer_seconds(names::COMM_PIPELINE_WAIT);
+                (1.0 - wait_s / gather_s).clamp(0.0, 1.0)
+            });
+
         StepReport {
             step,
             wall_s,
@@ -164,6 +177,7 @@ impl StepReport {
             fractions,
             counters: snap.counters.clone(),
             ratio,
+            overlap_frac,
             resilience: Resilience::from_snapshot(snap),
         }
     }
@@ -196,6 +210,10 @@ impl StepReport {
         match self.ratio {
             Some(r) => out.push_str(&format!(",\"ratio\":{}", fmt_f64(r))),
             None => out.push_str(",\"ratio\":null"),
+        }
+        match self.overlap_frac {
+            Some(v) => out.push_str(&format!(",\"overlap_frac\":{}", fmt_f64(v))),
+            None => out.push_str(",\"overlap_frac\":null"),
         }
         let rz = &self.resilience;
         out.push_str(&format!(
@@ -346,7 +364,39 @@ mod tests {
         assert_eq!(report.wall_s, 0.0);
         assert!(report.fractions.is_empty());
         assert_eq!(report.ratio, None);
+        assert_eq!(report.overlap_frac, None);
         validate(&report.to_json()).expect("valid JSON");
+    }
+
+    #[test]
+    fn overlap_frac_measures_hidden_gather_time() {
+        // 250 µs gather wall with 50 µs blocked on the wire → 80% of the
+        // gather was overlapped with compression/decode.
+        let rec = Recorder::enabled();
+        rec.add_time_ns(names::KFAC_STEP, 1_000_000);
+        rec.add_time_ns(names::KFAC_ALLGATHER, 250_000);
+        rec.add_time_ns(names::COMM_PIPELINE_WAIT, 50_000);
+        let report = StepReport::from_snapshot(0, &rec.snapshot());
+        let f = report.overlap_frac.expect("pipeline ran");
+        assert!((f - 0.8).abs() < 1e-9, "{f}");
+        let doc = report.to_json();
+        validate(&doc).unwrap_or_else(|(pos, msg)| panic!("{msg} at {pos} in {doc}"));
+        assert!(doc.contains("\"overlap_frac\":8e-1"), "{doc}");
+        // Wait exceeding the gather span (clock skew) clamps to 0.
+        rec.reset();
+        rec.add_time_ns(names::KFAC_ALLGATHER, 10_000);
+        rec.add_time_ns(names::COMM_PIPELINE_WAIT, 20_000);
+        let report = StepReport::from_snapshot(1, &rec.snapshot());
+        assert_eq!(report.overlap_frac, Some(0.0));
+    }
+
+    #[test]
+    fn overlap_frac_absent_without_pipeline_timers() {
+        // The serial compress-then-gather path never records a pipeline
+        // wait, so the report must not invent an overlap number.
+        let report = StepReport::from_snapshot(0, &sample_snapshot());
+        assert_eq!(report.overlap_frac, None);
+        assert!(report.to_json().contains("\"overlap_frac\":null"));
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! absolute times.
 
 use crate::platform::Platform;
-use compso_core::perfmodel::CompressorProfile;
+use compso_core::perfmodel::{predicted_overlap_frac, CompressorProfile};
 use compso_dnn::ModelSpec;
 
 /// Phase times of one training iteration, seconds.
@@ -163,6 +163,30 @@ impl IterationModel {
             others,
         }
     }
+
+    /// Predicted achieved overlap fraction of the pipelined gather: the
+    /// compression + decompression compute from the profile, pipelined
+    /// against the *undiscounted* gather wire time in `ceil(layers / m)`
+    /// stages (one ring slot per aggregation group). The measured
+    /// counterpart is `StepReport::overlap_frac`
+    /// (`1 − comm/pipeline/wait ÷ kfac/step/allgather`). Zero without a
+    /// compressor: there is no rank-local compute to hide the wire
+    /// behind.
+    pub fn overlap_frac(
+        &self,
+        spec: &ModelSpec,
+        gpus: usize,
+        m: usize,
+        profile: Option<&CompressorProfile>,
+    ) -> f64 {
+        let m = m.max(1);
+        let stages = spec.layer_grad_bytes().chunks(m).count();
+        let (comm, compute) = self.gather_phase(spec, gpus, m, profile);
+        // gather_phase discounts the wire by the generic overlap factor;
+        // the pipeline model wants the raw wire time.
+        let raw_comm = comm / (1.0 - self.overlap).max(1e-9);
+        predicted_overlap_frac(compute, raw_comm, stages)
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +297,35 @@ mod tests {
         assert_eq!(b.grad_allgather, 0.0);
         assert_eq!(b.factor_allreduce, 0.0);
         assert!(b.fwd_bwd > 0.0);
+    }
+
+    #[test]
+    fn overlap_prediction_needs_a_compressor_and_grows_with_stages() {
+        let m = model1();
+        let spec = ModelSpec::resnet50();
+        let profile = CompressorProfile {
+            ratio: 19.0,
+            compress_tput: 40e9,
+            decompress_tput: 60e9,
+        };
+        // Without a compressor there is no compute to pipeline.
+        assert_eq!(m.overlap_frac(&spec, 64, 4, None), 0.0);
+        // With one, a nonzero fraction of the gather is hidden (small
+        // here: at ratio 19 the compressed wire dwarfs the codec
+        // compute, so there is little to hide it behind).
+        let f = m.overlap_frac(&spec, 64, 4, Some(&profile));
+        assert!((0.0..=1.0).contains(&f));
+        assert!(f > 0.01, "predicted overlap {f}");
+        // A slower codec spends more compute per byte — and the pipeline
+        // hides that compute behind the same wire, so the predicted
+        // overlap fraction must grow.
+        let slow = CompressorProfile {
+            ratio: 19.0,
+            compress_tput: 4e9,
+            decompress_tput: 6e9,
+        };
+        let f_slow = m.overlap_frac(&spec, 64, 4, Some(&slow));
+        assert!(f_slow > f, "slow {f_slow} vs fast {f}");
     }
 
     #[test]

@@ -10,6 +10,8 @@
 # Gated metrics:
 #   - speedup_decompress_chunked_vs_serial  (the headline chunked win)
 #   - chunked_nthread.compress_MBps         (absolute compress throughput)
+#   - pipeline.speedup_2w / speedup_4w      (pipelined vs serial gather;
+#     1w is legitimately ~1.0 — no wire to overlap — so it is not gated)
 #
 # The smoke run is much smaller than the committed snapshot (2^18 vs
 # 2^22 elements, single rep) and CI machines are noisy, so the floor is
@@ -44,6 +46,16 @@ checks = [
         "chunked_nthread.compress_MBps",
         smoke["chunked_nthread"]["compress_MBps"],
         base["chunked_nthread"]["compress_MBps"],
+    ),
+    (
+        "pipeline.speedup_2w",
+        smoke["pipeline"]["speedup_2w"],
+        base["pipeline"]["speedup_2w"],
+    ),
+    (
+        "pipeline.speedup_4w",
+        smoke["pipeline"]["speedup_4w"],
+        base["pipeline"]["speedup_4w"],
     ),
 ]
 

@@ -278,6 +278,7 @@ fn crash_campaign_restores_last_snapshot_and_matches_uninterrupted_run() {
         recv_timeout: Duration::from_secs(30),
         retry_initial: Duration::from_millis(40),
         max_retries: 10,
+        ..CommConfig::default()
     };
 
     // Uninterrupted reference trajectory.

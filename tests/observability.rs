@@ -99,9 +99,19 @@ fn recorder_sees_every_layer_of_the_stack() {
     // core: compressor phases and byte counters flowed in.
     assert!(snap.timers[names::CORE_QUANTIZE].count > 0);
     assert!(snap.counter(names::CORE_BYTES_IN) > snap.counter(names::CORE_BYTES_OUT));
-    // comm: collectives timed, traffic counted and histogrammed.
+    // comm: collectives timed, traffic counted and histogrammed. The
+    // default step-5 gather is the pipelined ring, so the pipelined
+    // span fires (once per rank per step) and its stage counter runs;
+    // the serial allgather_var is off the default path.
     assert!(snap.timers[names::COMM_ALLREDUCE].count > 0);
-    assert!(snap.timers[names::COMM_ALLGATHER_VAR].count > 0);
+    assert_eq!(snap.timers[names::COMM_PIPELINED_ALLGATHER].count, expect);
+    assert_eq!(
+        snap.counter(names::COMM_PIPELINED_ALLGATHER_CALLS),
+        expect,
+        "one pipelined gather per rank per step"
+    );
+    assert!(snap.counter(names::COMM_PIPELINE_STAGES) > 0);
+    assert!(snap.timers[names::COMM_PIPELINE_PRODUCE].count > 0);
     let sent = snap.counter(names::COMM_BYTES_SENT);
     assert!(sent > 0);
     assert_eq!(snap.hists[names::COMM_MSG_BYTES].sum, sent);

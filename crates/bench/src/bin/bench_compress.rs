@@ -336,6 +336,7 @@ fn main() {
                 step: 0,
                 world_size: 1,
                 fingerprint: 0,
+                epoch: 0,
                 ranks: vec![meta],
             };
             store.commit(&manifest).expect("commit");

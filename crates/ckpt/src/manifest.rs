@@ -25,8 +25,9 @@ use compso_core::wire::{Reader, WireError, Writer};
 /// Manifest magic byte (re-exported from the central
 /// `compso_core::wire::magic` registry).
 pub use compso_core::wire::magic::MAGIC_MANIFEST;
-/// Manifest format version.
-pub const MANIFEST_VERSION: u16 = 1;
+/// Manifest format version. Version 2 added the membership `epoch`
+/// field (elastic training).
+pub const MANIFEST_VERSION: u16 = 2;
 /// Largest accepted world size (hostile-input cap).
 pub const WORLD_MAX: usize = 4096;
 
@@ -70,13 +71,18 @@ pub struct RankFileMeta {
 pub struct Manifest {
     /// Global training step of the snapshot.
     pub step: u64,
-    /// World size the snapshot was taken at. Restore requires an equal
-    /// world size (elastic rejoin is a roadmap follow-on).
+    /// World size the snapshot was taken at. Restore into a *different*
+    /// world size reshards the owner-sharded factor files across the new
+    /// ownership map (striped by file index modulo the new size) and
+    /// drops rank-local state; an equal world size restores verbatim.
     pub world_size: u32,
     /// Fingerprint of the training configuration (seed, hyperparameters,
     /// compressor). A mismatch at restore is rejected: resuming under a
     /// different config could not be bit-identical anyway.
     pub fingerprint: u64,
+    /// Membership epoch at save time (0 for a group that never changed
+    /// view). Restored groups resume epoch numbering from here.
+    pub epoch: u64,
     /// One entry per rank, in rank order `0..world_size`.
     pub ranks: Vec<RankFileMeta>,
 }
@@ -198,6 +204,7 @@ impl Manifest {
         w.u64(self.step);
         w.u32(self.world_size);
         w.u64(self.fingerprint);
+        w.u64(self.epoch);
         for rank in &self.ranks {
             rank.encode_into(&mut w);
         }
@@ -221,6 +228,7 @@ impl Manifest {
             return Err(CkptError::Corrupt("manifest world size"));
         }
         let fingerprint = r.u64()?;
+        let epoch = r.u64()?;
         // Each rank entry costs at least 4 + 8 + 4 + 4 = 20 bytes.
         if world_size as usize > r.remaining() / 20 + 1 {
             return Err(CkptError::Corrupt("manifest rank count vs buffer"));
@@ -242,6 +250,7 @@ impl Manifest {
             step,
             world_size,
             fingerprint,
+            epoch,
             ranks,
         })
     }
@@ -266,6 +275,7 @@ mod tests {
             step: 42,
             world_size: 2,
             fingerprint: 0x1234_5678_9ABC_DEF0,
+            epoch: 3,
             ranks: vec![
                 RankFileMeta {
                     rank: 0,

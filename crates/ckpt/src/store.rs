@@ -326,6 +326,7 @@ mod tests {
             step,
             world_size: snaps.len() as u32,
             fingerprint: 0xABCD,
+            epoch: 0,
             ranks,
         };
         store.commit(&manifest)?;

@@ -29,6 +29,7 @@
 //! tagged with its rank id.
 
 use crate::fault::{flip_bit, FaultPlane};
+use crate::membership::ViewChange;
 use compso_obs::{names, Recorder};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::{HashMap, VecDeque};
@@ -41,6 +42,12 @@ use std::time::{Duration, Instant};
 /// wakes to service control traffic (peer NACKs needing retransmission)
 /// and check poison.
 const POLL_SLICE: Duration = Duration::from_millis(2);
+
+/// Sentinel sequence number for membership frames sent *outside* the ARQ
+/// stream (rejoin requests and welcomes cross channels whose sequence
+/// state is stale on one side). Raw frames are CRC-checked but never
+/// ACKed, NACKed, or stashed for reordering.
+const RAW_SEQ: u64 = u64::MAX;
 
 /// A message exchanged between ranks.
 ///
@@ -366,6 +373,11 @@ pub struct CommGroup {
     ctrl_tx: Vec<Vec<Sender<Ctrl>>>,
     ctrl_rx: Vec<Vec<Receiver<Ctrl>>>,
     poison: Arc<PoisonCell>,
+    /// Physical ranks that have left the group (crash detected by the
+    /// elastic harness). Shared so every survivor's poll loop observes a
+    /// departure within one [`POLL_SLICE`] — see
+    /// [`Communicator::mark_departed`].
+    departed: Arc<Mutex<Vec<usize>>>,
     plane: FaultPlane,
     config: CommConfig,
 }
@@ -391,6 +403,7 @@ impl CommGroup {
             ctrl_tx,
             mut ctrl_rx,
             poison,
+            departed,
             plane,
             config,
         } = self;
@@ -399,17 +412,24 @@ impl CommGroup {
             comms.push(Communicator {
                 rank,
                 size,
+                live: (0..size).collect(),
+                dead: Vec::new(),
+                absorbing: Vec::new(),
+                epoch: 0,
                 data_tx: data_tx_row,
                 data_rx: std::mem::take(&mut data_rx[rank]),
                 ctrl_tx: ctrl_tx_row,
                 ctrl_rx: std::mem::take(&mut ctrl_rx[rank]),
                 poison: Arc::clone(&poison),
+                departed: Arc::clone(&departed),
                 plane: plane.clone(),
                 config: config.clone(),
                 send_seq: vec![0; size],
                 recv_expect: vec![0; size],
                 outbox: (0..size).map(|_| VecDeque::new()).collect(),
                 stash: (0..size).map(|_| HashMap::new()).collect(),
+                membership_stash: (0..size).map(|_| VecDeque::new()).collect(),
+                rejoin_stash: (0..size).map(|_| VecDeque::new()).collect(),
                 barrier_stash: (0..size).map(|_| VecDeque::new()).collect(),
                 barrier_gen: 0,
                 step: 0,
@@ -422,14 +442,43 @@ impl CommGroup {
 }
 
 /// One rank's endpoint into a [`CommGroup`].
+///
+/// All public rank arithmetic ([`rank`], [`size`], [`left`], [`right`],
+/// and the `src`/`dst` arguments of [`send`]/[`recv`]) is **virtual**:
+/// positions within the current live membership view. The physical rank
+/// (channel index, fault-plane identity, error reporting) never changes
+/// and is exposed via [`phys_rank`]. With the full initial view the two
+/// coincide, so non-elastic callers see exactly the old semantics.
+///
+/// [`rank`]: Communicator::rank
+/// [`size`]: Communicator::size
+/// [`left`]: Communicator::left
+/// [`right`]: Communicator::right
+/// [`send`]: Communicator::send
+/// [`recv`]: Communicator::recv
+/// [`phys_rank`]: Communicator::phys_rank
 pub struct Communicator {
+    /// Physical rank: fixed channel-mesh index in `[0, size)`.
     rank: usize,
+    /// Physical group size: the channel mesh never shrinks.
     size: usize,
+    /// Sorted physical ranks in the current membership view.
+    live: Vec<usize>,
+    /// Physical ranks shrunk out of the view (absorbed failures).
+    dead: Vec<usize>,
+    /// Suspects of an in-flight [`Communicator::shrink`] round: treated
+    /// like `dead` by the failure detector so the shrink's own receives
+    /// do not trip over the very failure being absorbed.
+    absorbing: Vec<usize>,
+    /// Membership epoch: bumped by every committed shrink or grow.
+    epoch: u64,
     data_tx: Vec<Sender<DataMsg>>,
     data_rx: Vec<Receiver<DataMsg>>,
     ctrl_tx: Vec<Sender<Ctrl>>,
     ctrl_rx: Vec<Receiver<Ctrl>>,
     poison: Arc<PoisonCell>,
+    /// See [`CommGroup::departed`]: crash notices from the elastic harness.
+    departed: Arc<Mutex<Vec<usize>>>,
     plane: FaultPlane,
     config: CommConfig,
     /// Next data sequence number per destination.
@@ -440,6 +489,19 @@ pub struct Communicator {
     outbox: Vec<VecDeque<Flight>>,
     /// Out-of-order arrivals per source (fault plane only).
     stash: Vec<HashMap<u64, Payload>>,
+    /// Membership frames that arrived inside a data receive, per source:
+    /// a peer already in its shrink round may inject a proposal into a
+    /// stream we are still reading as collective traffic. Diverting here
+    /// keeps the data plane typed and lets [`Communicator::shrink`] find
+    /// the proposal later.
+    membership_stash: Vec<VecDeque<Vec<u8>>>,
+    /// Raw (sequence-less) membership frames per source: rejoin requests
+    /// and welcomes. Kept separate from `membership_stash` because its
+    /// lifecycle is tied to *incarnations*, not ARQ streams: a shrink
+    /// commit wipes the dead rank's entries (anything queued before the
+    /// death is a ghost from a previous incarnation), and a revived
+    /// rank's re-advertised requests refill it.
+    rejoin_stash: Vec<VecDeque<Vec<u8>>>,
     /// Barrier messages that arrived while servicing other control
     /// traffic, per source.
     barrier_stash: Vec<VecDeque<Ctrl>>,
@@ -450,14 +512,50 @@ pub struct Communicator {
 }
 
 impl Communicator {
-    /// This rank's id in `[0, size)`.
+    /// This rank's **virtual** id: its position in the current live view,
+    /// in `[0, size())`. Equal to the physical rank until a shrink.
+    ///
+    /// # Panics
+    /// If this rank has been shrunk out of the view (it must
+    /// [`Communicator::rejoin`] first).
     pub fn rank(&self) -> usize {
+        self.vrank_of(self.rank)
+            // lint:allow(no-unwrap-on-comm-path): documented panic — a shrunk-out rank calling rank() without rejoin() is a caller bug
+            .expect("rank no longer in the live view")
+    }
+
+    /// Number of ranks in the current live view.
+    pub fn size(&self) -> usize {
+        self.live.len()
+    }
+
+    /// This rank's fixed physical id in the channel mesh.
+    pub fn phys_rank(&self) -> usize {
         self.rank
     }
 
-    /// Number of ranks in the group.
-    pub fn size(&self) -> usize {
-        self.size
+    /// The current membership epoch (0 until the first view change).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Sorted physical ranks in the current view.
+    pub fn live_ranks(&self) -> &[usize] {
+        &self.live
+    }
+
+    /// Virtual position of physical rank `p` in the live view.
+    fn vrank_of(&self, p: usize) -> Option<usize> {
+        self.live.iter().position(|&r| r == p)
+    }
+
+    /// Physical rank behind virtual position `v`.
+    ///
+    /// # Panics
+    /// If `v` is outside the current view.
+    fn phys_of(&self, v: usize) -> usize {
+        assert!(v < self.live.len(), "virtual rank {v} out of range");
+        self.live[v]
     }
 
     /// Attaches an observability recorder: every subsequent [`send`]
@@ -505,21 +603,78 @@ impl Communicator {
         self.poison.poison(self.rank);
     }
 
+    /// Marks this physical rank as departed (crashed): the elastic
+    /// harness calls this instead of [`Communicator::mark_poisoned`] so
+    /// survivors' poll loops surface [`CommError::Poisoned`] naming this
+    /// rank and can shrink it out instead of aborting the whole group.
+    pub fn mark_departed(&self) {
+        let mut d = self.departed.lock().unwrap_or_else(|p| p.into_inner());
+        if !d.contains(&self.rank) {
+            d.push(self.rank);
+        }
+    }
+
+    /// Removes this physical rank from the departure list (on rejoin).
+    fn clear_departed(&self) {
+        self.departed
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .retain(|&r| r != self.rank);
+    }
+
+    /// Whether physical rank `p` is currently marked departed.
+    fn is_departed(&self, p: usize) -> bool {
+        self.departed
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .contains(&p)
+    }
+
+    /// First active poison: a poisoned rank already shrunk out of the
+    /// view (or mid-absorption) no longer fails the group.
+    fn poison_active(&self) -> Option<usize> {
+        self.poison
+            .check()
+            .filter(|r| !self.dead.contains(r) && !self.absorbing.contains(r))
+    }
+
+    /// First failed peer this rank must react to: a poisoned rank, or a
+    /// departed rank still in the live view (excluding self — a shrunk
+    /// rank preparing to rejoin must not trip over its own departure).
+    /// Both surface as [`CommError::Poisoned`] naming the physical rank,
+    /// which [`Communicator::shrink`] then absorbs.
+    fn failed_peer(&self) -> Option<usize> {
+        if let Some(r) = self.poison_active() {
+            return Some(r);
+        }
+        let d = self.departed.lock().unwrap_or_else(|p| p.into_inner());
+        d.iter()
+            .copied()
+            .find(|&r| r != self.rank && self.live.contains(&r) && !self.absorbing.contains(&r))
+    }
+
     /// The error to surface when `peer`'s channel vanished: poison wins
-    /// over a plain disconnect.
+    /// over a plain disconnect. `peer` is physical.
     fn disconnect_error(&self, peer: usize) -> CommError {
-        match self.poison.check() {
+        match self.poison_active() {
             Some(rank) => CommError::Poisoned { rank },
             None => CommError::Disconnected { rank: peer },
         }
     }
 
-    /// Sends `payload` to `dst` (non-blocking; channels are unbounded).
-    /// With the fault plane armed, also assigns a sequence number,
-    /// computes the envelope CRC, retains a clean copy for
-    /// retransmission, applies injected faults to the transmitted copy,
-    /// and services pending control traffic.
+    /// Sends `payload` to **virtual** rank `dst` (non-blocking; channels
+    /// are unbounded). With the fault plane armed, also assigns a
+    /// sequence number, computes the envelope CRC, retains a clean copy
+    /// for retransmission, applies injected faults to the transmitted
+    /// copy, and services pending control traffic.
     pub fn send(&mut self, dst: usize, payload: Payload) -> Result<(), CommError> {
+        let p = self.phys_of(dst);
+        self.send_to_phys(p, payload)
+    }
+
+    /// [`Communicator::send`] addressed by physical rank (membership
+    /// traffic targets ranks that may sit outside the virtual view).
+    fn send_to_phys(&mut self, dst: usize, payload: Payload) -> Result<(), CommError> {
         assert!(dst < self.size, "dst {dst} out of range");
         let bytes = payload.wire_bytes() as u64;
         self.sent_bytes += bytes;
@@ -666,20 +821,21 @@ impl Communicator {
             .map_err(|_| self.disconnect_error(dst))
     }
 
-    /// Receives the next payload from `src`, bounded by the configured
-    /// deadline (label [`names::COMM_RECV`] in errors).
+    /// Receives the next payload from **virtual** rank `src`, bounded by
+    /// the configured deadline (label [`names::COMM_RECV`] in errors).
     pub fn recv(&mut self, src: usize) -> Result<Payload, CommError> {
         self.recv_labeled(src, names::COMM_RECV)
     }
 
     /// [`Communicator::recv`] with the enclosing collective's name
-    /// threaded into any [`CommError`].
+    /// threaded into any [`CommError`]. Errors name the **physical**
+    /// peer (the id the elastic layer shrinks by).
     pub fn recv_labeled(
         &mut self,
         src: usize,
         collective: &'static str,
     ) -> Result<Payload, CommError> {
-        assert!(src < self.size, "src {src} out of range");
+        let src = self.phys_of(src);
         if !self.plane.is_enabled() {
             return match self.data_rx[src].recv_timeout(self.config.recv_timeout) {
                 Ok(msg) => {
@@ -701,10 +857,94 @@ impl Communicator {
     /// exponential backoff, and keep servicing control traffic so peers'
     /// recoveries make progress while we wait.
     fn recv_arq(&mut self, src: usize, collective: &'static str) -> Result<Payload, CommError> {
+        self.recv_arq_inner(src, collective, false)
+    }
+
+    /// Processes one frame off `src`'s data channel: CRC check (NACK on
+    /// mismatch), raw-plane diversion, in-order accept + ACK, out-of-order
+    /// stash, duplicate re-ACK. Returns `Ok(Some(payload))` when a frame
+    /// is deliverable to the caller, `Ok(None)` when the receive loop
+    /// should keep polling.
+    fn accept_data(
+        &mut self,
+        src: usize,
+        msg: DataMsg,
+        want_membership: bool,
+    ) -> Result<Option<Payload>, CommError> {
+        self.wire_delay(&msg);
         let expect = self.recv_expect[src];
-        if let Some(p) = self.stash[src].remove(&expect) {
+        if msg.crc != payload_crc(&msg.payload) {
+            self.recorder.incr(names::COMM_FAULT_CRC_DETECTED);
+            self.send_nack(src, msg.seq)?;
+            return Ok(None);
+        }
+        if msg.seq == RAW_SEQ {
+            // Sequence-less membership frame (rejoin traffic sent
+            // outside the ARQ stream): divert it, never ACK it.
+            if let Payload::Bytes(b) = msg.payload {
+                if b.first() == Some(&crate::membership::MAGIC) {
+                    self.rejoin_stash[src].push_back(b);
+                }
+            }
+            return Ok(None);
+        }
+        if msg.seq == expect {
             self.recv_expect[src] = expect + 1;
             self.send_ack(src, expect + 1);
+            // A membership frame slipped into the data stream: the peer
+            // entered its shrink round while we were still inside a
+            // collective. Divert it so the data plane stays typed;
+            // `shrink` picks it up from the stash.
+            if let Payload::Bytes(b) = &msg.payload {
+                if b.first() == Some(&crate::membership::MAGIC) {
+                    if want_membership {
+                        return Ok(Some(msg.payload));
+                    }
+                    self.membership_stash[src].push_back(msg.payload.into_bytes());
+                    return Ok(None);
+                }
+            }
+            return Ok(Some(msg.payload));
+        } else if msg.seq > expect {
+            // Out of order: a later message overtook a lost one. Keep
+            // it; the NACK timer recovers `expect`.
+            self.stash[src].insert(msg.seq, msg.payload);
+        } else {
+            // Duplicate from a spurious retransmit; re-ACK so the
+            // sender prunes it.
+            self.send_ack(src, expect);
+        }
+        Ok(None)
+    }
+
+    /// [`recv_arq`] core. With `want_membership`, diverted membership
+    /// frames are *returned* instead of stashed (the shrink protocol's
+    /// receive mode — data payloads still come back and the caller
+    /// discards them as stale collective traffic).
+    ///
+    /// [`recv_arq`]: Communicator::recv_arq
+    fn recv_arq_inner(
+        &mut self,
+        src: usize,
+        collective: &'static str,
+        want_membership: bool,
+    ) -> Result<Payload, CommError> {
+        loop {
+            let expect = self.recv_expect[src];
+            let Some(p) = self.stash[src].remove(&expect) else {
+                break;
+            };
+            self.recv_expect[src] = expect + 1;
+            self.send_ack(src, expect + 1);
+            if let Payload::Bytes(b) = &p {
+                if b.first() == Some(&crate::membership::MAGIC) {
+                    if want_membership {
+                        return Ok(p);
+                    }
+                    self.membership_stash[src].push_back(p.into_bytes());
+                    continue;
+                }
+            }
             return Ok(p);
         }
         let start = Instant::now();
@@ -713,7 +953,21 @@ impl Communicator {
         let mut nack_at = start + backoff;
         let mut nacks = 0u32;
         loop {
-            if let Some(rank) = self.poison.check() {
+            // Serve frames already on the wire BEFORE consulting the
+            // failure detector: a crashed peer's pre-crash sends stay
+            // deliverable, so every survivor finishes the collectives
+            // the dead rank fully contributed to and they all abandon
+            // at the *same* step boundary. Without this fence, ranks
+            // whose receives happened to be in flight at detection time
+            // would abandon an earlier step than their peers — skewing
+            // step counters and, one layer up, parameter trajectories.
+            if let Some(msg) = self.data_rx[src].try_recv() {
+                if let Some(out) = self.accept_data(src, msg, want_membership)? {
+                    return Ok(out);
+                }
+                continue;
+            }
+            if let Some(rank) = self.failed_peer() {
                 return Err(CommError::Poisoned { rank });
             }
             self.service_ctrl()?;
@@ -730,25 +984,8 @@ impl Communicator {
                 .max(Duration::from_micros(50));
             match self.data_rx[src].recv_timeout(slice) {
                 Ok(msg) => {
-                    self.wire_delay(&msg);
-                    let expect = self.recv_expect[src];
-                    if msg.crc != payload_crc(&msg.payload) {
-                        self.recorder.incr(names::COMM_FAULT_CRC_DETECTED);
-                        self.send_nack(src, msg.seq)?;
-                        continue;
-                    }
-                    if msg.seq == expect {
-                        self.recv_expect[src] = expect + 1;
-                        self.send_ack(src, expect + 1);
-                        return Ok(msg.payload);
-                    } else if msg.seq > expect {
-                        // Out of order: a later message overtook a lost
-                        // one. Keep it; the NACK timer recovers `expect`.
-                        self.stash[src].insert(msg.seq, msg.payload);
-                    } else {
-                        // Duplicate from a spurious retransmit; re-ACK so
-                        // the sender prunes it.
-                        self.send_ack(src, expect);
+                    if let Some(out) = self.accept_data(src, msg, want_membership)? {
+                        return Ok(out);
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {}
@@ -780,24 +1017,27 @@ impl Communicator {
     pub fn barrier(&mut self) -> Result<(), CommError> {
         let gen = self.barrier_gen;
         self.barrier_gen += 1;
-        if self.size == 1 {
+        if self.live.len() == 1 {
             return Ok(());
         }
         let deadline = Instant::now() + self.config.recv_timeout;
-        if self.rank == 0 {
-            for src in 1..self.size {
+        let root = self.live[0];
+        if self.rank == root {
+            for v in 1..self.live.len() {
+                let src = self.live[v];
                 self.wait_barrier(src, Ctrl::Arrive { gen }, deadline)?;
             }
-            for dst in 1..self.size {
+            for v in 1..self.live.len() {
+                let dst = self.live[v];
                 self.ctrl_tx[dst]
                     .send(Ctrl::Release { gen })
                     .map_err(|_| self.disconnect_error(dst))?;
             }
         } else {
-            self.ctrl_tx[0]
+            self.ctrl_tx[root]
                 .send(Ctrl::Arrive { gen })
-                .map_err(|_| self.disconnect_error(0))?;
-            self.wait_barrier(0, Ctrl::Release { gen }, deadline)?;
+                .map_err(|_| self.disconnect_error(root))?;
+            self.wait_barrier(root, Ctrl::Release { gen }, deadline)?;
         }
         Ok(())
     }
@@ -806,7 +1046,7 @@ impl Communicator {
     /// traffic (from `src` and everyone else) in the meantime.
     fn wait_barrier(&mut self, src: usize, want: Ctrl, deadline: Instant) -> Result<(), CommError> {
         loop {
-            if let Some(rank) = self.poison.check() {
+            if let Some(rank) = self.failed_peer() {
                 return Err(CommError::Poisoned { rank });
             }
             // Drain control traffic BEFORE consulting the stash: the
@@ -840,14 +1080,413 @@ impl Communicator {
         self.sent_bytes
     }
 
-    /// Rank to this rank's right on the ring.
+    /// Virtual rank to this rank's right on the ring.
     pub fn right(&self) -> usize {
-        (self.rank + 1) % self.size
+        (self.rank() + 1) % self.size()
     }
 
-    /// Rank to this rank's left on the ring.
+    /// Virtual rank to this rank's left on the ring.
     pub fn left(&self) -> usize {
-        (self.rank + self.size - 1) % self.size
+        (self.rank() + self.size() - 1) % self.size()
+    }
+
+    // ---- elastic membership ------------------------------------------
+
+    /// Physical size of the channel mesh (never shrinks).
+    pub fn phys_size(&self) -> usize {
+        self.size
+    }
+
+    /// Physical ranks shrunk out of the view, sorted.
+    pub fn dead_ranks(&self) -> &[usize] {
+        &self.dead
+    }
+
+    /// Current value of the training-step counter (what the next
+    /// [`Communicator::begin_step`] will return).
+    pub fn current_step(&self) -> u64 {
+        self.step
+    }
+
+    pub(crate) fn barrier_gen_value(&self) -> u64 {
+        self.barrier_gen
+    }
+
+    /// Sends a sequence-less membership frame straight onto `dst`'s data
+    /// channel (physical rank). Bypasses the ARQ stream *and* the fault
+    /// plane: membership traffic models the reliable control plane.
+    pub(crate) fn send_raw_frame(&mut self, dst: usize, frame: Vec<u8>) -> Result<(), CommError> {
+        let payload = Payload::Bytes(frame);
+        let msg = DataMsg {
+            seq: RAW_SEQ,
+            crc: payload_crc(&payload),
+            sent_at: Instant::now(),
+            payload,
+        };
+        self.data_tx[dst]
+            .send(msg)
+            .map_err(|_| self.disconnect_error(dst))
+    }
+
+    /// Non-blocking sweep of `src`'s channel (physical rank) for a
+    /// membership frame: previously diverted frames first, then the raw
+    /// channel, discarding stale collective traffic unacknowledged (the
+    /// sender's ARQ retransmits anything a live peer still needs).
+    pub(crate) fn poll_raw_membership(&mut self, src: usize) -> Option<Vec<u8>> {
+        if let Some(b) = self.rejoin_stash[src].pop_front() {
+            return Some(b);
+        }
+        while let Some(msg) = self.data_rx[src].try_recv() {
+            if msg.crc != payload_crc(&msg.payload) {
+                continue;
+            }
+            if let Payload::Bytes(b) = msg.payload {
+                if b.first() == Some(&crate::membership::MAGIC) {
+                    return Some(b);
+                }
+            }
+        }
+        None
+    }
+
+    /// Blocking [`Communicator::poll_raw_membership`], bounded by
+    /// `deadline`. Used by members draining a joiner's channel to its
+    /// rejoin-request fence.
+    pub(crate) fn recv_raw_membership(
+        &mut self,
+        src: usize,
+        deadline: Instant,
+    ) -> Result<Vec<u8>, CommError> {
+        loop {
+            if let Some(b) = self.poll_raw_membership(src) {
+                return Ok(b);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout {
+                    rank: src,
+                    collective: names::COMM_MEMBERSHIP,
+                });
+            }
+            match self.data_rx[src].recv_timeout(POLL_SLICE.min(deadline - now)) {
+                Ok(msg) => {
+                    if msg.crc != payload_crc(&msg.payload) {
+                        continue;
+                    }
+                    if let Payload::Bytes(b) = msg.payload {
+                        if b.first() == Some(&crate::membership::MAGIC) {
+                            return Ok(b);
+                        }
+                    }
+                    // Anything else on a rejoining channel is stale
+                    // collective traffic: discard unacknowledged.
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return Err(self.disconnect_error(src)),
+            }
+        }
+    }
+
+    /// Receives the next membership frame from live physical rank `src`
+    /// through the ARQ stream, discarding stale data payloads from the
+    /// interrupted collective (the proposal a peer sends on entering its
+    /// shrink round is a FIFO fence: everything before it is abandoned
+    /// traffic).
+    fn recv_membership_arq(&mut self, src: usize) -> Result<Vec<u8>, CommError> {
+        loop {
+            if let Some(b) = self.membership_stash[src].pop_front() {
+                return Ok(b);
+            }
+            match self.recv_arq_inner(src, names::COMM_MEMBERSHIP, true)? {
+                Payload::Bytes(b) if b.first() == Some(&crate::membership::MAGIC) => {
+                    return Ok(b);
+                }
+                _ => continue, // stale collective payload: discard
+            }
+        }
+    }
+
+    /// Quorum-agreed view shrink: absorbs `suspects` (plus any poisoned
+    /// or departed ranks) out of the live view, agreeing the new view
+    /// `{epoch+1, live \ suspects}` with every surviving candidate by
+    /// exchanging proposal frames until the suspect union is unanimous.
+    /// A candidate that fails mid-round is folded into the suspect set
+    /// and the round restarts. Refuses to shrink below a majority of the
+    /// current view (split-brain guard).
+    ///
+    /// On commit the dead ranks' transport state is cleared, the epoch
+    /// advances, and `comm/membership/{shrinks,epochs}` are recorded.
+    /// `suspects` are physical ranks, as carried by [`CommError`]s.
+    pub fn shrink(&mut self, suspects: Vec<usize>) -> Result<ViewChange, CommError> {
+        let mut suspects = suspects;
+        if let Some(r) = self.poison_active() {
+            suspects.push(r);
+        }
+        {
+            let d = self.departed.lock().unwrap_or_else(|p| p.into_inner());
+            suspects.extend(d.iter().copied());
+        }
+        suspects.retain(|&s| s != self.rank && self.live.contains(&s));
+        suspects.sort_unstable();
+        suspects.dedup();
+        if suspects.is_empty() {
+            return Err(CommError::Protocol {
+                expected: "a failed live rank to shrink",
+            });
+        }
+        let old_len = self.live.len();
+        let next_epoch = self.epoch + 1;
+        let mut round: u32 = 0;
+        loop {
+            if (old_len - suspects.len()) * 2 <= old_len {
+                self.absorbing.clear();
+                return Err(CommError::Protocol {
+                    expected: "a surviving majority of the old view",
+                });
+            }
+            self.absorbing = suspects.clone();
+            let candidates: Vec<usize> = self
+                .live
+                .iter()
+                .copied()
+                .filter(|&p| p != self.rank && !suspects.contains(&p))
+                .collect();
+            let frame = crate::membership::MembershipFrame::Proposal {
+                epoch: next_epoch,
+                round,
+                sender: self.rank as u32,
+                ranks: suspects.iter().map(|&s| s as u32).collect(),
+            }
+            .encode();
+            let mut failed: Option<usize> = None;
+            for &p in &candidates {
+                if self.send_to_phys(p, Payload::Bytes(frame.clone())).is_err() {
+                    failed = Some(p);
+                    break;
+                }
+            }
+            let mut union = suspects.clone();
+            if failed.is_none() {
+                'collect: for &p in &candidates {
+                    loop {
+                        match self.recv_membership_arq(p) {
+                            Ok(bytes) => {
+                                match crate::membership::MembershipFrame::decode(&bytes) {
+                                    Ok(crate::membership::MembershipFrame::Proposal {
+                                        epoch,
+                                        round: r,
+                                        ranks,
+                                        ..
+                                    }) => {
+                                        if epoch != next_epoch {
+                                            self.absorbing.clear();
+                                            return Err(CommError::Protocol {
+                                                expected: "a proposal for the same next epoch",
+                                            });
+                                        }
+                                        if r < round {
+                                            continue; // stale round: keep draining
+                                        }
+                                        round = round.max(r);
+                                        for s in ranks {
+                                            let s = s as usize;
+                                            if !union.contains(&s) {
+                                                union.push(s);
+                                            }
+                                        }
+                                        break;
+                                    }
+                                    // Rejoin traffic or garbage mid-shrink:
+                                    // ignore, keep draining.
+                                    _ => continue,
+                                }
+                            }
+                            Err(e) => {
+                                failed = e.culprit();
+                                if failed.is_none() {
+                                    self.absorbing.clear();
+                                    return Err(e);
+                                }
+                                break 'collect;
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(q) = failed {
+                if !suspects.contains(&q) {
+                    suspects.push(q);
+                    suspects.sort_unstable();
+                }
+                round += 1;
+                continue;
+            }
+            union.sort_unstable();
+            if union != suspects {
+                suspects = union;
+                round += 1;
+                continue;
+            }
+            // Unanimous: commit the new view.
+            self.absorbing.clear();
+            for &s in &suspects {
+                self.live.retain(|&r| r != s);
+                if !self.dead.contains(&s) {
+                    self.dead.push(s);
+                }
+                self.outbox[s].clear();
+                self.stash[s].clear();
+                self.membership_stash[s].clear();
+                self.barrier_stash[s].clear();
+                // Requests queued before this death are from a previous
+                // incarnation — a ghost that could trigger admission of
+                // a rank that is no longer asking. A revived rank
+                // re-advertises on an interval, so wiping here loses
+                // nothing.
+                self.rejoin_stash[s].clear();
+            }
+            self.dead.sort_unstable();
+            self.epoch = next_epoch;
+            self.recorder.incr(names::COMM_MEMBERSHIP_SHRINKS);
+            self.recorder.incr(names::COMM_MEMBERSHIP_EPOCHS);
+            return Ok(ViewChange {
+                epoch: self.epoch,
+                removed: suspects,
+                live: self.live.clone(),
+            });
+        }
+    }
+
+    /// Discards every frame queued in the channels from `src`, keeping
+    /// only barrier traffic (exact-generation matched, so a stale entry
+    /// is inert in the stash). Must accompany a pairwise sequence reset:
+    /// frames still in flight on the *old* stream carry old sequence
+    /// numbers and old cumulative `Ack { upto }` watermarks — kept, an
+    /// old data frame would be stashed under (and later served as) a
+    /// position in the new stream, and an old ack would prune undelivered
+    /// new-stream flights from the peer's outbox. Anything *new*-stream
+    /// discarded here is necessarily unacknowledged, so the sender's ARQ
+    /// retransmits it.
+    fn drain_stale_channels(&mut self, src: usize) {
+        while let Some(msg) = self.data_rx[src].try_recv() {
+            // Raw-plane membership frames are sequence-less and valid
+            // across the reset (a rejoin request queued mid-flush is the
+            // one the next admission sweep needs): keep them, CRC-checked.
+            if msg.seq == RAW_SEQ && msg.crc == payload_crc(&msg.payload) {
+                if let Payload::Bytes(b) = msg.payload {
+                    if b.first() == Some(&crate::membership::MAGIC) {
+                        self.rejoin_stash[src].push_back(b);
+                    }
+                }
+            }
+        }
+        while let Some(msg) = self.ctrl_rx[src].try_recv() {
+            if matches!(msg, Ctrl::Arrive { .. } | Ctrl::Release { .. }) {
+                self.barrier_stash[src].push_back(msg);
+            }
+        }
+    }
+
+    /// Flushes every surviving pairwise stream after a view change, at a
+    /// step boundary: barrier over the current live view, then reset all
+    /// sequence state and discard whatever the abandoned step left in
+    /// flight. The barrier makes this sound in-process: a peer's sends
+    /// happen-before its barrier arrival, which happens-before our
+    /// release, so by the time we flush, every stale frame is already
+    /// queued — nothing from the old stream can arrive afterwards.
+    /// Pending raw-plane rejoin requests survive (see
+    /// [`Communicator::drain_stale_channels`]).
+    pub fn resync_view(&mut self) -> Result<(), CommError> {
+        self.barrier()?;
+        for p in self.live.clone() {
+            if p == self.rank {
+                continue;
+            }
+            self.send_seq[p] = 0;
+            self.recv_expect[p] = 0;
+            self.outbox[p].clear();
+            self.stash[p].clear();
+            self.membership_stash[p].clear();
+            self.barrier_stash[p].clear();
+            self.drain_stale_channels(p);
+        }
+        Ok(())
+    }
+
+    /// Commits the admission of `joiner` (physical rank) into the live
+    /// view: re-inserts it sorted, resets the pairwise ARQ state (both
+    /// sides restart at sequence 0), adopts the admission leader's step
+    /// counter (ranks whose crash-interrupted steps were abandoned at
+    /// skewed points re-align their loops here), bumps the epoch, and
+    /// records `comm/membership/{rejoins,epochs}`.
+    pub(crate) fn grow_commit(&mut self, joiner: usize, step: u64) {
+        if !self.live.contains(&joiner) {
+            self.live.push(joiner);
+            self.live.sort_unstable();
+        }
+        self.dead.retain(|&r| r != joiner);
+        // Clear the joiner's departure notice *here*, not only when the
+        // joiner adopts its welcome: otherwise the window between this
+        // commit and the adoption re-fails the joiner on every member.
+        self.departed
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .retain(|&r| r != joiner);
+        self.send_seq[joiner] = 0;
+        self.recv_expect[joiner] = 0;
+        self.outbox[joiner].clear();
+        self.stash[joiner].clear();
+        self.membership_stash[joiner].clear();
+        self.rejoin_stash[joiner].clear();
+        self.barrier_stash[joiner].clear();
+        self.drain_stale_channels(joiner);
+        self.step = step;
+        self.epoch += 1;
+        self.recorder.incr(names::COMM_MEMBERSHIP_REJOINS);
+        self.recorder.incr(names::COMM_MEMBERSHIP_EPOCHS);
+    }
+
+    /// The rejoining rank's half of [`Communicator::grow_commit`]: adopts
+    /// the welcomed view and clocks wholesale, resets *all* pairwise ARQ
+    /// state (every relationship restarts at sequence 0), and clears its
+    /// own departure notice.
+    pub(crate) fn adopt_view(&mut self, epoch: u64, live: Vec<usize>, barrier_gen: u64, step: u64) {
+        self.dead = (0..self.size).filter(|r| !live.contains(r)).collect();
+        self.live = live;
+        self.epoch = epoch;
+        self.barrier_gen = barrier_gen;
+        self.step = step;
+        for p in 0..self.size {
+            if p == self.rank {
+                continue;
+            }
+            self.send_seq[p] = 0;
+            self.recv_expect[p] = 0;
+            self.outbox[p].clear();
+            self.stash[p].clear();
+            self.membership_stash[p].clear();
+            self.rejoin_stash[p].clear();
+            self.barrier_stash[p].clear();
+            self.drain_stale_channels(p);
+        }
+        self.clear_departed();
+        self.recorder.incr(names::COMM_MEMBERSHIP_REJOINS);
+        self.recorder.incr(names::COMM_MEMBERSHIP_EPOCHS);
+    }
+}
+
+impl CommError {
+    /// The physical rank this error blames, when it names one — the
+    /// input the elastic layer feeds to [`Communicator::shrink`].
+    /// `Protocol` errors blame nobody and must propagate.
+    pub fn culprit(&self) -> Option<usize> {
+        match *self {
+            CommError::Timeout { rank, .. }
+            | CommError::RetriesExhausted { rank, .. }
+            | CommError::Poisoned { rank }
+            | CommError::Disconnected { rank } => Some(rank),
+            CommError::Protocol { .. } => None,
+        }
     }
 }
 
@@ -992,9 +1631,59 @@ pub fn build_group_with(size: usize, plane: FaultPlane, config: CommConfig) -> C
         ctrl_tx,
         ctrl_rx,
         poison: Arc::new(PoisonCell::new()),
+        departed: Arc::new(Mutex::new(Vec::new())),
         plane,
         config,
     }
+}
+
+/// [`run_ranks_with`] for the elastic fault domain: a rank whose closure
+/// panics is **not** poisoned — its physical rank is marked departed (so
+/// survivors' poll loops surface [`CommError::Poisoned`] naming it and
+/// can [`Communicator::shrink`] it out) and its communicator is *parked*:
+/// the channels stay connected, preserving peers' ARQ state, and the
+/// closure is re-entered once with `revived = true` on the same
+/// communicator so it can restore from a checkpoint and
+/// [`crate::membership::rejoin`] the group live. A second panic gives up
+/// on the rank (its slot stays `None`).
+pub fn run_ranks_elastic<T, F>(
+    n: usize,
+    plane: FaultPlane,
+    config: CommConfig,
+    f: F,
+) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(&mut Communicator, bool) -> T + Sync,
+{
+    let comms = build_group_with(n, plane, config).into_communicators();
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (mut comm, slot) in comms.into_iter().zip(slots.iter_mut()) {
+            let f = &f;
+            scope.spawn(move || {
+                let outcome = match catch_unwind(AssertUnwindSafe(|| f(&mut comm, false))) {
+                    Ok(v) => Some(v),
+                    Err(_) => {
+                        comm.mark_departed();
+                        catch_unwind(AssertUnwindSafe(|| f(&mut comm, true))).ok()
+                    }
+                };
+                if let Some(v) = outcome {
+                    // Quiesce as in `run_ranks_with`: hold the rank alive
+                    // to service peers' retransmissions until the whole
+                    // view has finished. Best-effort by design. A rank
+                    // still marked departed never rejoined — its view is
+                    // stale, so it must not inject barrier traffic.
+                    if comm.fault_plane().is_enabled() && !comm.is_departed(comm.phys_rank()) {
+                        let _ = comm.barrier();
+                    }
+                    *slot = Some(v);
+                }
+            });
+        }
+    });
+    slots
 }
 
 #[cfg(test)]

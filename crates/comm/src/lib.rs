@@ -21,11 +21,13 @@
 pub mod collectives;
 pub mod fault;
 pub mod group;
+pub mod membership;
 pub mod netmodel;
 
 pub use fault::{FaultConfig, FaultPlane, LedgerSnapshot};
 pub use group::{
-    build_group, build_group_with, run_ranks, run_ranks_with, CommConfig, CommError, CommGroup,
-    Communicator, Payload,
+    build_group, build_group_with, run_ranks, run_ranks_elastic, run_ranks_with, CommConfig,
+    CommError, CommGroup, Communicator, Payload,
 };
+pub use membership::{admit_pending, rejoin, MembershipFrame, ViewChange};
 pub use netmodel::{CollectiveKind, NetworkSpec, ThroughputTable};

@@ -1,0 +1,553 @@
+//! Elastic membership: epoch-numbered views, quorum-agreed shrink, and
+//! live rejoin.
+//!
+//! The wire format here is the `0xC9` membership frame registered in
+//! `compso_core::wire::magic`: one fixed layout carrying three kinds —
+//!
+//! | kind | meaning |
+//! |------|---------|
+//! | 0 `Proposal`      | shrink round: "remove `ranks` for `epoch`"      |
+//! | 1 `RejoinRequest` | a restarted rank asking to be admitted          |
+//! | 2 `Welcome`       | the leader's admission: new view + group clocks |
+//!
+//! layout: `[0xC9][kind u8][epoch u64][round u32][sender u32]`
+//! `[barrier_gen u64][step u64][count u32][count × u32 ranks]`.
+//!
+//! Proposals travel inside the normal ARQ stream between live survivors
+//! (the proposal doubles as the FIFO fence that flushes the interrupted
+//! collective's stale traffic). Rejoin requests and welcomes travel as
+//! *raw* sequence-less frames because the pairwise ARQ state is stale on
+//! one side; both sides reset to sequence 0 at the grow commit. Payload
+//! streams on an armed fault plane must therefore never begin with
+//! [`MAGIC`] unless they are membership frames — every other format in
+//! the workspace carries its own distinct magic byte.
+
+use crate::collectives::broadcast_bytes;
+use crate::group::{CommError, Communicator};
+use compso_core::wire::{magic, Reader, WireError, Writer};
+use compso_obs::names;
+use std::time::{Duration, Instant};
+
+/// First byte of every membership frame (`compso_core::wire::magic::MAGIC_MEMBERSHIP`).
+pub const MAGIC: u8 = magic::MAGIC_MEMBERSHIP;
+
+/// Upper bound on the rank list a membership frame may carry — matches
+/// the checkpoint manifest's `WORLD_MAX`.
+pub const RANKS_MAX: usize = 4096;
+
+const KIND_PROPOSAL: u8 = 0;
+const KIND_REJOIN_REQUEST: u8 = 1;
+const KIND_WELCOME: u8 = 2;
+
+/// A committed membership change, as returned by
+/// [`Communicator::shrink`] and [`rejoin`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViewChange {
+    /// The epoch of the new view.
+    pub epoch: u64,
+    /// Physical ranks removed by this change (empty for a grow).
+    pub removed: Vec<usize>,
+    /// Sorted physical ranks of the new view.
+    pub live: Vec<usize>,
+}
+
+/// A decoded membership frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MembershipFrame {
+    /// One shrink round's vote: remove `ranks` to form `epoch`.
+    Proposal {
+        /// The epoch the proposed view would have.
+        epoch: u64,
+        /// Convergence round within this shrink (suspect sets only grow).
+        round: u32,
+        /// Physical rank of the proposer.
+        sender: u32,
+        /// Suspected-failed physical ranks.
+        ranks: Vec<u32>,
+    },
+    /// A restarted rank asking every peer for admission.
+    RejoinRequest {
+        /// The epoch the joiner last saw (informational).
+        epoch: u64,
+        /// Physical rank of the joiner.
+        sender: u32,
+    },
+    /// The leader's admission decision, adopted verbatim by the joiner.
+    Welcome {
+        /// The epoch of the grown view.
+        epoch: u64,
+        /// Physical rank of the leader.
+        sender: u32,
+        /// The group's barrier generation at admission.
+        barrier_gen: u64,
+        /// The group's training-step counter at admission.
+        step: u64,
+        /// Sorted physical ranks of the grown view (joiner included).
+        ranks: Vec<u32>,
+    },
+}
+
+impl MembershipFrame {
+    /// Serializes to the fixed `0xC9` layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let (kind, epoch, round, sender, barrier_gen, step, ranks): (
+            u8,
+            u64,
+            u32,
+            u32,
+            u64,
+            u64,
+            &[u32],
+        ) = match self {
+            MembershipFrame::Proposal {
+                epoch,
+                round,
+                sender,
+                ranks,
+            } => (KIND_PROPOSAL, *epoch, *round, *sender, 0, 0, ranks),
+            MembershipFrame::RejoinRequest { epoch, sender } => {
+                (KIND_REJOIN_REQUEST, *epoch, 0, *sender, 0, 0, &[])
+            }
+            MembershipFrame::Welcome {
+                epoch,
+                sender,
+                barrier_gen,
+                step,
+                ranks,
+            } => (KIND_WELCOME, *epoch, 0, *sender, *barrier_gen, *step, ranks),
+        };
+        let mut w = Writer::new();
+        w.u8(MAGIC);
+        w.u8(kind);
+        w.u64(epoch);
+        w.u32(round);
+        w.u32(sender);
+        w.u64(barrier_gen);
+        w.u64(step);
+        w.u32(ranks.len() as u32);
+        for &r in ranks {
+            w.u32(r);
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a `0xC9` frame, rejecting bad magic, unknown kinds,
+    /// oversized rank lists, and trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<MembershipFrame, WireError> {
+        let mut r = Reader::new(bytes);
+        if r.u8()? != MAGIC {
+            return Err(WireError::Invalid("bad membership magic"));
+        }
+        let kind = r.u8()?;
+        let epoch = r.u64()?;
+        let round = r.u32()?;
+        let sender = r.u32()?;
+        let barrier_gen = r.u64()?;
+        let step = r.u64()?;
+        let count = rank_count(&mut r)?;
+        if count > RANKS_MAX {
+            return Err(WireError::Invalid("membership rank list too long"));
+        }
+        let mut ranks = Vec::with_capacity(count);
+        for _ in 0..count {
+            ranks.push(r.u32()?);
+        }
+        if !r.is_exhausted() {
+            return Err(WireError::Invalid("trailing bytes after membership frame"));
+        }
+        let frame = match kind {
+            KIND_PROPOSAL => MembershipFrame::Proposal {
+                epoch,
+                round,
+                sender,
+                ranks,
+            },
+            KIND_REJOIN_REQUEST => {
+                if !ranks.is_empty() {
+                    return Err(WireError::Invalid("rejoin request carries no rank list"));
+                }
+                MembershipFrame::RejoinRequest { epoch, sender }
+            }
+            KIND_WELCOME => MembershipFrame::Welcome {
+                epoch,
+                sender,
+                barrier_gen,
+                step,
+                ranks,
+            },
+            _ => return Err(WireError::Invalid("unknown membership frame kind")),
+        };
+        Ok(frame)
+    }
+}
+
+/// Reads the rank-list length prefix. Split out from [`MembershipFrame::decode`]
+/// deliberately: a *caller* allocating from this return value without a
+/// bound is exactly the cross-function hole `compso-lint`'s
+/// `unchecked-length-prefix` taint now tracks — `decode` guards it
+/// against [`RANKS_MAX`] before its `Vec::with_capacity`.
+fn rank_count(r: &mut Reader<'_>) -> Result<usize, WireError> {
+    Ok(r.u32()? as usize)
+}
+
+/// Encoded admission decision broadcast by the leader: the joiner's
+/// physical rank, or `u32::MAX` for "nobody".
+const NO_JOINER: u32 = u32::MAX;
+
+/// Polls for and admits at most one pending rejoiner. Call on **every
+/// live member** at a step boundary (SPMD): the leader (virtual rank 0)
+/// sweeps the dead ranks' channels for a [`MembershipFrame::RejoinRequest`],
+/// broadcasts its decision, and on admission every member drains the
+/// joiner's channel to the request fence before the leader issues the
+/// [`MembershipFrame::Welcome`] and everyone commits the grow.
+///
+/// Returns the committed [`ViewChange`] when a rank was admitted. The
+/// caller is responsible for state catch-up (factors, model, optimizer)
+/// *after* the grow — see `compso-kfac`'s elastic catch-up.
+pub fn admit_pending(comm: &mut Communicator) -> Result<Option<ViewChange>, CommError> {
+    if comm.dead_ranks().is_empty() {
+        return Ok(None);
+    }
+    let mut decision = NO_JOINER;
+    if comm.rank() == 0 {
+        for p in comm.dead_ranks().to_vec() {
+            if let Some(bytes) = comm.poll_raw_membership(p) {
+                if let Ok(MembershipFrame::RejoinRequest { sender, .. }) =
+                    MembershipFrame::decode(&bytes)
+                {
+                    if sender as usize == p {
+                        decision = sender;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    // The decision rides with the leader's step counter: ranks can
+    // abandon *different* steps when a crash interrupts them at skewed
+    // points, and an unsynchronized counter would leave one member a
+    // whole collective short after readmission (a guaranteed ring
+    // deadlock on the last step). Membership owns the step clock at
+    // every view change — the committing members adopt the leader's
+    // step exactly as the joiner adopts the one in its welcome.
+    let mut buf = Vec::with_capacity(12);
+    buf.extend_from_slice(&decision.to_le_bytes());
+    buf.extend_from_slice(&comm.current_step().to_le_bytes());
+    broadcast_bytes(comm, 0, &mut buf)?;
+    if buf.len() != 12 {
+        return Err(CommError::Protocol {
+            expected: "a 12-byte admission decision",
+        });
+    }
+    let decision = u32::from_le_bytes(buf[..4].try_into().map_err(|_| CommError::Protocol {
+        expected: "a 12-byte admission decision",
+    })?);
+    let leader_step = u64::from_le_bytes(buf[4..].try_into().map_err(|_| CommError::Protocol {
+        expected: "a 12-byte admission decision",
+    })?);
+    if decision == NO_JOINER {
+        return Ok(None);
+    }
+    let joiner = decision as usize;
+    let deadline = Instant::now() + comm.config().recv_timeout;
+    if comm.rank() != 0 {
+        // Drain this member's own channel from the joiner to its request
+        // fence: everything before it is stale traffic from the crashed
+        // step.
+        loop {
+            let bytes = comm.recv_raw_membership(joiner, deadline)?;
+            if matches!(
+                MembershipFrame::decode(&bytes),
+                Ok(MembershipFrame::RejoinRequest { sender, .. }) if sender as usize == joiner
+            ) {
+                break;
+            }
+        }
+    }
+    let mut live: Vec<u32> = comm.live_ranks().iter().map(|&r| r as u32).collect();
+    live.push(joiner as u32);
+    live.sort_unstable();
+    if comm.rank() == 0 {
+        let welcome = MembershipFrame::Welcome {
+            epoch: comm.epoch() + 1,
+            sender: comm.phys_rank() as u32,
+            barrier_gen: comm.barrier_gen_value(),
+            step: leader_step,
+            ranks: live.clone(),
+        }
+        .encode();
+        comm.send_raw_frame(joiner, welcome)?;
+    }
+    comm.grow_commit(joiner, leader_step);
+    Ok(Some(ViewChange {
+        epoch: comm.epoch(),
+        removed: Vec::new(),
+        live: comm.live_ranks().to_vec(),
+    }))
+}
+
+/// A restarted rank's re-entry: sends a [`MembershipFrame::RejoinRequest`]
+/// to every physical peer, then sweeps all channels until a
+/// [`MembershipFrame::Welcome`] arrives, adopting its view and clocks
+/// wholesale. Call *after* restoring local state from the latest
+/// checkpoint; the group-wide factor catch-up runs after this returns.
+pub fn rejoin(comm: &mut Communicator) -> Result<ViewChange, CommError> {
+    let me = comm.phys_rank();
+    let request = MembershipFrame::RejoinRequest {
+        epoch: comm.epoch(),
+        sender: me as u32,
+    }
+    .encode();
+    let deadline = Instant::now() + comm.config().recv_timeout;
+    // Re-advertise on an interval: a member flushing its streams around
+    // a concurrent view change may discard a queued request, and raw
+    // frames have no retransmit of their own.
+    let mut advertise_at = Instant::now();
+    loop {
+        if Instant::now() >= advertise_at {
+            for p in 0..comm.phys_size() {
+                if p != me {
+                    // A peer that is itself dead cannot be reached; ignore.
+                    let _ = comm.send_raw_frame(p, request.clone());
+                }
+            }
+            advertise_at = Instant::now() + Duration::from_millis(50);
+        }
+        for p in 0..comm.phys_size() {
+            if p == me {
+                continue;
+            }
+            let Some(bytes) = comm.poll_raw_membership(p) else {
+                continue;
+            };
+            if let Ok(MembershipFrame::Welcome {
+                epoch,
+                barrier_gen,
+                step,
+                ranks,
+                ..
+            }) = MembershipFrame::decode(&bytes)
+            {
+                let live: Vec<usize> = ranks.iter().map(|&r| r as usize).collect();
+                comm.adopt_view(epoch, live, barrier_gen, step);
+                return Ok(ViewChange {
+                    epoch,
+                    removed: Vec::new(),
+                    live: comm.live_ranks().to_vec(),
+                });
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(CommError::Timeout {
+                rank: me,
+                collective: names::COMM_MEMBERSHIP,
+            });
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::allreduce_sum;
+    use crate::fault::{FaultConfig, FaultPlane};
+    use crate::group::{build_group_with, run_ranks_elastic, CommConfig};
+
+    fn elastic_config() -> CommConfig {
+        CommConfig {
+            recv_timeout: Duration::from_secs(10),
+            retry_initial: Duration::from_millis(40),
+            max_retries: 10,
+            modeled_wire_mbps: None,
+        }
+    }
+
+    /// The full transport-level loop: rank 2 crashes at step 3 of 8, the
+    /// survivors shrink to `{0, 1, 3}` and keep allreducing, the revived
+    /// rank rejoins live, and the final view is whole again at epoch 2
+    /// on every rank.
+    #[test]
+    fn crash_shrink_continue_and_rejoin() {
+        const N: usize = 4;
+        const STEPS: u64 = 8;
+        let plane = FaultPlane::new(FaultConfig {
+            seed: 9,
+            crash_at: Some((2, 3)),
+            ..FaultConfig::default()
+        });
+        // Deterministic schedule: the revived rank may only ask to rejoin
+        // once the survivors have completed two steps on the shrunk view,
+        // and the survivors then hold at the admission sweep until it
+        // lands (the sweep is a broadcast round, so members stay SPMD).
+        let may_rejoin = std::sync::atomic::AtomicBool::new(false);
+        let results = run_ranks_elastic(N, plane, elastic_config(), |comm, revived| {
+            if revived {
+                while !may_rejoin.load(std::sync::atomic::Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                rejoin(comm).expect("rejoin after revival");
+            }
+            let mut sums = Vec::new();
+            while comm.current_step() < STEPS {
+                if may_rejoin.load(std::sync::atomic::Ordering::Acquire) && comm.size() < N {
+                    while admit_pending(comm).expect("admission sweep").is_none() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                } else {
+                    admit_pending(comm).expect("admission sweep");
+                }
+                comm.begin_step(); // rank 2 panics here at step 3
+                let mut x = vec![1.0f32];
+                match allreduce_sum(comm, &mut x) {
+                    Ok(()) => {
+                        sums.push(x[0] as usize);
+                        if sums.iter().filter(|&&s| s == 3).count() == 2 {
+                            may_rejoin.store(true, std::sync::atomic::Ordering::Release);
+                        }
+                    }
+                    Err(e) => {
+                        let culprit = e
+                            .culprit()
+                            .unwrap_or_else(|| panic!("error must name the failed rank: {e:?}"));
+                        comm.shrink(vec![culprit])
+                            .expect("survivors agree a shrink");
+                        // The interrupted step is abandoned at this layer
+                        // (DistKfac degrades through its repair ladder
+                        // instead).
+                    }
+                }
+            }
+            (comm.epoch(), comm.live_ranks().to_vec(), sums)
+        });
+        for (rank, r) in results.iter().enumerate() {
+            let (epoch, live, sums) = r.as_ref().expect("every rank finishes");
+            assert_eq!(*epoch, 2, "rank {rank}: shrink + rejoin = two epochs");
+            assert_eq!(*live, vec![0, 1, 2, 3], "rank {rank}: view whole again");
+            // Every completed allreduce summed one 1.0 per live rank, so
+            // the log reads 4 (full), then 3 (shrunk), then 4 (rejoined).
+            assert!(
+                sums.iter().all(|&s| s == 3 || s == 4),
+                "rank {rank}: sums track the live view, got {sums:?}"
+            );
+        }
+        // Deterministic exact trajectory for every survivor: the crashed
+        // rank contributed fully to steps 0-2 (in-flight frames are
+        // served before the failure detector fires, so all survivors
+        // finish step 2), step 3 is abandoned uniformly, two steps run
+        // shrunk, and the readmitted view covers the rest.
+        for &rank in &[0usize, 1, 3] {
+            let (_, _, sums) = results[rank].as_ref().expect("survivor finishes");
+            assert_eq!(
+                sums,
+                &vec![4, 4, 4, 3, 3, 4, 4],
+                "rank {rank}: exact trajectory"
+            );
+        }
+        // The joiner's revived run logs only its two readmitted steps.
+        let (_, _, sums2) = results[2].as_ref().expect("the joiner finishes");
+        assert_eq!(sums2, &vec![4, 4], "joiner: the two readmitted steps");
+    }
+
+    /// Shrinking below a majority of the current view is refused: the
+    /// last survivor of a pair cannot form a one-rank quorum.
+    #[test]
+    fn shrink_refuses_to_lose_quorum() {
+        let plane = FaultPlane::new(FaultConfig {
+            seed: 1,
+            ..FaultConfig::default()
+        });
+        let mut comms = build_group_with(2, plane, elastic_config()).into_communicators();
+        let err = comms[0]
+            .shrink(vec![1])
+            .expect_err("2 -> 1 must be refused");
+        assert_eq!(
+            err,
+            CommError::Protocol {
+                expected: "a surviving majority of the old view",
+            }
+        );
+        assert_eq!(comms[0].size(), 2, "the view must be untouched");
+        assert_eq!(comms[0].epoch(), 0);
+    }
+
+    #[test]
+    fn frames_roundtrip_all_kinds() {
+        let frames = [
+            MembershipFrame::Proposal {
+                epoch: 3,
+                round: 1,
+                sender: 2,
+                ranks: vec![1, 4],
+            },
+            MembershipFrame::RejoinRequest {
+                epoch: 5,
+                sender: 2,
+            },
+            MembershipFrame::Welcome {
+                epoch: 7,
+                sender: 0,
+                barrier_gen: 41,
+                step: 12,
+                ranks: vec![0, 1, 2, 3],
+            },
+        ];
+        for f in frames {
+            let bytes = f.encode();
+            assert_eq!(bytes[0], MAGIC);
+            assert_eq!(MembershipFrame::decode(&bytes).expect("roundtrip"), f);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation_everywhere() {
+        let bytes = MembershipFrame::Welcome {
+            epoch: 1,
+            sender: 0,
+            barrier_gen: 2,
+            step: 3,
+            ranks: vec![0, 1, 2],
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                MembershipFrame::decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic_kind_and_trailing() {
+        let good = MembershipFrame::RejoinRequest {
+            epoch: 0,
+            sender: 1,
+        }
+        .encode();
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(MembershipFrame::decode(&bad_magic).is_err());
+        let mut bad_kind = good.clone();
+        bad_kind[1] = 9;
+        assert!(MembershipFrame::decode(&bad_kind).is_err());
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(MembershipFrame::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn decode_bounds_the_rank_list() {
+        let mut bytes = MembershipFrame::Proposal {
+            epoch: 1,
+            round: 0,
+            sender: 0,
+            ranks: vec![],
+        }
+        .encode();
+        let n = bytes.len();
+        // Forge a huge count with no payload behind it: must error, not
+        // allocate.
+        bytes[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(MembershipFrame::decode(&bytes).is_err());
+    }
+}

@@ -8,7 +8,7 @@
 
 /// Central registry of every wire-format magic byte in the workspace.
 ///
-/// Seven hand-rolled binary formats travel between ranks or to disk; each
+/// Nine hand-rolled binary formats travel between ranks or to disk; each
 /// one's first byte is a magic from this module, and **only** this module
 /// may spell the literal values (`compso-lint`'s `wire-magic-registry`
 /// rule rejects bare `0xC?` byte literals anywhere else in prod code, and
@@ -27,8 +27,14 @@ pub mod magic {
     /// Layer-parallel baseline group framing (QSGD/SZ),
     /// [`crate::baselines::pargroup`].
     pub const MAGIC_PARGROUP: u8 = 0xC8;
+    /// Elastic membership-view frame (proposal / rejoin-request /
+    /// welcome), `compso-comm`'s membership protocol.
+    pub const MAGIC_MEMBERSHIP: u8 = 0xC9;
     /// Checkpoint tensor blob (`compso-ckpt`).
     pub const MAGIC_TENSORS: u8 = 0xCB;
+    /// Rejoin catch-up delta (epoch-stamped factor-state tensors
+    /// all-gathered to a rank rejoining the group), `compso-kfac`.
+    pub const MAGIC_REJOIN: u8 = 0xCC;
     /// Checkpoint manifest, written last to commit a snapshot
     /// (`compso-ckpt`).
     pub const MAGIC_MANIFEST: u8 = 0xCD;
@@ -43,7 +49,9 @@ pub mod magic {
         ("stream_v2", MAGIC_STREAM_V2),
         ("group", MAGIC_GROUP),
         ("pargroup", MAGIC_PARGROUP),
+        ("membership", MAGIC_MEMBERSHIP),
         ("tensors", MAGIC_TENSORS),
+        ("rejoin", MAGIC_REJOIN),
         ("manifest", MAGIC_MANIFEST),
         ("frame", MAGIC_FRAME),
     ];
@@ -456,10 +464,12 @@ mod tests {
         assert_eq!(magic::MAGIC_STREAM_V2, 0xC6);
         assert_eq!(magic::MAGIC_GROUP, 0xC7);
         assert_eq!(magic::MAGIC_PARGROUP, 0xC8);
+        assert_eq!(magic::MAGIC_MEMBERSHIP, 0xC9);
         assert_eq!(magic::MAGIC_TENSORS, 0xCB);
+        assert_eq!(magic::MAGIC_REJOIN, 0xCC);
         assert_eq!(magic::MAGIC_MANIFEST, 0xCD);
         assert_eq!(magic::MAGIC_FRAME, 0xCF);
-        assert_eq!(magic::ALL.len(), 7);
+        assert_eq!(magic::ALL.len(), 9);
     }
 
     #[test]

@@ -32,10 +32,10 @@ use compso_ckpt::{
     decode_tensors, encode_tensors, CheckpointStore, CkptError, Manifest, RankFileMeta, Snapshot,
     TensorData, TensorEntry,
 };
-use compso_comm::collectives::{allgather_var, broadcast_bytes};
+use compso_comm::collectives::{allgather_var, allgather_var_quiet, broadcast_bytes};
 use compso_comm::{CommError, Communicator};
 use compso_core::encoders::Codec;
-use compso_core::wire::{frame_checksummed, unframe_checksummed};
+use compso_core::wire::{frame_checksummed, magic, unframe_checksummed, Reader, Writer};
 use compso_dnn::Sequential;
 use compso_obs::names;
 use compso_tensor::{Cholesky, EigenDecomposition};
@@ -193,6 +193,7 @@ impl CheckpointCoordinator {
                 step,
                 world_size: comm.size() as u32,
                 fingerprint: self.fingerprint,
+                epoch: comm.epoch(),
                 ranks,
             };
             let manifest_bytes = self.store.commit(&manifest)?;
@@ -211,8 +212,13 @@ impl CheckpointCoordinator {
     /// or corrupt ones (each skip increments `ckpt/restore_rungs` and
     /// is reconciled across ranks, so everyone resumes from the same
     /// snapshot); errors with [`CkptError::NoSnapshot`] when nothing
-    /// loadable remains. Snapshots from a different world size are
-    /// skipped; a fingerprint mismatch is a hard error.
+    /// loadable remains. A snapshot from a different world size is
+    /// resharded on the fly: each rank loads its stripe of the old
+    /// owner-sharded factor files (see [`Self::probe`]'s ownership
+    /// math), the ownership map is rebuilt from scratch, and rank-local
+    /// state is dropped — the result is bit-identical to a fresh
+    /// restore of the same snapshot at the current world size. A
+    /// fingerprint mismatch is a hard error.
     pub fn restore(
         &self,
         comm: &mut Communicator,
@@ -237,6 +243,17 @@ impl CheckpointCoordinator {
             rec.incr(names::CKPT_RESTORE_RUNGS);
         }
         let (manifest, snap) = chosen.ok_or(CkptError::NoSnapshot)?;
+        let cross_world = manifest.world_size as usize != comm.size();
+        if cross_world {
+            rec.incr(names::CKPT_RESTORE_RUNGS_WORLD_SIZE);
+            eprintln!(
+                "compso-ckpt: restoring a {}-rank snapshot (step {}) into a {}-rank group; \
+                 resharding owner-sharded factors, dropping rank-local state",
+                manifest.world_size,
+                manifest.step,
+                comm.size()
+            );
+        }
 
         // Redistribute the owner-sharded factor states: one all-gather,
         // then every rank imports every layer (factor state is
@@ -271,41 +288,46 @@ impl CheckpointCoordinator {
         }
 
         // Install model parameters.
-        for &idx in &model.trainable_indices() {
-            let m = globals.require_matrix(&format!("model/{idx}"))?;
-            let p = model
-                .layer_mut(idx)
-                .params_mut()
-                .ok_or(CkptError::Corrupt("trainable layer without params"))?;
-            if (p.rows(), p.cols()) != (m.rows(), m.cols()) {
-                return Err(CkptError::Corrupt("model parameter shape").into());
-            }
-            *p = m;
-        }
+        install_model_params(&globals, model)?;
 
-        // Install this rank's coordination state.
-        let owners = globals
-            .get("global/owners")
-            .map(|t| match &t.data {
-                TensorData::U64(v) => Ok(v.iter().map(|&o| o as usize).collect::<Vec<_>>()),
-                _ => Err(CkptError::Corrupt("owners dtype")),
-            })
-            .transpose()?;
-        let rng = snap.require_u64s("rank/rng")?;
-        if rng.len() != 6 {
-            return Err(CkptError::Corrupt("rng state arity").into());
+        // Install this rank's coordination state. Across a world-size
+        // change the saved ownership map indexes ranks that no longer
+        // exist and the rank-local state belongs to dropped identities:
+        // the map rebuilds for the new view at the next step, the ladder
+        // store starts empty, and the RNG keeps its seed-derived stream
+        // (identical to a fresh process restoring the same snapshot at
+        // this world size, which is the bit-identity yardstick).
+        if cross_world {
+            let rng = dist.export_state().rng;
+            dist.import_state(DistKfacState {
+                owners: None,
+                rng,
+                last_good: Vec::new(),
+            });
+        } else {
+            let owners = globals
+                .get("global/owners")
+                .map(|t| match &t.data {
+                    TensorData::U64(v) => Ok(v.iter().map(|&o| o as usize).collect::<Vec<_>>()),
+                    _ => Err(CkptError::Corrupt("owners dtype")),
+                })
+                .transpose()?;
+            let rng = snap.require_u64s("rank/rng")?;
+            if rng.len() != 6 {
+                return Err(CkptError::Corrupt("rng state arity").into());
+            }
+            let spare = (rng[4] == 1).then(|| f64::from_bits(rng[5]));
+            let mut last_good = Vec::new();
+            for &idx in snap.require_u64s("rank/last_good_idx")? {
+                let idx = idx as usize;
+                last_good.push((idx, snap.require_matrix(&format!("rank/last_good/{idx}"))?));
+            }
+            dist.import_state(DistKfacState {
+                owners,
+                rng: ([rng[0], rng[1], rng[2], rng[3]], spare),
+                last_good,
+            });
         }
-        let spare = (rng[4] == 1).then(|| f64::from_bits(rng[5]));
-        let mut last_good = Vec::new();
-        for &idx in snap.require_u64s("rank/last_good_idx")? {
-            let idx = idx as usize;
-            last_good.push((idx, snap.require_matrix(&format!("rank/last_good/{idx}"))?));
-        }
-        dist.import_state(DistKfacState {
-            owners,
-            rng: ([rng[0], rng[1], rng[2], rng[3]], spare),
-            last_good,
-        });
 
         Ok(Restored {
             step: manifest.step,
@@ -313,9 +335,14 @@ impl CheckpointCoordinator {
         })
     }
 
-    /// Local (per-rank) probe of one snapshot: manifest + this rank's
-    /// payload file. Soft failures (missing/torn/corrupt data, foreign
-    /// world size) yield `Ok(None)`; a fingerprint mismatch is hard.
+    /// Local (per-rank) probe of one snapshot: manifest + the payload
+    /// files this rank is responsible for under the *current* world
+    /// size. With an equal world size that is exactly this rank's own
+    /// file; into a different world size `M`, virtual rank `r` takes the
+    /// stripe of old files `{r, r + M, r + 2M, ...}` — a partition of
+    /// the old files across the new group, so every owner-sharded factor
+    /// is loaded exactly once group-wide. Soft failures (missing, torn,
+    /// or corrupt data) yield `Ok(None)`; a fingerprint mismatch is hard.
     fn probe(
         &self,
         comm: &Communicator,
@@ -325,17 +352,261 @@ impl CheckpointCoordinator {
             Ok(m) => m,
             Err(_) => return Ok(None),
         };
-        if manifest.world_size as usize != comm.size() {
-            return Ok(None);
-        }
         if manifest.fingerprint != self.fingerprint {
             return Err(CkptError::Corrupt("checkpoint fingerprint mismatch").into());
         }
-        match self.store.load_rank(step, &manifest, comm.rank() as u32) {
-            Ok(snap) => Ok(Some((manifest, snap))),
-            Err(_) => Ok(None),
+        let old = manifest.world_size as usize;
+        let me = comm.rank();
+        if old == comm.size() {
+            return match self.store.load_rank(step, &manifest, me as u32) {
+                Ok(snap) => Ok(Some((manifest, snap))),
+                Err(_) => Ok(None),
+            };
+        }
+        // Cross-world-size restore: merge this rank's stripe, keeping
+        // the owner-sharded factor entries plus file 0's globals (which
+        // land on new rank 0, because file 0 is always in rank 0's
+        // stripe). Rank-local entries — the compression RNG stream, the
+        // ladder last-good store — belong to rank identities of the old
+        // world and are dropped.
+        let mut merged = Snapshot::new(step);
+        for file in (me..old).step_by(comm.size()) {
+            let snap = match self.store.load_rank(step, &manifest, file as u32) {
+                Ok(s) => s,
+                Err(_) => return Ok(None),
+            };
+            for t in snap.tensors {
+                if t.name.starts_with("kfac/") || (file == 0 && !t.name.starts_with("rank/")) {
+                    merged.tensors.push(t);
+                }
+            }
+        }
+        Ok(Some((manifest, merged)))
+    }
+
+    /// Collective-free restore for a restarted rank that is still
+    /// *outside* the group (before [`compso_comm::rejoin`]): walks
+    /// snapshots newest-first and loads the newest one that is fully
+    /// readable locally — manifest plus **every** rank file, since with
+    /// no peers the factor shards cannot be all-gathered. Installs the
+    /// full replicated factor state and the rank-0 globals (model
+    /// parameters); the ownership map and rank-local state are dropped
+    /// exactly as in a cross-world restore, because the view this rank
+    /// will rejoin may have any size. Factor state newer than the
+    /// snapshot catches up live afterwards via [`catch_up_rejoined`].
+    pub fn restore_local(
+        &self,
+        dist: &mut DistKfac,
+        model: &mut Sequential,
+    ) -> Result<Restored, CoordError> {
+        let rec = dist.recorder().clone();
+        let _span = rec.span(names::CKPT_LOAD);
+        let mut steps = self.store.list_steps()?;
+        steps.reverse();
+        'steps: for step in steps {
+            let manifest = match self.store.load_manifest(step) {
+                Ok(m) => m,
+                Err(_) => {
+                    rec.incr(names::CKPT_RESTORE_RUNGS);
+                    continue;
+                }
+            };
+            if manifest.fingerprint != self.fingerprint {
+                return Err(CkptError::Corrupt("checkpoint fingerprint mismatch").into());
+            }
+            let mut snaps = Vec::with_capacity(manifest.world_size as usize);
+            for file in 0..manifest.world_size {
+                match self.store.load_rank(step, &manifest, file) {
+                    Ok(s) => snaps.push(s),
+                    Err(_) => {
+                        rec.incr(names::CKPT_RESTORE_RUNGS);
+                        continue 'steps;
+                    }
+                }
+            }
+            for snap in &snaps {
+                let entries: Vec<TensorEntry> = snap.with_prefix("kfac/").cloned().collect();
+                for (idx, state) in layer_states_from_entries(&entries)? {
+                    dist.kfac_mut().import_layer_state(idx, state);
+                }
+            }
+            let mut globals = Snapshot::new(step);
+            globals.tensors = snaps[0]
+                .tensors
+                .iter()
+                .filter(|t| !t.name.starts_with("rank/") && !t.name.starts_with("kfac/"))
+                .cloned()
+                .collect();
+            if globals.require_u64s("global/step")? != [manifest.step] {
+                return Err(CkptError::Corrupt("global step vs manifest").into());
+            }
+            install_model_params(&globals, model)?;
+            let rng = dist.export_state().rng;
+            dist.import_state(DistKfacState {
+                owners: None,
+                rng,
+                last_good: Vec::new(),
+            });
+            return Ok(Restored {
+                step: manifest.step,
+                globals,
+            });
+        }
+        Err(CkptError::NoSnapshot.into())
+    }
+}
+
+/// Installs the broadcast `model/<idx>` parameter matrices into the
+/// model, shape-checked.
+fn install_model_params(globals: &Snapshot, model: &mut Sequential) -> Result<(), CoordError> {
+    for &idx in &model.trainable_indices() {
+        let m = globals.require_matrix(&format!("model/{idx}"))?;
+        let p = model
+            .layer_mut(idx)
+            .params_mut()
+            .ok_or(CkptError::Corrupt("trainable layer without params"))?;
+        if (p.rows(), p.cols()) != (m.rows(), m.cols()) {
+            return Err(CkptError::Corrupt("model parameter shape").into());
+        }
+        *p = m;
+    }
+    Ok(())
+}
+
+/// Encodes one rank's factor catch-up contribution for a live rejoin: a
+/// `0xCC` frame carrying the membership epoch it was built under, the
+/// sender's physical rank, and a length-prefixed tensor block — the
+/// whole thing wrapped in a `0xCF` CRC envelope.
+pub fn encode_rejoin_delta(epoch: u64, sender: u32, entries: &[TensorEntry]) -> Vec<u8> {
+    let block = encode_tensors(entries);
+    let mut w = Writer::with_capacity(21 + block.len());
+    w.u8(magic::MAGIC_REJOIN);
+    w.u64(epoch);
+    w.u32(sender);
+    w.block(&block);
+    frame_checksummed(&w.into_bytes())
+}
+
+/// Decodes a [`encode_rejoin_delta`] frame: CRC envelope first, then
+/// magic, epoch, sender, and the tensor block; trailing bytes rejected.
+pub fn decode_rejoin_delta(bytes: &[u8]) -> Result<(u64, u32, Vec<TensorEntry>), CkptError> {
+    let inner = unframe_checksummed(bytes)?;
+    let mut r = Reader::new(inner);
+    if r.u8()? != magic::MAGIC_REJOIN {
+        return Err(CkptError::Corrupt("rejoin delta magic"));
+    }
+    let epoch = r.u64()?;
+    let sender = r.u32()?;
+    let entries = decode_tensors(r.block()?)?;
+    if !r.is_exhausted() {
+        return Err(CkptError::Corrupt("trailing rejoin delta bytes"));
+    }
+    Ok((epoch, sender, entries))
+}
+
+/// Live factor catch-up after a rank rejoins: collective over the *new*
+/// view, called by every rank (members and the joiner alike) right
+/// after [`compso_comm::admit_pending`] / [`compso_comm::rejoin`]
+/// commit the admission.
+///
+/// The members shard the replicated factor state among themselves —
+/// member `k` of `m` contributes the layers at positions `pos % m == k`
+/// of [`Kfac::state_indices`] — so the joiner receives every layer
+/// exactly once while no single member uploads the whole state. The
+/// joiner contributes an empty delta. One variable-size all-gather
+/// (`comm/allgather_rejoin`) moves the shards; the joiner imports them
+/// and counts `comm/allgather_rejoin` traffic like any collective. The
+/// members then broadcast the current model parameters from the lowest
+/// live member rank, which the joiner installs — its checkpoint restore
+/// may be several steps behind the group.
+///
+/// Deltas carry the membership epoch; a frame from a different epoch is
+/// a protocol error (a stale catch-up must never install).
+///
+/// [`Kfac::state_indices`]: crate::kfac::Kfac::state_indices
+pub fn catch_up_rejoined(
+    comm: &mut Communicator,
+    dist: &mut DistKfac,
+    model: &mut Sequential,
+    joiner: usize,
+) -> Result<(), CommError> {
+    let rec = dist.recorder().clone();
+    let epoch = comm.epoch();
+    let me_phys = comm.phys_rank();
+    let members: Vec<usize> = comm
+        .live_ranks()
+        .iter()
+        .copied()
+        .filter(|&r| r != joiner)
+        .collect();
+    let bad = |expected: &'static str| CommError::Protocol { expected };
+
+    // Build this rank's shard.
+    let mut entries: Vec<TensorEntry> = Vec::new();
+    if me_phys != joiner {
+        let k = members
+            .iter()
+            .position(|&r| r == me_phys)
+            .ok_or_else(|| bad("a live member of the new view"))?;
+        let mut shard = Snapshot::new(0);
+        for (pos, idx) in dist.kfac().state_indices().into_iter().enumerate() {
+            if pos % members.len() == k {
+                if let Some(layer) = dist.kfac().export_layer_state(idx) {
+                    push_layer_state(&mut shard, idx, &layer);
+                }
+            }
+        }
+        entries = shard.tensors;
+    }
+    let payload = encode_rejoin_delta(epoch, me_phys as u32, &entries);
+    rec.incr(names::COMM_MEMBERSHIP);
+    let deltas = allgather_var_quiet(comm, payload, names::COMM_ALLGATHER_REJOIN)?;
+
+    // The joiner installs every shard; members validate the envelopes
+    // (same epoch, sane senders) but keep their own replicated state.
+    for delta in &deltas {
+        let (d_epoch, _, d_entries) =
+            decode_rejoin_delta(delta).map_err(|_| bad("a decodable rejoin delta"))?;
+        if d_epoch != epoch {
+            return Err(bad("a rejoin delta from the current epoch"));
+        }
+        if me_phys == joiner {
+            for (idx, state) in layer_states_from_entries(&d_entries)
+                .map_err(|_| bad("valid rejoin layer state"))?
+            {
+                dist.kfac_mut().import_layer_state(idx, state);
+            }
         }
     }
+
+    // Model parameters from the lowest live member: the joiner's
+    // checkpoint may be several steps older than the group's weights.
+    let root_phys = *members.first().ok_or_else(|| bad("at least one member"))?;
+    let root_v = comm
+        .live_ranks()
+        .iter()
+        .position(|&r| r == root_phys)
+        .ok_or_else(|| bad("the root member in the live view"))?;
+    let mut pbytes = if me_phys == root_phys {
+        let mut snap = Snapshot::new(0);
+        for &idx in &model.trainable_indices() {
+            // lint:allow(no-unwrap-on-comm-path): trainable_indices only lists layers with params
+            snap.push_matrix(format!("model/{idx}"), model.layer(idx).params().unwrap());
+        }
+        frame_checksummed(&encode_tensors(&snap.tensors))
+    } else {
+        Vec::new()
+    };
+    broadcast_bytes(comm, root_v, &mut pbytes)?;
+    if me_phys == joiner {
+        let mut globals = Snapshot::new(0);
+        let body =
+            unframe_checksummed(&pbytes).map_err(|_| bad("a checksummed parameter frame"))?;
+        globals.tensors = decode_tensors(body).map_err(|_| bad("decodable catch-up parameters"))?;
+        install_model_params(&globals, model)
+            .map_err(|_| bad("installable catch-up parameters"))?;
+    }
+    Ok(())
 }
 
 /// Builds one rank's snapshot contribution (see the module docs for the

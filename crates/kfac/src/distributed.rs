@@ -166,6 +166,11 @@ pub struct DistKfac {
     /// Times the schedule cache was (re)built. Stays at ≤ 1 for any fixed
     /// compressor; exposed for the reuse-invariant tests.
     schedule_builds: u32,
+    /// The membership epoch the ownership map was computed under. A
+    /// mismatch with [`Communicator::epoch`] at the next step boundary
+    /// drops the map and schedules so they rebuild for the new view
+    /// (`kfac/elastic/reshards`).
+    view_epoch: u64,
     /// Reusable fusion buffer for the bucketed step-2 gradient sync and
     /// the step-3 factor bucket (no per-step allocation churn).
     fusion: Vec<f32>,
@@ -190,6 +195,7 @@ impl DistKfac {
             owners: None,
             schedules: None,
             schedule_builds: 0,
+            view_epoch: 0,
             fusion: Vec::new(),
             last_good: HashMap::new(),
             rng: Rng::new(seed ^ 0xFACADE),
@@ -226,6 +232,20 @@ impl DistKfac {
         model: &mut Sequential,
         compressor: &dyn Compressor,
     ) -> Result<StepStats, CommError> {
+        // Elastic resharding: a membership epoch change (shrink or
+        // rejoin) invalidates the ownership map — it was computed for a
+        // different world size — and with it the schedule cache. Every
+        // rank observes the same epoch at the same step boundary, so the
+        // rebuilt map (over virtual ranks `0..comm.size()`) is identical
+        // group-wide: the dead rank's aggregation groups land on
+        // survivors, a rejoined rank picks its share back up.
+        if comm.epoch() != self.view_epoch {
+            self.view_epoch = comm.epoch();
+            if self.owners.take().is_some() {
+                self.schedules = None;
+                self.recorder.incr(names::KFAC_ELASTIC_RESHARDS);
+            }
+        }
         let step_idx = comm.begin_step();
         let _step_span = self.recorder.span(names::KFAC_STEP);
         let mut stats = StepStats::default();
@@ -667,6 +687,35 @@ impl DistKfac {
             }
         }
         Ok(stats)
+    }
+
+    /// [`DistKfac::step`] with elastic fault handling: a transport error
+    /// that names a culprit rank (crash, poison, exhausted retries,
+    /// timeout) shrinks the group by quorum agreement, flushes the
+    /// surviving streams at the step boundary, and retries on the new
+    /// view — the interrupted step is abandoned on every rank alike (the
+    /// transport serves a dead peer's in-flight frames before surfacing
+    /// the failure, so survivors agree on which step that is). Only
+    /// `Protocol` errors — which blame nobody — propagate, as does a
+    /// shrink refusal (quorum loss).
+    pub fn step_elastic(
+        &mut self,
+        comm: &mut Communicator,
+        model: &mut Sequential,
+        compressor: &dyn Compressor,
+    ) -> Result<StepStats, CommError> {
+        loop {
+            match self.step(comm, model, compressor) {
+                Ok(stats) => return Ok(stats),
+                Err(e) => {
+                    let Some(culprit) = e.culprit() else {
+                        return Err(e);
+                    };
+                    comm.shrink(vec![culprit])?;
+                    comm.resync_view()?;
+                }
+            }
+        }
     }
 
     /// The greedy ownership map, once built.

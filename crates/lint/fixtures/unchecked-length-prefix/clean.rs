@@ -28,3 +28,27 @@ pub fn trusted_size(layers: &[Vec<f32>]) -> Vec<f32> {
     let n = layers.len();
     Vec::with_capacity(n)
 }
+
+fn raw_len(r: &mut Reader) -> Result<usize, WireError> {
+    // Length source (unclamped); its callers below validate.
+    Ok(r.u32()? as usize)
+}
+
+fn clamped_len(r: &mut Reader) -> Result<usize, WireError> {
+    // Clamped at the source: NOT a length source, callers are free.
+    checked_count(r.u32()? as u64)
+}
+
+pub fn guarded_caller(r: &mut Reader) -> Result<Vec<u8>, WireError> {
+    // The membership.rs rank_count shape: raw helper, caller guards.
+    let n = raw_len(r)?;
+    if n > RANKS_MAX {
+        return Err(WireError::Invalid("rank list too long"));
+    }
+    Ok(Vec::with_capacity(n))
+}
+
+pub fn caller_of_clamped(r: &mut Reader) -> Result<Vec<u8>, WireError> {
+    let n = clamped_len(r)?;
+    Ok(Vec::with_capacity(n))
+}

@@ -19,3 +19,15 @@ pub fn decode_take(r: &mut Reader) -> Result<(), WireError> {
     let _head = r.take(count); //~ unchecked-length-prefix
     Ok(())
 }
+
+fn raw_len(r: &mut Reader) -> Result<usize, WireError> {
+    // Length source: returns a wire-read length unclamped. The rule
+    // never fires here — the obligation transfers to the callers.
+    Ok(r.u32()? as usize)
+}
+
+pub fn decode_via_helper(r: &mut Reader) -> Result<Vec<u8>, WireError> {
+    let n = raw_len(r)?;
+    let out = Vec::with_capacity(n); //~ unchecked-length-prefix
+    Ok(out)
+}

@@ -12,26 +12,41 @@
 //! whole run). Correctness never depends on the cache: the worst a
 //! corrupt cache can do is cause re-checking.
 //!
-//! Format (line-oriented text, one file per `F` record, its findings as
-//! following `D` records):
+//! A per-file verdict also depends on one piece of *cross-file* state:
+//! the workspace-wide set of length-source functions feeding
+//! `unchecked-length-prefix` cross-function taint. The cache stores the
+//! merged set it checked under (`L` records) and each file's own
+//! contribution (`S` records under its `F`). On a warm run the merged
+//! set is rebuilt from cached contributions (hits) plus fresh
+//! collection (misses); if it differs from the stored set — someone
+//! added a clamp to a helper, or introduced a new raw-length helper —
+//! every cached diagnostic is stale and the whole run goes cold.
+//! Rechecking rewrites the cache, so the staleness lasts one run.
+//!
+//! Format (line-oriented text; `L` records first, then one file per
+//! `F` record with its contributed sources as `S` records and findings
+//! as `D` records):
 //!
 //! ```text
-//! compso-lint-cache v1 <context-fingerprint-hex>
+//! compso-lint-cache v2 <context-fingerprint-hex>
+//! L <length-source fn name>
 //! F <mtime_ns> <size> <workspace-relative path>
+//! S <length-source fn name>
 //! D <rule> <line> <col> <escaped message>
 //! ```
 
 use crate::engine::{check_file, sort_diags, Context, Diagnostic, SUPPRESSION_HYGIENE};
+use crate::rules::length_prefix::collect_length_sources;
 use crate::rules::RULE_NAMES;
 use crate::source::SourceFile;
 use crate::{rules_apply_to, walker};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::time::UNIX_EPOCH;
 
-const HEADER: &str = "compso-lint-cache v1";
+const HEADER: &str = "compso-lint-cache v2";
 
 /// Hit accounting for the summary line (and the equality tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +60,7 @@ pub struct CacheStats {
 struct CachedFile {
     mtime_ns: u128,
     size: u64,
+    sources: Vec<String>,
     diags: Vec<Diagnostic>,
 }
 
@@ -143,20 +159,39 @@ fn static_rule_name(name: &str) -> Option<&'static str> {
 
 /// Parse a cache file. Any anomaly — wrong header, wrong fingerprint,
 /// malformed record, unknown rule — discards the whole cache: the next
-/// run simply re-checks everything.
-fn load(cache_path: &Path, fingerprint: u64) -> HashMap<String, CachedFile> {
+/// run simply re-checks everything. Returns the per-file records plus
+/// the merged length-source set the cached verdicts were computed under.
+fn load(cache_path: &Path, fingerprint: u64) -> (HashMap<String, CachedFile>, BTreeSet<String>) {
+    let empty = || (HashMap::new(), BTreeSet::new());
     let Ok(text) = std::fs::read_to_string(cache_path) else {
-        return HashMap::new();
+        return empty();
     };
     let mut lines = text.lines();
     match lines.next() {
         Some(h) if h == format!("{HEADER} {fingerprint:016x}") => {}
-        _ => return HashMap::new(),
+        _ => return empty(),
     }
     let mut out: HashMap<String, CachedFile> = HashMap::new();
+    let mut merged = BTreeSet::new();
     let mut current: Option<String> = None;
     for line in lines {
-        if let Some(rest) = line.strip_prefix("F ") {
+        if let Some(rest) = line.strip_prefix("L ") {
+            if current.is_some() || rest.is_empty() {
+                return empty(); // L records belong to the header section
+            }
+            merged.insert(rest.to_string());
+        } else if let Some(rest) = line.strip_prefix("S ") {
+            let Some(path) = &current else {
+                return empty();
+            };
+            if rest.is_empty() {
+                return empty();
+            }
+            out.get_mut(path)
+                .expect("current implies entry")
+                .sources
+                .push(rest.to_string());
+        } else if let Some(rest) = line.strip_prefix("F ") {
             let mut it = rest.splitn(3, ' ');
             let parsed = (|| {
                 let mtime_ns: u128 = it.next()?.parse().ok()?;
@@ -165,20 +200,21 @@ fn load(cache_path: &Path, fingerprint: u64) -> HashMap<String, CachedFile> {
                 Some((mtime_ns, size, path))
             })();
             let Some((mtime_ns, size, path)) = parsed else {
-                return HashMap::new();
+                return empty();
             };
             out.insert(
                 path.clone(),
                 CachedFile {
                     mtime_ns,
                     size,
+                    sources: Vec::new(),
                     diags: Vec::new(),
                 },
             );
             current = Some(path);
         } else if let Some(rest) = line.strip_prefix("D ") {
             let Some(path) = &current else {
-                return HashMap::new();
+                return empty();
             };
             let mut it = rest.splitn(4, ' ');
             let parsed = (|| {
@@ -195,28 +231,45 @@ fn load(cache_path: &Path, fingerprint: u64) -> HashMap<String, CachedFile> {
                 })
             })();
             let Some(d) = parsed else {
-                return HashMap::new();
+                return empty();
             };
             out.get_mut(path)
                 .expect("current implies entry")
                 .diags
                 .push(d);
         } else if !line.is_empty() {
-            return HashMap::new();
+            return empty();
         }
     }
-    out
+    (out, merged)
+}
+
+/// One file's worth of state to persist: identity, the length sources
+/// it contributes, and its diagnostics.
+struct CacheEntry {
+    path: String,
+    mtime_ns: u128,
+    size: u64,
+    sources: Vec<String>,
+    diags: Vec<Diagnostic>,
 }
 
 fn write_cache(
     cache_path: &Path,
     fingerprint: u64,
-    entries: &[(String, u128, u64, Vec<Diagnostic>)],
+    merged_sources: &BTreeSet<String>,
+    entries: &[CacheEntry],
 ) -> io::Result<()> {
     let mut text = format!("{HEADER} {fingerprint:016x}\n");
-    for (path, mtime_ns, size, diags) in entries {
-        let _ = writeln!(text, "F {mtime_ns} {size} {path}");
-        for d in diags {
+    for s in merged_sources {
+        let _ = writeln!(text, "L {s}");
+    }
+    for e in entries {
+        let _ = writeln!(text, "F {} {} {}", e.mtime_ns, e.size, e.path);
+        for s in &e.sources {
+            let _ = writeln!(text, "S {s}");
+        }
+        for d in &e.diags {
             let _ = writeln!(
                 text,
                 "D {} {} {} {}",
@@ -251,38 +304,103 @@ pub fn check_workspace_cached(
     root: &Path,
     cache_path: &Path,
 ) -> io::Result<(Vec<Diagnostic>, CacheStats)> {
-    let ctx = Context::from_workspace(root)?;
+    let base = Context::from_workspace(root)?;
     let fingerprint = context_fingerprint(root)?;
-    let cache = load(cache_path, fingerprint);
-    let mut out = Vec::new();
-    let mut entries: Vec<(String, u128, u64, Vec<Diagnostic>)> = Vec::new();
-    let mut stats = CacheStats { files: 0, hits: 0 };
+    let (cache, cached_sources) = load(cache_path, fingerprint);
+
+    // Pass 1: establish each file's identity and its length-source
+    // contribution — from the cache on an identity hit, from a fresh
+    // parse on a miss (the parse is kept for pass 2).
+    struct Seen {
+        rel: String,
+        identity: Option<(u128, u64)>,
+        hit: bool,
+        parsed: Option<SourceFile>,
+        sources: Vec<String>,
+    }
+    let mut seen: Vec<Seen> = Vec::new();
     for path in walker::collect_files(root, false) {
         let rel = walker::rel_path(root, &path);
         if !rules_apply_to(&rel) {
             continue;
         }
-        stats.files += 1;
         let identity = file_identity(&path);
-        if let (Some((mtime_ns, size)), Some(c)) = (identity, cache.get(&rel)) {
-            if c.mtime_ns == mtime_ns && c.size == size {
-                stats.hits += 1;
-                out.extend(c.diags.iter().cloned());
-                entries.push((rel, mtime_ns, size, c.diags.clone()));
-                continue;
-            }
+        let hit = matches!(
+            (identity, cache.get(&rel)),
+            (Some((m, s)), Some(c)) if c.mtime_ns == m && c.size == s
+        );
+        let (parsed, sources) = if hit {
+            (None, cache[&rel].sources.clone())
+        } else {
+            let src = std::fs::read_to_string(&path)?;
+            let file = SourceFile::new(rel.clone(), src);
+            let sources = collect_length_sources(&file);
+            (Some(file), sources)
+        };
+        seen.push(Seen {
+            rel,
+            identity,
+            hit,
+            parsed,
+            sources,
+        });
+    }
+
+    // Cached diagnostics were computed under `cached_sources`; they are
+    // only replayable if the merged set is unchanged. A drift (helper
+    // clamped, helper added) makes every verdict stale — the run goes
+    // cold and the rewrite below repairs the cache in one pass.
+    let merged: BTreeSet<String> = seen
+        .iter()
+        .flat_map(|s| s.sources.iter().cloned())
+        .collect();
+    let replayable = merged == cached_sources;
+    let ctx = Context {
+        registered_names: base.registered_names,
+        length_sources: merged.clone(),
+    };
+
+    let mut out = Vec::new();
+    let mut entries: Vec<CacheEntry> = Vec::new();
+    let mut stats = CacheStats { files: 0, hits: 0 };
+    for s in seen {
+        stats.files += 1;
+        if s.hit && replayable {
+            let c = &cache[&s.rel];
+            stats.hits += 1;
+            out.extend(c.diags.iter().cloned());
+            let (mtime_ns, size) = s.identity.expect("hit implies identity");
+            entries.push(CacheEntry {
+                path: s.rel,
+                mtime_ns,
+                size,
+                sources: s.sources,
+                diags: c.diags.clone(),
+            });
+            continue;
         }
-        let src = std::fs::read_to_string(&path)?;
-        let file = SourceFile::new(rel.clone(), src);
+        let file = match s.parsed {
+            Some(f) => f,
+            None => {
+                let src = std::fs::read_to_string(root.join(&s.rel))?;
+                SourceFile::new(s.rel.clone(), src)
+            }
+        };
         let mut diags = Vec::new();
         check_file(&file, &ctx, &mut diags);
         out.extend(diags.iter().cloned());
-        if let Some((mtime_ns, size)) = identity {
-            entries.push((rel, mtime_ns, size, diags));
+        if let Some((mtime_ns, size)) = s.identity {
+            entries.push(CacheEntry {
+                path: s.rel,
+                mtime_ns,
+                size,
+                sources: s.sources,
+                diags,
+            });
         }
     }
     sort_diags(&mut out);
-    let _ = write_cache(cache_path, fingerprint, &entries);
+    let _ = write_cache(cache_path, fingerprint, &merged, &entries);
     Ok((out, stats))
 }
 
@@ -422,12 +540,68 @@ mod tests {
         for garbage in [
             "not a cache at all\n".to_string(),
             "compso-lint-cache v1 0000000000000000\nF 1 2 x.rs\n".to_string(),
+            "compso-lint-cache v2 0000000000000000\nF 1 2 x.rs\n".to_string(),
             std::fs::read_to_string(&cache).unwrap().replace("D ", "Z "),
+            // An `L` record after the first `F` is malformed (v2 shape).
+            std::fs::read_to_string(&cache).unwrap() + "L stray_source\n",
         ] {
             std::fs::write(&cache, garbage).unwrap();
             let (diags, _) = check_workspace_cached(root, &cache).unwrap();
             assert_eq!(diags, check_workspace(root).unwrap());
         }
+    }
+
+    #[test]
+    fn helper_clamp_edit_invalidates_callers_in_other_files() {
+        let scratch = Scratch::new("xfn");
+        let root = scratch.path();
+        mini_workspace(root);
+        let helper = root.join("crates/foo/src/helper.rs");
+        std::fs::write(
+            &helper,
+            "pub fn wire_len(r: &mut Reader<'_>) -> usize {\n    r.u32() as usize\n}\n",
+        )
+        .unwrap();
+        let caller = root.join("crates/foo/src/caller.rs");
+        std::fs::write(
+            &caller,
+            "pub fn decode(r: &mut Reader<'_>) -> Vec<u8> {\n    \
+                 let n = wire_len(r);\n    \
+                 let out = Vec::with_capacity(n);\n    \
+                 out\n}\n",
+        )
+        .unwrap();
+        let cache = root.join("lint-cache");
+
+        let (first, _) = check_workspace_cached(root, &cache).unwrap();
+        assert!(
+            first
+                .iter()
+                .any(|d| d.rule == "unchecked-length-prefix" && d.path.ends_with("caller.rs")),
+            "cross-file taint must reach the caller: {first:?}"
+        );
+
+        // Clamp the helper. caller.rs is untouched — a naive
+        // (mtime, size) replay would keep its stale finding — but the
+        // source-set gate must force a cold recheck that clears it.
+        std::fs::write(
+            &helper,
+            "pub fn wire_len(r: &mut Reader<'_>) -> usize {\n    \
+                 checked_count(r.u32() as u64)\n}\n",
+        )
+        .unwrap();
+        let (second, stats) = check_workspace_cached(root, &cache).unwrap();
+        assert_eq!(stats.hits, 0, "source-set drift must drop every verdict");
+        assert!(
+            !second.iter().any(|d| d.rule == "unchecked-length-prefix"),
+            "clamped helper must clear the caller's finding: {second:?}"
+        );
+        assert_eq!(second, check_workspace(root).unwrap());
+
+        // The rewrite repaired the cache: next run replays warm.
+        let (third, s3) = check_workspace_cached(root, &cache).unwrap();
+        assert_eq!(third, second);
+        assert_eq!(s3.hits, s3.files);
     }
 
     #[test]

@@ -74,22 +74,29 @@ pub fn to_json(diags: &[Diagnostic]) -> String {
     out
 }
 
-/// Workspace-level facts the rules consult: today, the set of counter /
-/// span / label names registered in `compso_obs::names`.
+/// Workspace-level facts the rules consult: the set of counter / span /
+/// label names registered in `compso_obs::names`, and the set of
+/// length-source functions (helpers returning unclamped wire-read
+/// lengths) collected across the whole file set for cross-function
+/// taint in `unchecked-length-prefix`.
 ///
 /// The registry is recovered by lexing `crates/obs/src/names.rs` and
 /// collecting every `const NAME: &str = "…";` — the same shape the
 /// registry's own self-parsing test pins, so the two cannot drift.
 pub struct Context {
     pub registered_names: BTreeSet<String>,
+    pub length_sources: BTreeSet<String>,
 }
 
 impl Context {
-    /// Build the context from a workspace root on disk.
+    /// Build the context from a workspace root on disk. Length sources
+    /// start empty; the workspace drivers fill them in from a pre-pass
+    /// over the file set (see [`collect_length_sources_from`]).
     pub fn from_workspace(root: &Path) -> std::io::Result<Context> {
         let names_src = std::fs::read_to_string(root.join("crates/obs/src/names.rs"))?;
         Ok(Context {
             registered_names: parse_registered_names(&names_src),
+            length_sources: BTreeSet::new(),
         })
     }
 
@@ -97,8 +104,19 @@ impl Context {
     pub fn with_names<I: IntoIterator<Item = String>>(names: I) -> Context {
         Context {
             registered_names: names.into_iter().collect(),
+            length_sources: BTreeSet::new(),
         }
     }
+}
+
+/// Pre-pass for cross-function length taint: union the length-source
+/// function names contributed by every file in the set.
+pub fn collect_length_sources_from(files: &[SourceFile]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for f in files {
+        out.extend(crate::rules::length_prefix::collect_length_sources(f));
+    }
+    out
 }
 
 /// Extract every `const IDENT: &str = "value";` string from a source
@@ -180,10 +198,20 @@ pub fn sort_diags(diags: &mut [Diagnostic]) {
 
 /// Check a whole file set, returning diagnostics sorted by path, line,
 /// column, rule — a stable order for golden tests and CI artifacts.
+///
+/// Runs the length-source pre-pass first so cross-function taint sees
+/// helpers defined in *other* files of the set.
 pub fn check_files(files: &[SourceFile], ctx: &Context) -> Vec<Diagnostic> {
+    let mut ctx_full = Context {
+        registered_names: ctx.registered_names.clone(),
+        length_sources: ctx.length_sources.clone(),
+    };
+    ctx_full
+        .length_sources
+        .extend(collect_length_sources_from(files));
     let mut out = Vec::new();
     for f in files {
-        check_file(f, ctx, &mut out);
+        check_file(f, &ctx_full, &mut out);
     }
     sort_diags(&mut out);
     out

@@ -23,11 +23,25 @@
 //! 3. A statement that uses a still-tainted identifier **as an
 //!    allocation size** — inside `with_capacity(…)`, after the `;` of
 //!    `vec![…; …]`, or inside `.take(…)` — fires.
+//!
+//! **Cross-function taint**: a helper that merely *returns* a wire-read
+//! length launders the taint past the per-body heuristic — the live
+//! pattern is `compso_comm::membership::rank_count`, whose callers must
+//! compare against `RANKS_MAX` themselves. Pass 1
+//! ([`collect_length_sources`]) finds every function whose signature
+//! returns an integer width, whose body reads `.u32()`/`.u64()`, and
+//! whose body contains *no* guard marker: its return value is an
+//! unclamped wire length. The engine unions these names workspace-wide
+//! into [`Context::length_sources`]; pass 2 treats a call to any such
+//! function exactly like a direct `.u32()` read when tainting a `let`
+//! binding. Same-file sources are folded in even when the rule runs on
+//! a single file (fixtures, `check_file`).
 
 use super::{Rule, View};
 use crate::engine::{Context, Diagnostic};
 use crate::lexer::TokenKind;
 use crate::source::SourceFile;
+use std::collections::BTreeSet;
 
 pub struct UncheckedLengthPrefix;
 
@@ -38,21 +52,77 @@ impl Rule for UncheckedLengthPrefix {
         NAME
     }
 
-    fn check(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Diagnostic>) {
+    fn check(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
         let v = View::new(file);
+        // Workspace-wide length sources plus this file's own: the
+        // single-file entry points (fixtures, direct check_file) still
+        // see intra-file cross-function taint.
+        let mut sources = ctx.length_sources.clone();
+        sources.extend(collect_length_sources(file));
         for f in &file.fns {
             if f.body.is_empty() || file.in_test(f.body.start) {
+                continue;
+            }
+            // The source function itself returns the raw length by
+            // design; the obligation sits on its callers.
+            if sources.contains(&f.name) {
                 continue;
             }
             let body: Vec<usize> = (0..v.len())
                 .filter(|&ci| f.body.contains(&v.tok(ci).start))
                 .collect();
-            check_body(&v, &body, out);
+            check_body(&v, &body, &sources, out);
         }
     }
 }
 
-fn check_body(v: &View, body: &[usize], out: &mut Vec<Diagnostic>) {
+/// Pass 1 of the cross-function analysis: names of functions in `file`
+/// whose **return value is an unclamped wire-read length** — signature
+/// returns an integer width (`usize`/`u32`/`u64`, possibly inside
+/// `Result<…>`), body calls `.u32()`/`.u64()`, and no guard marker
+/// appears anywhere in the body. Callers must treat these like direct
+/// wire reads. Test code never contributes sources.
+pub fn collect_length_sources(file: &SourceFile) -> Vec<String> {
+    let v = View::new(file);
+    let mut out = Vec::new();
+    for f in &file.fns {
+        if f.body.is_empty() || file.in_test(f.kw_start) {
+            continue;
+        }
+        let sig: Vec<usize> = (0..v.len())
+            .filter(|&ci| {
+                let start = v.tok(ci).start;
+                start >= f.kw_start && start < f.body.start
+            })
+            .collect();
+        if !returns_integer(&v, &sig) {
+            continue;
+        }
+        let body: Vec<usize> = (0..v.len())
+            .filter(|&ci| f.body.contains(&v.tok(ci).start))
+            .collect();
+        if reads_wire_len(&v, &body) && !has_guard(&v, &body) {
+            out.push(f.name.clone());
+        }
+    }
+    out
+}
+
+/// Does the signature's return type (tokens after `->`) mention an
+/// integer width a length could travel through?
+fn returns_integer(v: &View, sig: &[usize]) -> bool {
+    let arrow = sig
+        .windows(2)
+        .position(|w| v.is_punct(w[0], "-") && v.is_punct(w[1], ">"));
+    let Some(at) = arrow else {
+        return false;
+    };
+    sig[at + 2..]
+        .iter()
+        .any(|&ci| v.kind(ci) == TokenKind::Ident && matches!(v.text(ci), "usize" | "u32" | "u64"))
+}
+
+fn check_body(v: &View, body: &[usize], sources: &BTreeSet<String>, out: &mut Vec<Diagnostic>) {
     // Statements: body token runs split on `;` — except inside `[...]`,
     // so `vec![0u8; n]` stays one statement (brace-depth agnostic
     // otherwise, which is good enough for a taint heuristic).
@@ -117,7 +187,7 @@ fn check_body(v: &View, body: &[usize], out: &mut Vec<Diagnostic>) {
         // in the same statement. Re-binding clears the old taint either way.
         if let Some(name) = let_binding(v, stmt) {
             tainted.retain(|t| t != &name);
-            if reads_wire_len(v, stmt) && !guarded {
+            if (reads_wire_len(v, stmt) || calls_source(v, stmt, sources)) && !guarded {
                 tainted.push(name);
             }
         }
@@ -144,6 +214,17 @@ fn reads_wire_len(v: &View, stmt: &[usize]) -> bool {
         v.is_punct(w[0], ".")
             && (v.is_ident(w[1], "u32") || v.is_ident(w[1], "u64"))
             && v.is_punct(w[2], "(")
+    })
+}
+
+/// Does this statement call a known length-source helper (`name(…)`)?
+/// Those return unclamped wire lengths and taint like a direct read.
+fn calls_source(v: &View, stmt: &[usize], sources: &BTreeSet<String>) -> bool {
+    if sources.is_empty() {
+        return false;
+    }
+    stmt.windows(2).any(|w| {
+        v.kind(w[0]) == TokenKind::Ident && v.is_punct(w[1], "(") && sources.contains(v.text(w[0]))
     })
 }
 

@@ -18,7 +18,7 @@ use crate::source::SourceFile;
 
 mod counter_registry;
 mod hashmap_iter;
-mod length_prefix;
+pub mod length_prefix;
 mod no_unwrap;
 mod wire_magic;
 

@@ -102,6 +102,23 @@ pub const COMM_RETRY_BACKOFF_NS: &str = "comm/retry/backoff_ns";
 /// call-count invariants on the main collective stay exact).
 pub const COMM_ALLGATHER_REPAIR: &str = "comm/allgather_repair";
 
+/// `compso-comm`: label of the elastic-membership protocol receives
+/// (shrink proposals, rejoin requests, welcomes) in `CommError`s.
+pub const COMM_MEMBERSHIP: &str = "comm/membership";
+/// `compso-comm`: committed membership-view changes (every epoch bump:
+/// shrinks *and* rejoins). Zero in a fixed-membership run.
+pub const COMM_MEMBERSHIP_EPOCHS: &str = "comm/membership/epochs";
+/// `compso-comm`: quorum-agreed view shrinks this rank committed
+/// (each one evicts at least one dead peer).
+pub const COMM_MEMBERSHIP_SHRINKS: &str = "comm/membership/shrinks";
+/// `compso-comm`: live rejoins this rank committed (a previously dead
+/// rank re-admitted at an epoch boundary).
+pub const COMM_MEMBERSHIP_REJOINS: &str = "comm/membership/rejoins";
+/// `compso-kfac`: label of the rejoin catch-up delta all-gather (kept
+/// separate from `comm/allgather_var` so call-count invariants on the
+/// main collective stay exact).
+pub const COMM_ALLGATHER_REJOIN: &str = "comm/allgather_rejoin";
+
 /// `compso-kfac`: checksum/decode failures observed on gathered peer
 /// payloads (`== corrupted_payload injections × (ranks − 1)`).
 pub const KFAC_DEGRADE_CHECKSUM_FAILURES: &str = "kfac/degrade/checksum_failures";
@@ -156,6 +173,10 @@ pub const KFAC_OVERLAP_FRAC: &str = "kfac/overlap_frac";
 /// `compso-kfac`: bytes moved by the single fused factor all-reduce
 /// (step 3's `a_cov`/`g_cov` bucket; 2·layers collectives fused into 1).
 pub const KFAC_FACTOR_FUSED_BYTES: &str = "kfac/factor_fused_bytes";
+/// `compso-kfac`: ownership-map + schedule rebuilds forced by a
+/// membership epoch change (the dead rank's aggregation groups are
+/// re-owned across the survivors). Zero in a fixed-membership run.
+pub const KFAC_ELASTIC_RESHARDS: &str = "kfac/elastic/reshards";
 
 /// `compso-kfac` checkpointing: whole coordinated save (encode +
 /// write + fsync + metadata all-gather + commit).
@@ -177,6 +198,11 @@ pub const CKPT_RAW_BYTES: &str = "ckpt/raw_bytes";
 /// snapshot (missing/torn/corrupt manifest or payload) and fall
 /// back to an older one. Zero on a clean restore.
 pub const CKPT_RESTORE_RUNGS: &str = "ckpt/restore_rungs";
+/// `compso-kfac` checkpointing: restores that loaded a snapshot taken
+/// at a *different* world size and resharded the owner-split factor
+/// blobs across the new ownership map (the `reason=world_size` rung —
+/// observable, no longer a silent skip). Zero when sizes match.
+pub const CKPT_RESTORE_RUNGS_WORLD_SIZE: &str = "ckpt/restore_rungs_world_size";
 
 /// Every registered name. `compso-lint` parses this file to build the
 /// allowed set; keep the array in sync with the constants above (the
@@ -215,6 +241,11 @@ pub const ALL: &[&str] = &[
     COMM_RETRY_NACKS_SENT,
     COMM_RETRY_BACKOFF_NS,
     COMM_ALLGATHER_REPAIR,
+    COMM_MEMBERSHIP,
+    COMM_MEMBERSHIP_EPOCHS,
+    COMM_MEMBERSHIP_SHRINKS,
+    COMM_MEMBERSHIP_REJOINS,
+    COMM_ALLGATHER_REJOIN,
     KFAC_DEGRADE_CHECKSUM_FAILURES,
     KFAC_DEGRADE_REPAIR_REQUESTS,
     KFAC_DEGRADE_REPAIR_COMPRESSED_OK,
@@ -234,12 +265,14 @@ pub const ALL: &[&str] = &[
     KFAC_STEP_OTHER,
     KFAC_OVERLAP_FRAC,
     KFAC_FACTOR_FUSED_BYTES,
+    KFAC_ELASTIC_RESHARDS,
     CKPT_SAVE,
     CKPT_LOAD,
     CKPT_SAVES,
     CKPT_BYTES,
     CKPT_RAW_BYTES,
     CKPT_RESTORE_RUNGS,
+    CKPT_RESTORE_RUNGS_WORLD_SIZE,
 ];
 
 /// Whether `name` is a registered metric/label name.

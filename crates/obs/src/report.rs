@@ -62,6 +62,18 @@ pub struct Resilience {
     /// back to an older one. Non-zero means recovery took a degraded
     /// path, so it counts against quietness.
     pub ckpt_restore_rungs: u64,
+    /// Restores that resharded a snapshot taken at a different world
+    /// size across the current ownership map. The run recovered, but
+    /// through an elastic path, so it counts against quietness.
+    pub ckpt_restore_world_size: u64,
+    /// Committed membership-view changes (shrinks + rejoins).
+    pub membership_epochs: u64,
+    /// Quorum-agreed view shrinks (dead peers evicted).
+    pub membership_shrinks: u64,
+    /// Live rejoins committed (dead peers re-admitted).
+    pub membership_rejoins: u64,
+    /// Ownership/schedule rebuilds forced by an epoch change.
+    pub elastic_reshards: u64,
 }
 
 impl Resilience {
@@ -81,6 +93,11 @@ impl Resilience {
             ckpt_saves: snap.counter(names::CKPT_SAVES),
             ckpt_bytes: snap.counter(names::CKPT_BYTES),
             ckpt_restore_rungs: snap.counter(names::CKPT_RESTORE_RUNGS),
+            ckpt_restore_world_size: snap.counter(names::CKPT_RESTORE_RUNGS_WORLD_SIZE),
+            membership_epochs: snap.counter(names::COMM_MEMBERSHIP_EPOCHS),
+            membership_shrinks: snap.counter(names::COMM_MEMBERSHIP_SHRINKS),
+            membership_rejoins: snap.counter(names::COMM_MEMBERSHIP_REJOINS),
+            elastic_reshards: snap.counter(names::KFAC_ELASTIC_RESHARDS),
         }
     }
 
@@ -221,7 +238,10 @@ impl StepReport {
              \"backoff_ns\":{},\"checksum_failures\":{},\"repair_requests\":{},\
              \"repair_compressed_ok\":{},\"repair_uncompressed_ok\":{},\
              \"fallback_last_good\":{},\"fallback_sgd\":{},\
-             \"ckpt_saves\":{},\"ckpt_bytes\":{},\"ckpt_restore_rungs\":{}}}",
+             \"ckpt_saves\":{},\"ckpt_bytes\":{},\"ckpt_restore_rungs\":{},\
+             \"ckpt_restore_world_size\":{},\"membership_epochs\":{},\
+             \"membership_shrinks\":{},\"membership_rejoins\":{},\
+             \"elastic_reshards\":{}}}",
             rz.crc_detected,
             rz.resends,
             rz.nacks_sent,
@@ -235,6 +255,11 @@ impl StepReport {
             rz.ckpt_saves,
             rz.ckpt_bytes,
             rz.ckpt_restore_rungs,
+            rz.ckpt_restore_world_size,
+            rz.membership_epochs,
+            rz.membership_shrinks,
+            rz.membership_rejoins,
+            rz.elastic_reshards,
         ));
         out.push('}');
         out
@@ -346,6 +371,30 @@ mod tests {
         let doc = report.to_json();
         validate(&doc).unwrap_or_else(|(pos, msg)| panic!("{msg} at {pos} in {doc}"));
         assert!(doc.contains("\"ckpt_restore_rungs\":1"), "{doc}");
+    }
+
+    #[test]
+    fn membership_activity_counts_against_quietness() {
+        let rec = Recorder::enabled();
+        rec.add_time_ns(names::KFAC_STEP, 1_000_000);
+        rec.add(names::COMM_MEMBERSHIP_EPOCHS, 2);
+        rec.add(names::COMM_MEMBERSHIP_SHRINKS, 1);
+        rec.add(names::COMM_MEMBERSHIP_REJOINS, 1);
+        rec.add(names::KFAC_ELASTIC_RESHARDS, 2);
+        rec.add(names::CKPT_RESTORE_RUNGS_WORLD_SIZE, 1);
+        let report = StepReport::from_snapshot(0, &rec.snapshot());
+        let rz = report.resilience;
+        assert!(!rz.is_quiet());
+        assert_eq!(rz.membership_epochs, 2);
+        assert_eq!(rz.membership_shrinks, 1);
+        assert_eq!(rz.membership_rejoins, 1);
+        assert_eq!(rz.elastic_reshards, 2);
+        assert_eq!(rz.ckpt_restore_world_size, 1);
+        let doc = report.to_json();
+        validate(&doc).unwrap_or_else(|(pos, msg)| panic!("{msg} at {pos} in {doc}"));
+        assert!(doc.contains("\"membership_epochs\":2"), "{doc}");
+        assert!(doc.contains("\"elastic_reshards\":2"), "{doc}");
+        assert!(doc.contains("\"ckpt_restore_world_size\":1"), "{doc}");
     }
 
     #[test]

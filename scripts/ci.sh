@@ -92,6 +92,28 @@ rm -f "$RESUME_LOG"
 rm -rf "$CKPT_DIR"
 step_end
 
+step_start "elastic soak smoke (hard 240s wall-clock cap)"
+# Elastic membership end-to-end: a rank crashes mid-run, survivors agree
+# a shrunk view and keep training, the crashed rank restores from the
+# latest snapshot and rejoins live. The example's exit code already
+# encodes the contract — membership churn must have happened (shrinks
+# AND rejoins observed) and the elastic run's final loss must match a
+# fixed-membership reference within tolerance — so CI only needs the
+# exit status plus the counter line in the log. The ledger/Resilience
+# counters are reconciled inside the run (tests/chaos.rs pins exact
+# values); the grep below keeps the CI log honest about what ran.
+ELASTIC_LOG=$(mktemp)
+timeout --kill-after=10 240 \
+  target/release/examples/distributed_kfac --elastic \
+  > "$ELASTIC_LOG" \
+  || { echo "elastic soak smoke failed or timed out" >&2; cat "$ELASTIC_LOG" >&2; exit 1; }
+grep -Eq "membership: [0-9]+ epochs" "$ELASTIC_LOG" \
+  || { echo "elastic soak smoke: no membership counter line in output" >&2; exit 1; }
+grep -q "within tolerance" "$ELASTIC_LOG" \
+  || { echo "elastic soak smoke: no tolerance line in output" >&2; exit 1; }
+rm -f "$ELASTIC_LOG"
+step_end
+
 step_start "checkpoint crash-campaign smoke (hard 300s wall-clock cap)"
 timeout --kill-after=10 300 \
   cargo test --release --test checkpoint -q -- \

@@ -13,13 +13,18 @@
 //!    tolerance of the fault-free run, replicas consistent where the
 //!    ladder guarantees consistency).
 
-use compso::comm::{run_ranks, run_ranks_with, CommConfig, CommError, FaultConfig, FaultPlane};
+use compso::comm::{
+    admit_pending, rejoin, run_ranks, run_ranks_elastic, run_ranks_with, CommConfig, CommError,
+    FaultConfig, FaultPlane,
+};
 use compso::core::{ChunkedCompso, CompsoConfig};
 use compso::dnn::loss::softmax_cross_entropy;
 use compso::dnn::{data, models};
-use compso::kfac::{DistKfac, DistKfacConfig};
+use compso::kfac::checkpoint::{catch_up_rejoined, fingerprint};
+use compso::kfac::{CheckpointConfig, CheckpointCoordinator, DistKfac, DistKfacConfig};
 use compso::obs::{names, Recorder, Resilience, StepReport};
 use compso::tensor::{Matrix, Rng};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -316,6 +321,204 @@ fn scheduled_crash_poisons_the_group_and_names_the_rank() {
             other => panic!("rank {rank}: unexpected error {other:?}"),
         }
     }
+}
+
+/// The elastic tentpole campaign: rank 2 is SIGKILL-analog crashed at
+/// the top of step 5 of a 10-step seeded 4-rank run. The survivors must
+/// detect the loss at the step boundary, quorum-shrink to 3 ranks,
+/// reshard ownership, and keep training; the revived rank restores the
+/// step-4 snapshot locally, rejoins live at an epoch boundary, catches
+/// its factors and parameters up from peers, and finishes the run in
+/// the group. Exact epoch/shrink/rejoin/reshard counters and replica
+/// equality across all four final ranks are pinned.
+#[test]
+fn elastic_campaign_shrinks_reshards_and_readmits_the_crashed_rank() {
+    const STEPS: u64 = 10;
+    const SAVE_AT: u64 = 4;
+    const CRASH_STEP: u64 = 5;
+    let dir = std::env::temp_dir().join(format!(
+        "compso-chaos-elastic-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Rank-free fingerprint: the rejoining rank restores the snapshot
+    // the full group wrote.
+    let fp = fingerprint(&["chaos-elastic", "mlp-6-16-3"]);
+    let plane = FaultPlane::new(FaultConfig {
+        seed: 0xE1A5,
+        crash_at: Some((2, CRASH_STEP)),
+        ..FaultConfig::default()
+    });
+    let ledger_plane = plane.clone();
+    let rec = Recorder::enabled();
+    let config = CommConfig {
+        recv_timeout: Duration::from_secs(10),
+        retry_initial: Duration::from_millis(40),
+        max_retries: 10,
+        ..CommConfig::default()
+    };
+    // Deterministic elastic schedule, as in the membership suite: the
+    // revived rank may ask to rejoin only after the survivors completed
+    // two steps on the shrunk view; the survivors then hold at the
+    // admission sweep until it lands.
+    let may_rejoin = AtomicBool::new(false);
+    let may_rejoin_ref = &may_rejoin;
+    let d = data::gaussian_blobs(320, 6, 3, 0.3, 91);
+    let d_ref = &d;
+    let dir_ref = dir.as_path();
+    let rec_ref = &rec;
+    let results = run_ranks_elastic(RANKS, plane, config, move |comm, revived| {
+        let mut rng = Rng::new(17);
+        let mut model = models::mlp(&[6, 16, 3], &mut rng);
+        let shard = d_ref.shard(comm.phys_rank(), RANKS);
+        let mut opt = DistKfac::new(DistKfacConfig::default(), 7);
+        opt.set_recorder(rec_ref.clone());
+        comm.set_recorder(rec_ref.clone());
+        let compso = ChunkedCompso::new(CompsoConfig::aggressive(4e-3));
+        let coord =
+            CheckpointCoordinator::new(CheckpointConfig::new(dir_ref, fp)).expect("open store");
+        if revived {
+            while !may_rejoin_ref.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            // Collective-free local restore, then live readmission and
+            // factor/parameter catch-up from the members.
+            let restored = coord
+                .restore_local(&mut opt, &mut model)
+                .expect("local restore before rejoin");
+            assert_eq!(restored.step, SAVE_AT);
+            rejoin(comm).expect("rejoin after revival");
+            catch_up_rejoined(comm, &mut opt, &mut model, comm.phys_rank())
+                .expect("joiner catch-up");
+        }
+        let mut shrunk_done = 0u32;
+        let mut loss = f32::NAN;
+        while comm.current_step() < STEPS {
+            // Admission sweep at the step boundary. Once the joiner is
+            // released, the shrunk members hold here until it lands (the
+            // sweep is a broadcast round, so members stay SPMD).
+            let missing: Vec<usize> = (0..RANKS)
+                .filter(|r| !comm.live_ranks().contains(r))
+                .collect();
+            let admitted = if may_rejoin_ref.load(Ordering::Acquire) && comm.size() < RANKS {
+                loop {
+                    match admit_pending(comm).expect("admission sweep") {
+                        Some(vc) => break Some(vc),
+                        None => std::thread::sleep(Duration::from_millis(1)),
+                    }
+                }
+            } else {
+                admit_pending(comm).expect("admission sweep")
+            };
+            if admitted.is_some() {
+                let joiner = *missing.first().expect("an admitted rank was missing");
+                catch_up_rejoined(comm, &mut opt, &mut model, joiner).expect("member catch-up");
+            }
+            let step = comm.current_step() as usize;
+            let (x, y) = shard.batch(step, BATCH);
+            let logits = model.forward(&x, true);
+            let (l, grad) = softmax_cross_entropy(&logits, &y);
+            loss = l;
+            model.backward(&grad);
+            // Rank 2 panics inside begin_step at CRASH_STEP; survivors'
+            // collectives surface the culprit and step_elastic shrinks,
+            // resyncs, and retries. The interrupted step is abandoned
+            // uniformly on every survivor.
+            opt.step_elastic(comm, &mut model, &compso)
+                .expect("elastic step must absorb the crash");
+            model.update_params(|p, g| p.axpy(-0.02, g));
+            if comm.size() < RANKS {
+                shrunk_done += 1;
+                if shrunk_done == 2 {
+                    may_rejoin_ref.store(true, Ordering::Release);
+                }
+            }
+            if comm.current_step() == SAVE_AT {
+                coord
+                    .save(comm, SAVE_AT, &opt, &model, &[])
+                    .expect("coordinated save before the crash");
+            }
+        }
+        (
+            comm.epoch(),
+            comm.live_ranks().to_vec(),
+            loss,
+            model.layer(0).params().unwrap().clone(),
+        )
+    });
+
+    // Every rank — including the crashed-and-revived one — finished.
+    let finished: Vec<_> = results
+        .iter()
+        .enumerate()
+        .map(|(r, slot)| slot.as_ref().unwrap_or_else(|| panic!("rank {r} died")))
+        .collect();
+    for (r, (epoch, live, loss, _)) in finished.iter().enumerate() {
+        assert_eq!(*epoch, 2, "rank {r}: one shrink + one rejoin = epoch 2");
+        assert_eq!(*live, vec![0, 1, 2, 3], "rank {r}: view whole again");
+        assert!(loss.is_finite(), "rank {r}: loss diverged");
+    }
+    // Replica consistency across the elastic membership churn: the
+    // catch-up broadcast and the gathered updates keep all four ranks
+    // bit-identical at the end.
+    for r in 1..RANKS {
+        assert_eq!(
+            finished[0].3, finished[r].3,
+            "rank {r} replica diverged across shrink/rejoin"
+        );
+    }
+    // Final loss stays near the fixed-membership 10-step reference: two
+    // steps ran shrunk, one step was abandoned, and the joiner restored
+    // older factors, so the trajectories genuinely differ — the pin is
+    // an absolute gap, not bit-identity.
+    let clean = run_ranks(RANKS, move |comm| {
+        let mut rng = Rng::new(17);
+        let mut model = models::mlp(&[6, 16, 3], &mut rng);
+        let shard = d_ref.shard(comm.rank(), RANKS);
+        let mut opt = DistKfac::new(DistKfacConfig::default(), 7);
+        let compso = ChunkedCompso::new(CompsoConfig::aggressive(4e-3));
+        let mut loss = f32::NAN;
+        for step in 0..STEPS as usize {
+            let (x, y) = shard.batch(step, BATCH);
+            let logits = model.forward(&x, true);
+            let (l, grad) = softmax_cross_entropy(&logits, &y);
+            loss = l;
+            model.backward(&grad);
+            opt.step(comm, &mut model, &compso).unwrap();
+            model.update_params(|p, g| p.axpy(-0.02, g));
+        }
+        loss
+    });
+    for (r, (_, _, loss, _)) in finished.iter().enumerate() {
+        let gap = (loss - clean[r]).abs();
+        assert!(
+            gap < 0.25,
+            "rank {r} loss {loss} strayed from the fixed-membership reference {}",
+            clean[r]
+        );
+    }
+
+    // Book-keeping: the injection ledger and the membership counters
+    // reconcile exactly. One crash; three survivors each commit one
+    // shrink; three members plus the joiner each commit one rejoin.
+    assert_eq!(ledger_plane.ledger().crashes, 1);
+    let snap = rec.snapshot();
+    assert_eq!(snap.counter(names::COMM_MEMBERSHIP_SHRINKS), 3);
+    assert_eq!(snap.counter(names::COMM_MEMBERSHIP_REJOINS), 4);
+    assert_eq!(snap.counter(names::COMM_MEMBERSHIP_EPOCHS), 7);
+    // Survivors reshard twice (after the shrink and after the rejoin);
+    // the joiner rebuilds from scratch, which is not a reshard.
+    assert_eq!(snap.counter(names::KFAC_ELASTIC_RESHARDS), 6);
+    assert_eq!(snap.counter(names::CKPT_SAVES), RANKS as u64);
+    // The structured report surfaces the elastic activity.
+    let rz = Resilience::from_snapshot(&snap);
+    assert_eq!(rz.membership_epochs, 7);
+    assert_eq!(rz.membership_shrinks, 3);
+    assert_eq!(rz.membership_rejoins, 4);
+    assert_eq!(rz.elastic_reshards, 6);
+    assert!(!rz.is_quiet());
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -380,3 +380,106 @@ fn crash_campaign_restores_last_snapshot_and_matches_uninterrupted_run() {
     assert_eq!(snap.timers[names::CKPT_LOAD].count, RANKS as u64);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Restore an N-rank snapshot into an M-rank group: the striped factor
+/// reshard must install the exact saved state (model params replicated,
+/// every owner-sharded factor loaded exactly once group-wide) and the
+/// result must be deterministic — two fresh M-rank processes restoring
+/// the same snapshot and training on land bit-identically, which is the
+/// elastic bit-identity yardstick (no N-rank reference trajectory
+/// exists once the world size changed).
+#[test]
+fn cross_world_restore_reshards_and_stays_deterministic() {
+    const SAVE_STEP: usize = 4;
+    const EXTRA: usize = 4;
+    for (n, m) in [(4usize, 2usize), (2, 4), (3, 1)] {
+        let dir = temp_root(&format!("xworld-{n}-{m}"));
+        // The fingerprint must be rank-free: the same training job, run
+        // at any world size, shares one snapshot lineage.
+        let fp = fingerprint(&["ckpt-xworld", "mlp-6-16-3"]);
+        let d = data::gaussian_blobs(240, 6, 3, 0.3, 55);
+
+        // Train SAVE_STEP steps at N ranks, coordinated save, and keep
+        // the (replicated) parameters at save time as ground truth.
+        let d_ref = &d;
+        let dir_ref = dir.as_path();
+        let saved = run_ranks(n, move |comm| {
+            let mut rng = Rng::new(13);
+            let mut model = models::mlp(&[6, 16, 3], &mut rng);
+            let shard = d_ref.shard(comm.rank(), n);
+            let mut opt = DistKfac::new(DistKfacConfig::default(), 7);
+            let compso = ChunkedCompso::new(CompsoConfig::aggressive(4e-3));
+            let coord =
+                CheckpointCoordinator::new(CheckpointConfig::new(dir_ref, fp)).expect("open store");
+            for step in 0..SAVE_STEP {
+                train_step(comm, &mut model, &mut opt, &shard, &compso, step);
+            }
+            coord
+                .save(comm, SAVE_STEP as u64, &opt, &model, &[])
+                .expect("save at world size N");
+            params_of(&model)
+        });
+        let saved_params = &saved[0];
+
+        // One M-rank restore-and-continue run, repeatable.
+        let resharded_run = |rec: &Recorder| {
+            let d_ref = &d;
+            let rec_ref = rec;
+            run_ranks(m, move |comm| {
+                let mut garbage = Rng::new(6000 + comm.rank() as u64);
+                let mut model = models::mlp(&[6, 16, 3], &mut garbage);
+                let shard = d_ref.shard(comm.rank(), m);
+                let mut opt = DistKfac::new(DistKfacConfig::default(), 7);
+                opt.set_recorder(rec_ref.clone());
+                let compso = ChunkedCompso::new(CompsoConfig::aggressive(4e-3));
+                let coord = CheckpointCoordinator::new(CheckpointConfig::new(dir_ref, fp))
+                    .expect("open store");
+                let restored = coord
+                    .restore(comm, &mut opt, &mut model)
+                    .expect("cross-world restore");
+                assert_eq!(restored.step, SAVE_STEP as u64);
+                // The resharded ownership map rebuilds at the next step.
+                assert!(opt.owners().is_none(), "stale N-rank ownership survived");
+                let installed = params_of(&model);
+                for step in SAVE_STEP..SAVE_STEP + EXTRA {
+                    train_step(comm, &mut model, &mut opt, &shard, &compso, step);
+                }
+                (installed, params_of(&model))
+            })
+        };
+
+        let rec = Recorder::enabled();
+        let first = resharded_run(&rec);
+        for (r, (installed, _)) in first.iter().enumerate() {
+            assert_eq!(
+                installed, saved_params,
+                "{n}->{m} rank {r}: restored parameters differ from the saved ones"
+            );
+        }
+        // Counter reconciliation: every rank took the world-size path
+        // exactly once, burned no rungs, and the report surfaces the
+        // elastic restore (not quiet).
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.counter(names::CKPT_RESTORE_RUNGS_WORLD_SIZE),
+            m as u64,
+            "{n}->{m}: one world-size reshard per restoring rank"
+        );
+        assert_eq!(snap.counter(names::CKPT_RESTORE_RUNGS), 0);
+        let rz = Resilience::from_snapshot(&snap);
+        assert_eq!(rz.ckpt_restore_world_size, m as u64);
+        assert!(!rz.is_quiet(), "elastic restore must surface: {rz:?}");
+
+        // Determinism pin: a second fresh group restoring the same
+        // snapshot lands bit-identically, including the training
+        // continuation (per-rank RNG streams and all).
+        let second = resharded_run(&Recorder::enabled());
+        for r in 0..m {
+            assert_eq!(
+                first[r].1, second[r].1,
+                "{n}->{m} rank {r}: cross-world restore is not deterministic"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

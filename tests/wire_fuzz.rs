@@ -53,10 +53,12 @@ use compso::ckpt::{
     decode_tensors, encode_tensors, Dtype, Manifest, RankFileMeta, TensorData, TensorEntry,
     TensorMeta,
 };
+use compso::comm::MembershipFrame;
 use compso::core::baselines::pargroup;
 use compso::core::kernels::{compress_chunked, decompress_chunked};
 use compso::core::wire::{frame_checksummed, unframe_checksummed};
 use compso::core::{Compressor, Compso, CompsoConfig, KernelConfig, LayerSchedule, NoCompression};
+use compso::kfac::checkpoint::{decode_rejoin_delta, encode_rejoin_delta};
 use compso::obs::Recorder;
 use compso::tensor::Rng;
 use proptest::prelude::*;
@@ -349,6 +351,7 @@ fn manifest_stream(seed: u64) -> Vec<u8> {
         step: rng.next_u64() % 10_000,
         world_size: world,
         fingerprint: rng.next_u64(),
+        epoch: rng.next_u64() % 100,
         ranks,
     }
     .encode()
@@ -562,5 +565,183 @@ proptest! {
         let expected_raw = data.len() * 4 + 9 * 8 + 5 * 8;
         prop_assert_eq!(tensors_decode(&tensors_stream(&data, seed)), Ok(expected_raw));
         prop_assert_eq!(pargroup_decode(&pargroup_stream(&data, seed)), Ok(data.len()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Elastic-membership formats (ISSUE: elastic satellite): the `0xC9`
+// membership frame (proposals, rejoin requests, welcomes — parsed from
+// raw frames a *dead or hostile* peer may have left in flight) and the
+// `0xCC` rejoin factor delta (CRC-enveloped, parsed by every rank
+// during a live readmission).
+// ---------------------------------------------------------------------
+
+/// One of the three membership frame kinds, seed-selected so all wire
+/// shapes (including empty and multi-entry rank lists) appear.
+fn membership_stream(seed: u64) -> Vec<u8> {
+    let mut rng = Rng::new(seed);
+    let nranks = (rng.next_u64() % 6) as usize;
+    let ranks: Vec<u32> = (0..nranks)
+        .map(|_| (rng.next_u64() % 4096) as u32)
+        .collect();
+    let frame = match rng.next_u64() % 3 {
+        0 => MembershipFrame::Proposal {
+            epoch: rng.next_u64() % 1_000,
+            round: (rng.next_u64() % 64) as u32,
+            sender: (rng.next_u64() % 4096) as u32,
+            ranks,
+        },
+        1 => MembershipFrame::RejoinRequest {
+            epoch: rng.next_u64() % 1_000,
+            sender: (rng.next_u64() % 4096) as u32,
+        },
+        _ => MembershipFrame::Welcome {
+            epoch: rng.next_u64() % 1_000,
+            sender: (rng.next_u64() % 4096) as u32,
+            barrier_gen: rng.next_u64() % 10_000,
+            step: rng.next_u64() % 10_000,
+            ranks,
+        },
+    };
+    frame.encode()
+}
+
+/// Decoded "size" of a membership frame: its rank-list length.
+fn membership_decode(bytes: &[u8]) -> Result<usize, ()> {
+    MembershipFrame::decode(bytes)
+        .map(|f| match f {
+            MembershipFrame::Proposal { ranks, .. } | MembershipFrame::Welcome { ranks, .. } => {
+                ranks.len()
+            }
+            MembershipFrame::RejoinRequest { .. } => 0,
+        })
+        .map_err(|_| ())
+}
+
+fn rejoin_delta_stream(data: &[f32], seed: u64) -> Vec<u8> {
+    let mut rng = Rng::new(seed);
+    let entries = vec![
+        // lint:allow(counter-registry): synthetic tensor name for the fuzz generator, not a counter
+        TensorEntry::vector("kfac/3/a_factor", TensorData::F32(data.to_vec())),
+        TensorEntry::vector(
+            // lint:allow(counter-registry): synthetic tensor name (fuzz input).
+            "kfac/3/meta",
+            TensorData::U64((0..5).map(|_| rng.next_u64() % 2).collect()),
+        ),
+    ];
+    encode_rejoin_delta(
+        rng.next_u64() % 1_000,
+        (rng.next_u64() % 4096) as u32,
+        &entries,
+    )
+}
+
+/// Decoded size of a rejoin delta in raw payload bytes.
+fn rejoin_delta_decode(bytes: &[u8]) -> Result<usize, ()> {
+    decode_rejoin_delta(bytes)
+        .map(|(_, _, entries)| {
+            entries
+                .iter()
+                .map(|e| match &e.data {
+                    TensorData::F32(v) => v.len() * 4,
+                    TensorData::F64(v) => v.len() * 8,
+                    TensorData::U64(v) => v.len() * 8,
+                })
+                .sum()
+        })
+        .map_err(|_| ())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn membership_frame_truncation_always_errs(
+        seed in any::<u64>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let stream = membership_stream(seed);
+        let cut = (cut_seed % stream.len() as u64) as usize;
+        prop_assert!(
+            membership_decode(&stream[..cut]).is_err(),
+            "membership prefix {cut}/{} decoded Ok",
+            stream.len()
+        );
+    }
+
+    #[test]
+    fn membership_frame_mutation_never_panics_or_amplifies(
+        seed in any::<u64>(),
+        offset_seed in any::<u64>(),
+        xor in any::<u8>(),
+    ) {
+        // Membership frames travel as raw (sequence-less) data frames,
+        // so their CRC lives in the transport envelope, not the frame:
+        // a mutated frame may still parse, but the rank-list cap
+        // (RANKS_MAX = 4096) bounds what a flipped count byte can buy,
+        // and a kind/magic flip must never panic.
+        let mut stream = membership_stream(seed);
+        flip_byte(&mut stream, offset_seed, xor);
+        if let Ok(n) = membership_decode(&stream) {
+            prop_assert!(n <= 4096, "mutated membership frame grew {n} ranks");
+        }
+    }
+
+    #[test]
+    fn rejoin_delta_rejects_every_single_byte_mutation(
+        data in proptest::collection::vec(-10.0f32..10.0, 4..400),
+        seed in any::<u64>(),
+        offset_seed in any::<u64>(),
+        xor in any::<u8>(),
+    ) {
+        // The rejoin delta installs optimizer state on a live rank, so
+        // it gets the strong contract: the 0xCF envelope must reject
+        // every single-byte change outright.
+        let mut stream = rejoin_delta_stream(&data, seed);
+        flip_byte(&mut stream, offset_seed, xor);
+        prop_assert!(
+            rejoin_delta_decode(&stream).is_err(),
+            "single-byte mutation slipped past the rejoin delta CRC"
+        );
+    }
+
+    #[test]
+    fn rejoin_delta_truncation_always_errs(
+        data in proptest::collection::vec(-10.0f32..10.0, 4..400),
+        seed in any::<u64>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let stream = rejoin_delta_stream(&data, seed);
+        let cut = (cut_seed % stream.len() as u64) as usize;
+        prop_assert!(
+            rejoin_delta_decode(&stream[..cut]).is_err(),
+            "rejoin delta prefix {cut}/{} decoded Ok",
+            stream.len()
+        );
+    }
+
+    #[test]
+    fn random_garbage_never_panics_elastic_parsers(
+        garbage in proptest::collection::vec(any::<u8>(), 0..1500),
+    ) {
+        if let Ok(n) = membership_decode(&garbage) {
+            prop_assert!(n <= 4096);
+        }
+        if let Ok(raw) = rejoin_delta_decode(&garbage) {
+            prop_assert!(raw <= 8 * garbage.len() + SLACK_ELEMS);
+        }
+    }
+
+    #[test]
+    fn valid_elastic_streams_still_roundtrip(
+        data in proptest::collection::vec(-10.0f32..10.0, 4..400),
+        seed in any::<u64>(),
+    ) {
+        prop_assert!(membership_decode(&membership_stream(seed)).is_ok());
+        let expected_raw = data.len() * 4 + 5 * 8;
+        prop_assert_eq!(
+            rejoin_delta_decode(&rejoin_delta_stream(&data, seed)),
+            Ok(expected_raw)
+        );
     }
 }

@@ -26,6 +26,11 @@
 //!    group's compression. Serial and pipelined passes are interleaved
 //!    within each rep (ambient host noise hits both sides equally) and
 //!    every rep asserts the two schedules decode bit-identical values.
+//! 6. `powersgd` — the rank-4 low-rank family's stateless encode/decode
+//!    over the same buffer (cold-start Q, the worst case).
+//! 7. `controller` — ns per adaptive-controller decision over a
+//!    scripted signal tape, and that cost as a fraction of the chunked
+//!    compress wall (`overhead_frac`, gated < 1% by bench_check.sh).
 //!
 //! Environment knobs: `COMPSO_BENCH_ELEMS` (default 4 Mi f32 = 16 MiB),
 //! `COMPSO_BENCH_REPS` (default 3; best-of-N is reported),
@@ -40,10 +45,12 @@
 use compso_comm::collectives::{allgather_var, pipelined_allgather};
 use compso_comm::fault::FaultPlane;
 use compso_comm::{run_ranks_with, CommConfig};
+use compso_core::baselines::PowerSgd;
 use compso_core::kernels::{compress_chunked, decompress_chunked, KernelConfig, LayerSchedule};
 use compso_core::synthetic::{generate, GradientProfile};
 use compso_core::wire::{frame_checksummed, framed_len, unframe_checksummed};
 use compso_core::{ChunkedCompso, Compressor, Compso, CompsoConfig};
+use compso_ctrl::{ControlConfig, Controller, Signals};
 use compso_obs::Recorder;
 use compso_tensor::Rng;
 use std::time::Instant;
@@ -351,6 +358,53 @@ fn main() {
         sample
     };
 
+    // PowerSGD low-rank family: stateless rank-4 encode/decode over the
+    // same buffer. The stateless path cold-starts Q each call, so this
+    // is the worst-case encode cost (warm-started group steps only get
+    // cheaper).
+    let powersgd = {
+        let c = PowerSgd::rank(4);
+        measure(reps, bytes, || {
+            let mut rng = Rng::new(11);
+            let t0 = Instant::now();
+            let enc = c.compress(&data, &mut rng);
+            let ct = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let dec = c.decompress(&enc).expect("powersgd roundtrip");
+            let dt = t1.elapsed().as_secs_f64();
+            assert_eq!(dec.len(), elems);
+            (ct, dt, enc.len())
+        })
+    };
+
+    // Controller decision overhead: scripted signal tape through a live
+    // (instrumented) controller, reported both as ns/decision and as a
+    // fraction of the production chunked compress wall for this buffer —
+    // the gate is that decisions stay well under 1% of the step.
+    let controller = {
+        let decide_steps = env_usize("COMPSO_BENCH_CTRL_STEPS", 10_000).max(100);
+        let rec = Recorder::enabled();
+        let mut ctl = Controller::new(ControlConfig::default());
+        let t0 = Instant::now();
+        for i in 0..decide_steps as u64 {
+            let sig = Signals {
+                bytes_in: bytes as u64,
+                bytes_out: bytes as u64 / 4 + (i % 7) * 1024,
+                wall_ns: 1_000_000 + (i % 13) * 10_000,
+                predicted_wall_ns: 1_000_000,
+                error_rel: 0.01,
+            };
+            ctl.observe(&sig, &rec);
+        }
+        let decide_ns = t0.elapsed().as_nanos() as f64 / decide_steps as f64;
+        let step_wall_ns = bytes as f64 / (chunked_n.compress_mbps.max(1e-9) * 1e6) * 1e9;
+        format!(
+            "{{\"steps\": {decide_steps}, \"decide_ns\": {decide_ns:.1}, \
+             \"step_wall_ns\": {step_wall_ns:.0}, \"overhead_frac\": {:.8}}}",
+            decide_ns / step_wall_ns
+        )
+    };
+
     // Gather-scheduling A/B: serial compress-then-gather vs the
     // pipelined ring, 1/2/4 workers, imbalanced ownership.
     let big_groups = env_usize("COMPSO_BENCH_PIPE_GROUPS", 8).max(1);
@@ -382,13 +436,15 @@ fn main() {
     let json = format!(
         "{{\n  \"elems\": {elems},\n  \"bytes\": {bytes},\n  \"reps\": {reps},\n  \
          \"threads\": {threads},\n  \"serial\": {},\n  \"chunked_1thread\": {},\n  \
-         \"chunked_nthread\": {},\n  \"ckpt\": {},\n  \"pipeline\": {pipeline},\n  \
+         \"chunked_nthread\": {},\n  \"ckpt\": {},\n  \"powersgd\": {},\n  \
+         \"controller\": {controller},\n  \"pipeline\": {pipeline},\n  \
          \"speedup_compress_chunked_vs_serial\": {:.2},\n  \
          \"speedup_decompress_chunked_vs_serial\": {:.2}\n}}\n",
         serial.json(),
         chunked_1.json(),
         chunked_n.json(),
         ckpt.json(),
+        powersgd.json(),
         chunked_n.compress_mbps / serial.compress_mbps.max(1e-12),
         chunked_n.decompress_mbps / serial.decompress_mbps.max(1e-12),
     );

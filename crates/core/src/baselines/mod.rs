@@ -8,7 +8,11 @@
 //! * [`cocktail::CocktailSgd`] — random-sampled top-k sparsification (20%)
 //!   combined with 8-bit quantization (Wang et al., ICML'23);
 //! * [`topk::TopK`] — exact fixed-density Top-k at full precision (the
-//!   Ok-topk-style rigid-sparsity comparator of §4.3/§6).
+//!   Ok-topk-style rigid-sparsity comparator of §4.3/§6);
+//! * [`powersgd::PowerSgd`] — rank-r low-rank power iteration with warm
+//!   starts and error feedback (Vogels et al., NeurIPS'19), the
+//!   structurally different fourth family the adaptive control plane
+//!   selects between.
 //!
 //! [`pargroup`] supplies the layer-parallel multi-layer frame (magic
 //! `0xC8`) that QSGD and SZ use for `compress_group`, replacing the
@@ -16,11 +20,13 @@
 
 pub mod cocktail;
 pub mod pargroup;
+pub mod powersgd;
 pub mod qsgd;
 pub mod sz;
 pub mod topk;
 
 pub use cocktail::CocktailSgd;
+pub use powersgd::PowerSgd;
 pub use qsgd::Qsgd;
 pub use sz::Sz;
 pub use topk::TopK;

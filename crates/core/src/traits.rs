@@ -98,6 +98,27 @@ pub trait Compressor: Send + Sync {
         w.into_bytes()
     }
 
+    /// [`Compressor::compress_group`] with a caller-stable identity key
+    /// per layer (`DistKfac` passes the global layer index). Stateless
+    /// compressors ignore the keys — the default strips them and defers
+    /// to `compress_group`, so existing implementations keep their native
+    /// formats. Stateful compressors ([`crate::baselines::PowerSgd`])
+    /// override this to look up per-layer error-feedback / warm-start
+    /// state: keys are stable across world sizes (unlike positions within
+    /// an aggregation group), which is what keeps 1/2/4-rank runs
+    /// bit-identical. The output must stay decodable by
+    /// [`Compressor::decompress_group`].
+    fn compress_group_keyed(
+        &self,
+        layers: &[(u64, &[f32])],
+        schedule: Option<&LayerSchedule>,
+        rng: &mut Rng,
+        rec: &Recorder,
+    ) -> Vec<u8> {
+        let refs: Vec<&[f32]> = layers.iter().map(|&(_, l)| l).collect();
+        self.compress_group(&refs, schedule, rng, rec)
+    }
+
     /// Inverse of [`Compressor::compress_group`].
     fn decompress_group(
         &self,

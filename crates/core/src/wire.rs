@@ -30,6 +30,9 @@ pub mod magic {
     /// Elastic membership-view frame (proposal / rejoin-request /
     /// welcome), `compso-comm`'s membership protocol.
     pub const MAGIC_MEMBERSHIP: u8 = 0xC9;
+    /// PowerSGD low-rank factor stream (`P̂`/`Q` pair or raw escape),
+    /// [`crate::baselines::PowerSgd`].
+    pub const MAGIC_POWERSGD: u8 = 0xCA;
     /// Checkpoint tensor blob (`compso-ckpt`).
     pub const MAGIC_TENSORS: u8 = 0xCB;
     /// Rejoin catch-up delta (epoch-stamped factor-state tensors
@@ -50,6 +53,7 @@ pub mod magic {
         ("group", MAGIC_GROUP),
         ("pargroup", MAGIC_PARGROUP),
         ("membership", MAGIC_MEMBERSHIP),
+        ("powersgd", MAGIC_POWERSGD),
         ("tensors", MAGIC_TENSORS),
         ("rejoin", MAGIC_REJOIN),
         ("manifest", MAGIC_MANIFEST),
@@ -465,11 +469,12 @@ mod tests {
         assert_eq!(magic::MAGIC_GROUP, 0xC7);
         assert_eq!(magic::MAGIC_PARGROUP, 0xC8);
         assert_eq!(magic::MAGIC_MEMBERSHIP, 0xC9);
+        assert_eq!(magic::MAGIC_POWERSGD, 0xCA);
         assert_eq!(magic::MAGIC_TENSORS, 0xCB);
         assert_eq!(magic::MAGIC_REJOIN, 0xCC);
         assert_eq!(magic::MAGIC_MANIFEST, 0xCD);
         assert_eq!(magic::MAGIC_FRAME, 0xCF);
-        assert_eq!(magic::ALL.len(), 9);
+        assert_eq!(magic::ALL.len(), 10);
     }
 
     #[test]

@@ -166,6 +166,11 @@ pub struct DistKfac {
     /// Times the schedule cache was (re)built. Stays at ≤ 1 for any fixed
     /// compressor; exposed for the reuse-invariant tests.
     schedule_builds: u32,
+    /// Name of the compressor the schedule cache was built for. A
+    /// controller-driven family switch changes it, which drops the cache
+    /// (`ctrl/schedule_invalidations`): chunk geometry is a function of
+    /// the family, and stale schedules would mis-tile the new one.
+    active_compressor: Option<&'static str>,
     /// The membership epoch the ownership map was computed under. A
     /// mismatch with [`Communicator::epoch`] at the next step boundary
     /// drops the map and schedules so they rebuild for the new view
@@ -195,6 +200,7 @@ impl DistKfac {
             owners: None,
             schedules: None,
             schedule_builds: 0,
+            active_compressor: None,
             view_epoch: 0,
             fusion: Vec::new(),
             last_good: HashMap::new(),
@@ -245,6 +251,19 @@ impl DistKfac {
                 self.schedules = None;
                 self.recorder.incr(names::KFAC_ELASTIC_RESHARDS);
             }
+        }
+        // Control-plane compressor switches likewise invalidate the
+        // schedule cache: its chunk geometry was chosen by (and for) the
+        // previous family. Every rank sees the same switch at the same
+        // step (the controller is deterministic and replica-identical),
+        // so the caches stay in lockstep.
+        let compressor_tag = compressor.name();
+        if self.active_compressor != Some(compressor_tag) {
+            if self.active_compressor.is_some() {
+                self.schedules = None;
+                self.recorder.incr(names::CTRL_SCHEDULE_INVALIDATIONS);
+            }
+            self.active_compressor = Some(compressor_tag);
         }
         let step_idx = comm.begin_step();
         let _step_span = self.recorder.span(names::KFAC_STEP);
@@ -817,16 +836,19 @@ fn encode_group_frame(
     rec: &Recorder,
 ) -> Vec<u8> {
     let mut payload = Writer::new();
-    // Group header: layer ids and shapes.
+    // Group header: layer ids and shapes. The global layer index doubles
+    // as the stable per-layer key for stateful compressors (PowerSGD
+    // warm starts / error feedback): it is invariant to ownership splits,
+    // so the keyed state — and the wire bytes — agree at any world size.
     payload.u32(group.len() as u32);
-    let mut refs: Vec<&[f32]> = Vec::with_capacity(group.len());
+    let mut keyed: Vec<(u64, &[f32])> = Vec::with_capacity(group.len());
     for (idx, pre) in group {
         payload.u32(*idx as u32);
         payload.u32(pre.rows() as u32);
         payload.u32(pre.cols() as u32);
-        refs.push(pre.as_slice());
+        keyed.push((*idx as u64, pre.as_slice()));
     }
-    let compressed = compressor.compress_group(&refs, schedule, rng, rec);
+    let compressed = compressor.compress_group_keyed(&keyed, schedule, rng, rec);
     payload.block(&compressed);
     frame_checksummed(&payload.into_bytes())
 }

@@ -4,6 +4,7 @@
 
 pub fn record(rec: &Recorder) {
     rec.incr("comm/recv"); // registered in the fixture context
+    rec.incr("ctrl/decisions"); // registered in the fixture context
     rec.span(names::COMM_BARRIER); // constant, no literal at all
 }
 

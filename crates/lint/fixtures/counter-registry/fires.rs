@@ -4,6 +4,7 @@
 
 pub fn record(rec: &Recorder) {
     rec.incr("comm/bogus_counter"); //~ counter-registry
+    rec.incr("ctrl/bogus_decision"); //~ counter-registry
     rec.span("oops not a name"); //~ counter-registry
 }
 

@@ -5,6 +5,10 @@ pub fn encode(out: &mut Vec<u8>) {
     out.push(0xC9); //~ wire-magic-registry
 }
 
+pub fn encode_lowrank(out: &mut Vec<u8>) {
+    out.push(0xCA); //~ wire-magic-registry
+}
+
 pub fn decode(bytes: &[u8]) -> bool {
     let magic: u8 = 0xC5u8; //~ wire-magic-registry
     bytes.first() == Some(&magic)

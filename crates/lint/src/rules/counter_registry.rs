@@ -9,7 +9,7 @@
 //! rule makes it checked:
 //!
 //! 1. Any string literal **shaped like a counter name** — `core/…`,
-//!    `comm/…`, `kfac/…`, or `ckpt/…` with lowercase
+//!    `comm/…`, `kfac/…`, `ckpt/…`, or `ctrl/…` with lowercase
 //!    `[a-z0-9_/]` segments — must be a member of the registry. This
 //!    applies to tests too: a test asserting an unregistered name is
 //!    drift by definition.
@@ -32,7 +32,7 @@ pub struct CounterRegistry;
 const NAME: &str = "counter-registry";
 
 /// Obs namespaces whose string shape implies "this is a counter name".
-const NAMESPACES: &[&str] = &["core", "comm", "kfac", "ckpt"];
+const NAMESPACES: &[&str] = &["core", "comm", "kfac", "ckpt", "ctrl"];
 
 /// Name-keyed APIs whose literal arguments must be registered.
 const KEYED_APIS: &[&str] = &[
@@ -143,6 +143,7 @@ mod tests {
         assert!(counter_shaped("comm/recv"));
         assert!(counter_shaped("kfac/step/other"));
         assert!(counter_shaped("core/encode_v2"));
+        assert!(counter_shaped("ctrl/decisions"));
         assert!(!counter_shaped("kfac/")); // dangling namespace prefix
         assert!(!counter_shaped("global/step")); // not an obs namespace
         assert!(!counter_shaped("comm/Recv")); // uppercase

@@ -16,7 +16,7 @@ use std::path::Path;
 /// Names considered registered while analyzing fixtures.
 fn fixture_context() -> Context {
     Context::with_names(
-        ["comm/recv", "comm/barrier", "kfac/step"]
+        ["comm/recv", "comm/barrier", "kfac/step", "ctrl/decisions"]
             .into_iter()
             .map(String::from),
     )

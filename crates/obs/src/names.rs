@@ -204,6 +204,39 @@ pub const CKPT_RESTORE_RUNGS: &str = "ckpt/restore_rungs";
 /// observable, no longer a silent skip). Zero when sizes match.
 pub const CKPT_RESTORE_RUNGS_WORLD_SIZE: &str = "ckpt/restore_rungs_world_size";
 
+/// `compso-ctrl`: one controller decision evaluated (every observed
+/// step, whether or not the setting changed).
+pub const CTRL_DECISIONS: &str = "ctrl/decisions";
+/// `compso-ctrl`: wall time of one `Controller::observe` evaluation —
+/// the control plane's overhead, gated by `scripts/bench_check.sh` at
+/// <1% of the step wall.
+pub const CTRL_DECIDE: &str = "ctrl/decide";
+/// `compso-ctrl`: decisions that changed the active setting in any way
+/// (family, bits, threshold, rank, or chunking).
+pub const CTRL_SWITCHES: &str = "ctrl/switches";
+/// `compso-ctrl`: setting changes that crossed compressor families —
+/// the measured CR×throughput product fell below the model's estimate
+/// for a structurally different encoder.
+pub const CTRL_FAMILY_SWITCHES: &str = "ctrl/family_switches";
+/// `compso-ctrl`: steps held uncompressed in the warmup phase.
+pub const CTRL_WARMUP_STEPS: &str = "ctrl/warmup_steps";
+/// `compso-ctrl`: warmup→compressed transitions (1 per run unless the
+/// controller is reset).
+pub const CTRL_WARMUP_EXITS: &str = "ctrl/warmup_exits";
+/// `compso-ctrl`: error-feedback divergence detections (the measured
+/// residual/compression-error signal crossed the configured ceiling).
+pub const CTRL_EF_DIVERGENCE: &str = "ctrl/ef_divergence";
+/// `compso-ctrl`: backoffs to a higher-fidelity setting triggered by
+/// divergence detections.
+pub const CTRL_BACKOFFS: &str = "ctrl/backoffs";
+/// `compso-ctrl`: steps where the measured step wall exceeded the
+/// IterationModel prediction by the configured mistrust factor.
+pub const CTRL_MODEL_MISMATCH: &str = "ctrl/model_mismatch";
+/// `compso-kfac`: cached layer-schedule rebuilds forced by a
+/// controller-driven compressor switch (chunk geometry changes with
+/// the family). Zero under a static compressor.
+pub const CTRL_SCHEDULE_INVALIDATIONS: &str = "ctrl/schedule_invalidations";
+
 /// Every registered name. `compso-lint` parses this file to build the
 /// allowed set; keep the array in sync with the constants above (the
 /// `registry_lists_every_constant` test cross-checks it against the
@@ -273,6 +306,16 @@ pub const ALL: &[&str] = &[
     CKPT_RAW_BYTES,
     CKPT_RESTORE_RUNGS,
     CKPT_RESTORE_RUNGS_WORLD_SIZE,
+    CTRL_DECISIONS,
+    CTRL_DECIDE,
+    CTRL_SWITCHES,
+    CTRL_FAMILY_SWITCHES,
+    CTRL_WARMUP_STEPS,
+    CTRL_WARMUP_EXITS,
+    CTRL_EF_DIVERGENCE,
+    CTRL_BACKOFFS,
+    CTRL_MODEL_MISMATCH,
+    CTRL_SCHEDULE_INVALIDATIONS,
 ];
 
 /// Whether `name` is a registered metric/label name.
@@ -311,7 +354,7 @@ mod tests {
             );
             let ns = name.split('/').next().unwrap_or("");
             assert!(
-                matches!(ns, "core" | "comm" | "kfac" | "ckpt"),
+                matches!(ns, "core" | "comm" | "kfac" | "ckpt" | "ctrl"),
                 "{name}: unknown namespace {ns}"
             );
         }

@@ -122,6 +122,72 @@ impl Resilience {
     }
 }
 
+/// The compressor setting the control plane held at report time —
+/// descriptive state the controller publishes alongside its counters
+/// (the counters say *how often* it acted; this says *what* it chose).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ActiveSetting {
+    /// Compressor family name (e.g. `"compso"`, `"qsgd"`, `"powersgd"`,
+    /// `"none"` during warmup).
+    pub family: String,
+    /// Quantization bit width, 0 when the family has none.
+    pub bits: u8,
+    /// Filter / error-bound threshold, 0.0 when the family has none.
+    pub threshold: f64,
+    /// Low-rank factor rank, 0 for non-low-rank families.
+    pub rank: u8,
+    /// Policy phase: `"warmup"`, `"steady"`, or `"backoff"`.
+    pub phase: String,
+}
+
+/// The adaptive-compression control-plane view of a step: every `ctrl/*`
+/// decision counter plus the setting held when the snapshot was taken.
+/// `None` on [`StepReport`] when no controller ran (all `ctrl/*`
+/// counters absent), so static-compressor reports are unchanged.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ControlBlock {
+    /// Controller decisions evaluated.
+    pub decisions: u64,
+    /// Decisions that changed the active setting.
+    pub switches: u64,
+    /// Setting changes that crossed compressor families.
+    pub family_switches: u64,
+    /// Steps held uncompressed in warmup.
+    pub warmup_steps: u64,
+    /// Warmup→compressed transitions.
+    pub warmup_exits: u64,
+    /// Error-feedback divergence detections.
+    pub ef_divergence: u64,
+    /// Backoffs to a higher-fidelity setting.
+    pub backoffs: u64,
+    /// Measured-vs-predicted step-wall mistrust events.
+    pub model_mismatch: u64,
+    /// Layer-schedule rebuilds forced by a compressor switch.
+    pub schedule_invalidations: u64,
+    /// Setting held at snapshot time, when the harness published it.
+    pub active: Option<ActiveSetting>,
+}
+
+impl ControlBlock {
+    /// Extracts the control-plane counters from a (delta) snapshot, or
+    /// `None` when no `ctrl/*` activity was recorded.
+    pub fn from_snapshot(snap: &Snapshot) -> Option<Self> {
+        let block = ControlBlock {
+            decisions: snap.counter(names::CTRL_DECISIONS),
+            switches: snap.counter(names::CTRL_SWITCHES),
+            family_switches: snap.counter(names::CTRL_FAMILY_SWITCHES),
+            warmup_steps: snap.counter(names::CTRL_WARMUP_STEPS),
+            warmup_exits: snap.counter(names::CTRL_WARMUP_EXITS),
+            ef_divergence: snap.counter(names::CTRL_EF_DIVERGENCE),
+            backoffs: snap.counter(names::CTRL_BACKOFFS),
+            model_mismatch: snap.counter(names::CTRL_MODEL_MISMATCH),
+            schedule_invalidations: snap.counter(names::CTRL_SCHEDULE_INVALIDATIONS),
+            active: None,
+        };
+        (block != ControlBlock::default()).then_some(block)
+    }
+}
+
 /// One step's measured observability report.
 #[derive(Clone, Debug, Default)]
 pub struct StepReport {
@@ -147,6 +213,9 @@ pub struct StepReport {
     pub overlap_frac: Option<f64>,
     /// Structured fault-handling / degradation-ladder view of the step.
     pub resilience: Resilience,
+    /// Adaptive-compression control-plane view of the step; `None` when
+    /// no controller ran.
+    pub control: Option<ControlBlock>,
 }
 
 impl StepReport {
@@ -196,6 +265,7 @@ impl StepReport {
             ratio,
             overlap_frac,
             resilience: Resilience::from_snapshot(snap),
+            control: ControlBlock::from_snapshot(snap),
         }
     }
 
@@ -261,6 +331,40 @@ impl StepReport {
             rz.membership_rejoins,
             rz.elastic_reshards,
         ));
+        match &self.control {
+            None => out.push_str(",\"control\":null"),
+            Some(c) => {
+                out.push_str(&format!(
+                    ",\"control\":{{\"decisions\":{},\"switches\":{},\
+                     \"family_switches\":{},\"warmup_steps\":{},\
+                     \"warmup_exits\":{},\"ef_divergence\":{},\"backoffs\":{},\
+                     \"model_mismatch\":{},\"schedule_invalidations\":{},\
+                     \"active\":",
+                    c.decisions,
+                    c.switches,
+                    c.family_switches,
+                    c.warmup_steps,
+                    c.warmup_exits,
+                    c.ef_divergence,
+                    c.backoffs,
+                    c.model_mismatch,
+                    c.schedule_invalidations,
+                ));
+                match &c.active {
+                    None => out.push_str("null"),
+                    Some(a) => out.push_str(&format!(
+                        "{{\"family\":\"{}\",\"bits\":{},\"threshold\":{},\
+                         \"rank\":{},\"phase\":\"{}\"}}",
+                        escape(&a.family),
+                        a.bits,
+                        fmt_f64(a.threshold),
+                        a.rank,
+                        escape(&a.phase),
+                    )),
+                }
+                out.push('}');
+            }
+        }
         out.push('}');
         out
     }
@@ -395,6 +499,47 @@ mod tests {
         assert!(doc.contains("\"membership_epochs\":2"), "{doc}");
         assert!(doc.contains("\"elastic_reshards\":2"), "{doc}");
         assert!(doc.contains("\"ckpt_restore_world_size\":1"), "{doc}");
+    }
+
+    #[test]
+    fn control_block_absent_without_controller_activity() {
+        let report = StepReport::from_snapshot(0, &sample_snapshot());
+        assert_eq!(report.control, None);
+        assert!(report.to_json().contains("\"control\":null"));
+    }
+
+    #[test]
+    fn control_block_extracts_and_serializes() {
+        let rec = Recorder::enabled();
+        rec.add_time_ns(names::KFAC_STEP, 1_000_000);
+        rec.add(names::CTRL_DECISIONS, 10);
+        rec.add(names::CTRL_SWITCHES, 2);
+        rec.add(names::CTRL_FAMILY_SWITCHES, 1);
+        rec.add(names::CTRL_WARMUP_STEPS, 5);
+        rec.add(names::CTRL_WARMUP_EXITS, 1);
+        rec.add(names::CTRL_EF_DIVERGENCE, 1);
+        rec.add(names::CTRL_BACKOFFS, 1);
+        rec.add(names::CTRL_SCHEDULE_INVALIDATIONS, 2);
+        let mut report = StepReport::from_snapshot(0, &rec.snapshot());
+        let c = report.control.as_mut().expect("controller ran");
+        assert_eq!(c.decisions, 10);
+        assert_eq!(c.switches, 2);
+        assert_eq!(c.family_switches, 1);
+        assert_eq!(c.warmup_exits, 1);
+        assert_eq!(c.backoffs, 1);
+        assert_eq!(c.schedule_invalidations, 2);
+        c.active = Some(ActiveSetting {
+            family: "powersgd".to_string(),
+            bits: 0,
+            threshold: 0.0,
+            rank: 4,
+            phase: "steady".to_string(),
+        });
+        let doc = report.to_json();
+        validate(&doc).unwrap_or_else(|(pos, msg)| panic!("{msg} at {pos} in {doc}"));
+        assert!(doc.contains("\"control\":{\"decisions\":10"), "{doc}");
+        assert!(doc.contains("\"family\":\"powersgd\""), "{doc}");
+        assert!(doc.contains("\"phase\":\"steady\""), "{doc}");
     }
 
     #[test]

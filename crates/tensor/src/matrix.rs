@@ -480,6 +480,63 @@ impl Matrix {
             .zip(&other.data)
             .fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs()))
     }
+
+    /// Orthonormalizes the columns in place via modified Gram–Schmidt and
+    /// returns the numerical column rank.
+    ///
+    /// Inner products and norms accumulate in `f64` in strict row order, so
+    /// the result is a pure function of the input values — no
+    /// parallelism-dependent reduction order. Columns whose residual after
+    /// projection is numerically zero (degenerate inputs: duplicated or
+    /// all-zero columns) are zeroed rather than replaced with arbitrary
+    /// directions, which keeps `self · otherᵀ` reconstructions well-defined:
+    /// a zero column contributes nothing. PowerSGD relies on both
+    /// properties for cross-rank bit-identity.
+    pub fn orthonormalize_columns(&mut self) -> usize {
+        let (rows, cols) = (self.rows, self.cols);
+        let mut rank = 0usize;
+        for j in 0..cols {
+            let mut orig_sq = 0.0f64;
+            for r in 0..rows {
+                let v = self.data[r * cols + j] as f64;
+                orig_sq += v * v;
+            }
+            // Project out every previously accepted column, one at a time
+            // (modified Gram–Schmidt: re-read column j after each update).
+            for k in 0..j {
+                let mut dot = 0.0f64;
+                for r in 0..rows {
+                    dot += self.data[r * cols + k] as f64 * self.data[r * cols + j] as f64;
+                }
+                if dot != 0.0 {
+                    for r in 0..rows {
+                        let v = self.data[r * cols + k] as f64 * dot;
+                        self.data[r * cols + j] = (self.data[r * cols + j] as f64 - v) as f32;
+                    }
+                }
+            }
+            let mut norm_sq = 0.0f64;
+            for r in 0..rows {
+                let v = self.data[r * cols + j] as f64;
+                norm_sq += v * v;
+            }
+            let norm = norm_sq.sqrt();
+            // Relative test: a column that lost (almost) all its mass to
+            // the projections was linearly dependent up to f32 round-off.
+            if norm > 1e-6 * orig_sq.sqrt() && norm > 0.0 {
+                let inv = 1.0 / norm;
+                for r in 0..rows {
+                    self.data[r * cols + j] = (self.data[r * cols + j] as f64 * inv) as f32;
+                }
+                rank += 1;
+            } else {
+                for r in 0..rows {
+                    self.data[r * cols + j] = 0.0;
+                }
+            }
+        }
+        rank
+    }
 }
 
 #[cfg(test)]
@@ -830,5 +887,59 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn orthonormalize_produces_orthonormal_columns() {
+        let mut rng = Rng::new(7);
+        let mut m = Matrix::random_normal(40, 6, &mut rng);
+        let rank = m.orthonormalize_columns();
+        assert_eq!(rank, 6);
+        // QᵀQ should be the identity to f32 round-off.
+        let gram = m.t_matmul(&m);
+        for i in 0..6 {
+            for j in 0..6 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (gram.get(i, j) - want).abs() < 1e-4,
+                    "gram[{i}][{j}] = {}",
+                    gram.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn orthonormalize_zeroes_degenerate_columns() {
+        // Column 1 duplicates column 0 and column 2 is zero: rank 1, and
+        // both degenerate columns come back exactly zero.
+        let mut m = Matrix::from_fn(5, 3, |r, c| match c {
+            0 | 1 => (r + 1) as f32,
+            _ => 0.0,
+        });
+        let rank = m.orthonormalize_columns();
+        assert_eq!(rank, 1);
+        for r in 0..5 {
+            assert_eq!(m.get(r, 1), 0.0);
+            assert_eq!(m.get(r, 2), 0.0);
+        }
+        let mut norm = 0.0f64;
+        for r in 0..5 {
+            norm += m.get(r, 0) as f64 * m.get(r, 0) as f64;
+        }
+        assert!((norm - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn orthonormalize_is_deterministic() {
+        let mut rng = Rng::new(99);
+        let src = Matrix::random_normal(33, 4, &mut rng);
+        let mut a = src.clone();
+        let mut b = src.clone();
+        a.orthonormalize_columns();
+        b.orthonormalize_columns();
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 }

@@ -4,17 +4,48 @@
 //!
 //! ```text
 //! cargo run --release --example convergence_lab
+//! cargo run --release --example convergence_lab -- --controller [--seed N]
 //! ```
+//!
+//! `--controller` runs the adaptive-compression A/B: the static arms
+//! train exactly as before, while the adaptive arm hands every step to
+//! a [`compso::ctrl::Controller`] fed with *measured* signals (achieved
+//! bytes, decode error, a deterministic byte-derived wall proxy). The
+//! exit code encodes the controller contract:
+//!
+//! * `0` — warmup exit, a measured-margin switch, an EF-divergence
+//!   backoff (entered *and* exited), trace/counter reconciliation, and
+//!   adaptive accuracy within tolerance of the best static arm;
+//! * `2` — the controller never left warmup;
+//! * `3` — no sustained-margin (measured-signal-driven) switch fired;
+//! * `4` — the injected divergence probe produced no backoff cycle;
+//! * `5` — adaptive accuracy fell out of tolerance of the best arm;
+//! * `6` — the decision trace disagreed with the `ctrl/*` counters.
 
 use compso::core::adaptive::BoundSchedule;
-use compso::core::baselines::{Qsgd, Sz};
-use compso::core::{Compressor, Compso, RoundingMode};
+use compso::core::baselines::{PowerSgd, Qsgd, Sz};
+use compso::core::{Compressor, Compso, CompsoConfig, RoundingMode};
+use compso::ctrl::{
+    instantiate, Candidate, ControlConfig, Controller, Family, Reason, Setting, Signals,
+};
 use compso::dnn::loss::{accuracy, softmax_cross_entropy};
 use compso::dnn::{data, models};
 use compso::kfac::{Kfac, KfacConfig};
+use compso::obs::{names, Recorder};
 use compso::tensor::{Matrix, Rng};
+use std::collections::HashMap;
 
 const ITERS: usize = 240;
+
+/// Fixed per-step cost of the wall proxy, in pretend-nanoseconds.
+const WALL_BASE_NS: u64 = 500;
+
+/// Step at which the adaptive arm injects an artificial EF-divergence
+/// reading, exercising the backoff ladder deterministically.
+const PROBE_STEP: u64 = 150;
+
+/// Adaptive accuracy may trail the best static arm by at most this much.
+const ACC_TOLERANCE: f64 = 0.12;
 
 /// Trains with K-FAC, passing every gradient through `method` (None =
 /// no compression; the closure picks the compressor per iteration).
@@ -58,7 +89,246 @@ fn train(method: &dyn Fn(usize) -> Option<Box<dyn Compressor>>) -> Vec<f64> {
 /// A per-step compressor factory (None = the no-compression baseline).
 type MethodFactory = Box<dyn Fn(usize) -> Option<Box<dyn Compressor>>>;
 
+/// The controller configuration the lab runs. The QSGD-8 prior is
+/// deliberately inflated: the controller exits warmup onto it, then the
+/// measured CR×throughput products (which favor the aggressive COMPSO
+/// setting on this workload) have to win the arm back through the
+/// sustained-margin rule — the measured-signal-driven switch the exit
+/// code asserts. Priors use the same units as the wall proxy (bytes/ns).
+fn lab_control_config(seed: u64) -> ControlConfig {
+    ControlConfig {
+        warmup_steps: 20,
+        eval_every: 5,
+        patience: 2,
+        switch_margin: 0.15,
+        divergence_ceiling: 0.95,
+        backoff_steps: 15,
+        divergence_penalty: 0.5,
+        model_mistrust: 1.5,
+        ema: 0.3,
+        explore_every: 2,
+        seed,
+        candidates: vec![
+            Candidate::new(Setting::compso(4e-3), 5.0, 1.0),
+            Candidate::new(Setting::compso(4e-2), 8.0, 1.0),
+            Candidate::new(Setting::qsgd(8), 4.0, 30.0),
+            Candidate::new(Setting::qsgd(4), 6.0, 1.0),
+            Candidate::new(Setting::powersgd(4), 10.0, 1.0),
+        ],
+    }
+}
+
+/// What the adaptive arm observed, for the exit-code contract.
+struct AdaptiveRun {
+    curve: Vec<f64>,
+    warmup_exit: bool,
+    measured_switch: bool,
+    backoff_cycle: bool,
+    reconciled: Result<(), (&'static str, u64, u64)>,
+    switches: u64,
+    family_switches: u64,
+    final_setting: String,
+}
+
+/// Trains the spiral task with the controller in the loop. Identical
+/// model/data/RNG seeding to [`train`]; the only difference is who picks
+/// the compressor. The wall signal is a deterministic proxy derived from
+/// the achieved wire bytes (`WALL_BASE_NS + bytes_out`), so the whole
+/// run — decisions included — is reproducible bit-for-bit.
+fn train_adaptive(seed: u64) -> AdaptiveRun {
+    let d = data::spirals(600, 2, 2, 0.03, 24);
+    let mut rng = Rng::new(7);
+    let mut model = models::mlp(&[2, 48, 48, 2], &mut rng);
+    let mut kfac = Kfac::new(KfacConfig {
+        damping: 0.05,
+        ema_decay: 0.95,
+        eigen_refresh: 10,
+        ..Default::default()
+    });
+    let mut comp_rng = Rng::new(8);
+    let rec = Recorder::enabled();
+    let mut ctl = Controller::new(lab_control_config(seed));
+    // One live instance per setting: PowerSGD's warm-start/EF state must
+    // survive across the steps a setting is held.
+    let mut bank: HashMap<String, Box<dyn Compressor>> = HashMap::new();
+    let mut curve = Vec::new();
+
+    for step in 0..ITERS {
+        let (x, y) = d.batch(step, 32);
+        let logits = model.forward(&x, true);
+        let (_, grad) = softmax_cross_entropy(&logits, &y);
+        model.backward(&grad);
+        kfac.step(&mut model);
+
+        let setting = ctl.active_setting();
+        let mut sig = Signals::default();
+        if setting.family != Family::None {
+            let c = bank
+                .entry(setting.label())
+                .or_insert_with(|| instantiate(&setting));
+            let idxs = model.trainable_indices();
+            let grads: Vec<Matrix> = idxs
+                .iter()
+                .map(|&i| model.layer(i).grads().unwrap().clone())
+                .collect();
+            let keyed: Vec<(u64, &[f32])> = idxs
+                .iter()
+                .zip(&grads)
+                .map(|(&i, g)| (i as u64, g.as_slice()))
+                .collect();
+            let bytes = c.compress_group_keyed(&keyed, None, &mut comp_rng, &rec);
+            let back = c.decompress_group(&bytes, &rec).expect("lab roundtrip");
+            let bytes_in: u64 = grads.iter().map(|g| 4 * g.as_slice().len() as u64).sum();
+            let (mut err_sq, mut orig_sq) = (0.0f64, 0.0f64);
+            for (g, dec) in grads.iter().zip(&back) {
+                for (a, b) in g.as_slice().iter().zip(dec.iter()) {
+                    err_sq += (f64::from(*a) - f64::from(*b)).powi(2);
+                    orig_sq += f64::from(*a).powi(2);
+                }
+            }
+            let wall = WALL_BASE_NS + bytes.len() as u64;
+            sig = Signals {
+                bytes_in,
+                bytes_out: bytes.len() as u64,
+                wall_ns: wall,
+                predicted_wall_ns: wall,
+                error_rel: if orig_sq > 0.0 {
+                    (err_sq / orig_sq).sqrt()
+                } else {
+                    0.0
+                },
+            };
+            for (&i, dec) in idxs.iter().zip(back) {
+                let g = model.layer(i).grads().unwrap();
+                let (r, cl) = (g.rows(), g.cols());
+                model.layer_mut(i).set_grads(Matrix::from_vec(r, cl, dec));
+            }
+        }
+        if step as u64 == PROBE_STEP {
+            // Injected EF-divergence reading: deterministic probe of the
+            // backoff ladder (the gradients themselves are untouched).
+            sig.error_rel = 2.0;
+        }
+        ctl.observe(&sig, &rec);
+
+        model.update_params(|p, g| p.axpy(-0.02, g));
+        if step % 30 == 29 {
+            let logits = model.forward(&d.x, false);
+            curve.push(accuracy(&logits, &d.y));
+        }
+    }
+
+    let trace = ctl.trace();
+    let backoff_in = trace.iter().any(|d| d.reason == Reason::BackoffEnter);
+    let backoff_out = trace.iter().any(|d| d.reason == Reason::BackoffExit);
+    AdaptiveRun {
+        curve,
+        warmup_exit: trace.iter().any(|d| d.reason == Reason::WarmupExit),
+        measured_switch: trace
+            .iter()
+            .any(|d| matches!(d.reason, Reason::SettingSwitch | Reason::FamilySwitch)),
+        backoff_cycle: backoff_in && backoff_out,
+        reconciled: ctl.reconcile(&rec),
+        switches: rec.counter(names::CTRL_SWITCHES),
+        family_switches: rec.counter(names::CTRL_FAMILY_SWITCHES),
+        final_setting: ctl.active_setting().label(),
+    }
+}
+
+/// The `--controller` A/B: static arms vs the adaptive controller.
+fn controller_ab(seed: u64) -> i32 {
+    let arms: Vec<(&str, MethodFactory)> = vec![
+        ("static none", Box::new(|_| None)),
+        (
+            "static compso(eb=4e-3)",
+            Box::new(|_| {
+                Some(Box::new(Compso::new(CompsoConfig::aggressive(4e-3))) as Box<dyn Compressor>)
+            }),
+        ),
+        (
+            "static qsgd(8bit)",
+            Box::new(|_| Some(Box::new(Qsgd::bits8()) as Box<dyn Compressor>)),
+        ),
+        (
+            "static powersgd(r4)",
+            Box::new(|_| Some(Box::new(PowerSgd::rank(4)) as Box<dyn Compressor>)),
+        ),
+    ];
+
+    println!("adaptive-compression A/B on the spiral task (seed {seed}):\n");
+    let mut best_static = f64::MIN;
+    for (name, method) in &arms {
+        let curve = train(method.as_ref());
+        let last = *curve.last().unwrap();
+        best_static = best_static.max(last);
+        print!("{name:<26}");
+        for v in curve {
+            print!("  {v:.3}");
+        }
+        println!();
+    }
+
+    let run = train_adaptive(seed);
+    print!("{:<26}", "adaptive (controller)");
+    for v in &run.curve {
+        print!("  {v:.3}");
+    }
+    println!("\n");
+    let final_acc = *run.curve.last().unwrap();
+    println!(
+        "controller: switches={} family_switches={} final={} \
+         warmup_exit={} measured_switch={} backoff_cycle={}",
+        run.switches,
+        run.family_switches,
+        run.final_setting,
+        run.warmup_exit,
+        run.measured_switch,
+        run.backoff_cycle,
+    );
+
+    if !run.warmup_exit {
+        eprintln!("FAIL: controller never exited warmup");
+        return 2;
+    }
+    if !run.measured_switch {
+        eprintln!("FAIL: no measured-signal-driven (sustained-margin) switch");
+        return 3;
+    }
+    if !run.backoff_cycle {
+        eprintln!("FAIL: divergence probe at step {PROBE_STEP} produced no backoff cycle");
+        return 4;
+    }
+    if final_acc + ACC_TOLERANCE < best_static {
+        eprintln!(
+            "FAIL: adaptive accuracy {final_acc:.3} out of tolerance of best static {best_static:.3}"
+        );
+        return 5;
+    }
+    if let Err((what, from_trace, from_counter)) = run.reconciled {
+        eprintln!(
+            "FAIL: trace/counter mismatch on {what}: trace={from_trace} counter={from_counter}"
+        );
+        return 6;
+    }
+    println!(
+        "OK: adaptive {final_acc:.3} vs best static {best_static:.3} \
+         (tolerance {ACC_TOLERANCE}); trace reconciled against ctrl/* counters"
+    );
+    0
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.iter().any(|a| a == "--controller") {
+        let seed = argv
+            .iter()
+            .position(|a| a == "--seed")
+            .and_then(|i| argv.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(9);
+        std::process::exit(controller_ab(seed));
+    }
+
     let methods: Vec<(&str, MethodFactory)> = vec![
         ("KFAC (no comp.)", Box::new(|_| None)),
         (

@@ -12,6 +12,9 @@
 #   - chunked_nthread.compress_MBps         (absolute compress throughput)
 #   - pipeline.speedup_2w / speedup_4w      (pipelined vs serial gather;
 #     1w is legitimately ~1.0 — no wire to overlap — so it is not gated)
+#   - powersgd.compress_MBps                (low-rank encode throughput)
+#   - controller.overhead_frac              (absolute gate: an adaptive
+#     decision must cost < 1% of the chunked compress wall)
 #
 # The smoke run is much smaller than the committed snapshot (2^18 vs
 # 2^22 elements, single rep) and CI machines are noisy, so the floor is
@@ -57,6 +60,11 @@ checks = [
         smoke["pipeline"]["speedup_4w"],
         base["pipeline"]["speedup_4w"],
     ),
+    (
+        "powersgd.compress_MBps",
+        smoke["powersgd"]["compress_MBps"],
+        base["powersgd"]["compress_MBps"],
+    ),
 ]
 
 failed = []
@@ -69,6 +77,18 @@ for name, got, want in checks:
     )
     if not ok:
         failed.append(name)
+
+# Absolute gate, no tolerance scaling: the controller's decision cost
+# must stay under 1% of the step's compress wall even on the small smoke
+# buffer (which makes the fraction *larger*, so this is conservative).
+frac = smoke["controller"]["overhead_frac"]
+ok = frac < 0.01
+print(
+    f"bench_check: controller.overhead_frac: smoke={frac:.6f} "
+    f"ceiling=0.010000 -> {'ok' if ok else 'REGRESSION'}"
+)
+if not ok:
+    failed.append("controller.overhead_frac")
 
 if failed:
     print(f"bench_check: regression in {', '.join(failed)}", file=sys.stderr)

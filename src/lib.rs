@@ -31,6 +31,7 @@
 pub use compso_ckpt as ckpt;
 pub use compso_comm as comm;
 pub use compso_core as core;
+pub use compso_ctrl as ctrl;
 pub use compso_dnn as dnn;
 pub use compso_kfac as kfac;
 pub use compso_obs as obs;

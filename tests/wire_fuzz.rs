@@ -21,7 +21,9 @@
 //!   standalone per-rank file metadata ([`RankFileMeta::decode`])
 //!   exchanged in the save-time all-gather,
 //! * `0xC8` — the layer-parallel baseline group framing
-//!   ([`pargroup::decompress`]).
+//!   ([`pargroup::decompress`]),
+//! * `0xCA` — the PowerSGD low-rank factor stream
+//!   ([`PowerSgd::decompress`], last section of this file).
 //!
 //! All obey the same contract as the gradient formats below.
 //!
@@ -54,7 +56,7 @@ use compso::ckpt::{
     TensorMeta,
 };
 use compso::comm::MembershipFrame;
-use compso::core::baselines::pargroup;
+use compso::core::baselines::{pargroup, PowerSgd};
 use compso::core::kernels::{compress_chunked, decompress_chunked};
 use compso::core::wire::{frame_checksummed, unframe_checksummed};
 use compso::core::{Compressor, Compso, CompsoConfig, KernelConfig, LayerSchedule, NoCompression};
@@ -743,5 +745,92 @@ proptest! {
             rejoin_delta_decode(&rejoin_delta_stream(&data, seed)),
             Ok(expected_raw)
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// PowerSGD low-rank factor stream (ISSUE: adaptive control plane): the
+// `0xCA` frame carries a `P̂`/`Q` factor pair (or a raw escape for
+// inputs too small to pay for factorization). Its defense against
+// allocation amplification is structural: the decoder *recomputes* the
+// canonical matrix shape from the element count and rejects any header
+// whose rows/cols disagree, so a flipped dimension byte cannot buy a
+// rows×cols allocation unbacked by the declared count.
+// ---------------------------------------------------------------------
+
+fn powersgd_stream(data: &[f32], seed: u64) -> Vec<u8> {
+    let mut rng = Rng::new(seed);
+    PowerSgd::rank(2).compress(data, &mut rng)
+}
+
+fn powersgd_decode(bytes: &[u8]) -> Result<usize, ()> {
+    PowerSgd::rank(2)
+        .decompress(bytes)
+        .map(|out| out.len())
+        .map_err(|_| ())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn powersgd_truncation_always_errs(
+        data in proptest::collection::vec(-10.0f32..10.0, 2..1200),
+        seed in any::<u64>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let stream = powersgd_stream(&data, seed);
+        let cut = (cut_seed % stream.len() as u64) as usize;
+        prop_assert!(
+            powersgd_decode(&stream[..cut]).is_err(),
+            "powersgd prefix {cut}/{} decoded Ok",
+            stream.len()
+        );
+    }
+
+    #[test]
+    fn powersgd_mutation_never_panics_or_amplifies(
+        data in proptest::collection::vec(-10.0f32..10.0, 2..1200),
+        seed in any::<u64>(),
+        offset_seed in any::<u64>(),
+        xor in any::<u8>(),
+    ) {
+        // A surviving parse can only change *values* (factor floats have
+        // no checksum — the 0xCF envelope covers that in transit); the
+        // canonical-shape cross-check pins the decoded length to the
+        // declared count, which a flipped count byte can move by at most
+        // its byte weight before the shape/exhaustion checks fire.
+        let mut stream = powersgd_stream(&data, seed);
+        flip_byte(&mut stream, offset_seed, xor);
+        if let Ok(n) = powersgd_decode(&stream) {
+            prop_assert!(
+                n <= data.len() + SLACK_ELEMS,
+                "mutated powersgd stream amplified {} -> {n} elems",
+                data.len()
+            );
+        }
+    }
+
+    #[test]
+    fn powersgd_garbage_never_panics(
+        garbage in proptest::collection::vec(any::<u8>(), 0..1500),
+    ) {
+        if let Ok(n) = powersgd_decode(&garbage) {
+            prop_assert!(
+                n <= 8 * garbage.len() + SLACK_ELEMS,
+                "garbage decoded to {n} elems from {} bytes",
+                garbage.len()
+            );
+        }
+    }
+
+    #[test]
+    fn powersgd_valid_streams_still_roundtrip(
+        data in proptest::collection::vec(-10.0f32..10.0, 2..1200),
+        seed in any::<u64>(),
+    ) {
+        // Sanity anchor: both wire modes (raw escape for tiny inputs,
+        // low-rank factors for larger ones) decode to the input length.
+        prop_assert_eq!(powersgd_decode(&powersgd_stream(&data, seed)), Ok(data.len()));
     }
 }

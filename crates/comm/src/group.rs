@@ -811,6 +811,7 @@ impl Communicator {
     /// ACK failures are benign (the sender may have finished and torn
     /// down), NACK failures are not (we still need its data).
     fn send_ack(&self, dst: usize, upto: u64) {
+        // lint:allow(swallowed-comm-error): ACK failures are benign — the sender may have finished and torn down; NACK timers cover the gap
         let _ = self.ctrl_tx[dst].send(Ctrl::Ack { upto });
     }
 
@@ -1546,6 +1547,7 @@ where
                         // exiting cannot strand a recovery. Best-effort:
                         // a poisoned or torn group unblocks immediately.
                         if comm.fault_plane().is_enabled() {
+                            // lint:allow(swallowed-comm-error): best-effort quiesce; a poisoned or torn group must unblock immediately
                             let _ = comm.barrier();
                         }
                         *slot = Some(v);
@@ -1676,7 +1678,8 @@ where
                     // still marked departed never rejoined — its view is
                     // stale, so it must not inject barrier traffic.
                     if comm.fault_plane().is_enabled() && !comm.is_departed(comm.phys_rank()) {
-                        let _ = comm.barrier();
+                        // lint:allow(collective-order): every live rank evaluates the same fault-plane and departed view, so all branch identically
+                        let _ = comm.barrier(); // lint:allow(swallowed-comm-error): best-effort quiesce; a poisoned or torn group must unblock immediately
                     }
                     *slot = Some(v);
                 }

@@ -307,7 +307,7 @@ pub fn rejoin(comm: &mut Communicator) -> Result<ViewChange, CommError> {
         if Instant::now() >= advertise_at {
             for p in 0..comm.phys_size() {
                 if p != me {
-                    // A peer that is itself dead cannot be reached; ignore.
+                    // lint:allow(swallowed-comm-error): best-effort advertisement — a dead peer cannot be reached, and the interval timer re-advertises
                     let _ = comm.send_raw_frame(p, request.clone());
                 }
             }

@@ -79,7 +79,7 @@ use compso_dnn::Sequential;
 use compso_obs::{names, Recorder};
 use compso_tensor::{Matrix, Rng};
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Distributed K-FAC configuration.
 pub struct DistKfacConfig {
@@ -182,7 +182,7 @@ pub struct DistKfac {
     /// Last successfully decoded preconditioned gradient per layer — the
     /// ladder's rung-3 fallback store. Populated only while a fault
     /// campaign is armed, so the fault-free hot path pays nothing.
-    last_good: HashMap<usize, Matrix>,
+    last_good: BTreeMap<usize, Matrix>,
     /// RNG for stochastic compression.
     rng: Rng,
     /// Observability sink for the step's sub-phases (Fig. 1 taxonomy);
@@ -203,7 +203,7 @@ impl DistKfac {
             active_compressor: None,
             view_epoch: 0,
             fusion: Vec::new(),
-            last_good: HashMap::new(),
+            last_good: BTreeMap::new(),
             rng: Rng::new(seed ^ 0xFACADE),
             recorder: Recorder::disabled(),
         }
@@ -767,13 +767,13 @@ impl DistKfac {
     /// deterministically from the restored ownership map and is not
     /// serialized.
     pub fn export_state(&self) -> DistKfacState {
-        let mut last_good: Vec<(usize, Matrix)> = self
-            // lint:allow(nondeterministic-wire-iteration): collected then sorted by layer index below
+        // BTreeMap iterates in layer order, so the exported state is a
+        // pure function of the map's contents.
+        let last_good: Vec<(usize, Matrix)> = self
             .last_good
             .iter()
             .map(|(&idx, m)| (idx, m.clone()))
             .collect();
-        last_good.sort_by_key(|(idx, _)| *idx);
         DistKfacState {
             owners: self.owners.clone(),
             rng: self.rng.state(),

@@ -1,0 +1,23 @@
+//# path: crates/comm/src/fake_group_clean.rs
+// Fixture: unconditional collectives, non-rank branches, and
+// point-to-point traffic inside rank branches are all fine.
+
+impl Group {
+    pub fn sync(&mut self) -> Result<(), CommError> {
+        self.barrier()?;
+        if self.config.compression_enabled {
+            self.allreduce_sum(&mut [0.0f32; 4])?;
+        }
+        Ok(())
+    }
+
+    pub fn scatter(&mut self, payload: &[u8]) -> Result<(), CommError> {
+        if self.my_rank == 0 {
+            self.send(1, payload)?;
+        } else {
+            let frame = self.recv_from(0)?;
+            self.stash(frame);
+        }
+        Ok(())
+    }
+}

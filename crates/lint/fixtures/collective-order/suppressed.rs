@@ -1,0 +1,12 @@
+//# path: crates/comm/src/fake_group_suppressed.rs
+// Fixture: a deliberate guarded barrier with the audit inline.
+
+impl Group {
+    pub fn quiesce_departed(&mut self) -> Result<(), CommError> {
+        if self.fault_plane_enabled && !self.is_departed(self.phys_rank) {
+            // lint:allow(collective-order): every live rank passes this guard identically; departed ranks are fenced out of the group
+            self.barrier()?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,13 @@
+//# path: crates/ctrl/src/fake_controller_clean.rs
+// Fixture: a pure root, and impurity outside every critical cone.
+
+impl Controller {
+    pub fn observe(&mut self, s: &Signals) -> Decision {
+        pick(s.err_norm, self.threshold)
+    }
+}
+
+pub fn profile_once() -> u64 {
+    // Not reachable from observe/decide: bench-style timing is fine.
+    Instant::now().elapsed().as_nanos() as u64
+}

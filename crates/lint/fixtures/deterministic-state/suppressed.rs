@@ -1,0 +1,14 @@
+//# path: crates/ctrl/src/fake_controller_suppressed.rs
+// Fixture: an audited clock read inside a critical cone.
+
+impl Controller {
+    pub fn observe(&mut self, s: &Signals) -> Decision {
+        self.stamp_wall_clock_for_logs();
+        pick(s)
+    }
+
+    fn stamp_wall_clock_for_logs(&mut self) {
+        // lint:allow(deterministic-state): log timestamp only; it is written to the trace file and never feeds Decision state
+        self.last_seen = Instant::now();
+    }
+}

@@ -1,0 +1,11 @@
+//# path: crates/tensor/src/fake_kernels_clean.rs
+// Fixture: integer parallel reductions (associative) and sequential
+// float folds never fire.
+
+pub fn count(xs: &[u32]) -> u32 {
+    xs.par_iter().copied().sum()
+}
+
+pub fn seq_norm2(xs: &[f32]) -> f32 {
+    xs.iter().map(|x| x * x).sum::<f32>()
+}

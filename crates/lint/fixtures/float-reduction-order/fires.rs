@@ -1,0 +1,11 @@
+//# path: crates/tensor/src/fake_kernels.rs
+// Fixture: unordered parallel float reductions fire — chunking leaks
+// into the bits under the real rayon contract.
+
+pub fn norm2(xs: &[f32]) -> f32 {
+    xs.par_iter().map(|x| x * x).sum::<f32>() //~ float-reduction-order
+}
+
+pub fn total(xs: &[f64]) -> f64 {
+    xs.par_iter().copied().reduce(|| 0.0, |a, b| a + b) //~ float-reduction-order
+}

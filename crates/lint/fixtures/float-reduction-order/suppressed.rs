@@ -1,0 +1,7 @@
+//# path: crates/kfac/src/fake_stats_suppressed.rs
+// Fixture: a tolerance-checked parallel float sum with the audit.
+
+pub fn approx_energy(xs: &[f32]) -> f32 {
+    // lint:allow(float-reduction-order): diagnostics-only estimate compared at 1e-3 tolerance; never enters optimizer state
+    xs.par_iter().map(|x| x * x).sum::<f32>()
+}

@@ -9,7 +9,7 @@ pub struct State {
 
 impl State {
     pub fn encode(&self, out: &mut Vec<u8>) {
-        for (idx, bytes) in self.factors.iter() { //~ nondeterministic-wire-iteration
+        for (idx, bytes) in self.factors.iter() { //~ nondeterministic-wire-iteration //~ deterministic-state
             out.push(*idx as u8);
             out.extend_from_slice(bytes);
         }
@@ -19,7 +19,7 @@ impl State {
         let mut local = HashMap::new();
         local.insert(1usize, 2usize);
         let mut keys = Vec::new();
-        for k in &local { //~ nondeterministic-wire-iteration
+        for k in &local { //~ nondeterministic-wire-iteration //~ deterministic-state
             keys.push(*k.0);
         }
         keys

@@ -1,0 +1,18 @@
+//# path: crates/comm/src/fake_shutdown_clean.rs
+// Fixture: propagated, bound, and non-comm discards never fire.
+
+impl Group {
+    pub fn shutdown(&mut self) -> Result<(), CommError> {
+        let _ = self.barrier()?; // Ok value discarded, error propagated
+        Ok(())
+    }
+
+    pub fn tracked(&mut self) -> Result<(), CommError> {
+        let outcome = self.barrier();
+        outcome
+    }
+
+    pub fn unrelated(&mut self) {
+        let _ = self.metrics.flush();
+    }
+}

@@ -1,0 +1,18 @@
+//# path: crates/comm/src/fake_shutdown.rs
+// Fixture: discarding a comm Result hides peer failure — direct
+// collective and transitively-collective helper.
+
+impl Group {
+    pub fn shutdown(&mut self) -> Result<(), CommError> {
+        let _ = self.barrier(); //~ swallowed-comm-error
+        Ok(())
+    }
+
+    fn drain(&mut self) -> Result<(), CommError> {
+        self.allgather(&mut [])
+    }
+
+    pub fn finish(&mut self) {
+        let _ = self.drain(); //~ swallowed-comm-error
+    }
+}

@@ -1,0 +1,9 @@
+//# path: crates/comm/src/fake_shutdown_suppressed.rs
+// Fixture: a genuinely best-effort send with the audit inline.
+
+impl Group {
+    pub fn advertise(&mut self, dst: usize) {
+        // lint:allow(swallowed-comm-error): best-effort ACK; the ARQ timer retries and this caller has no recovery path
+        let _ = self.send(dst, b"ack");
+    }
+}

@@ -1,52 +1,69 @@
-//! Incremental analysis cache keyed on file identity.
+//! Incremental analysis cache (v3): file identity plus call-graph
+//! dependency fingerprints.
 //!
 //! A full workspace run lexes every first-party file even though CI and
 //! local loops touch a handful between runs. The cache records, per
-//! file, the `(mtime_ns, size)` observed at check time and the
-//! diagnostics produced, under a context fingerprint covering
-//! everything else a verdict depends on: the obs name registry, the
-//! rule catalogue, and the analyzer's own sources. A hit replays the
-//! stored diagnostics without reading the file body; any mismatch —
-//! stale mtime, changed size, unknown rule name, malformed cache line,
-//! fingerprint drift — falls back to a fresh check of that file (or the
-//! whole run). Correctness never depends on the cache: the worst a
-//! corrupt cache can do is cause re-checking.
+//! file, the `(mtime_ns, size)` observed at check time, the file's
+//! **function summaries** (`G` records — callees, direct impurity,
+//! length-source flag: exactly [`crate::callgraph::FnSummary`]), a
+//! **dependency fingerprint**, and the diagnostics produced — all under
+//! a context fingerprint covering everything global a verdict depends
+//! on: the obs name registry, the rule catalogue, and the analyzer's
+//! own sources.
 //!
-//! A per-file verdict also depends on one piece of *cross-file* state:
-//! the workspace-wide set of length-source functions feeding
-//! `unchecked-length-prefix` cross-function taint. The cache stores the
-//! merged set it checked under (`L` records) and each file's own
-//! contribution (`S` records under its `F`). On a warm run the merged
-//! set is rebuilt from cached contributions (hits) plus fresh
-//! collection (misses); if it differs from the stored set — someone
-//! added a clamp to a helper, or introduced a new raw-length helper —
-//! every cached diagnostic is stale and the whole run goes cold.
-//! Rechecking rewrites the cache, so the staleness lasts one run.
+//! v2 handled one piece of cross-file state (the length-source set)
+//! with a whole-cache staleness gate: any drift re-checked *every*
+//! file. v3 rules read much more cross-file state — transitive
+//! impurity, collective reachability, root cones — so the gate is now
+//! per file and precise:
 //!
-//! Format (line-oriented text; `L` records first, then one file per
-//! `F` record with its contributed sources as `S` records and findings
-//! as `D` records):
+//! 1. identity pass: files whose `(mtime_ns, size)` match replay their
+//!    cached summaries without being read; the rest are parsed and
+//!    summarized fresh;
+//! 2. one workspace [`crate::callgraph::solve`] over the merged
+//!    summaries (cached + fresh) rebuilds the global facts;
+//! 3. each file's **depfp** is recomputed: a hash over the *solved*
+//!    facts of every function the file defines and every callee name
+//!    it references. A file replays its `D` records only when both its
+//!    identity AND its depfp match; otherwise it is re-checked under
+//!    the fresh context.
+//!
+//! Editing a helper therefore re-runs exactly the files whose verdicts
+//! could have changed: the helper's own file (identity miss) and every
+//! file whose summaries reference it or whose functions' solved facts
+//! (impurity, collectivity, root cones, length-sourceness) shifted —
+//! transitive callers included, because *their* facts shifted too.
+//! Untouched, unaffected files replay.
+//!
+//! Any anomaly — stale mtime, changed size, unknown rule name,
+//! malformed record, fingerprint drift — falls back to a fresh check of
+//! that file (or the whole run). Correctness never depends on the
+//! cache: the worst a corrupt cache can do is cause re-checking.
+//!
+//! Format (line-oriented text; one file per `F` record, each followed
+//! by its `G` summaries and `D` findings):
 //!
 //! ```text
-//! compso-lint-cache v2 <context-fingerprint-hex>
-//! L <length-source fn name>
-//! F <mtime_ns> <size> <workspace-relative path>
-//! S <length-source fn name>
+//! compso-lint-cache v3 <context-fingerprint-hex>
+//! F <mtime_ns> <size> <depfp-hex> <workspace-relative path>
+//! G <flags-hex> <fn name> [<callee> ...]
 //! D <rule> <line> <col> <escaped message>
 //! ```
+//!
+//! `G` flags: bits 0–2 = direct impurity mask, bit 3 = length source.
 
-use crate::engine::{check_file, sort_diags, Context, Diagnostic, SUPPRESSION_HYGIENE};
-use crate::rules::length_prefix::collect_length_sources;
+use crate::callgraph::{summarize, FileSummaries, FnFacts, FnSummary};
+use crate::engine::{check_file, sort_diags, with_graph, Context, Diagnostic, SUPPRESSION_HYGIENE};
 use crate::rules::RULE_NAMES;
 use crate::source::SourceFile;
 use crate::{rules_apply_to, walker};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::time::UNIX_EPOCH;
 
-const HEADER: &str = "compso-lint-cache v2";
+const HEADER: &str = "compso-lint-cache v3";
 
 /// Hit accounting for the summary line (and the equality tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,7 +77,8 @@ pub struct CacheStats {
 struct CachedFile {
     mtime_ns: u128,
     size: u64,
-    sources: Vec<String>,
+    depfp: u64,
+    fns: Vec<FnSummary>,
     diags: Vec<Diagnostic>,
 }
 
@@ -85,11 +103,13 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Fingerprint of everything a cached verdict depends on besides the
-/// checked file itself. An edit to the obs registry, the rule list, or
-/// any analyzer source invalidates the whole cache — conservatively:
-/// over-invalidation costs one cold run, under-invalidation would serve
-/// stale verdicts.
+/// Fingerprint of everything *global* a cached verdict depends on
+/// besides the checked file and the call graph: the obs name registry,
+/// the rule list, and the analyzer's own sources. An edit to any of
+/// them invalidates the whole cache — conservatively: over-invalidation
+/// costs one cold run, under-invalidation would serve stale verdicts.
+/// (Cross-file call-graph state is handled per file by the depfp, not
+/// here.)
 fn context_fingerprint(root: &Path) -> io::Result<u64> {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     fnv1a(&mut h, HEADER.as_bytes());
@@ -115,6 +135,42 @@ fn context_fingerprint(root: &Path) -> io::Result<u64> {
         }
     }
     Ok(h)
+}
+
+/// Hash one function's solved facts into `h`. Every field a rule can
+/// consult is covered — impurity mask, collectivity, length-sourceness,
+/// and the full root set — so any fact shift flips the depfp.
+fn hash_facts(h: &mut u64, facts: Option<&FnFacts>) {
+    match facts {
+        None => fnv1a(h, b"\x00absent"),
+        Some(f) => {
+            fnv1a(h, &[f.impure, f.collective as u8, f.length_source as u8]);
+            for r in &f.roots {
+                fnv1a(h, r.as_bytes());
+                fnv1a(h, b"\x1f");
+            }
+        }
+    }
+    fnv1a(h, b"\x1e");
+}
+
+/// The file's dependency fingerprint under the current global solve:
+/// for every function the file defines, its own solved facts plus the
+/// solved facts of every callee name it references (absent callees hash
+/// as "absent", so a later definition of that name is also a drift).
+fn dep_fingerprint(s: &FileSummaries, facts: &BTreeMap<String, FnFacts>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut fns: Vec<&FnSummary> = s.fns.iter().collect();
+    fns.sort_by_key(|f| &f.name);
+    for f in fns {
+        fnv1a(&mut h, f.name.as_bytes());
+        hash_facts(&mut h, facts.get(&f.name));
+        for c in &f.callees {
+            fnv1a(&mut h, c.as_bytes());
+            hash_facts(&mut h, facts.get(c));
+        }
+    }
+    h
 }
 
 fn escape(msg: &str) -> String {
@@ -159,62 +215,70 @@ fn static_rule_name(name: &str) -> Option<&'static str> {
 
 /// Parse a cache file. Any anomaly — wrong header, wrong fingerprint,
 /// malformed record, unknown rule — discards the whole cache: the next
-/// run simply re-checks everything. Returns the per-file records plus
-/// the merged length-source set the cached verdicts were computed under.
-fn load(cache_path: &Path, fingerprint: u64) -> (HashMap<String, CachedFile>, BTreeSet<String>) {
-    let empty = || (HashMap::new(), BTreeSet::new());
+/// run simply re-checks everything.
+fn load(cache_path: &Path, fingerprint: u64) -> HashMap<String, CachedFile> {
     let Ok(text) = std::fs::read_to_string(cache_path) else {
-        return empty();
+        return HashMap::new();
     };
     let mut lines = text.lines();
     match lines.next() {
         Some(h) if h == format!("{HEADER} {fingerprint:016x}") => {}
-        _ => return empty(),
+        _ => return HashMap::new(),
     }
     let mut out: HashMap<String, CachedFile> = HashMap::new();
-    let mut merged = BTreeSet::new();
     let mut current: Option<String> = None;
     for line in lines {
-        if let Some(rest) = line.strip_prefix("L ") {
-            if current.is_some() || rest.is_empty() {
-                return empty(); // L records belong to the header section
-            }
-            merged.insert(rest.to_string());
-        } else if let Some(rest) = line.strip_prefix("S ") {
-            let Some(path) = &current else {
-                return empty();
-            };
-            if rest.is_empty() {
-                return empty();
-            }
-            out.get_mut(path)
-                .expect("current implies entry")
-                .sources
-                .push(rest.to_string());
-        } else if let Some(rest) = line.strip_prefix("F ") {
-            let mut it = rest.splitn(3, ' ');
+        if let Some(rest) = line.strip_prefix("F ") {
+            let mut it = rest.splitn(4, ' ');
             let parsed = (|| {
                 let mtime_ns: u128 = it.next()?.parse().ok()?;
                 let size: u64 = it.next()?.parse().ok()?;
+                let depfp = u64::from_str_radix(it.next()?, 16).ok()?;
                 let path = it.next()?.to_string();
-                Some((mtime_ns, size, path))
+                Some((mtime_ns, size, depfp, path))
             })();
-            let Some((mtime_ns, size, path)) = parsed else {
-                return empty();
+            let Some((mtime_ns, size, depfp, path)) = parsed else {
+                return HashMap::new();
             };
             out.insert(
                 path.clone(),
                 CachedFile {
                     mtime_ns,
                     size,
-                    sources: Vec::new(),
+                    depfp,
+                    fns: Vec::new(),
                     diags: Vec::new(),
                 },
             );
             current = Some(path);
+        } else if let Some(rest) = line.strip_prefix("G ") {
+            let Some(path) = &current else {
+                return HashMap::new();
+            };
+            let mut it = rest.split(' ');
+            let parsed = (|| {
+                let flags = u8::from_str_radix(it.next()?, 16).ok()?;
+                let name = it.next()?;
+                if name.is_empty() {
+                    return None;
+                }
+                Some(FnSummary {
+                    name: name.to_string(),
+                    callees: it.map(str::to_string).collect(),
+                    direct_impure: flags & 0x7,
+                    length_source: flags & 0x8 != 0,
+                })
+            })();
+            let Some(f) = parsed else {
+                return HashMap::new();
+            };
+            out.get_mut(path)
+                .expect("current implies entry")
+                .fns
+                .push(f);
         } else if let Some(rest) = line.strip_prefix("D ") {
             let Some(path) = &current else {
-                return empty();
+                return HashMap::new();
             };
             let mut it = rest.splitn(4, ' ');
             let parsed = (|| {
@@ -231,43 +295,45 @@ fn load(cache_path: &Path, fingerprint: u64) -> (HashMap<String, CachedFile>, BT
                 })
             })();
             let Some(d) = parsed else {
-                return empty();
+                return HashMap::new();
             };
             out.get_mut(path)
                 .expect("current implies entry")
                 .diags
                 .push(d);
         } else if !line.is_empty() {
-            return empty();
+            return HashMap::new();
         }
     }
-    (out, merged)
+    out
 }
 
-/// One file's worth of state to persist: identity, the length sources
-/// it contributes, and its diagnostics.
+/// One file's worth of state to persist: identity, depfp, summaries,
+/// diagnostics.
 struct CacheEntry {
     path: String,
     mtime_ns: u128,
     size: u64,
-    sources: Vec<String>,
+    depfp: u64,
+    fns: Vec<FnSummary>,
     diags: Vec<Diagnostic>,
 }
 
-fn write_cache(
-    cache_path: &Path,
-    fingerprint: u64,
-    merged_sources: &BTreeSet<String>,
-    entries: &[CacheEntry],
-) -> io::Result<()> {
+fn write_cache(cache_path: &Path, fingerprint: u64, entries: &[CacheEntry]) -> io::Result<()> {
     let mut text = format!("{HEADER} {fingerprint:016x}\n");
-    for s in merged_sources {
-        let _ = writeln!(text, "L {s}");
-    }
     for e in entries {
-        let _ = writeln!(text, "F {} {} {}", e.mtime_ns, e.size, e.path);
-        for s in &e.sources {
-            let _ = writeln!(text, "S {s}");
+        let _ = writeln!(
+            text,
+            "F {} {} {:016x} {}",
+            e.mtime_ns, e.size, e.depfp, e.path
+        );
+        for f in &e.fns {
+            let flags = f.direct_impure | ((f.length_source as u8) << 3);
+            let _ = write!(text, "G {flags:x} {}", f.name);
+            for c in &f.callees {
+                let _ = write!(text, " {c}");
+            }
+            text.push('\n');
         }
         for d in &e.diags {
             let _ = writeln!(
@@ -306,17 +372,17 @@ pub fn check_workspace_cached(
 ) -> io::Result<(Vec<Diagnostic>, CacheStats)> {
     let base = Context::from_workspace(root)?;
     let fingerprint = context_fingerprint(root)?;
-    let (cache, cached_sources) = load(cache_path, fingerprint);
+    let cache = load(cache_path, fingerprint);
 
-    // Pass 1: establish each file's identity and its length-source
-    // contribution — from the cache on an identity hit, from a fresh
-    // parse on a miss (the parse is kept for pass 2).
+    // Pass 1: establish each file's identity and its summaries — from
+    // the cache on an identity hit (no file read), from a fresh parse
+    // on a miss (the parse is kept for the check pass).
     struct Seen {
         rel: String,
         identity: Option<(u128, u64)>,
-        hit: bool,
+        id_hit: bool,
         parsed: Option<SourceFile>,
-        sources: Vec<String>,
+        summaries: FileSummaries,
     }
     let mut seen: Vec<Seen> = Vec::new();
     for path in walker::collect_files(root, false) {
@@ -325,47 +391,44 @@ pub fn check_workspace_cached(
             continue;
         }
         let identity = file_identity(&path);
-        let hit = matches!(
+        let id_hit = matches!(
             (identity, cache.get(&rel)),
             (Some((m, s)), Some(c)) if c.mtime_ns == m && c.size == s
         );
-        let (parsed, sources) = if hit {
-            (None, cache[&rel].sources.clone())
+        let (parsed, summaries) = if id_hit {
+            let summaries = FileSummaries {
+                path: rel.clone(),
+                fns: cache[&rel].fns.clone(),
+            };
+            (None, summaries)
         } else {
             let src = std::fs::read_to_string(&path)?;
             let file = SourceFile::new(rel.clone(), src);
-            let sources = collect_length_sources(&file);
-            (Some(file), sources)
+            let summaries = summarize(&file);
+            (Some(file), summaries)
         };
         seen.push(Seen {
             rel,
             identity,
-            hit,
+            id_hit,
             parsed,
-            sources,
+            summaries,
         });
     }
 
-    // Cached diagnostics were computed under `cached_sources`; they are
-    // only replayable if the merged set is unchanged. A drift (helper
-    // clamped, helper added) makes every verdict stale — the run goes
-    // cold and the rewrite below repairs the cache in one pass.
-    let merged: BTreeSet<String> = seen
-        .iter()
-        .flat_map(|s| s.sources.iter().cloned())
-        .collect();
-    let replayable = merged == cached_sources;
-    let ctx = Context {
-        registered_names: base.registered_names,
-        length_sources: merged.clone(),
-    };
+    // Pass 2: one workspace solve over the merged summaries, then the
+    // per-file dependency fingerprints under the fresh facts.
+    let all: Vec<FileSummaries> = seen.iter().map(|s| s.summaries.clone()).collect();
+    let ctx = with_graph(&base, &all);
+    let facts = &ctx.facts;
 
     let mut out = Vec::new();
     let mut entries: Vec<CacheEntry> = Vec::new();
     let mut stats = CacheStats { files: 0, hits: 0 };
     for s in seen {
         stats.files += 1;
-        if s.hit && replayable {
+        let depfp = dep_fingerprint(&s.summaries, facts);
+        if s.id_hit && cache[&s.rel].depfp == depfp {
             let c = &cache[&s.rel];
             stats.hits += 1;
             out.extend(c.diags.iter().cloned());
@@ -374,11 +437,14 @@ pub fn check_workspace_cached(
                 path: s.rel,
                 mtime_ns,
                 size,
-                sources: s.sources,
+                depfp,
+                fns: s.summaries.fns,
                 diags: c.diags.clone(),
             });
             continue;
         }
+        // Identity hit but depfp drift: the file was never read in pass
+        // 1 — read it now for the recheck.
         let file = match s.parsed {
             Some(f) => f,
             None => {
@@ -394,13 +460,19 @@ pub fn check_workspace_cached(
                 path: s.rel,
                 mtime_ns,
                 size,
-                sources: s.sources,
+                depfp,
+                fns: s.summaries.fns,
                 diags,
             });
         }
     }
     sort_diags(&mut out);
-    let _ = write_cache(cache_path, fingerprint, &merged, &entries);
+    // All-hits runs rebuilt `entries` byte-for-byte from the loaded
+    // cache (modulo files deleted from disk, which shrink it) — skip
+    // the rewrite so fully-warm runs never touch the cache file.
+    if stats.hits < stats.files || cache.len() != entries.len() {
+        let _ = write_cache(cache_path, fingerprint, &entries);
+    }
     Ok((out, stats))
 }
 
@@ -539,11 +611,15 @@ mod tests {
 
         for garbage in [
             "not a cache at all\n".to_string(),
-            "compso-lint-cache v1 0000000000000000\nF 1 2 x.rs\n".to_string(),
             "compso-lint-cache v2 0000000000000000\nF 1 2 x.rs\n".to_string(),
+            "compso-lint-cache v3 0000000000000000\nF 1 2 0 x.rs\n".to_string(),
             std::fs::read_to_string(&cache).unwrap().replace("D ", "Z "),
-            // An `L` record after the first `F` is malformed (v2 shape).
-            std::fs::read_to_string(&cache).unwrap() + "L stray_source\n",
+            // A `G` record before any `F` is malformed.
+            std::fs::read_to_string(&cache)
+                .unwrap()
+                .replacen('\n', "\nG 1 stray_fn\n", 1),
+            // A truncated `G` record (flags but no fn name).
+            std::fs::read_to_string(&cache).unwrap() + "G 1\n",
         ] {
             std::fs::write(&cache, garbage).unwrap();
             let (diags, _) = check_workspace_cached(root, &cache).unwrap();
@@ -552,7 +628,7 @@ mod tests {
     }
 
     #[test]
-    fn helper_clamp_edit_invalidates_callers_in_other_files() {
+    fn helper_clamp_edit_recheck_is_exactly_the_dependents() {
         let scratch = Scratch::new("xfn");
         let root = scratch.path();
         mini_workspace(root);
@@ -582,8 +658,9 @@ mod tests {
         );
 
         // Clamp the helper. caller.rs is untouched — a naive
-        // (mtime, size) replay would keep its stale finding — but the
-        // source-set gate must force a cold recheck that clears it.
+        // (mtime, size) replay would keep its stale finding — but its
+        // depfp references wire_len's facts, which just lost the
+        // length-source flag, so exactly helper + caller re-run.
         std::fs::write(
             &helper,
             "pub fn wire_len(r: &mut Reader<'_>) -> usize {\n    \
@@ -591,7 +668,11 @@ mod tests {
         )
         .unwrap();
         let (second, stats) = check_workspace_cached(root, &cache).unwrap();
-        assert_eq!(stats.hits, 0, "source-set drift must drop every verdict");
+        assert_eq!(
+            stats.hits,
+            stats.files - 2,
+            "exactly the helper (identity) and its dependent (depfp) re-run"
+        );
         assert!(
             !second.iter().any(|d| d.rule == "unchecked-length-prefix"),
             "clamped helper must clear the caller's finding: {second:?}"
@@ -602,6 +683,73 @@ mod tests {
         let (third, s3) = check_workspace_cached(root, &cache).unwrap();
         assert_eq!(third, second);
         assert_eq!(s3.hits, s3.files);
+    }
+
+    #[test]
+    fn impurity_edit_recheck_reaches_transitive_dependents() {
+        // decide (critical root, ctrl) → helper_a (foo) → helper_b
+        // (foo): a clock read appearing in helper_b must re-check
+        // helper_b (identity), and both files whose facts shifted —
+        // helper_a's file (its fn's impurity and nothing else changed)
+        // and the root's file — while untouched bystanders replay.
+        let scratch = Scratch::new("cone");
+        let root = scratch.path();
+        mini_workspace(root);
+        std::fs::write(
+            root.join("crates/foo/src/helpers.rs"),
+            "pub fn helper_a() -> u64 { helper_b() }\n",
+        )
+        .unwrap();
+        let hb = root.join("crates/foo/src/leaf.rs");
+        std::fs::write(&hb, "pub fn helper_b() -> u64 { 7 }\n").unwrap();
+        let ctrl = root.join("crates/ctrl/src");
+        std::fs::create_dir_all(&ctrl).unwrap();
+        std::fs::write(
+            ctrl.join("controller.rs"),
+            "pub fn decide(&mut self) -> u64 { helper_a() }\n",
+        )
+        .unwrap();
+        let cache = root.join("lint-cache");
+
+        let (first, _) = check_workspace_cached(root, &cache).unwrap();
+        assert!(
+            !first.iter().any(|d| d.rule == "deterministic-state"),
+            "{first:?}"
+        );
+
+        // Introduce a clock read in the leaf: the deterministic-state
+        // finding must appear at the leaf site even though only leaf.rs
+        // changed on disk — its root cone comes from other files.
+        std::fs::write(
+            &hb,
+            "pub fn helper_b() -> u64 { Instant::now().elapsed().as_nanos() as u64 }\n",
+        )
+        .unwrap();
+        let (second, stats) = check_workspace_cached(root, &cache).unwrap();
+        assert!(
+            second
+                .iter()
+                .any(|d| d.rule == "deterministic-state" && d.path.ends_with("leaf.rs")),
+            "{second:?}"
+        );
+        assert_eq!(second, check_workspace(root).unwrap());
+        // leaf.rs: identity miss. helpers.rs + controller.rs: depfp
+        // drift (helper_a and decide turned impure). lib.rs, dirty.rs,
+        // names.rs: replay.
+        assert_eq!(
+            stats.hits,
+            stats.files - 3,
+            "recheck = leaf + exactly its transitive dependents: {stats:?}"
+        );
+
+        // Reverting the leaf clears the finding and re-runs the same
+        // cone; a further warm run is all hits again.
+        std::fs::write(&hb, "pub fn helper_b() -> u64 { 7 }\n").unwrap();
+        let (third, s3) = check_workspace_cached(root, &cache).unwrap();
+        assert!(!third.iter().any(|d| d.rule == "deterministic-state"));
+        assert_eq!(s3.hits, s3.files - 3);
+        let (_, s4) = check_workspace_cached(root, &cache).unwrap();
+        assert_eq!(s4.hits, s4.files);
     }
 
     #[test]

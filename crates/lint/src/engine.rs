@@ -1,16 +1,18 @@
 //! Diagnostics, the shared analysis context, and the driver that runs
-//! every rule over a file set.
+//! the rule table over a file set.
 //!
-//! The engine owns two cross-cutting concerns the rules stay out of:
-//! **suppression filtering** (a diagnostic on a line covered by a
-//! matching `// lint:allow(rule): reason` comment is dropped) and
+//! The engine owns three cross-cutting concerns the rules stay out of:
+//! **scoping** (a rule only runs on files its [`crate::rules::RuleSpec`]
+//! covers), **suppression filtering** (a diagnostic on a line covered by
+//! a matching `// lint:allow(rule): reason` comment is dropped) and
 //! **suppression hygiene** (an allow without a reason, or naming an
 //! unknown rule, is itself a diagnostic — suppressions are part of the
 //! invariant surface, not an escape hatch).
 
-use crate::rules::{all_rules, RULE_NAMES};
+use crate::callgraph::{self, FileSummaries, FnFacts};
+use crate::rules::{severity_of, RULES, RULE_NAMES};
 use crate::source::SourceFile;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -55,14 +57,18 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Render diagnostics as a stable JSON document (the CI artifact).
+/// Render diagnostics as a stable JSON document (the CI artifact):
+/// the findings, the total, and per-rule counts for every rule in the
+/// catalogue (zeros included, so the artifact schema never shifts).
 pub fn to_json(diags: &[Diagnostic]) -> String {
     let mut out = String::from("{\n  \"diagnostics\": [\n");
     for (i, d) in diags.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
+            "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"path\": \"{}\", \
+             \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
             json_escape(d.rule),
+            severity_of(d.rule).as_str(),
             json_escape(&d.path),
             d.line,
             d.col,
@@ -70,33 +76,54 @@ pub fn to_json(diags: &[Diagnostic]) -> String {
         );
         out.push_str(if i + 1 < diags.len() { ",\n" } else { "\n" });
     }
-    let _ = write!(out, "  ],\n  \"count\": {}\n}}\n", diags.len());
+    out.push_str("  ],\n  \"by_rule\": {\n");
+    for (i, name) in RULE_NAMES.iter().enumerate() {
+        let n = diags.iter().filter(|d| d.rule == *name).count();
+        let _ = write!(out, "    \"{name}\": {n}");
+        out.push_str(if i + 1 < RULE_NAMES.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let _ = write!(out, "  }},\n  \"count\": {}\n}}\n", diags.len());
     out
 }
 
-/// Workspace-level facts the rules consult: the set of counter / span /
-/// label names registered in `compso_obs::names`, and the set of
-/// length-source functions (helpers returning unclamped wire-read
-/// lengths) collected across the whole file set for cross-function
-/// taint in `unchecked-length-prefix`.
+/// Workspace-level facts the rules consult: the obs name registry, the
+/// wire-magic registry (value → constant name, for `--fix`), the
+/// length-source set (PR 8 cross-function taint), and the call-graph
+/// facts (v3 — see [`crate::callgraph`]).
 ///
-/// The registry is recovered by lexing `crates/obs/src/names.rs` and
-/// collecting every `const NAME: &str = "…";` — the same shape the
-/// registry's own self-parsing test pins, so the two cannot drift.
+/// The registries are recovered by lexing their defining files
+/// (`crates/obs/src/names.rs`, `crates/core/src/wire.rs`) — the same
+/// shapes their own self-parsing tests pin, so the two cannot drift.
 pub struct Context {
     pub registered_names: BTreeSet<String>,
     pub length_sources: BTreeSet<String>,
+    /// Workspace call-graph facts by function name (empty in
+    /// single-file runs; rules union in a local per-file solve).
+    pub facts: BTreeMap<String, FnFacts>,
+    /// Wire magic value → constant name (`0xC5` → `MAGIC_STREAM_V1`).
+    pub magic_names: BTreeMap<u8, String>,
 }
 
 impl Context {
     /// Build the context from a workspace root on disk. Length sources
-    /// start empty; the workspace drivers fill them in from a pre-pass
-    /// over the file set (see [`collect_length_sources_from`]).
+    /// and call-graph facts start empty; the workspace drivers fill
+    /// them in from the summary pre-pass (see [`with_graph`]).
     pub fn from_workspace(root: &Path) -> std::io::Result<Context> {
         let names_src = std::fs::read_to_string(root.join("crates/obs/src/names.rs"))?;
+        // The magic registry is optional (mini test workspaces): no
+        // wire.rs just means `--fix` has no names to rewrite to.
+        let magic_names = std::fs::read_to_string(root.join("crates/core/src/wire.rs"))
+            .map(|src| parse_magic_names(&src))
+            .unwrap_or_default();
         Ok(Context {
             registered_names: parse_registered_names(&names_src),
             length_sources: BTreeSet::new(),
+            facts: BTreeMap::new(),
+            magic_names,
         })
     }
 
@@ -105,7 +132,29 @@ impl Context {
         Context {
             registered_names: names.into_iter().collect(),
             length_sources: BTreeSet::new(),
+            facts: BTreeMap::new(),
+            magic_names: BTreeMap::new(),
         }
+    }
+}
+
+/// Complete a base context with the workspace call graph: solve the
+/// summaries into [`Context::facts`] and derive the length-source set
+/// from the summary flags.
+pub fn with_graph(base: &Context, summaries: &[FileSummaries]) -> Context {
+    let facts = callgraph::solve(summaries);
+    let mut length_sources = base.length_sources.clone();
+    length_sources.extend(
+        facts
+            .iter()
+            .filter(|(_, f)| f.length_source)
+            .map(|(n, _)| n.clone()),
+    );
+    Context {
+        registered_names: base.registered_names.clone(),
+        length_sources,
+        facts,
+        magic_names: base.magic_names.clone(),
     }
 }
 
@@ -144,12 +193,38 @@ pub fn parse_registered_names(src: &str) -> BTreeSet<String> {
     out
 }
 
-/// Run every rule over `file`, apply suppressions, and append
-/// suppression-hygiene findings.
+/// Extract `const NAME: u8 = 0xCx;` magic definitions (value → name)
+/// from the wire registry source.
+pub fn parse_magic_names(src: &str) -> BTreeMap<u8, String> {
+    let f = SourceFile::new("wire.rs".into(), src.to_string());
+    let code = f.code_tokens();
+    let text = |ci: usize| f.tokens[code[ci]].text(&f.src);
+    let mut out = BTreeMap::new();
+    for i in 0..code.len() {
+        // const NAME : u8 = 0xC5
+        if text(i) == "const"
+            && i + 5 < code.len()
+            && text(i + 2) == ":"
+            && text(i + 3) == "u8"
+            && text(i + 4) == "="
+        {
+            if let Some(value) = crate::rules::wire_magic_value(text(i + 5)) {
+                out.entry(value).or_insert_with(|| text(i + 1).to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Run every applicable rule over `file`, apply suppressions, and
+/// append suppression-hygiene findings. Scope comes from the rule
+/// table; a file no rule covers yields only hygiene findings.
 pub fn check_file(file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
     let mut raw = Vec::new();
-    for rule in all_rules() {
-        rule.check(file, ctx, &mut raw);
+    for spec in RULES {
+        if spec.applies_to(&file.path) {
+            spec.rule().check(file, ctx, &mut raw);
+        }
     }
     raw.retain(|d| !file.is_suppressed(d.rule, d.line));
     out.extend(raw);
@@ -199,16 +274,12 @@ pub fn sort_diags(diags: &mut [Diagnostic]) {
 /// Check a whole file set, returning diagnostics sorted by path, line,
 /// column, rule — a stable order for golden tests and CI artifacts.
 ///
-/// Runs the length-source pre-pass first so cross-function taint sees
-/// helpers defined in *other* files of the set.
+/// Runs the call-graph pre-pass first ([`crate::callgraph::summarize`]
+/// per file, one [`crate::callgraph::solve`] over the set) so the
+/// cross-function rules see helpers defined in *other* files.
 pub fn check_files(files: &[SourceFile], ctx: &Context) -> Vec<Diagnostic> {
-    let mut ctx_full = Context {
-        registered_names: ctx.registered_names.clone(),
-        length_sources: ctx.length_sources.clone(),
-    };
-    ctx_full
-        .length_sources
-        .extend(collect_length_sources_from(files));
+    let summaries: Vec<FileSummaries> = files.iter().map(callgraph::summarize).collect();
+    let ctx_full = with_graph(ctx, &summaries);
     let mut out = Vec::new();
     for f in files {
         check_file(f, &ctx_full, &mut out);
@@ -241,6 +312,23 @@ mod tests {
     }
 
     #[test]
+    fn magic_parsing_matches_const_shape() {
+        let src = "pub mod magic {\n\
+                       pub const MAGIC_STREAM_V1: u8 = 0xC5;\n\
+                       pub const MAGIC_FRAME: u8 = 0xCF;\n\
+                       pub const NOT_MAGIC: u8 = 0x17;\n\
+                       pub const NOT_U8: u32 = 0xC5C5;\n\
+                   }\n";
+        let magics = parse_magic_names(src);
+        assert_eq!(
+            magics.get(&0xC5).map(String::as_str),
+            Some("MAGIC_STREAM_V1")
+        );
+        assert_eq!(magics.get(&0xCF).map(String::as_str), Some("MAGIC_FRAME"));
+        assert_eq!(magics.len(), 2);
+    }
+
+    #[test]
     fn unknown_rule_and_missing_reason_are_flagged() {
         let src = "// lint:allow(no-such-rule): whatever\n\
                    // lint:allow(no-unwrap-on-comm-path)\n\
@@ -267,5 +355,11 @@ mod tests {
         let j = to_json(&diags);
         assert!(j.contains("\"count\": 1"));
         assert!(j.contains("\\\"magic\\\""));
+        assert!(j.contains("\"severity\": \"deny\""));
+        assert!(j.contains("\"wire-magic-registry\": 1"));
+        assert!(
+            j.contains("\"collective-order\": 0"),
+            "zeros keep the schema"
+        );
     }
 }

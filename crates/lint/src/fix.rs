@@ -1,0 +1,333 @@
+//! `--fix`: mechanical rewrites for registry and swallowed-error
+//! findings.
+//!
+//! Three rules have fixes that are pure text mechanics — no judgment,
+//! no behavior choice beyond what the rule already demands:
+//!
+//! - **wire-magic-registry**: a bare `0xCx` literal whose value *is*
+//!   registered becomes the named constant
+//!   (`compso_core::wire::magic::MAGIC_…`; `crate::…` inside the core
+//!   crate). An unregistered value is refused — inventing a registry
+//!   entry is a design decision, not a fix.
+//! - **counter-registry**: an unregistered counter-shaped literal is
+//!   registered (a `pub const` appended to `crates/obs/src/names.rs`
+//!   plus an entry in its `ALL` array — the registry's own self-check
+//!   keeps them in sync) and the literal becomes the constant.
+//! - **swallowed-comm-error**: `let _ = EXPR;` becomes `EXPR?;` when
+//!   the enclosing function returns `Result`; otherwise refused (there
+//!   is no error channel to propagate into).
+//!
+//! **Refusal discipline**: a fix never touches a line carrying
+//! diagnostics of *other* rules — entangled findings need a human. All
+//! refusals are reported with reasons. `plan` is pure (no IO);
+//! [`run_fix`] applies edits bottom-up per file so byte offsets stay
+//! valid, and the whole pass is **idempotent**: fixing a fixed tree
+//! plans zero edits (pinned by `tests/fix.rs`, with one-pass
+//! convergence).
+
+use crate::engine::{check_files, Context, Diagnostic};
+use crate::load_workspace;
+use crate::rules::{let_underscore_stmts, wire_magic_value, View};
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::Path;
+
+/// One byte-span replacement in one file. `start == end` is an
+/// insertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edit {
+    pub path: String,
+    pub start: usize,
+    pub end: usize,
+    pub replacement: String,
+}
+
+/// The outcome of planning fixes over a diagnostic set.
+#[derive(Debug, Default)]
+pub struct FixPlan {
+    pub edits: Vec<Edit>,
+    /// Diagnostics the edits resolve.
+    pub fixed: Vec<Diagnostic>,
+    /// Fixable-rule diagnostics that were refused, with reasons.
+    pub refused: Vec<(Diagnostic, String)>,
+}
+
+const FIXABLE: &[&str] = &[
+    "wire-magic-registry",
+    "counter-registry",
+    "swallowed-comm-error",
+];
+
+/// Plan fixes for `diags` over `files`. Pure: returns edits without
+/// touching disk. `files` must contain `crates/obs/src/names.rs` for
+/// counter registrations to be plannable.
+pub fn plan(files: &[SourceFile], ctx: &Context, diags: &[Diagnostic]) -> FixPlan {
+    let mut out = FixPlan::default();
+    let by_path: BTreeMap<&str, &SourceFile> = files.iter().map(|f| (f.path.as_str(), f)).collect();
+    let names_rs = by_path.get("crates/obs/src/names.rs").copied();
+    let mut registered_this_pass: BTreeSet<String> = BTreeSet::new();
+
+    for d in diags {
+        if !FIXABLE.contains(&d.rule) {
+            continue;
+        }
+        // Refuse lines entangled with findings of other rules.
+        if let Some(other) = diags
+            .iter()
+            .find(|o| o.path == d.path && o.line == d.line && o.rule != d.rule)
+        {
+            out.refused.push((
+                d.clone(),
+                format!(
+                    "line also carries a `{}` finding; fix that first",
+                    other.rule
+                ),
+            ));
+            continue;
+        }
+        let Some(file) = by_path.get(d.path.as_str()).copied() else {
+            out.refused
+                .push((d.clone(), "file not in the checked set".into()));
+            continue;
+        };
+        let v = View::new(file);
+        let Some(ci) = token_at(&v, d.line, d.col) else {
+            out.refused
+                .push((d.clone(), "diagnostic token not found".into()));
+            continue;
+        };
+        let planned = match d.rule {
+            "wire-magic-registry" => fix_wire_magic(&v, ci, ctx, file),
+            "counter-registry" => fix_counter(&v, ci, file, names_rs, &mut registered_this_pass),
+            "swallowed-comm-error" => fix_swallowed(&v, ci, file),
+            _ => unreachable!("FIXABLE is exhaustive"),
+        };
+        match planned {
+            Ok(edits) => {
+                out.edits.extend(edits);
+                out.fixed.push(d.clone());
+            }
+            Err(reason) => out.refused.push((d.clone(), reason)),
+        }
+    }
+    out
+}
+
+/// Code-token index whose span starts at `(line, col)` (1-based).
+fn token_at(v: &View, line: usize, col: usize) -> Option<usize> {
+    (0..v.len()).find(|&ci| v.file.line_col(v.tok(ci).start) == (line, col))
+}
+
+fn fix_wire_magic(
+    v: &View,
+    ci: usize,
+    ctx: &Context,
+    file: &SourceFile,
+) -> Result<Vec<Edit>, String> {
+    let Some(value) = wire_magic_value(v.text(ci)) else {
+        return Err("token is not a magic-shaped literal".into());
+    };
+    let Some(name) = ctx.magic_names.get(&value) else {
+        return Err(format!(
+            "0x{value:02X} has no constant in compso_core::wire::magic; \
+             register it there first"
+        ));
+    };
+    let path = if file.path.starts_with("crates/core/") {
+        format!("crate::wire::magic::{name}")
+    } else {
+        format!("compso_core::wire::magic::{name}")
+    };
+    let t = v.tok(ci);
+    Ok(vec![Edit {
+        path: file.path.clone(),
+        start: t.start,
+        end: t.end,
+        replacement: path,
+    }])
+}
+
+/// `ns/seg(/seg)*` → `NS_SEG…` constant name.
+fn const_name_for(value: &str) -> String {
+    value
+        .chars()
+        .map(|c| match c {
+            '/' | '-' => '_',
+            c => c.to_ascii_uppercase(),
+        })
+        .collect()
+}
+
+fn fix_counter(
+    v: &View,
+    ci: usize,
+    file: &SourceFile,
+    names_rs: Option<&SourceFile>,
+    registered: &mut BTreeSet<String>,
+) -> Result<Vec<Edit>, String> {
+    let text = v.text(ci);
+    let Some(value) = text
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .filter(|s| !s.contains('\\'))
+    else {
+        return Err("literal has escapes; register it by hand".into());
+    };
+    let Some(names_rs) = names_rs else {
+        return Err("crates/obs/src/names.rs not in the checked set".into());
+    };
+    let cname = const_name_for(value);
+    if !cname
+        .chars()
+        .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        || cname.starts_with(|c: char| c.is_ascii_digit())
+    {
+        return Err(format!("cannot derive a constant name from \"{value}\""));
+    }
+    let mut edits = Vec::new();
+    // Register once per value per pass; skip if names.rs already has it
+    // under any name (then only the use-site rewrite is needed — but a
+    // registered name would not have fired, so in practice this is the
+    // fresh-registration path).
+    if !registered.contains(value) {
+        let src = &names_rs.src;
+        let Some(all_at) = src.find("pub const ALL") else {
+            return Err("names.rs has no `pub const ALL` anchor".into());
+        };
+        if src.contains(&format!("pub const {cname}:")) {
+            return Err(format!(
+                "names.rs already defines `{cname}` (for a different string); \
+                 register \"{value}\" by hand"
+            ));
+        }
+        let Some(close_rel) = src[all_at..].find("];") else {
+            return Err("names.rs ALL array has no closing `];`".into());
+        };
+        edits.push(Edit {
+            path: names_rs.path.clone(),
+            start: all_at,
+            end: all_at,
+            replacement: format!("pub const {cname}: &str = \"{value}\";\n\n"),
+        });
+        edits.push(Edit {
+            path: names_rs.path.clone(),
+            start: all_at + close_rel,
+            end: all_at + close_rel,
+            replacement: format!("    {cname},\n"),
+        });
+        registered.insert(value.to_string());
+    }
+    let use_path = if file.path.starts_with("crates/obs/") {
+        format!("crate::names::{cname}")
+    } else {
+        format!("compso_obs::names::{cname}")
+    };
+    let t = v.tok(ci);
+    edits.push(Edit {
+        path: file.path.clone(),
+        start: t.start,
+        end: t.end,
+        replacement: use_path,
+    });
+    Ok(edits)
+}
+
+fn fix_swallowed(v: &View, ci: usize, file: &SourceFile) -> Result<Vec<Edit>, String> {
+    let at = v.tok(ci).start;
+    let stmt = let_underscore_stmts(v)
+        .into_iter()
+        .find(|s| s.contains(&ci))
+        .ok_or_else(|| "no enclosing `let _ = …;` statement".to_string())?;
+    let fallible = file.enclosing_fn(at).is_some_and(|f| f.returns_result);
+    if !fallible {
+        return Err(
+            "enclosing fn does not return Result; no channel to propagate into \
+             (handle or annotate instead)"
+                .into(),
+        );
+    }
+    // `let _ = EXPR ;` → `EXPR?;` — expr runs from the token after `=`
+    // to the last token before `;`.
+    let semi = stmt.end; // exclusive range ends exactly at the `;` index
+    let expr_start = v.tok(stmt.start + 3).start;
+    let expr_end = v.tok(semi - 1).end;
+    let expr = file.src[expr_start..expr_end].trim_end();
+    Ok(vec![Edit {
+        path: file.path.clone(),
+        start: v.tok(stmt.start).start,
+        end: v.tok(semi).end,
+        replacement: format!("{expr}?;"),
+    }])
+}
+
+/// Apply `edits` to in-memory sources keyed by path. Edits are applied
+/// bottom-up per file; overlapping edits are an error (the planner
+/// never produces them).
+pub fn apply(sources: &mut BTreeMap<String, String>, edits: &[Edit]) -> Result<usize, String> {
+    let mut by_path: BTreeMap<&str, Vec<&Edit>> = BTreeMap::new();
+    for e in edits {
+        by_path.entry(e.path.as_str()).or_default().push(e);
+    }
+    let mut applied = 0;
+    for (path, mut es) in by_path {
+        let Some(src) = sources.get_mut(path) else {
+            return Err(format!("{path}: not loaded"));
+        };
+        es.sort_by_key(|e| (e.start, e.end));
+        for w in es.windows(2) {
+            if w[0].end > w[1].start {
+                return Err(format!("{path}: overlapping edits"));
+            }
+        }
+        for e in es.iter().rev() {
+            if e.end > src.len() {
+                return Err(format!("{path}: edit out of range"));
+            }
+            src.replace_range(e.start..e.end, &e.replacement);
+            applied += 1;
+        }
+    }
+    Ok(applied)
+}
+
+/// Summary of a `--fix` / `--fix-dry-run` pass.
+#[derive(Debug)]
+pub struct FixReport {
+    /// Diagnostics fixed (or, dry: that would be fixed).
+    pub fixed: Vec<Diagnostic>,
+    /// Refused fixable diagnostics with reasons.
+    pub refused: Vec<(Diagnostic, String)>,
+    /// Files rewritten (empty in dry runs).
+    pub rewritten: Vec<String>,
+}
+
+/// Plan fixes for the workspace at `root` and, unless `dry`, write the
+/// rewritten files back. Returns the report; callers re-lint to verify
+/// (the `tests/fix.rs` suite pins fix-then-relint-clean).
+pub fn run_fix(root: &Path, dry: bool) -> io::Result<FixReport> {
+    let files = load_workspace(root)?;
+    let ctx = Context::from_workspace(root)?;
+    // check_files runs the call-graph pre-pass itself, so `diags` is
+    // the full rule set — the entangled-line refusal sees everything.
+    let diags = check_files(&files, &ctx);
+    let plan = plan(&files, &ctx, &diags);
+    let mut rewritten = Vec::new();
+    if !dry && !plan.edits.is_empty() {
+        let mut sources: BTreeMap<String, String> = files
+            .iter()
+            .map(|f| (f.path.clone(), f.src.clone()))
+            .collect();
+        apply(&mut sources, &plan.edits).map_err(io::Error::other)?;
+        let touched: BTreeSet<&str> = plan.edits.iter().map(|e| e.path.as_str()).collect();
+        for path in touched {
+            std::fs::write(root.join(path), &sources[path])?;
+            rewritten.push(path.to_string());
+        }
+    }
+    Ok(FixReport {
+        fixed: plan.fixed,
+        refused: plan.refused,
+        rewritten,
+    })
+}

@@ -2,29 +2,39 @@
 //!
 //! Clippy cannot express this project's invariants: which byte values
 //! are wire magics, which crates form the fallible comm path, which
-//! string literals are obs counter names. This crate is a std-only
-//! analyzer (no `syn`, no registry deps — the build environment is
-//! offline) built from four layers:
+//! string literals are obs counter names, which functions must stay
+//! deterministic, and which calls synchronize every rank. This crate is
+//! a std-only analyzer (no `syn`, no registry deps — the build
+//! environment is offline) built from these layers:
 //!
 //! - [`lexer`] — a real Rust lexer whose token spans exactly tile every
 //!   input file (property-tested over the whole workspace);
 //! - [`source`] — per-file context: line table, prod-vs-`#[cfg(test)]`
 //!   classification, `lint:allow` suppressions, a function map;
-//! - [`rules`] — the rule catalogue (see `DESIGN.md` §11);
-//! - [`engine`] + [`walker`] — diagnostics, the obs-name registry
-//!   context, suppression hygiene, and deterministic file discovery;
-//! - [`cache`] — the incremental `(mtime, size)` cache that keeps
-//!   `--deny` runs inside the CI runtime budget by replaying verdicts
-//!   for untouched files.
+//! - [`callgraph`] — the workspace symbol table + call graph: per-fn
+//!   summaries (callees, impurity sources, collectives, length
+//!   sources) and a fixpoint solver for transitive facts;
+//! - [`rules`] — the rule catalogue as declarative tables (match
+//!   patterns, path scopes, severities — see `DESIGN.md` §11);
+//! - [`engine`] + [`walker`] — diagnostics, the registry contexts,
+//!   suppression hygiene, and deterministic file discovery;
+//! - [`cache`] — the incremental cache (v3): file identity plus
+//!   per-file dependency fingerprints over call-graph facts, so
+//!   editing a helper re-runs exactly its transitive dependents;
+//! - [`fix`] — mechanical `--fix` rewrites for registry findings and
+//!   swallowed comm errors.
 //!
 //! The binary (`cargo run -p compso-lint`) walks the workspace, runs
 //! every rule over production code, and in `--deny` mode exits non-zero
-//! on any finding — wired into `scripts/ci.sh` with a hard runtime
-//! budget. Fixture corpora under `fixtures/` pin each rule's firing,
-//! clean, and suppressed behavior via golden diagnostics.
+//! on any deny-severity finding — wired into `scripts/ci.sh` with a
+//! hard runtime budget. Fixture corpora under `fixtures/` pin each
+//! rule's firing, clean, and suppressed behavior via golden
+//! diagnostics.
 
 pub mod cache;
+pub mod callgraph;
 pub mod engine;
+pub mod fix;
 pub mod lexer;
 pub mod rules;
 pub mod source;
@@ -36,19 +46,29 @@ pub use source::SourceFile;
 
 use std::path::Path;
 
-/// Paths (workspace-relative, `/`-separated) excluded from rule runs:
-/// the analyzer itself. Its rule tables spell out the byte ranges and
-/// name shapes they hunt for, and its fixtures contain deliberate
-/// violations — linting them would be self-referential noise. The lexer
-/// tiling property still covers these files.
+/// Is `rel_path` (workspace-relative, `/`-separated) subject to rule
+/// runs at all? Driven by the rule table's
+/// [`rules::GLOBAL_EXCLUDE`] — the analyzer itself is the one excluded
+/// subtree (its rule tables spell out the byte ranges and name shapes
+/// they hunt for, and its fixtures contain deliberate violations). The
+/// lexer tiling property still covers excluded files.
 pub fn rules_apply_to(rel_path: &str) -> bool {
-    !rel_path.starts_with("crates/lint/")
+    !rules::GLOBAL_EXCLUDE
+        .iter()
+        .any(|p| rel_path.starts_with(p))
 }
 
 /// Load and check the whole workspace rooted at `root`. Returns sorted
 /// diagnostics; IO failures surface as `Err`.
 pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
-    let ctx = Context::from_workspace(root)?;
+    Ok(engine::check_files(
+        &load_workspace(root)?,
+        &Context::from_workspace(root)?,
+    ))
+}
+
+/// Read every first-party source file under `root` that rules apply to.
+pub fn load_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
     let mut files = Vec::new();
     for path in walker::collect_files(root, false) {
         let rel = walker::rel_path(root, &path);
@@ -58,5 +78,5 @@ pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
         let src = std::fs::read_to_string(&path)?;
         files.push(SourceFile::new(rel, src));
     }
-    Ok(check_files(&files, &ctx))
+    Ok(files)
 }

@@ -1,0 +1,331 @@
+//! `collective-order`: every rank must issue the same collective
+//! sequence, or the group deadlocks.
+//!
+//! The synchronous K-FAC pipeline (PAPER.md §4) assumes all ranks reach
+//! `allreduce`/`allgather`/`barrier` calls in lockstep. A collective —
+//! direct, or transitive through a helper — issued under a branch that
+//! only *some* ranks take is the deadlock shape: the branching rank
+//! blocks in the collective while its peers never enter it. Two
+//! variants are flagged in production comm/kfac code:
+//!
+//! 1. **Conditional collective**: a collective call inside an
+//!    `if`/`else if`/`else` chain whose condition mentions a rank/peer
+//!    identity (`rank`, `phys_rank`, `peer`, `.rank()`, …).
+//! 2. **Early return before a collective**: a rank-conditional branch
+//!    containing `return`, while the enclosing function issues a
+//!    collective *after* the chain — returning ranks skip it.
+//!
+//! Point-to-point sends/recvs inside rank branches are fine (that is
+//! how collectives are *implemented*); only collective entry points
+//! synchronize the whole group. Transitivity comes from the call-graph
+//! facts ([`crate::callgraph`]): a helper that reaches a collective is
+//! as dangerous as the collective itself.
+//!
+//! Deliberate single-rank collectives (e.g. a quiesce barrier guarded
+//! by a fault-plane check) must carry
+//! `lint:allow(collective-order): <why every live rank takes the same
+//! branch>`.
+
+use super::{Rule, View, COLLECTIVES};
+use crate::callgraph::file_facts;
+use crate::engine::{Context, Diagnostic};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+pub struct CollectiveOrder;
+
+const NAME: &str = "collective-order";
+
+/// Identifiers in an `if` condition that mark it rank-conditional.
+const RANK_IDENTS: &[&str] = &[
+    "rank",
+    "my_rank",
+    "phys_rank",
+    "virtual_rank",
+    "peer",
+    "leader",
+    "joiner",
+    "root_rank",
+];
+
+impl Rule for CollectiveOrder {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn check(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
+        let v = View::new(file);
+        let facts = file_facts(file, ctx);
+        for f in &file.fns {
+            if f.body.is_empty() || file.in_test(f.body.start) {
+                continue;
+            }
+            // The collectives themselves are implemented with
+            // rank-conditional point-to-point phases and may legally
+            // branch on rank around nested collective entry points
+            // (e.g. pipelined_allgather falling back to allgather).
+            if COLLECTIVES.contains(&f.name.as_str()) {
+                continue;
+            }
+            let body = v.in_range(&f.body);
+            for chain in rank_conditional_chains(&v, &body) {
+                let chain_end = chain.end;
+                let mut saw_return = false;
+                for i in chain.clone() {
+                    let ci = body[i];
+                    if v.is_ident(ci, "return") {
+                        saw_return = true;
+                    }
+                    // Callee position: `ident (`.
+                    if v.kind(ci) != TokenKind::Ident
+                        || !body.get(i + 1).is_some_and(|&p| v.is_punct(p, "("))
+                    {
+                        continue;
+                    }
+                    let callee = v.text(ci);
+                    if COLLECTIVES.contains(&callee) {
+                        out.push(v.diag(
+                            NAME,
+                            ci,
+                            format!(
+                                "collective `{callee}` issued under a rank-conditional \
+                                 branch in `{}`; ranks that skip the branch never enter \
+                                 it and the group deadlocks — hoist it, or annotate \
+                                 lint:allow({NAME}): <why every live rank branches \
+                                 identically>",
+                                f.name
+                            ),
+                        ));
+                    } else if facts.collective(callee) {
+                        out.push(v.diag(
+                            NAME,
+                            ci,
+                            format!(
+                                "`{callee}` transitively issues a collective, and is \
+                                 called under a rank-conditional branch in `{}`; hoist \
+                                 the call or annotate lint:allow({NAME}): <proof>",
+                                f.name
+                            ),
+                        ));
+                    }
+                }
+                // Early-return shape: a rank-conditional return while the
+                // function issues a collective later in the body.
+                if saw_return {
+                    if let Some(after) = first_collective_after(&v, &body, chain_end, &facts) {
+                        let ret = chain
+                            .clone()
+                            .find(|&i| v.is_ident(body[i], "return"))
+                            .expect("saw_return");
+                        out.push(v.diag(
+                            NAME,
+                            body[ret],
+                            format!(
+                                "rank-conditional early return in `{}` skips the \
+                                 collective `{}` issued later in the function; \
+                                 returning ranks leave their peers blocked — \
+                                 restructure, or annotate lint:allow({NAME}): <proof>",
+                                f.name,
+                                v.text(body[after]),
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Body-index ranges (into `body`) covering each rank-conditional
+/// `if … { } else if … { } else { }` chain: from the first branch body's
+/// `{` through the last branch body's `}`. The *whole* chain is
+/// rank-conditional if any branch condition in it is.
+fn rank_conditional_chains(v: &View, body: &[usize]) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if !v.is_ident(body[i], "if") {
+            i += 1;
+            continue;
+        }
+        // One chain: alternating conditions and brace-matched blocks.
+        let chain_start_cond = i;
+        let mut rankish = false;
+        let mut chain_body_start: Option<usize> = None;
+        let mut j = i;
+        loop {
+            // Condition: tokens from after `if` to its block `{` at
+            // paren/bracket depth 0.
+            let mut depth = 0i32;
+            let mut k = j + 1;
+            let mut open = None;
+            while k < body.len() {
+                let ci = body[k];
+                if v.is_punct(ci, "(") || v.is_punct(ci, "[") {
+                    depth += 1;
+                } else if v.is_punct(ci, ")") || v.is_punct(ci, "]") {
+                    depth -= 1;
+                } else if v.is_punct(ci, "{") && depth == 0 {
+                    open = Some(k);
+                    break;
+                }
+                k += 1;
+            }
+            let Some(open) = open else {
+                break;
+            };
+            rankish |= body[j + 1..open]
+                .iter()
+                .any(|&ci| v.kind(ci) == TokenKind::Ident && RANK_IDENTS.contains(&v.text(ci)));
+            chain_body_start.get_or_insert(open);
+            // Match the block.
+            let mut brace = 0i32;
+            let mut close = open;
+            while close < body.len() {
+                if v.is_punct(body[close], "{") {
+                    brace += 1;
+                } else if v.is_punct(body[close], "}") {
+                    brace -= 1;
+                    if brace == 0 {
+                        break;
+                    }
+                }
+                close += 1;
+            }
+            // `else if` continues the chain; `else { }` ends it.
+            if close + 1 < body.len() && v.is_ident(body[close + 1], "else") {
+                if close + 2 < body.len() && v.is_ident(body[close + 2], "if") {
+                    j = close + 2;
+                    continue;
+                }
+                // Plain else block.
+                if close + 2 < body.len() && v.is_punct(body[close + 2], "{") {
+                    let mut b = 0i32;
+                    let mut e = close + 2;
+                    while e < body.len() {
+                        if v.is_punct(body[e], "{") {
+                            b += 1;
+                        } else if v.is_punct(body[e], "}") {
+                            b -= 1;
+                            if b == 0 {
+                                break;
+                            }
+                        }
+                        e += 1;
+                    }
+                    close = e;
+                }
+            }
+            if rankish {
+                if let Some(start) = chain_body_start {
+                    out.push(start..close.min(body.len() - 1) + 1);
+                }
+                // The whole chain is covered; skip past it (nested ifs
+                // inside are already in the range).
+                i = close.max(chain_start_cond) + 1;
+            } else {
+                // Not rank-conditional: step *into* the first block so
+                // nested rank-conditional ifs still get scanned.
+                i = chain_body_start.unwrap_or(close).max(chain_start_cond) + 1;
+            }
+            break;
+        }
+        if i <= chain_start_cond {
+            i = chain_start_cond + 1;
+        }
+    }
+    out
+}
+
+/// First body index `> from` holding a collective call (direct or via
+/// facts), if any.
+fn first_collective_after(
+    v: &View,
+    body: &[usize],
+    from: usize,
+    facts: &crate::callgraph::Facts<'_>,
+) -> Option<usize> {
+    for i in from..body.len().saturating_sub(1) {
+        let ci = body[i];
+        if v.kind(ci) == TokenKind::Ident && v.is_punct(body[i + 1], "(") {
+            let callee = v.text(ci);
+            if COLLECTIVES.contains(&callee) || facts.collective(callee) {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::check_file;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new(path.into(), src.into());
+        let ctx = Context::with_names(Vec::new());
+        let mut out = Vec::new();
+        check_file(&f, &ctx, &mut out);
+        out.retain(|d| d.rule == NAME);
+        out
+    }
+
+    #[test]
+    fn conditional_collective_fires() {
+        let out = diags(
+            "crates/kfac/src/x.rs",
+            "fn sync(c: &mut C) -> Result<(), E> {\n\
+                 if c.rank == 0 {\n        c.barrier()?;\n    }\n    Ok(())\n}\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`barrier`"));
+    }
+
+    #[test]
+    fn transitive_collective_fires() {
+        let out = diags(
+            "crates/kfac/src/x.rs",
+            "fn helper(c: &mut C) -> Result<(), E> { c.allreduce_sum(&mut []) }\n\
+             fn sync(c: &mut C, rank: usize) -> Result<(), E> {\n\
+                 if rank == 0 { helper(c)?; }\n    Ok(())\n}\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`helper`"));
+    }
+
+    #[test]
+    fn early_return_before_collective_fires() {
+        let out = diags(
+            "crates/comm/src/x.rs",
+            "fn step(c: &mut C, rank: usize) -> Result<(), E> {\n\
+                 if rank != 0 {\n        return Ok(());\n    }\n\
+                 c.barrier()?;\n    Ok(())\n}\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("early return"));
+    }
+
+    #[test]
+    fn unconditional_and_non_rank_branches_are_clean() {
+        let out = diags(
+            "crates/comm/src/x.rs",
+            "fn sync(c: &mut C) -> Result<(), E> {\n\
+                 c.barrier()?;\n\
+                 if c.config.enabled {\n        c.allreduce_sum(&mut [])?;\n    }\n\
+                 Ok(())\n}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn point_to_point_sends_in_rank_branches_are_fine() {
+        let out = diags(
+            "crates/comm/src/x.rs",
+            "fn bcast(c: &mut C, rank: usize) -> Result<(), E> {\n\
+                 if rank == 0 { c.send(1, payload)?; } else { c.recv_from(0)?; }\n\
+                 Ok(())\n}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,184 @@
+//! `float-reduction-order`: float reductions must have a *fixed*
+//! association order.
+//!
+//! Float addition is not associative: `(a + b) + c != a + (b + c)` in
+//! general, so a parallel `sum`/`reduce` whose chunking depends on the
+//! thread pool produces run-to-run (and rank-to-rank) different bits —
+//! exactly the drift the bit-identity tests exist to catch. The
+//! workspace's vendored rayon shim happens to fold in input order, but
+//! code written against the rayon *API contract* must not rely on that:
+//! swapping in real rayon would silently break every replica invariant.
+//!
+//! The sanctioned home for float reductions is
+//! `crates/tensor/src/reduce.rs` (table-excluded): the scalar oracles
+//! and the fixed-chunking hierarchical reductions that every parallel
+//! kernel is pinned against. Everywhere else, a `.sum()`/`.reduce(…)`
+//! downstream of `par_iter`/`par_chunks`/`into_par_iter` in a
+//! float-typed expression fires.
+//!
+//! Heuristic (production code): within one statement, a parallel
+//! iterator source followed by a `sum`/`reduce` sink, with float
+//! evidence (an `f32`/`f64` token in the statement or the enclosing
+//! function's signature). Integer reductions are associative and never
+//! fire.
+
+use super::{Rule, View};
+use crate::engine::{Context, Diagnostic};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+pub struct FloatReductionOrder;
+
+const NAME: &str = "float-reduction-order";
+
+/// Parallel-iterator sources (the vendored shim's API surface).
+const PAR_SOURCES: &[&str] = &[
+    "par_iter",
+    "into_par_iter",
+    "par_chunks",
+    "par_chunks_mut",
+    "par_bridge",
+];
+
+impl Rule for FloatReductionOrder {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Diagnostic>) {
+        let v = View::new(file);
+        for f in &file.fns {
+            if f.body.is_empty() || file.in_test(f.body.start) {
+                continue;
+            }
+            let sig_float = {
+                let sig: Vec<usize> = (0..v.len())
+                    .filter(|&ci| {
+                        let s = v.tok(ci).start;
+                        s >= f.kw_start && s < f.body.start
+                    })
+                    .collect();
+                sig.iter().any(|&ci| is_float_token(&v, ci))
+            };
+            let body = v.in_range(&f.body);
+            for pos in 0..body.len() {
+                // Sink: `. sum (` / `. sum ::` / `. reduce (`.
+                let ci = body[pos];
+                if v.kind(ci) != TokenKind::Ident {
+                    continue;
+                }
+                let m = v.text(ci);
+                if !(m == "sum" || m == "reduce") {
+                    continue;
+                }
+                if pos == 0 || !v.is_punct(body[pos - 1], ".") {
+                    continue;
+                }
+                let next = body.get(pos + 1).copied();
+                let called = next.is_some_and(|n| v.is_punct(n, "(") || v.is_punct(n, ":"));
+                if !called {
+                    continue;
+                }
+                // Statement start: previous `;` / `{` / `}` boundary.
+                let mut start = pos;
+                while start > 0 {
+                    let p = body[start - 1];
+                    if v.is_punct(p, ";") || v.is_punct(p, "{") || v.is_punct(p, "}") {
+                        break;
+                    }
+                    start -= 1;
+                }
+                let par = body[start..pos]
+                    .iter()
+                    .any(|&c| v.kind(c) == TokenKind::Ident && PAR_SOURCES.contains(&v.text(c)));
+                if !par {
+                    continue;
+                }
+                // Float evidence: statement (incl. a turbofish after the
+                // sink) or signature.
+                let stmt_end = (pos + 6).min(body.len());
+                let float =
+                    sig_float || body[start..stmt_end].iter().any(|&c| is_float_token(&v, c));
+                if !float {
+                    continue;
+                }
+                out.push(v.diag(
+                    NAME,
+                    ci,
+                    format!(
+                        "unordered parallel float `{m}` in `{}`; float addition is not \
+                         associative, so chunking leaks into the bits — use the \
+                         fixed-order reductions in crates/tensor/src/reduce.rs or a \
+                         sequential fold",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Is token `ci` float evidence: an `f32`/`f64` ident or a float literal?
+fn is_float_token(v: &View, ci: usize) -> bool {
+    match v.kind(ci) {
+        TokenKind::Float => true,
+        TokenKind::Ident => matches!(v.text(ci), "f32" | "f64"),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::check_file;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new(path.into(), src.into());
+        let ctx = Context::with_names(Vec::new());
+        let mut out = Vec::new();
+        check_file(&f, &ctx, &mut out);
+        out.retain(|d| d.rule == NAME);
+        out
+    }
+
+    #[test]
+    fn parallel_float_sum_fires() {
+        let out = diags(
+            "crates/tensor/src/dense.rs",
+            "pub fn norm2(xs: &[f32]) -> f32 {\n\
+                 xs.par_iter().map(|x| x * x).sum::<f32>()\n}\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("not associative"));
+    }
+
+    #[test]
+    fn parallel_float_reduce_fires() {
+        let out = diags(
+            "crates/kfac/src/stats.rs",
+            "pub fn total(xs: &[f64]) -> f64 {\n\
+                 xs.par_iter().copied().reduce(|| 0.0, |a, b| a + b)\n}\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn integer_and_sequential_reductions_are_clean() {
+        let out = diags(
+            "crates/tensor/src/dense.rs",
+            "pub fn count(xs: &[u32]) -> u32 { xs.par_iter().copied().sum() }\n\
+             pub fn seq(xs: &[f32]) -> f32 { xs.iter().copied().sum() }\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn oracle_module_is_table_excluded() {
+        let out = diags(
+            "crates/tensor/src/reduce.rs",
+            "pub fn sum_hier(xs: &[f32]) -> f32 {\n\
+                 xs.par_chunks(4096).map(sum_flat).sum::<f32>()\n}\n",
+        );
+        assert!(out.is_empty(), "reduce.rs is the sanctioned home: {out:?}");
+    }
+}

@@ -102,7 +102,9 @@ impl Rule for NondeterministicWireIteration {
 }
 
 /// Identifiers bound or annotated as `HashMap` anywhere in the file.
-fn hashmap_idents(v: &View) -> BTreeSet<String> {
+/// Shared with the call-graph pass ([`crate::callgraph`]), which treats
+/// HashMap iteration as an impurity source in *any* function.
+pub(crate) fn hashmap_idents(v: &View) -> BTreeSet<String> {
     let mut out = BTreeSet::new();
     for ci in 0..v.len() {
         if !v.is_ident(ci, "HashMap") {
@@ -129,7 +131,7 @@ fn hashmap_idents(v: &View) -> BTreeSet<String> {
 }
 
 /// `map . iter (` style call at body position `pos`.
-fn is_iter_call(v: &View, body: &[usize], pos: usize) -> bool {
+pub(crate) fn is_iter_call(v: &View, body: &[usize], pos: usize) -> bool {
     if pos + 3 > body.len() {
         return false;
     }
@@ -141,7 +143,7 @@ fn is_iter_call(v: &View, body: &[usize], pos: usize) -> bool {
 }
 
 /// Is `pos` inside a `for … in … { ` header (between `for` and its `{`)?
-fn in_for_header(v: &View, body: &[usize], pos: usize) -> bool {
+pub(crate) fn in_for_header(v: &View, body: &[usize], pos: usize) -> bool {
     // Walk back looking for `for` before any `{`/`;`/`}` boundary.
     let mut saw_in = false;
     let mut k = pos;

@@ -1,0 +1,269 @@
+//! `--fix` contract, end to end over seeded dirty workspaces:
+//!
+//! - **one-pass convergence**: running `run_fix` once on a tree seeded
+//!   with every fixable-rule violation leaves a tree that re-lints
+//!   clean;
+//! - **idempotence**: a second `run_fix` plans zero edits and rewrites
+//!   nothing;
+//! - **dry runs** report the same plan without touching disk;
+//! - **refusal discipline**: entangled lines (carrying another rule's
+//!   finding) and fixes with no error channel are refused with reasons,
+//!   never half-applied.
+
+use compso_lint::fix::run_fix;
+use compso_lint::{check_workspace, Diagnostic};
+use std::path::{Path, PathBuf};
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir =
+            std::env::temp_dir().join(format!("compso-lint-fix-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn write(root: &Path, rel: &str, src: &str) {
+    let path = root.join(rel);
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(path, src).unwrap();
+}
+
+fn read(root: &Path, rel: &str) -> String {
+    std::fs::read_to_string(root.join(rel)).unwrap()
+}
+
+/// A workspace seeded with one violation of each fixable rule, all on
+/// untangled lines inside `Result`-returning functions — the tree
+/// `--fix` must fully converge on.
+fn seed_dirty(root: &Path) {
+    write(
+        root,
+        "crates/obs/src/names.rs",
+        "pub const COMM_RECV: &str = \"comm/recv\";\n\n\
+         pub const ALL: &[&str] = &[\n    COMM_RECV,\n];\n",
+    );
+    write(
+        root,
+        "crates/core/src/wire.rs",
+        "pub mod magic {\n    pub const MAGIC_STREAM_V1: u8 = 0xC5;\n}\n",
+    );
+    // wire-magic-registry: bare registered magic outside the registry.
+    write(
+        root,
+        "crates/core/src/codec.rs",
+        "pub fn tag() -> u8 {\n    0xC5\n}\n",
+    );
+    // counter-registry: unregistered counter-shaped literal.
+    write(
+        root,
+        "crates/comm/src/metrics.rs",
+        "pub fn note(rec: &mut Recorder) {\n    rec.incr(\"comm/frames_sent\");\n}\n",
+    );
+    // swallowed-comm-error: discarded collective in a Result fn.
+    write(
+        root,
+        "crates/comm/src/teardown.rs",
+        "impl Group {\n    pub fn quiesce(&mut self) -> Result<(), CommError> {\n        \
+         let _ = self.barrier();\n        Ok(())\n    }\n}\n",
+    );
+}
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<&str> {
+    let mut rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+    rules.sort();
+    rules
+}
+
+#[test]
+fn fix_converges_in_one_pass_and_is_idempotent() {
+    let tmp = Scratch::new("converge");
+    let root = tmp.path();
+    seed_dirty(root);
+
+    let before = check_workspace(root).unwrap();
+    assert_eq!(
+        rules_of(&before),
+        [
+            "counter-registry",
+            "swallowed-comm-error",
+            "wire-magic-registry"
+        ],
+        "seeded tree must fire exactly the fixable rules: {before:?}"
+    );
+
+    let report = run_fix(root, false).unwrap();
+    assert_eq!(rules_of(&report.fixed), rules_of(&before));
+    assert!(report.refused.is_empty(), "{:?}", report.refused);
+    let mut rewritten = report.rewritten.clone();
+    rewritten.sort();
+    assert_eq!(
+        rewritten,
+        [
+            "crates/comm/src/metrics.rs",
+            "crates/comm/src/teardown.rs",
+            "crates/core/src/codec.rs",
+            "crates/obs/src/names.rs",
+        ]
+    );
+
+    // The rewrites are the mechanical ones the rules demand.
+    assert!(read(root, "crates/core/src/codec.rs").contains("crate::wire::magic::MAGIC_STREAM_V1"));
+    assert!(read(root, "crates/comm/src/metrics.rs")
+        .contains("rec.incr(compso_obs::names::COMM_FRAMES_SENT)"));
+    let names = read(root, "crates/obs/src/names.rs");
+    assert!(names.contains("pub const COMM_FRAMES_SENT: &str = \"comm/frames_sent\";"));
+    assert!(names.contains("    COMM_FRAMES_SENT,\n];"), "{names}");
+    assert!(read(root, "crates/comm/src/teardown.rs").contains("self.barrier()?;"));
+
+    // One pass converged: the tree re-lints clean…
+    let after = check_workspace(root).unwrap();
+    assert!(after.is_empty(), "not converged: {after:?}");
+
+    // …and the pass is idempotent: a second run plans nothing.
+    let again = run_fix(root, false).unwrap();
+    assert!(again.fixed.is_empty(), "{:?}", again.fixed);
+    assert!(again.refused.is_empty(), "{:?}", again.refused);
+    assert!(again.rewritten.is_empty(), "{:?}", again.rewritten);
+}
+
+#[test]
+fn dry_run_plans_the_same_fixes_without_touching_disk() {
+    let tmp = Scratch::new("dry");
+    let root = tmp.path();
+    seed_dirty(root);
+    let snapshot: Vec<(String, String)> = [
+        "crates/obs/src/names.rs",
+        "crates/core/src/codec.rs",
+        "crates/comm/src/metrics.rs",
+        "crates/comm/src/teardown.rs",
+    ]
+    .into_iter()
+    .map(|rel| (rel.to_string(), read(root, rel)))
+    .collect();
+
+    let report = run_fix(root, true).unwrap();
+    assert_eq!(
+        rules_of(&report.fixed),
+        [
+            "counter-registry",
+            "swallowed-comm-error",
+            "wire-magic-registry"
+        ]
+    );
+    assert!(report.rewritten.is_empty(), "{:?}", report.rewritten);
+    for (rel, before) in &snapshot {
+        assert_eq!(&read(root, rel), before, "{rel} changed during a dry run");
+    }
+}
+
+#[test]
+fn entangled_and_channelless_fixes_are_refused() {
+    let tmp = Scratch::new("refuse");
+    let root = tmp.path();
+    write(
+        root,
+        "crates/obs/src/names.rs",
+        "pub const COMM_RECV: &str = \"comm/recv\";\n\n\
+         pub const ALL: &[&str] = &[\n    COMM_RECV,\n];\n",
+    );
+    // `let _ = barrier()` under a rank guard: the line carries BOTH a
+    // swallowed-comm-error and a collective-order finding — entangled,
+    // so the fix must stand down rather than rewrite half the problem.
+    write(
+        root,
+        "crates/comm/src/drain.rs",
+        "impl Group {\n    pub fn drain(&mut self) -> Result<(), CommError> {\n        \
+         if self.my_rank == 0 {\n            let _ = self.barrier();\n        }\n        \
+         Ok(())\n    }\n}\n",
+    );
+    // Discard in a `()` function: no error channel to propagate into.
+    write(
+        root,
+        "crates/comm/src/shutdown.rs",
+        "impl Group {\n    pub fn shutdown(&mut self) {\n        \
+         let _ = self.barrier();\n    }\n}\n",
+    );
+
+    let report = run_fix(root, false).unwrap();
+    assert!(report.fixed.is_empty(), "{:?}", report.fixed);
+    assert!(report.rewritten.is_empty(), "{:?}", report.rewritten);
+    let reasons: Vec<(&str, &str, &str)> = report
+        .refused
+        .iter()
+        .map(|(d, why)| (d.path.as_str(), d.rule, why.as_str()))
+        .collect();
+    assert_eq!(reasons.len(), 2, "{reasons:?}");
+    let entangled = reasons
+        .iter()
+        .find(|(p, _, _)| p.ends_with("drain.rs"))
+        .unwrap();
+    assert_eq!(entangled.1, "swallowed-comm-error");
+    assert!(
+        entangled
+            .2
+            .contains("also carries a `collective-order` finding"),
+        "{entangled:?}"
+    );
+    let channelless = reasons
+        .iter()
+        .find(|(p, _, _)| p.ends_with("shutdown.rs"))
+        .unwrap();
+    assert!(
+        channelless.2.contains("does not return Result"),
+        "{channelless:?}"
+    );
+
+    // Refusals leave the tree byte-identical.
+    assert!(read(root, "crates/comm/src/drain.rs").contains("let _ = self.barrier();"));
+    assert!(read(root, "crates/comm/src/shutdown.rs").contains("let _ = self.barrier();"));
+}
+
+#[test]
+fn unregistered_magic_is_refused_not_invented() {
+    let tmp = Scratch::new("magic");
+    let root = tmp.path();
+    write(
+        root,
+        "crates/obs/src/names.rs",
+        "pub const COMM_RECV: &str = \"comm/recv\";\n\n\
+         pub const ALL: &[&str] = &[\n    COMM_RECV,\n];\n",
+    );
+    write(
+        root,
+        "crates/core/src/wire.rs",
+        "pub mod magic {\n    pub const MAGIC_STREAM_V1: u8 = 0xC5;\n}\n",
+    );
+    // 0xCE is in the reserved range but has no registry constant:
+    // inventing one is a design decision, not a mechanical fix.
+    write(
+        root,
+        "crates/core/src/codec.rs",
+        "pub fn tag() -> u8 {\n    0xCE\n}\n",
+    );
+
+    let report = run_fix(root, false).unwrap();
+    assert!(report.fixed.is_empty(), "{:?}", report.fixed);
+    assert!(report.rewritten.is_empty());
+    assert_eq!(report.refused.len(), 1, "{:?}", report.refused);
+    assert!(
+        report.refused[0]
+            .1
+            .contains("no constant in compso_core::wire::magic"),
+        "{:?}",
+        report.refused
+    );
+}

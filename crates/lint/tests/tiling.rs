@@ -11,8 +11,10 @@
 //!   and re-lexes them, exercising totality on *malformed* input
 //!   (unterminated strings, half-open block comments, dangling `0x`).
 
+use compso_lint::callgraph::{solve, summarize};
 use compso_lint::lexer::lex;
 use compso_lint::walker::collect_files;
+use compso_lint::SourceFile;
 use proptest::prelude::*;
 use std::path::{Path, PathBuf};
 
@@ -102,5 +104,32 @@ proptest! {
         }
         let prefix = &src[..cut];
         assert_tiles(prefix, &format_args!("{}[..{}]", file.display(), cut));
+    }
+
+    /// Call-graph construction must be total on the same malformed
+    /// inputs: truncation leaves half-open fn bodies, dangling `::`
+    /// paths, and unbalanced braces, and `summarize` + `solve` must
+    /// neither panic nor loop — the workspace pre-pass runs before any
+    /// validity check. Solving the file against itself also pins the
+    /// fixpoint's totality on arbitrary call graphs.
+    #[test]
+    fn callgraph_is_total_on_random_prefixes(file_pick in 0usize..1usize << 16, cut_pick in 0usize..1usize << 16) {
+        let files = corpus();
+        let file = &files[file_pick % files.len()];
+        let src = std::fs::read_to_string(file).expect("read source file");
+        let mut cut = cut_pick % (src.len() + 1);
+        while !src.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let sf = SourceFile::new(
+            format!("crates/comm/src/truncated_{cut}.rs"),
+            src[..cut].to_string(),
+        );
+        let summary = summarize(&sf);
+        let facts = solve(std::slice::from_ref(&summary));
+        // Every summarized fn gets solved facts, truncated or not.
+        for f in &summary.fns {
+            prop_assert!(facts.contains_key(&f.name), "no facts for `{}`", f.name);
+        }
     }
 }
